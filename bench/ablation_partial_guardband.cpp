@@ -1,0 +1,41 @@
+// §7 in-text ablation — partial guardbands: the paper notes that keeping
+// a small 9 % guardband lets the NPU stay at (3,1)-class compression for
+// the whole lifetime, cutting the 10-year accuracy loss to 1.11 % on
+// average. This bench sweeps the guardband fraction and reports the
+// compression and delay cost at end of life (50 mV).
+#include <cstdio>
+
+#include "cell/library.hpp"
+#include "common/table.hpp"
+#include "core/compression_selector.hpp"
+#include "netlist/builders.hpp"
+
+int main() {
+    using namespace raq;
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library fresh = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, fresh);
+
+    std::printf("Partial-guardband ablation at end of life (dVth = 50 mV):\n"
+                "a small guardband relaxes the timing constraint, allowing a milder\n"
+                "compression (higher accuracy) at a bounded performance cost.\n\n");
+    common::Table table({"guardband", "perf. cost vs no-GB", "selected (a,b)/pad",
+                         "norm", "norm. delay"});
+    for (const double gb : {0.00, 0.03, 0.06, 0.09, 0.12, 0.15, 0.23}) {
+        const auto choice = selector.select(50.0, gb);
+        if (!choice) {
+            table.add_row({common::Table::pct(gb, 0), common::Table::pct(gb, 0), "none", "-",
+                           "-"});
+            continue;
+        }
+        table.add_row({common::Table::pct(gb, 0), common::Table::pct(gb, 0),
+                       choice->compression.to_string(),
+                       common::Table::fmt(choice->compression.norm(), 2),
+                       common::Table::fmt(choice->normalized_delay, 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("paper shape check: compression norm decreases monotonically as the "
+                "guardband grows; at the full 23%% guardband no compression is needed "
+                "(the conventional design point).\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Shared plumbing for the benchmark harnesses: the cached model zoo, the
+// evaluation datasets and the driving MAC circuit. Every bench prints the
+// seeds and sample sizes it uses so runs are reproducible.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "data/synthetic_dataset.hpp"
+#include "ir/float_executor.hpp"
+#include "netlist/builders.hpp"
+#include "nn/model_cache.hpp"
+#include "nn/zoo.hpp"
+#include "quant/calibration.hpp"
+
+namespace raq::benchutil {
+
+inline constexpr int kTestSamples = 500;   ///< accuracy evaluation subset
+inline constexpr int kCalibSamples = 64;   ///< calibration batch
+
+struct Workbench {
+    nn::ModelCache cache;
+    tensor::Tensor test_images;
+    std::vector<int> test_labels;
+    tensor::Tensor calib_images;
+    std::vector<int> calib_labels;
+
+    Workbench() : cache() {
+        const auto& ds = cache.dataset();
+        test_images = ds.test_batch(0, kTestSamples);
+        test_labels.assign(ds.test_labels().begin(), ds.test_labels().begin() + kTestSamples);
+        calib_images = ds.train_batch(0, kCalibSamples);
+        calib_labels.assign(ds.train_labels().begin(),
+                            ds.train_labels().begin() + kCalibSamples);
+    }
+};
+
+/// The paper's driving circuit: 8-bit multiplier + 22-bit accumulator.
+inline netlist::Netlist paper_mac() { return netlist::build_mac_circuit(); }
+
+/// Run `fn(i)` for i in [0, n) on up to `threads` worker threads.
+template <typename Fn>
+void parallel_for(int n, Fn fn, int threads = 0) {
+    if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+    threads = std::max(1, std::min(threads, n));
+    std::mutex mutex;
+    int next = 0;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            for (;;) {
+                int i;
+                {
+                    const std::lock_guard<std::mutex> lock(mutex);
+                    if (next >= n) return;
+                    i = next++;
+                }
+                fn(i);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+}
+
+}  // namespace raq::benchutil

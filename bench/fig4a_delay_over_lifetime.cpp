@@ -1,0 +1,39 @@
+// Fig. 4a — Normalized MAC delay over lifetime: the guardband-free
+// baseline degrades to +23 % at 10 years, while the aging-aware
+// compression schedule keeps the delay at or below the fresh clock
+// (normalized delay <= 1.0) for the entire lifetime.
+#include <cstdio>
+
+#include "aging/aging_model.hpp"
+#include "cell/library.hpp"
+#include "common/table.hpp"
+#include "core/lifetime.hpp"
+#include "netlist/builders.hpp"
+
+int main() {
+    using namespace raq;
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library fresh = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, fresh);
+    const aging::AgingModel model;
+    const core::LifetimeScheduler scheduler(selector, model);
+
+    std::printf("Fig. 4a: normalized delay over lifetime (fresh CP = %.1f ps)\n\n",
+                selector.fresh_critical_path_ps());
+    common::Table table(
+        {"dVth [mV]", "~years", "baseline (aged, no GB)", "ours (compressed)", "(a,b)/pad"});
+    for (const auto& point : scheduler.standard_schedule()) {
+        table.add_row({common::Table::fmt(point.dvth_mv, 0),
+                       common::Table::fmt(point.years, 2),
+                       common::Table::fmt(point.baseline_normalized_delay, 3),
+                       point.ours_feasible ? common::Table::fmt(point.ours_normalized_delay, 3)
+                                           : "infeasible",
+                       point.compression.to_string()});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("guardband a conventional design needs for 10 years: %.1f%% "
+                "(paper: 23%%) -> removing it is a %.1f%% performance gain.\n",
+                100.0 * scheduler.required_guardband_fraction(),
+                100.0 * scheduler.required_guardband_fraction());
+    return 0;
+}

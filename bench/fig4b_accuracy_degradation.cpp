@@ -1,0 +1,62 @@
+// Fig. 4b — Box plots of the accuracy loss over the ten networks at each
+// aging level (the distribution behind Table 1).
+//
+// Paper values: mean loss 0.24 / 0.45 / 1.11 / 1.80 / 2.96 % at
+// 10/20/30/40/50 mV, losses concentrated around the median, SqueezeNet
+// always the worst outlier.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/aging_aware_quantizer.hpp"
+#include "core/compression_selector.hpp"
+
+int main() {
+    using namespace raq;
+    benchutil::Workbench wb;
+    const auto names = nn::paper_networks();
+    wb.cache.ensure(names);
+
+    const netlist::Netlist mac = benchutil::paper_mac();
+    const cell::Library fresh = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, fresh);
+    const core::AgingAwareQuantizer quantizer(selector);
+    const double levels[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+
+    std::vector<ir::Graph> graphs;
+    for (const auto& name : names) graphs.push_back(wb.cache.get(name).export_ir());
+
+    // losses[level][network]
+    std::vector<std::vector<double>> losses(std::size(levels),
+                                            std::vector<double>(names.size(), 0.0));
+    std::vector<std::string> worst(std::size(levels));
+    benchutil::parallel_for(static_cast<int>(names.size()), [&](int i) {
+        core::AagInputs in;
+        in.graph = &graphs[static_cast<std::size_t>(i)];
+        in.test_images = &wb.test_images;
+        in.test_labels = &wb.test_labels;
+        in.calib_images = &wb.calib_images;
+        in.calib_labels = &wb.calib_labels;
+        for (std::size_t l = 0; l < std::size(levels); ++l)
+            losses[l][static_cast<std::size_t>(i)] = quantizer.run(in, levels[l]).accuracy_loss;
+    });
+
+    std::printf("Fig. 4b: accuracy-loss distribution over the 10 networks per aging level\n\n");
+    common::Table table({"dVth [mV]", "min", "q1", "median", "q3", "max", "mean", "worst net"});
+    for (std::size_t l = 0; l < std::size(levels); ++l) {
+        const auto box = common::box_stats(losses[l]);
+        std::size_t worst_idx = 0;
+        for (std::size_t i = 1; i < names.size(); ++i)
+            if (losses[l][i] > losses[l][worst_idx]) worst_idx = i;
+        table.add_row({common::Table::fmt(levels[l], 0), common::Table::fmt(box.min, 2),
+                       common::Table::fmt(box.q1, 2), common::Table::fmt(box.median, 2),
+                       common::Table::fmt(box.q3, 2), common::Table::fmt(box.max, 2),
+                       common::Table::fmt(box.mean, 2), names[worst_idx]});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("paper shape check: mean loss grows gracefully with aging "
+                "(paper: 0.24/0.45/1.11/1.80/2.96%%); squeezenet1.1 should be the "
+                "recurring worst case.\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks of the library's hot kernels: STA
+// analysis, event-driven simulation, float and quantized inference.
+#include <benchmark/benchmark.h>
+
+#include "cell/library.hpp"
+#include "data/synthetic_dataset.hpp"
+#include "ir/float_executor.hpp"
+#include "netlist/builders.hpp"
+#include "nn/zoo.hpp"
+#include "quant/evaluate.hpp"
+#include "quant/quant_executor.hpp"
+#include "quant/methods.hpp"
+#include "sim/event_sim.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace raq;
+
+void BM_StaMacAnalysis(benchmark::State& state) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library lib = cell::Library::finfet14();
+    const sta::Sta sta(mac, lib);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sta.run(lib));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(mac.num_gates()));
+}
+BENCHMARK(BM_StaMacAnalysis);
+
+void BM_StaCaseAnalysisSweep(benchmark::State& state) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library lib = cell::Library::finfet14();
+    const sta::Sta sta(mac, lib);
+    for (auto _ : state) {
+        double total = 0.0;
+        for (int a = 0; a <= 4; ++a)
+            for (int b = 0; b <= 4; ++b)
+                total += sta.critical_path_ps(
+                    lib, sta::compression_case(mac, {a, b, common::Padding::Lsb}));
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_StaCaseAnalysisSweep);
+
+void BM_EventSimMacCycle(benchmark::State& state) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library lib = cell::Library::finfet14();
+    const sta::Sta sta(mac, lib);
+    const double period = sta.critical_path_ps(lib) * 1.01;
+    sim::EventSimulator simulator(mac, lib);
+    std::vector<bool> pi(mac.primary_inputs().size(), false);
+    common::Rng rng(3);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < pi.size(); ++i) pi[i] = rng.next_bool(0.5);
+        simulator.step(pi, period);
+        benchmark::DoNotOptimize(simulator.read_bus("S"));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventSimMacCycle);
+
+void BM_NetlistFunctionalEval64(benchmark::State& state) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    std::vector<std::uint64_t> words(mac.primary_inputs().size());
+    common::Rng rng(5);
+    for (auto _ : state) {
+        for (auto& w : words) w = rng.next_u64();
+        benchmark::DoNotOptimize(mac.eval_words(words));
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetlistFunctionalEval64);
+
+struct InferenceFixtures {
+    data::SyntheticDataset dataset;
+    ir::Graph graph;
+    tensor::Tensor batch;
+    quant::QuantizedGraph qgraph;
+
+    InferenceFixtures()
+        : dataset(small_config()),
+          graph(make_graph()),
+          batch(dataset.test_batch(0, 32)),
+          qgraph(make_quant(graph, dataset)) {}
+
+    static data::DatasetConfig small_config() {
+        data::DatasetConfig cfg;
+        cfg.train_size = 128;
+        cfg.test_size = 64;
+        return cfg;
+    }
+    static ir::Graph make_graph() {
+        auto net = nn::make_network("resnet20-mini");
+        return net.export_ir();
+    }
+    static quant::QuantizedGraph make_quant(const ir::Graph& graph,
+                                            const data::SyntheticDataset& ds) {
+        std::vector<int> labels(ds.train_labels().begin(), ds.train_labels().begin() + 64);
+        const auto calib = quant::calibrate(graph, ds.train_batch(0, 64), labels);
+        return quant::quantize_graph(graph, quant::Method::M5_AciqNoBias,
+                                     quant::QuantConfig{}, calib);
+    }
+};
+
+void BM_FloatInference(benchmark::State& state) {
+    static InferenceFixtures fx;
+    for (auto _ : state) benchmark::DoNotOptimize(ir::run_float(fx.graph, fx.batch));
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_FloatInference);
+
+void BM_QuantizedInference(benchmark::State& state) {
+    static InferenceFixtures fx;
+    for (auto _ : state) benchmark::DoNotOptimize(quant::run_quantized(fx.qgraph, fx.batch));
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_QuantizedInference);
+
+void BM_QuantizedInferenceWithInjection(benchmark::State& state) {
+    static InferenceFixtures fx;
+    inject::InjectionConfig cfg;
+    cfg.flip_probability = 1e-4;
+    inject::BitFlipInjector injector(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quant::run_quantized(fx.qgraph, fx.batch, &injector));
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_QuantizedInferenceWithInjection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

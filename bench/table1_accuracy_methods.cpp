@@ -1,0 +1,80 @@
+// Table 1 — Accuracy loss (%) and selected quantization method for the
+// ten paper networks at each aging level (ΔVth = 10..50 mV), running the
+// full Algorithm 1 per (network, level).
+//
+// Paper shape: losses grow gracefully with aging (means 0.24 -> 2.96 %),
+// SqueezeNet is consistently the worst, and only M3 (LAPQ), M4 (ACIQ)
+// and M5 (ACIQ w/o bias) are ever selected — never M1/M2.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aging_aware_quantizer.hpp"
+#include "core/compression_selector.hpp"
+
+int main() {
+    using namespace raq;
+    benchutil::Workbench wb;
+    const auto names = nn::paper_networks();
+    wb.cache.ensure(names);
+
+    const netlist::Netlist mac = benchutil::paper_mac();
+    const cell::Library fresh = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, fresh);
+    const core::AgingAwareQuantizer quantizer(selector);
+    const double levels[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+
+    std::printf("Table 1: accuracy loss %% / selected method per aging level "
+                "(%d test samples, %d calibration samples)\n",
+                benchutil::kTestSamples, benchutil::kCalibSamples);
+    std::printf("compression per level: ");
+    for (const double dvth : levels)
+        std::printf("%s@%gmV ", selector.select(dvth)->compression.to_string().c_str(), dvth);
+    std::printf("\n\n");
+
+    struct Row {
+        std::string cells[6];
+        double fp32 = 0.0;
+    };
+    std::vector<Row> rows(names.size());
+    int method_count[5] = {0, 0, 0, 0, 0};
+    std::mutex count_mutex;
+
+    // Pre-load models serially (ModelCache is not thread-safe), analyze in
+    // parallel (each worker only touches its own graphs).
+    std::vector<ir::Graph> graphs;
+    graphs.reserve(names.size());
+    for (const auto& name : names) graphs.push_back(wb.cache.get(name).export_ir());
+
+    benchutil::parallel_for(static_cast<int>(names.size()), [&](int i) {
+        Row& row = rows[static_cast<std::size_t>(i)];
+        row.cells[0] = names[static_cast<std::size_t>(i)];
+        core::AagInputs in;
+        in.graph = &graphs[static_cast<std::size_t>(i)];
+        in.test_images = &wb.test_images;
+        in.test_labels = &wb.test_labels;
+        in.calib_images = &wb.calib_images;
+        in.calib_labels = &wb.calib_labels;
+        for (std::size_t l = 0; l < std::size(levels); ++l) {
+            const auto result = quantizer.run(in, levels[l]);
+            row.fp32 = result.fp32_accuracy;
+            row.cells[l + 1] = common::Table::fmt(result.accuracy_loss, 2) + " / " +
+                               quant::method_label(result.selected_method);
+            const std::lock_guard<std::mutex> lock(count_mutex);
+            ++method_count[static_cast<int>(result.selected_method)];
+        }
+    });
+
+    common::Table table({"network (fp32 acc)", "10mV", "20mV", "30mV", "40mV", "50mV"});
+    for (auto& row : rows) {
+        row.cells[0] += " (" + common::Table::fmt(100.0 * row.fp32, 1) + "%)";
+        table.add_row({row.cells[0], row.cells[1], row.cells[2], row.cells[3], row.cells[4],
+                       row.cells[5]});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("method selection histogram: M1=%d M2=%d M3=%d M4=%d M5=%d "
+                "(paper: M3 14%%, M4 44%%, M5 42%%, M1/M2 never)\n",
+                method_count[0], method_count[1], method_count[2], method_count[3],
+                method_count[4]);
+    return 0;
+}

@@ -1,0 +1,62 @@
+// Explore the PTQ method library: quantize one network at every
+// (weights, activations) bit-width pair with all five methods and print
+// the accuracy-loss grid — the tool to reproduce the paper's "different
+// methods win in different regimes" observation on any model.
+//
+// Usage: explore_quant_methods [network]
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "ir/float_executor.hpp"
+#include "nn/model_cache.hpp"
+#include "quant/evaluate.hpp"
+#include "quant/methods.hpp"
+
+int main(int argc, char** argv) {
+    using namespace raq;
+    const std::string model = argc > 1 ? argv[1] : "wide-resnet50-mini";
+
+    nn::ModelCache cache;
+    auto& net = cache.get(model);
+    auto graph = net.export_ir();
+    const auto& ds = cache.dataset();
+    const auto test_images = ds.test_batch(0, 500);
+    const std::vector<int> test_labels(ds.test_labels().begin(),
+                                       ds.test_labels().begin() + 500);
+    const auto calib = quant::calibrate(graph, ds.train_batch(0, 64),
+                                        {ds.train_labels().begin(),
+                                         ds.train_labels().begin() + 64});
+    const double fp32 = ir::float_accuracy(graph, test_images, test_labels);
+
+    std::printf("%s: FP32 accuracy %.1f%% — accuracy loss (pp) per method and "
+                "bit-width\n\n",
+                model.c_str(), 100.0 * fp32);
+    common::Table table({"bits (W/A)", "M1", "M2", "M3", "M4", "M5", "best"});
+    for (const int weight_bits : {8, 6, 5, 4, 3}) {
+        for (const int act_bits : {8, 5, 4}) {
+            quant::QuantConfig cfg;
+            cfg.weight_bits = weight_bits;
+            cfg.act_bits = act_bits;
+            cfg.bias_bits = weight_bits + act_bits;
+            std::vector<std::string> row{"W" + std::to_string(weight_bits) + "A" +
+                                         std::to_string(act_bits)};
+            double best = 1e9;
+            std::string best_label = "-";
+            for (const auto method : quant::all_methods()) {
+                const auto q = quant::quantize_graph(graph, method, cfg, calib);
+                const double loss =
+                    100.0 * (fp32 - quant::quantized_accuracy(q, test_images, test_labels));
+                row.push_back(common::Table::fmt(loss, 2));
+                if (loss < best) {
+                    best = loss;
+                    best_label = quant::method_label(method);
+                }
+            }
+            row.push_back(best_label);
+            table.add_row(row);
+        }
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,103 @@
+// Fleet monitor: a cross-layer what-if for a deployed NPU at a chosen
+// age. Compares three operating policies:
+//
+//   guardband  — conventional design: correct but 23 % slower from day 0
+//   ignore     — fresh clock, no mitigation: the event-driven timing
+//                simulator measures the real MSB flip rate of the aged
+//                multiplier, which is then injected into the quantized
+//                network to estimate the surviving accuracy
+//   ours       — fresh clock + aging-aware re-quantization (Algorithm 1)
+//
+// Usage: npu_fleet_monitor [years] [network]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "aging/aging_model.hpp"
+#include "cell/library.hpp"
+#include "common/table.hpp"
+#include "core/aging_aware_quantizer.hpp"
+#include "netlist/builders.hpp"
+#include "nn/model_cache.hpp"
+#include "quant/evaluate.hpp"
+#include "sim/error_stats.hpp"
+#include "sta/sta.hpp"
+
+int main(int argc, char** argv) {
+    using namespace raq;
+    const double years = argc > 1 ? std::atof(argv[1]) : 6.0;
+    const std::string model = argc > 2 ? argv[2] : "resnet32-mini";
+
+    const aging::AgingModel aging_model;
+    const double dvth = aging_model.dvth_mv(years);
+    const cell::Library fresh = cell::Library::finfet14();
+    const cell::Library aged = fresh.aged(dvth);
+
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const netlist::Netlist mult = netlist::build_multiplier_circuit(8);
+    const core::CompressionSelector selector(mac, fresh);
+    const double fresh_cp = selector.fresh_critical_path_ps();
+
+    std::printf("Fleet monitor: %s, %.1f years in the field (dVth = %.1f mV)\n\n",
+                model.c_str(), years, dvth);
+
+    // Measure the aged multiplier's real MSB flip rate at the fresh clock.
+    const sta::Sta mult_sta(mult, fresh);
+    sim::ErrorRunConfig err_cfg;
+    err_cfg.clock_ps = mult_sta.critical_path_ps(fresh) * 1.0001;
+    err_cfg.cycles = 40000;
+    const auto err = sim::characterize_multiplier(mult, aged, err_cfg);
+    std::printf("measured on silicon model: MSB flip probability %.2e, MED %.1f\n\n",
+                err.msb2_flip_prob, err.med);
+
+    nn::ModelCache cache;
+    auto& net = cache.get(model);
+    auto graph = net.export_ir();
+    const auto& ds = cache.dataset();
+    const auto test_images = ds.test_batch(0, 500);
+    const std::vector<int> test_labels(ds.test_labels().begin(),
+                                       ds.test_labels().begin() + 500);
+    const auto calib_images = ds.train_batch(0, 64);
+    const std::vector<int> calib_labels(ds.train_labels().begin(),
+                                        ds.train_labels().begin() + 64);
+    const auto calib = quant::calibrate(graph, calib_images, calib_labels);
+
+    // 8-bit deployment baseline (what all three policies start from).
+    const auto q8 = quant::quantize_graph(graph, quant::Method::M5_AciqNoBias,
+                                          quant::QuantConfig{}, calib);
+    const double acc8 = quant::quantized_accuracy(q8, test_images, test_labels);
+
+    // Policy "ignore": inject the measured flip rate into the 8-bit model.
+    quant::EvalOptions inject_opts;
+    inject_opts.injection.flip_probability = err.msb2_flip_prob;
+    inject_opts.injection.seed = 1234;
+    inject_opts.repetitions = 5;
+    const double acc_ignore =
+        err.msb2_flip_prob > 0
+            ? quant::quantized_accuracy(q8, test_images, test_labels, inject_opts)
+            : acc8;
+
+    // Policy "ours": Algorithm 1 at this aging level.
+    core::AagInputs inputs;
+    inputs.graph = &graph;
+    inputs.test_images = &test_images;
+    inputs.test_labels = &test_labels;
+    inputs.calib_images = &calib_images;
+    inputs.calib_labels = &calib_labels;
+    const core::AgingAwareQuantizer quantizer(selector);
+    const auto ours = quantizer.run(inputs, dvth);
+
+    const double guardband_period = fresh_cp * fresh.derate_for(50.0);
+    common::Table table({"policy", "clock [ps]", "rel. speed", "accuracy", "note"});
+    table.add_row({"guardband (conventional)", common::Table::fmt(guardband_period, 1),
+                   common::Table::fmt(fresh_cp / guardband_period, 2), common::Table::pct(acc8, 1),
+                   "pays 23% forever"});
+    table.add_row({"ignore aging", common::Table::fmt(fresh_cp, 1), "1.00",
+                   common::Table::pct(acc_ignore, 1), "timing errors corrupt MACs"});
+    table.add_row({"aging-aware quantization", common::Table::fmt(fresh_cp, 1), "1.00",
+                   common::Table::pct(ours.quantized_accuracy, 1),
+                   "compression " + ours.compression.compression.to_string() + ", method " +
+                       quant::method_label(ours.selected_method)});
+    std::printf("%s\n", table.to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,55 @@
+#include "aging/aging_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace raq::aging {
+
+AgingModel::AgingModel(const AgingParams& params) : params_(params) {
+    if (params_.eol_years <= 0 || params_.eol_dvth_mv <= 0)
+        throw std::invalid_argument("AgingModel: EOL anchors must be positive");
+    if (params_.bti_exponent <= 0 || params_.hci_exponent <= 0)
+        throw std::invalid_argument("AgingModel: exponents must be positive");
+    if (params_.hci_fraction < 0 || params_.hci_fraction >= 1)
+        throw std::invalid_argument("AgingModel: hci_fraction must be in [0,1)");
+    // Calibrate prefactors so that the two mechanisms sum to the EOL anchor
+    // at reference conditions: bti + hci = eol_dvth at t = eol_years.
+    bti_prefactor_mv_ = params_.eol_dvth_mv * (1.0 - params_.hci_fraction);
+    hci_prefactor_mv_ = params_.eol_dvth_mv * params_.hci_fraction;
+}
+
+double AgingModel::dvth_mv(double years) const {
+    if (years < 0) throw std::invalid_argument("AgingModel: negative age");
+    if (years == 0) return 0.0;
+    const double t = years / params_.eol_years;
+    // Arrhenius-like acceleration relative to the reference temperature, and
+    // stress-time scaling with the duty cycle (relaxation-aware first order).
+    const double accel =
+        std::exp(params_.temperature_activation *
+                 (params_.temperature_c - params_.reference_temperature_c)) *
+        params_.duty_cycle;
+    const double bti = bti_prefactor_mv_ * std::pow(t * accel, params_.bti_exponent);
+    const double hci = hci_prefactor_mv_ * std::pow(t * accel, params_.hci_exponent);
+    return bti + hci;
+}
+
+double AgingModel::years_for_dvth(double target_mv) const {
+    if (target_mv < 0) throw std::invalid_argument("AgingModel: negative ΔVth");
+    if (target_mv == 0) return 0.0;
+    double lo = 0.0;
+    double hi = params_.eol_years;
+    while (dvth_mv(hi) < target_mv) {
+        hi *= 2.0;
+        if (hi > 1e6) throw std::invalid_argument("AgingModel: ΔVth unreachable");
+    }
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (dvth_mv(mid) < target_mv)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace raq::aging

@@ -1,0 +1,129 @@
+#include "cell/cell.hpp"
+
+namespace raq::cell {
+
+int num_inputs(CellType type) noexcept {
+    switch (type) {
+        case CellType::Inv:
+        case CellType::Buf:
+            return 1;
+        case CellType::Nand2:
+        case CellType::Nor2:
+        case CellType::And2:
+        case CellType::Or2:
+        case CellType::Xor2:
+        case CellType::Xnor2:
+            return 2;
+        case CellType::Nand3:
+        case CellType::Nor3:
+        case CellType::And3:
+        case CellType::Or3:
+        case CellType::Aoi21:
+        case CellType::Oai21:
+        case CellType::Mux2:
+            return 3;
+    }
+    return 0;
+}
+
+std::string_view cell_name(CellType type) noexcept {
+    switch (type) {
+        case CellType::Inv: return "INV";
+        case CellType::Buf: return "BUF";
+        case CellType::Nand2: return "NAND2";
+        case CellType::Nor2: return "NOR2";
+        case CellType::And2: return "AND2";
+        case CellType::Or2: return "OR2";
+        case CellType::Xor2: return "XOR2";
+        case CellType::Xnor2: return "XNOR2";
+        case CellType::Nand3: return "NAND3";
+        case CellType::Nor3: return "NOR3";
+        case CellType::And3: return "AND3";
+        case CellType::Or3: return "OR3";
+        case CellType::Aoi21: return "AOI21";
+        case CellType::Oai21: return "OAI21";
+        case CellType::Mux2: return "MUX2";
+    }
+    return "?";
+}
+
+std::uint64_t eval_word(CellType type, std::span<const std::uint64_t> ins) noexcept {
+    switch (type) {
+        case CellType::Inv: return ~ins[0];
+        case CellType::Buf: return ins[0];
+        case CellType::Nand2: return ~(ins[0] & ins[1]);
+        case CellType::Nor2: return ~(ins[0] | ins[1]);
+        case CellType::And2: return ins[0] & ins[1];
+        case CellType::Or2: return ins[0] | ins[1];
+        case CellType::Xor2: return ins[0] ^ ins[1];
+        case CellType::Xnor2: return ~(ins[0] ^ ins[1]);
+        case CellType::Nand3: return ~(ins[0] & ins[1] & ins[2]);
+        case CellType::Nor3: return ~(ins[0] | ins[1] | ins[2]);
+        case CellType::And3: return ins[0] & ins[1] & ins[2];
+        case CellType::Or3: return ins[0] | ins[1] | ins[2];
+        case CellType::Aoi21: return ~((ins[0] & ins[1]) | ins[2]);
+        case CellType::Oai21: return ~((ins[0] | ins[1]) & ins[2]);
+        case CellType::Mux2: return (ins[0] & ~ins[2]) | (ins[1] & ins[2]);
+    }
+    return 0;
+}
+
+namespace {
+
+constexpr Logic kZero = Logic::Zero;
+constexpr Logic kOne = Logic::One;
+constexpr Logic kX = Logic::X;
+
+Logic l_not(Logic a) noexcept {
+    if (a == kX) return kX;
+    return a == kZero ? kOne : kZero;
+}
+
+Logic l_and(Logic a, Logic b) noexcept {
+    if (a == kZero || b == kZero) return kZero;
+    if (a == kOne && b == kOne) return kOne;
+    return kX;
+}
+
+Logic l_or(Logic a, Logic b) noexcept {
+    if (a == kOne || b == kOne) return kOne;
+    if (a == kZero && b == kZero) return kZero;
+    return kX;
+}
+
+Logic l_xor(Logic a, Logic b) noexcept {
+    if (a == kX || b == kX) return kX;
+    return a == b ? kZero : kOne;
+}
+
+}  // namespace
+
+Logic eval_logic(CellType type, std::span<const Logic> ins) noexcept {
+    switch (type) {
+        case CellType::Inv: return l_not(ins[0]);
+        case CellType::Buf: return ins[0];
+        case CellType::Nand2: return l_not(l_and(ins[0], ins[1]));
+        case CellType::Nor2: return l_not(l_or(ins[0], ins[1]));
+        case CellType::And2: return l_and(ins[0], ins[1]);
+        case CellType::Or2: return l_or(ins[0], ins[1]);
+        case CellType::Xor2: return l_xor(ins[0], ins[1]);
+        case CellType::Xnor2: return l_not(l_xor(ins[0], ins[1]));
+        case CellType::Nand3: return l_not(l_and(l_and(ins[0], ins[1]), ins[2]));
+        case CellType::Nor3: return l_not(l_or(l_or(ins[0], ins[1]), ins[2]));
+        case CellType::And3: return l_and(l_and(ins[0], ins[1]), ins[2]);
+        case CellType::Or3: return l_or(l_or(ins[0], ins[1]), ins[2]);
+        case CellType::Aoi21: return l_not(l_or(l_and(ins[0], ins[1]), ins[2]));
+        case CellType::Oai21: return l_not(l_and(l_or(ins[0], ins[1]), ins[2]));
+        case CellType::Mux2: {
+            const Logic sel = ins[2];
+            if (sel == kZero) return ins[0];
+            if (sel == kOne) return ins[1];
+            // Unknown select: output known only if both data inputs agree.
+            if (ins[0] != kX && ins[0] == ins[1]) return ins[0];
+            return kX;
+        }
+    }
+    return kX;
+}
+
+}  // namespace raq::cell

@@ -1,0 +1,48 @@
+// Primitive standard-cell types and their logic functions.
+//
+// The functions are shared by three engines: the bit-parallel functional
+// simulator (64 vectors per word), the event-driven timing simulator
+// (scalar) and the STA constant propagation (ternary logic, used for
+// PrimeTime-style case analysis of zero-padded input bits).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace raq::cell {
+
+enum class CellType : std::uint8_t {
+    Inv,
+    Buf,
+    Nand2,
+    Nor2,
+    And2,
+    Or2,
+    Xor2,
+    Xnor2,
+    Nand3,
+    Nor3,
+    And3,
+    Or3,
+    Aoi21,  // !((a & b) | c)
+    Oai21,  // !((a | b) & c)
+    Mux2,   // ins: {a, b, sel} -> sel ? b : a
+};
+
+inline constexpr int kNumCellTypes = static_cast<int>(CellType::Mux2) + 1;
+
+[[nodiscard]] int num_inputs(CellType type) noexcept;
+[[nodiscard]] std::string_view cell_name(CellType type) noexcept;
+
+/// Bit-parallel evaluation: each word carries 64 independent vectors.
+[[nodiscard]] std::uint64_t eval_word(CellType type, std::span<const std::uint64_t> ins) noexcept;
+
+/// Ternary logic for constant propagation.
+enum class Logic : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+/// Ternary evaluation with controlling-value semantics, e.g.
+/// Nand2(0, X) = 1, And2(0, X) = 0, Xor2(X, anything) = X.
+[[nodiscard]] Logic eval_logic(CellType type, std::span<const Logic> ins) noexcept;
+
+}  // namespace raq::cell

@@ -1,0 +1,68 @@
+#include "cell/library.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace raq::cell {
+
+namespace {
+
+// 14 nm-class cell characterization. Values are representative of a
+// high-performance FinFET library (single drive strength): complex cells
+// pay more intrinsic delay and input capacitance; XOR-class cells are the
+// slowest two-input functions, as in any real library.
+constexpr CellSpec kSpecs[kNumCellTypes] = {
+    // type              intr   res    cap    energy leak
+    {CellType::Inv,      3.2,   1.9,   0.70,  0.45,  1.6},
+    {CellType::Buf,      5.1,   1.7,   0.70,  0.62,  2.1},
+    {CellType::Nand2,    4.6,   2.3,   0.82,  0.78,  2.6},
+    {CellType::Nor2,     5.0,   2.6,   0.82,  0.80,  2.6},
+    {CellType::And2,     6.8,   2.1,   0.80,  0.95,  3.1},
+    {CellType::Or2,      7.1,   2.2,   0.80,  0.97,  3.1},
+    {CellType::Xor2,     9.6,   2.8,   1.10,  1.60,  4.2},
+    {CellType::Xnor2,    9.8,   2.8,   1.10,  1.62,  4.2},
+    {CellType::Nand3,    6.1,   2.9,   0.90,  1.05,  3.6},
+    {CellType::Nor3,     6.9,   3.3,   0.90,  1.08,  3.6},
+    {CellType::And3,     8.3,   2.4,   0.88,  1.22,  4.1},
+    {CellType::Or3,      8.8,   2.5,   0.88,  1.25,  4.1},
+    {CellType::Aoi21,    6.0,   2.8,   0.92,  1.02,  3.4},
+    {CellType::Oai21,    6.2,   2.8,   0.92,  1.04,  3.4},
+    {CellType::Mux2,     8.9,   2.6,   0.95,  1.35,  4.6},
+};
+
+}  // namespace
+
+Library Library::finfet14() {
+    Library lib;
+    lib.name_ = "raq-finfet14-fresh";
+    for (int i = 0; i < kNumCellTypes; ++i) lib.specs_[i] = kSpecs[i];
+    return lib;
+}
+
+double Library::derate_for(double dvth_mv) const {
+    if (dvth_mv < 0) throw std::invalid_argument("Library: negative ΔVth");
+    const double overdrive_fresh = tech_.vdd_v - tech_.vth0_v;
+    const double overdrive_aged = overdrive_fresh - dvth_mv * 1e-3;
+    if (overdrive_aged <= 0.05)
+        throw std::invalid_argument("Library: ΔVth too large, transistor no longer switches");
+    return std::pow(overdrive_fresh / overdrive_aged, tech_.alpha);
+}
+
+Library Library::aged(double dvth_mv) const {
+    Library lib = *this;
+    lib.dvth_mv_ = dvth_mv;
+    lib.derate_ = derate_for(dvth_mv);
+    // Subthreshold leakage falls by one decade per ~90 mV of extra Vth.
+    lib.leakage_factor_ =
+        std::pow(10.0, -dvth_mv / tech_.leakage_slope_mv_per_decade);
+    lib.name_ = "raq-finfet14-aged-" + std::to_string(static_cast<int>(dvth_mv)) + "mV";
+    return lib;
+}
+
+double Library::switching_energy_fj(CellType type, double load_ff) const {
+    // Internal energy plus the CV² charge of the driven load at Vdd.
+    const double cv2 = load_ff * tech_.vdd_v * tech_.vdd_v;  // fF * V^2 = fJ
+    return spec(type).switching_energy_fj + 0.5 * cv2;
+}
+
+}  // namespace raq::cell

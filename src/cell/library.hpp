@@ -1,0 +1,91 @@
+// Aging-aware standard-cell library.
+//
+// Substitution note (DESIGN.md §2): the paper characterizes Silvaco
+// open-source FinFET standard cells with Synopsys SiliconSmart / SPICE at
+// every ΔVth step, on top of a BSIM-CMG model calibrated to Intel 14 nm
+// measurements [21,22]. We replace that flow with an analytical library:
+//
+//  * per-cell linear delay model:   d = intrinsic + resistance × load
+//  * aging derating (alpha-power law, Eq. 1-2 of the paper):
+//        Ion ∝ (Vdd − Vth − ΔVth)^alpha
+//        derate(ΔVth) = ((Vdd − Vth0) / (Vdd − Vth0 − ΔVth))^alpha
+//    calibrated so ΔVth = 50 mV ⇒ ≈ +23 % delay, the paper's 10-year
+//    guardband anchor (Fig. 4a).
+//  * switching energy per output toggle (load-dependent) and leakage
+//    power; leakage *decreases* as Vth rises (subthreshold slope model),
+//    a second-order effect the energy bench accounts for.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "cell/cell.hpp"
+
+namespace raq::cell {
+
+struct CellSpec {
+    CellType type = CellType::Inv;
+    double intrinsic_delay_ps = 0.0;     ///< unloaded propagation delay
+    double resistance_ps_per_ff = 0.0;   ///< delay slope vs. output load
+    double input_cap_ff = 0.0;           ///< per-pin input capacitance
+    double switching_energy_fj = 0.0;    ///< internal energy per output toggle
+    double leakage_nw = 0.0;             ///< static leakage at Vth0
+};
+
+struct TechnologyParams {
+    double vdd_v = 0.70;     ///< nominal supply (14 nm FinFET class)
+    double vth0_v = 0.30;    ///< fresh threshold voltage
+    double alpha = 1.55;     ///< alpha-power-law velocity-saturation index
+    double leakage_slope_mv_per_decade = 90.0;  ///< subthreshold slope
+    double output_pin_cap_ff = 1.0;  ///< load seen by primary-output drivers
+};
+
+class Library {
+public:
+    /// Fresh (ΔVth = 0) 14 nm-class library with default technology params.
+    static Library finfet14();
+
+    /// Derived library at the given aging level. Delays are derated by the
+    /// alpha-power law; leakage shrinks with the raised threshold.
+    [[nodiscard]] Library aged(double dvth_mv) const;
+
+    [[nodiscard]] const CellSpec& spec(CellType type) const {
+        return specs_[static_cast<int>(type)];
+    }
+
+    /// Propagation delay of a cell driving `load_ff` of capacitance,
+    /// including the aging derate of this library instance.
+    [[nodiscard]] double cell_delay_ps(CellType type, double load_ff) const {
+        const CellSpec& s = spec(type);
+        return (s.intrinsic_delay_ps + s.resistance_ps_per_ff * load_ff) * derate_;
+    }
+
+    /// Energy per output toggle driving `load_ff` (internal + wire/pin CV²).
+    [[nodiscard]] double switching_energy_fj(CellType type, double load_ff) const;
+
+    /// Leakage power of one cell instance at this library's aging level.
+    [[nodiscard]] double leakage_nw(CellType type) const {
+        return spec(type).leakage_nw * leakage_factor_;
+    }
+
+    [[nodiscard]] double dvth_mv() const { return dvth_mv_; }
+    [[nodiscard]] double derate_factor() const { return derate_; }
+    [[nodiscard]] const TechnologyParams& tech() const { return tech_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// Alpha-power-law derate for an arbitrary ΔVth under these tech params
+    /// (exposed so benches can print the analytic baseline curve).
+    [[nodiscard]] double derate_for(double dvth_mv) const;
+
+private:
+    Library() = default;
+
+    std::string name_;
+    TechnologyParams tech_;
+    std::array<CellSpec, kNumCellTypes> specs_{};
+    double dvth_mv_ = 0.0;
+    double derate_ = 1.0;
+    double leakage_factor_ = 1.0;
+};
+
+}  // namespace raq::cell

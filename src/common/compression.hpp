@@ -1,0 +1,42 @@
+// The (α, β) input-compression descriptor shared across the stack.
+//
+// Activations are quantized to 8−α bits, weights to 8−β bits, biases /
+// accumulator inputs to 16−α−β bits (paper §5). The freed bit positions
+// are zero-padded on the MSB side (value sits in the LSBs) or the LSB
+// side (value shifted left; the convolution result must then be shifted
+// right by α+β, Eq. 5).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace raq::common {
+
+enum class Padding { Msb, Lsb };
+
+[[nodiscard]] inline const char* padding_name(Padding p) {
+    return p == Padding::Msb ? "MSB" : "LSB";
+}
+
+struct Compression {
+    int alpha = 0;  ///< activation bits removed
+    int beta = 0;   ///< weight bits removed
+    Padding padding = Padding::Msb;
+
+    /// The paper's surrogate for "amount of compression" (Algorithm 1,
+    /// line 5): Euclidean distance from (0, 0).
+    [[nodiscard]] double norm() const {
+        return std::sqrt(static_cast<double>(alpha * alpha + beta * beta));
+    }
+
+    [[nodiscard]] bool is_none() const { return alpha == 0 && beta == 0; }
+
+    [[nodiscard]] std::string to_string() const {
+        return "(" + std::to_string(alpha) + "," + std::to_string(beta) + ")/" +
+               padding_name(padding);
+    }
+
+    friend bool operator==(const Compression&, const Compression&) = default;
+};
+
+}  // namespace raq::common

@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace raq::common {
+
+double mean(const std::vector<double>& xs) {
+    if (xs.empty()) throw std::invalid_argument("mean: empty input");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::vector<double> xs, double q) {
+    if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+BoxStats box_stats(const std::vector<double>& xs) {
+    BoxStats b;
+    b.min = quantile(xs, 0.0);
+    b.q1 = quantile(xs, 0.25);
+    b.median = quantile(xs, 0.5);
+    b.q3 = quantile(xs, 0.75);
+    b.max = quantile(xs, 1.0);
+    b.mean = mean(xs);
+    return b;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+    if (xs.size() != ys.size() || xs.size() < 2)
+        throw std::invalid_argument("pearson: need two equal-length series of size >= 2");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(const std::vector<double>& xs) {
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+        // Average rank for the tie group [i, j] (1-based).
+        const double avg = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+        for (std::size_t k = i; k <= j; ++k) out[order[k]] = avg;
+        i = j + 1;
+    }
+    return out;
+}
+
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys) {
+    return pearson(ranks(xs), ranks(ys));
+}
+
+}  // namespace raq::common

@@ -1,0 +1,35 @@
+// Small statistics toolkit: summary statistics, quartiles (for the box
+// plots of Fig. 4b) and correlation coefficients (for the surrogate
+// ranking experiment of Section 6.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace raq::common {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. xs need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+/// Five-number summary used to print box plots as text.
+struct BoxStats {
+    double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+};
+BoxStats box_stats(const std::vector<double>& xs);
+
+/// Pearson linear correlation coefficient.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Ranks with average tie-handling (1-based ranks as doubles).
+std::vector<double> ranks(const std::vector<double>& xs);
+
+/// Spearman rank correlation = Pearson correlation of the rank vectors.
+/// (The paper computes "the Pearson correlation between the two rankings",
+/// which is exactly this quantity.)
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace raq::common

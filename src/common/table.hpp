@@ -1,0 +1,29 @@
+// Fixed-width text table printer used by the benchmark harnesses to emit
+// paper-style tables/series on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace raq::common {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    /// Render with aligned columns; includes a separator under the header.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Convenience formatting helpers.
+    static std::string fmt(double value, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);  // 0.23 -> "23.0%"
+    static std::string sci(double value, int precision = 2);     // 1.5e-3 -> "1.50e-03"
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace raq::common

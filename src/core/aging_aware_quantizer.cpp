@@ -1,0 +1,55 @@
+#include "core/aging_aware_quantizer.hpp"
+
+#include <stdexcept>
+
+#include "ir/float_executor.hpp"
+
+namespace raq::core {
+
+AagResult AgingAwareQuantizer::run(const AagInputs& in, double dvth_mv,
+                                   double guardband_fraction) const {
+    if (!in.graph || !in.test_images || !in.test_labels || !in.calib_images ||
+        !in.calib_labels)
+        throw std::invalid_argument("AgingAwareQuantizer: missing inputs");
+
+    const auto choice = selector_->select(dvth_mv, guardband_fraction);
+    if (!choice)
+        throw std::runtime_error(
+            "AgingAwareQuantizer: no feasible compression at ΔVth = " +
+            std::to_string(dvth_mv) + " mV");
+
+    AagResult result;
+    result.compression = *choice;
+    result.fp32_accuracy = ir::float_accuracy(*in.graph, *in.test_images, *in.test_labels);
+
+    const auto calib = quant::calibrate(*in.graph, *in.calib_images, *in.calib_labels);
+    const auto config = quant::QuantConfig::from_compression(choice->compression);
+
+    bool have_best = false;
+    for (const quant::Method method : quant::all_methods()) {
+        const auto qgraph = quant::quantize_graph(*in.graph, method, config, calib);
+        const double acc = quant::quantized_accuracy(qgraph, *in.test_images, *in.test_labels);
+        MethodOutcome outcome;
+        outcome.method = method;
+        outcome.accuracy = acc;
+        outcome.accuracy_loss = 100.0 * (result.fp32_accuracy - acc);
+        result.all_methods.push_back(outcome);
+        if (!have_best || acc > result.quantized_accuracy) {
+            result.quantized_accuracy = acc;
+            result.selected_method = method;
+            have_best = true;
+        }
+        // Algorithm 1 line 9: stop at the first method meeting the
+        // user-provided accuracy-loss threshold.
+        if (in.accuracy_loss_threshold &&
+            outcome.accuracy_loss <= *in.accuracy_loss_threshold) {
+            result.quantized_accuracy = acc;
+            result.selected_method = method;
+            break;
+        }
+    }
+    result.accuracy_loss = 100.0 * (result.fp32_accuracy - result.quantized_accuracy);
+    return result;
+}
+
+}  // namespace raq::core

@@ -1,0 +1,85 @@
+#include "core/compression_selector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sta/case_analysis.hpp"
+
+namespace raq::core {
+
+CompressionSelector::CompressionSelector(const netlist::Netlist& mac,
+                                         const cell::Library& fresh_library)
+    : mac_(&mac), fresh_(fresh_library), sta_(mac, fresh_library),
+      fresh_cp_ps_(sta_.critical_path_ps(fresh_library)) {}
+
+double CompressionSelector::delay_ps(double dvth_mv, const common::Compression& comp) const {
+    const cell::Library aged = fresh_.aged(dvth_mv);
+    return sta_.critical_path_ps(aged, sta::compression_case(*mac_, comp));
+}
+
+std::vector<CompressionCandidate> CompressionSelector::feasible(double dvth_mv,
+                                                                double guardband_fraction,
+                                                                int max_bits) const {
+    if (max_bits < 0 || max_bits > 8)
+        throw std::invalid_argument("CompressionSelector: max_bits outside [0,8]");
+    const double constraint = fresh_cp_ps_ * (1.0 + guardband_fraction);
+    const cell::Library aged = fresh_.aged(dvth_mv);
+    std::vector<CompressionCandidate> out;
+    for (int alpha = 0; alpha <= max_bits; ++alpha) {
+        for (int beta = 0; beta <= max_bits; ++beta) {
+            CompressionCandidate best;
+            bool found = false;
+            for (const auto padding : {common::Padding::Msb, common::Padding::Lsb}) {
+                const common::Compression comp{alpha, beta, padding};
+                const double d =
+                    sta_.critical_path_ps(aged, sta::compression_case(*mac_, comp));
+                if (d > constraint + 1e-9) continue;
+                if (!found || d < best.delay_ps) {
+                    best.compression = comp;
+                    best.delay_ps = d;
+                    best.normalized_delay = d / fresh_cp_ps_;
+                    found = true;
+                }
+            }
+            if (found) out.push_back(best);
+        }
+    }
+    return out;
+}
+
+std::optional<CompressionCandidate> CompressionSelector::select(
+    double dvth_mv, double guardband_fraction) const {
+    auto candidates = feasible(dvth_mv, guardband_fraction);
+    if (candidates.empty()) return std::nullopt;
+    // Minimum Euclidean norm; ties broken toward the smallest alpha
+    // (keep activation precision, ACIQ's guidance [18]); final tie-break
+    // on the faster candidate for determinism.
+    const auto better = [](const CompressionCandidate& a, const CompressionCandidate& b) {
+        const double na = a.compression.norm();
+        const double nb = b.compression.norm();
+        if (na != nb) return na < nb;
+        if (a.compression.alpha != b.compression.alpha)
+            return a.compression.alpha < b.compression.alpha;
+        return a.delay_ps < b.delay_ps;
+    };
+    return *std::min_element(candidates.begin(), candidates.end(), better);
+}
+
+std::vector<CompressionCandidate> CompressionSelector::sweep(int max_alpha, int max_beta,
+                                                             double dvth_mv) const {
+    const cell::Library lib = dvth_mv > 0 ? fresh_.aged(dvth_mv) : fresh_;
+    std::vector<CompressionCandidate> out;
+    for (int alpha = 0; alpha <= max_alpha; ++alpha)
+        for (int beta = 0; beta <= max_beta; ++beta)
+            for (const auto padding : {common::Padding::Msb, common::Padding::Lsb}) {
+                CompressionCandidate cand;
+                cand.compression = {alpha, beta, padding};
+                cand.delay_ps =
+                    sta_.critical_path_ps(lib, sta::compression_case(*mac_, cand.compression));
+                cand.normalized_delay = cand.delay_ps / fresh_cp_ps_;
+                out.push_back(cand);
+            }
+    return out;
+}
+
+}  // namespace raq::core

@@ -1,0 +1,60 @@
+// Compression selection — the timing half of the paper's Algorithm 1
+// (lines 1-5): sweep (α, β) ∈ [0, 8]² under both paddings with aged-
+// library STA, keep the combinations that meet the fresh-clock timing
+// constraint, and select the minimum-compression candidate by Euclidean
+// norm √(α²+β²) with the smallest-α tie-break (higher activation
+// precision, following [18]).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "common/compression.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace raq::core {
+
+struct CompressionCandidate {
+    common::Compression compression;
+    double delay_ps = 0.0;       ///< aged delay under this compression
+    double normalized_delay = 0.0;  ///< vs. the fresh uncompressed MAC
+};
+
+class CompressionSelector {
+public:
+    /// `mac` must outlive the selector. The timing constraint defaults to
+    /// the fresh uncompressed critical path (zero-slack design, no
+    /// guardband — the paper's operating point).
+    CompressionSelector(const netlist::Netlist& mac, const cell::Library& fresh_library);
+
+    [[nodiscard]] double fresh_critical_path_ps() const { return fresh_cp_ps_; }
+
+    /// All feasible (α, β, padding) at the aging level. For a given
+    /// (α, β) only the faster padding is kept (both are reported by
+    /// `sweep` below). `guardband_fraction` relaxes the constraint to
+    /// fresh_cp * (1 + guardband) — used by the partial-guardband ablation.
+    [[nodiscard]] std::vector<CompressionCandidate> feasible(
+        double dvth_mv, double guardband_fraction = 0.0, int max_bits = 8) const;
+
+    /// Algorithm 1 line 5: minimum-norm feasible candidate (min α on tie).
+    /// Empty when even full compression cannot meet timing.
+    [[nodiscard]] std::optional<CompressionCandidate> select(
+        double dvth_mv, double guardband_fraction = 0.0) const;
+
+    /// Raw delay of one compression point at one aging level.
+    [[nodiscard]] double delay_ps(double dvth_mv, const common::Compression& comp) const;
+
+    /// Full (α, β) grid sweep for Fig. 2-style reports.
+    [[nodiscard]] std::vector<CompressionCandidate> sweep(int max_alpha, int max_beta,
+                                                          double dvth_mv = 0.0) const;
+
+private:
+    const netlist::Netlist* mac_;
+    cell::Library fresh_;
+    sta::Sta sta_;
+    double fresh_cp_ps_;
+};
+
+}  // namespace raq::core

@@ -1,0 +1,43 @@
+#include "core/lifetime.hpp"
+
+namespace raq::core {
+
+std::vector<SchedulePoint> LifetimeScheduler::schedule(
+    const std::vector<double>& dvth_levels_mv) const {
+    std::vector<SchedulePoint> out;
+    out.reserve(dvth_levels_mv.size());
+    const double fresh_cp = selector_->fresh_critical_path_ps();
+    for (const double dvth : dvth_levels_mv) {
+        SchedulePoint point;
+        point.dvth_mv = dvth;
+        point.years = model_->years_for_dvth(dvth);
+        point.baseline_normalized_delay =
+            selector_->delay_ps(dvth, common::Compression{}) / fresh_cp;
+        if (dvth == 0.0) {
+            // Fresh chip: no compression required (Algorithm 1 returns
+            // (0,0) since it trivially meets timing).
+            point.ours_feasible = true;
+            point.compression = common::Compression{};
+            point.ours_normalized_delay = 1.0;
+        } else if (const auto choice = selector_->select(dvth)) {
+            point.ours_feasible = true;
+            point.compression = choice->compression;
+            point.ours_normalized_delay = choice->normalized_delay;
+        }
+        out.push_back(point);
+    }
+    return out;
+}
+
+std::vector<SchedulePoint> LifetimeScheduler::standard_schedule() const {
+    const auto levels = aging::AgingModel::standard_levels_mv();
+    return schedule(std::vector<double>(levels.begin(), levels.end()));
+}
+
+double LifetimeScheduler::required_guardband_fraction() const {
+    const double eol_dvth = model_->dvth_mv(model_->params().eol_years);
+    const double fresh_cp = selector_->fresh_critical_path_ps();
+    return selector_->delay_ps(eol_dvth, common::Compression{}) / fresh_cp - 1.0;
+}
+
+}  // namespace raq::core

@@ -1,0 +1,43 @@
+// Lifetime planning utilities: the ΔVth trajectory over the projected
+// lifetime, the guardband the baseline design would need, and the
+// compression schedule our technique deploys instead (Fig. 4a).
+#pragma once
+
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "core/compression_selector.hpp"
+
+namespace raq::core {
+
+struct SchedulePoint {
+    double years = 0.0;
+    double dvth_mv = 0.0;
+    double baseline_normalized_delay = 0.0;  ///< uncompressed aged MAC vs fresh
+    bool ours_feasible = false;
+    common::Compression compression;         ///< selected at this aging level
+    double ours_normalized_delay = 0.0;      ///< compressed aged MAC vs fresh
+};
+
+class LifetimeScheduler {
+public:
+    LifetimeScheduler(const CompressionSelector& selector, const aging::AgingModel& model)
+        : selector_(&selector), model_(&model) {}
+
+    /// Schedule over the paper's standard aging levels (0..50 mV).
+    [[nodiscard]] std::vector<SchedulePoint> standard_schedule() const;
+
+    /// Schedule over an arbitrary ΔVth grid.
+    [[nodiscard]] std::vector<SchedulePoint> schedule(
+        const std::vector<double>& dvth_levels_mv) const;
+
+    /// The timing guardband (fraction of the fresh period) a conventional
+    /// design must add to survive until end of life — the paper's 23 %.
+    [[nodiscard]] double required_guardband_fraction() const;
+
+private:
+    const CompressionSelector* selector_;
+    const aging::AgingModel* model_;
+};
+
+}  // namespace raq::core

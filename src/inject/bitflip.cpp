@@ -1,0 +1,37 @@
+#include "inject/bitflip.hpp"
+
+#include <stdexcept>
+
+namespace raq::inject {
+
+BitFlipInjector::BitFlipInjector(const InjectionConfig& config)
+    : config_(config), rng_(config.seed) {
+    if (config_.flip_probability < 0.0 || config_.flip_probability > 1.0)
+        throw std::invalid_argument("BitFlipInjector: probability outside [0,1]");
+    if (config_.product_bits < 2 || config_.product_bits > 62)
+        throw std::invalid_argument("BitFlipInjector: product_bits outside [2,62]");
+    if (config_.candidate_msbs < 1 || config_.candidate_msbs > config_.product_bits)
+        throw std::invalid_argument("BitFlipInjector: bad candidate_msbs");
+    if (config_.flip_probability > 0.0) countdown_ = rng_.next_geometric(config_.flip_probability);
+}
+
+void BitFlipInjector::reset(std::uint64_t seed) {
+    rng_.reseed(seed);
+    flips_ = 0;
+    seen_ = 0;
+    countdown_ = config_.flip_probability > 0.0
+                     ? rng_.next_geometric(config_.flip_probability)
+                     : 0;
+}
+
+void BitFlipInjector::rearm() { countdown_ = rng_.next_geometric(config_.flip_probability); }
+
+std::int64_t BitFlipInjector::flip(std::int64_t product) {
+    ++flips_;
+    const int bit = config_.product_bits - 1 -
+                    static_cast<int>(rng_.next_below(
+                        static_cast<std::uint64_t>(config_.candidate_msbs)));
+    return product ^ (std::int64_t{1} << bit);
+}
+
+}  // namespace raq::inject

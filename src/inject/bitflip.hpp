@@ -1,0 +1,56 @@
+// MSB bit-flip error injection (the paper's Fig. 1b methodology):
+// "error injection is implemented by randomly flipping one of the two
+// MSBs with a given probability" in every multiplication of the
+// convolutional layers. The injector is called once per MAC product in
+// the quantized executor; geometric skipping makes rare flip rates
+// (10^-5) essentially free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace raq::inject {
+
+struct InjectionConfig {
+    double flip_probability = 0.0;  ///< per-product probability of one flip
+    int product_bits = 16;          ///< width of the multiplier product register
+    int candidate_msbs = 2;         ///< flip lands in one of this many top bits
+    std::uint64_t seed = 1;
+};
+
+class BitFlipInjector {
+public:
+    explicit BitFlipInjector(const InjectionConfig& config);
+
+    /// Possibly flip one of the top `candidate_msbs` bits of `product`.
+    /// Branch-predictable fast path: a countdown to the next flip drawn
+    /// from the geometric distribution.
+    [[nodiscard]] std::int64_t apply(std::int64_t product) {
+        if (config_.flip_probability <= 0.0) return product;
+        if (countdown_ > 0) {
+            --countdown_;
+            return product;
+        }
+        rearm();
+        return flip(product);
+    }
+
+    [[nodiscard]] std::uint64_t flips_injected() const { return flips_; }
+    [[nodiscard]] std::uint64_t products_seen_estimate() const { return seen_; }
+    [[nodiscard]] const InjectionConfig& config() const { return config_; }
+
+    void reset(std::uint64_t seed);
+
+private:
+    [[nodiscard]] std::int64_t flip(std::int64_t product);
+    void rearm();
+
+    InjectionConfig config_;
+    common::Rng rng_;
+    std::uint64_t countdown_ = 0;
+    std::uint64_t flips_ = 0;
+    std::uint64_t seen_ = 0;
+};
+
+}  // namespace raq::inject

@@ -1,0 +1,33 @@
+// FP32 reference executor for the deployment IR. Serves three roles:
+// baseline accuracy (the paper reports accuracy loss w.r.t. FP32
+// inference), calibration-statistics collection (all intermediate tensors
+// can be returned), and a cross-check for the quantized executor.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace raq::ir {
+
+/// Run the graph on a batch and return the output tensor (logits).
+[[nodiscard]] tensor::Tensor run_float(const Graph& graph, const tensor::Tensor& batch);
+
+/// Apply a single non-convolution op in float. Shared with the quantized
+/// executor, which only re-implements the integer MAC path.
+[[nodiscard]] tensor::Tensor apply_nonconv_op(const Op& op,
+                                              const std::vector<const tensor::Tensor*>& ins);
+
+/// Run and return every intermediate tensor, indexed by tensor id.
+[[nodiscard]] std::vector<tensor::Tensor> run_float_all(const Graph& graph,
+                                                        const tensor::Tensor& batch);
+
+/// Argmax class per sample from (N, classes, 1, 1) logits.
+[[nodiscard]] std::vector<int> argmax_classes(const tensor::Tensor& logits);
+
+/// Top-1 accuracy of the graph on (images, labels).
+[[nodiscard]] double float_accuracy(const Graph& graph, const tensor::Tensor& images,
+                                    const std::vector<int>& labels);
+
+}  // namespace raq::ir

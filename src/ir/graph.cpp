@@ -1,0 +1,133 @@
+#include "ir/graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace raq::ir {
+
+const char* op_kind_name(OpKind kind) {
+    switch (kind) {
+        case OpKind::Conv2d: return "conv2d";
+        case OpKind::Relu: return "relu";
+        case OpKind::MaxPool2d: return "maxpool2d";
+        case OpKind::GlobalAvgPool: return "gap";
+        case OpKind::Add: return "add";
+        case OpKind::Concat: return "concat";
+    }
+    return "?";
+}
+
+int Graph::add_input(tensor::Shape shape) {
+    if (input_id_ != -1) throw std::logic_error("Graph: input already added");
+    input_shape_ = shape;
+    input_id_ = num_tensors_++;
+    return input_id_;
+}
+
+int Graph::add(Op op) {
+    if (input_id_ == -1) throw std::logic_error("Graph: add_input first");
+    for (int in : op.inputs)
+        if (in < 0 || in >= num_tensors_)
+            throw std::out_of_range("Graph: op input tensor does not exist");
+    if (op.kind == OpKind::Conv2d) {
+        const std::size_t expect_w = static_cast<std::size_t>(op.conv.out_c) *
+                                     static_cast<std::size_t>(op.conv.in_c) *
+                                     static_cast<std::size_t>(op.conv.kh) *
+                                     static_cast<std::size_t>(op.conv.kw);
+        if (op.weights.size() != expect_w)
+            throw std::invalid_argument("Graph: conv weight size mismatch for " + op.name);
+        if (op.bias.size() != static_cast<std::size_t>(op.conv.out_c))
+            throw std::invalid_argument("Graph: conv bias size mismatch for " + op.name);
+        if (op.inputs.size() != 1) throw std::invalid_argument("Graph: conv takes one input");
+    }
+    op.output = num_tensors_++;
+    ops_.push_back(std::move(op));
+    return ops_.back().output;
+}
+
+void Graph::set_output(int tensor_id) {
+    if (tensor_id < 0 || tensor_id >= num_tensors_)
+        throw std::out_of_range("Graph: output tensor does not exist");
+    output_id_ = tensor_id;
+}
+
+std::vector<tensor::Shape> infer_shapes(const Graph& graph, int batch_n) {
+    std::vector<tensor::Shape> shapes(static_cast<std::size_t>(graph.num_tensors()));
+    tensor::Shape in = graph.input_shape();
+    in.n = batch_n;
+    shapes[static_cast<std::size_t>(graph.input_id())] = in;
+    for (const Op& op : graph.ops()) {
+        const tensor::Shape& s0 = shapes[static_cast<std::size_t>(op.inputs.at(0))];
+        tensor::Shape out = s0;
+        switch (op.kind) {
+            case OpKind::Conv2d:
+                if (s0.c != op.conv.in_c)
+                    throw std::invalid_argument("infer_shapes: channel mismatch at " + op.name);
+                out.c = op.conv.out_c;
+                out.h = tensor::conv_out_dim(s0.h, op.conv.kh, op.conv.stride, op.conv.pad);
+                out.w = tensor::conv_out_dim(s0.w, op.conv.kw, op.conv.stride, op.conv.pad);
+                break;
+            case OpKind::Relu:
+                break;
+            case OpKind::MaxPool2d:
+                out.h = tensor::conv_out_dim(s0.h, op.pool.kernel, op.pool.stride, 0);
+                out.w = tensor::conv_out_dim(s0.w, op.pool.kernel, op.pool.stride, 0);
+                break;
+            case OpKind::GlobalAvgPool:
+                out.h = out.w = 1;
+                break;
+            case OpKind::Add: {
+                const tensor::Shape& s1 = shapes[static_cast<std::size_t>(op.inputs.at(1))];
+                if (!(s0 == s1))
+                    throw std::invalid_argument("infer_shapes: add shape mismatch at " + op.name);
+                break;
+            }
+            case OpKind::Concat: {
+                int channels = 0;
+                for (int in_id : op.inputs) {
+                    const tensor::Shape& si = shapes[static_cast<std::size_t>(in_id)];
+                    if (si.h != s0.h || si.w != s0.w || si.n != s0.n)
+                        throw std::invalid_argument("infer_shapes: concat mismatch at " + op.name);
+                    channels += si.c;
+                }
+                out.c = channels;
+                break;
+            }
+        }
+        shapes[static_cast<std::size_t>(op.output)] = out;
+    }
+    return shapes;
+}
+
+std::uint64_t Graph::macs_per_sample() const {
+    const auto shapes = infer_shapes(*this, 1);
+    std::uint64_t total = 0;
+    for (const Op& op : ops_) {
+        if (op.kind != OpKind::Conv2d) continue;
+        const tensor::Shape& out = shapes[static_cast<std::size_t>(op.output)];
+        total += static_cast<std::uint64_t>(out.c) * static_cast<std::uint64_t>(out.h) *
+                 static_cast<std::uint64_t>(out.w) * static_cast<std::uint64_t>(op.conv.in_c) *
+                 static_cast<std::uint64_t>(op.conv.kh) * static_cast<std::uint64_t>(op.conv.kw);
+    }
+    return total;
+}
+
+int Graph::num_conv_ops() const {
+    int count = 0;
+    for (const Op& op : ops_) count += (op.kind == OpKind::Conv2d);
+    return count;
+}
+
+std::string Graph::summary() const {
+    const auto shapes = infer_shapes(*this, 1);
+    std::ostringstream out;
+    out << "input " << input_shape_.to_string() << "\n";
+    for (const Op& op : ops_) {
+        out << "  " << op_kind_name(op.kind) << " " << op.name << " -> t" << op.output << " "
+            << shapes[static_cast<std::size_t>(op.output)].to_string() << "\n";
+    }
+    out << "macs/sample: " << macs_per_sample() << "\n";
+    return out.str();
+}
+
+}  // namespace raq::ir

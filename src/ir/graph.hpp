@@ -1,0 +1,82 @@
+// Deployment IR: the flat inference graph that the quantization library
+// and the NPU model consume.
+//
+// Training happens on nn::Module objects; Network::export_ir() lowers the
+// module tree into this IR with BatchNorm folded into the preceding
+// convolution (standard deployment practice, and what the paper's PyTorch
+// post-training-quantization flow sees). Linear layers are lowered to
+// convolutions whose kernel covers the full spatial extent, so every MAC
+// operation in the network goes through a single op kind — mirroring how
+// an NPU executes both conv and FC layers on the same MAC array.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace raq::ir {
+
+enum class OpKind { Conv2d, Relu, MaxPool2d, GlobalAvgPool, Add, Concat };
+
+[[nodiscard]] const char* op_kind_name(OpKind kind);
+
+struct ConvAttrs {
+    int in_c = 0, out_c = 0;
+    int kh = 1, kw = 1;
+    int stride = 1, pad = 0;
+};
+
+struct PoolAttrs {
+    int kernel = 2, stride = 2;
+};
+
+struct Op {
+    OpKind kind = OpKind::Relu;
+    std::vector<int> inputs;  ///< tensor ids
+    int output = -1;          ///< assigned by Graph::add
+    std::string name;
+
+    ConvAttrs conv;
+    PoolAttrs pool;
+    std::vector<float> weights;  ///< Conv2d: [out_c][in_c*kh*kw] row-major
+    std::vector<float> bias;     ///< Conv2d: [out_c]
+};
+
+class Graph {
+public:
+    /// Create the graph input tensor; must be called exactly once, first.
+    int add_input(tensor::Shape shape);
+
+    /// Append an op; assigns and returns its output tensor id.
+    int add(Op op);
+
+    void set_output(int tensor_id);
+
+    [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+    [[nodiscard]] int num_tensors() const { return num_tensors_; }
+    [[nodiscard]] int input_id() const { return input_id_; }
+    [[nodiscard]] int output_id() const { return output_id_; }
+    [[nodiscard]] const tensor::Shape& input_shape() const { return input_shape_; }
+
+    /// Total multiply-accumulate count per single input sample.
+    [[nodiscard]] std::uint64_t macs_per_sample() const;
+
+    /// Number of MAC-bearing ops (convolutions, incl. lowered FC layers).
+    [[nodiscard]] int num_conv_ops() const;
+
+    /// Human-readable summary (op list with shapes/MACs).
+    [[nodiscard]] std::string summary() const;
+
+private:
+    std::vector<Op> ops_;
+    int num_tensors_ = 0;
+    int input_id_ = -1;
+    int output_id_ = -1;
+    tensor::Shape input_shape_;
+};
+
+/// Infer per-tensor shapes for a batch with `batch_n` samples.
+[[nodiscard]] std::vector<tensor::Shape> infer_shapes(const Graph& graph, int batch_n);
+
+}  // namespace raq::ir

@@ -1,0 +1,186 @@
+#include <stdexcept>
+
+#include "netlist/builders.hpp"
+#include "netlist/gates_util.hpp"
+
+namespace raq::netlist {
+
+using detail::full_adder;
+using detail::g_and;
+using detail::g_mux;
+using detail::g_or;
+using detail::g_xor;
+using detail::half_adder;
+
+const char* adder_name(AdderKind kind) {
+    switch (kind) {
+        case AdderKind::RippleCarry: return "ripple-carry";
+        case AdderKind::Sklansky: return "sklansky";
+        case AdderKind::KoggeStone: return "kogge-stone";
+        case AdderKind::CarrySelect: return "carry-select";
+    }
+    return "?";
+}
+
+namespace {
+
+AdderOutputs build_ripple(Netlist& nl, const std::vector<NetId>& a,
+                          const std::vector<NetId>& b, NetId carry_in) {
+    AdderOutputs out;
+    const std::size_t n = a.size();
+    out.sum.resize(n);
+    NetId carry = carry_in;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (carry == kNoNet) {
+            const auto hc = half_adder(nl, a[i], b[i]);
+            out.sum[i] = hc.sum;
+            carry = hc.carry;
+        } else {
+            const auto fc = full_adder(nl, a[i], b[i], carry);
+            out.sum[i] = fc.sum;
+            carry = fc.carry;
+        }
+    }
+    out.carry_out = carry;
+    return out;
+}
+
+struct GenProp {
+    NetId g = kNoNet;
+    NetId p = kNoNet;
+};
+
+GenProp combine(Netlist& nl, const GenProp& hi, const GenProp& lo) {
+    // (G, P) o (G', P') = (G | P & G',  P & P')
+    GenProp out;
+    out.g = g_or(nl, hi.g, g_and(nl, hi.p, lo.g));
+    out.p = g_and(nl, hi.p, lo.p);
+    return out;
+}
+
+/// Shared tail for parallel-prefix adders: from per-bit (p, g) and the
+/// cumulative carries C_i = G[0..i], produce sum bits.
+AdderOutputs prefix_sums(Netlist& nl, const std::vector<NetId>& p,
+                         const std::vector<GenProp>& prefix, NetId carry_in) {
+    const std::size_t n = p.size();
+    AdderOutputs out;
+    out.sum.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        NetId carry_into_i;  // carry entering bit i
+        if (i == 0) {
+            carry_into_i = carry_in;
+        } else if (carry_in == kNoNet) {
+            carry_into_i = prefix[i - 1].g;
+        } else {
+            // C_i = G[0..i-1] | P[0..i-1] & cin
+            carry_into_i =
+                g_or(nl, prefix[i - 1].g, g_and(nl, prefix[i - 1].p, carry_in));
+        }
+        out.sum[i] = (carry_into_i == kNoNet) ? p[i] : g_xor(nl, p[i], carry_into_i);
+    }
+    if (carry_in == kNoNet) {
+        out.carry_out = prefix[n - 1].g;
+    } else {
+        out.carry_out =
+            g_or(nl, prefix[n - 1].g, g_and(nl, prefix[n - 1].p, carry_in));
+    }
+    return out;
+}
+
+AdderOutputs build_sklansky(Netlist& nl, const std::vector<NetId>& a,
+                            const std::vector<NetId>& b, NetId carry_in) {
+    const std::size_t n = a.size();
+    std::vector<NetId> p(n);
+    std::vector<GenProp> gp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = g_xor(nl, a[i], b[i]);
+        gp[i] = {g_and(nl, a[i], b[i]), p[i]};
+    }
+    // Sklansky divide-and-conquer: at level `lev` every index whose bit
+    // `lev` is set merges with the top of the block below it. After level
+    // lev, gp[i] spans [0..i] for all i < 2^(lev+1).
+    for (std::size_t lev = 0; (std::size_t{1} << lev) < n; ++lev) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i & (std::size_t{1} << lev)) {
+                const std::size_t j = ((i >> lev) << lev) - 1;
+                gp[i] = combine(nl, gp[i], gp[j]);
+            }
+        }
+    }
+    return prefix_sums(nl, p, gp, carry_in);
+}
+
+AdderOutputs build_kogge_stone(Netlist& nl, const std::vector<NetId>& a,
+                               const std::vector<NetId>& b, NetId carry_in) {
+    const std::size_t n = a.size();
+    std::vector<NetId> p(n);
+    std::vector<GenProp> gp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = g_xor(nl, a[i], b[i]);
+        gp[i] = {g_and(nl, a[i], b[i]), p[i]};
+    }
+    for (std::size_t offset = 1; offset < n; offset <<= 1) {
+        std::vector<GenProp> next = gp;
+        for (std::size_t i = offset; i < n; ++i)
+            next[i] = combine(nl, gp[i], gp[i - offset]);
+        gp = std::move(next);
+    }
+    return prefix_sums(nl, p, gp, carry_in);
+}
+
+AdderOutputs build_carry_select(Netlist& nl, const std::vector<NetId>& a,
+                                const std::vector<NetId>& b, NetId carry_in,
+                                std::size_t block = 4) {
+    const std::size_t n = a.size();
+    AdderOutputs out;
+    out.sum.resize(n);
+    NetId carry = carry_in;
+    for (std::size_t start = 0; start < n; start += block) {
+        const std::size_t end = std::min(start + block, n);
+        const std::vector<NetId> ablk(a.begin() + static_cast<long>(start),
+                                      a.begin() + static_cast<long>(end));
+        const std::vector<NetId> bblk(b.begin() + static_cast<long>(start),
+                                      b.begin() + static_cast<long>(end));
+        if (start == 0) {
+            auto blk = build_ripple(nl, ablk, bblk, carry);
+            for (std::size_t i = start; i < end; ++i) out.sum[i] = blk.sum[i - start];
+            carry = blk.carry_out;
+            continue;
+        }
+        // Two speculative chains (cin = 0 and cin = 1), muxed by the real carry.
+        auto blk0 = build_ripple(nl, ablk, bblk, kNoNet);
+        auto blk1 = build_ripple(nl, ablk, bblk, nl.const_one());
+        for (std::size_t i = start; i < end; ++i)
+            out.sum[i] = g_mux(nl, blk0.sum[i - start], blk1.sum[i - start], carry);
+        carry = g_mux(nl, blk0.carry_out, blk1.carry_out, carry);
+    }
+    out.carry_out = carry;
+    return out;
+}
+
+}  // namespace
+
+AdderOutputs build_adder(Netlist& nl, AdderKind kind, const std::vector<NetId>& a,
+                         const std::vector<NetId>& b, NetId carry_in) {
+    if (a.size() != b.size() || a.empty())
+        throw std::invalid_argument("build_adder: operands must be equal, non-zero width");
+    switch (kind) {
+        case AdderKind::RippleCarry: return build_ripple(nl, a, b, carry_in);
+        case AdderKind::Sklansky: return build_sklansky(nl, a, b, carry_in);
+        case AdderKind::KoggeStone: return build_kogge_stone(nl, a, b, carry_in);
+        case AdderKind::CarrySelect: return build_carry_select(nl, a, b, carry_in);
+    }
+    throw std::invalid_argument("build_adder: unknown kind");
+}
+
+Netlist build_adder_circuit(int width, AdderKind kind) {
+    Netlist nl;
+    const auto a = nl.add_input_bus("A", width);
+    const auto b = nl.add_input_bus("B", width);
+    auto res = build_adder(nl, kind, a, b);
+    nl.mark_output_bus("S", res.sum);
+    nl.mark_output_bus("COUT", {res.carry_out});
+    return nl;
+}
+
+}  // namespace raq::netlist

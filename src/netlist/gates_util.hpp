@@ -1,0 +1,65 @@
+// Constant-folding gate construction helpers shared by the arithmetic
+// circuit generators. Folding constants at build time mirrors what logic
+// synthesis (Design Compiler `compile_ultra`) does: zero-extended operands
+// and absent partial-product bits never materialize as dead gates.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace raq::netlist::detail {
+
+inline bool is_const0(const Netlist& nl, NetId n) { return n == nl.const_zero_net() && n != kNoNet; }
+inline bool is_const1(const Netlist& nl, NetId n) { return n == nl.const_one_net() && n != kNoNet; }
+
+inline NetId g_not(Netlist& nl, NetId a) {
+    if (is_const0(nl, a)) return nl.const_one();
+    if (is_const1(nl, a)) return nl.const_zero();
+    return nl.add_gate(cell::CellType::Inv, {a});
+}
+
+inline NetId g_and(Netlist& nl, NetId a, NetId b) {
+    if (is_const0(nl, a) || is_const0(nl, b)) return nl.const_zero();
+    if (is_const1(nl, a)) return b;
+    if (is_const1(nl, b)) return a;
+    return nl.add_gate(cell::CellType::And2, {a, b});
+}
+
+inline NetId g_or(Netlist& nl, NetId a, NetId b) {
+    if (is_const1(nl, a) || is_const1(nl, b)) return nl.const_one();
+    if (is_const0(nl, a)) return b;
+    if (is_const0(nl, b)) return a;
+    return nl.add_gate(cell::CellType::Or2, {a, b});
+}
+
+inline NetId g_xor(Netlist& nl, NetId a, NetId b) {
+    if (is_const0(nl, a)) return b;
+    if (is_const0(nl, b)) return a;
+    if (is_const1(nl, a)) return g_not(nl, b);
+    if (is_const1(nl, b)) return g_not(nl, a);
+    return nl.add_gate(cell::CellType::Xor2, {a, b});
+}
+
+inline NetId g_mux(Netlist& nl, NetId a, NetId b, NetId sel) {
+    if (is_const0(nl, sel)) return a;
+    if (is_const1(nl, sel)) return b;
+    if (a == b) return a;
+    return nl.add_gate(cell::CellType::Mux2, {a, b, sel});
+}
+
+struct SumCarry {
+    NetId sum = kNoNet;
+    NetId carry = kNoNet;
+};
+
+inline SumCarry half_adder(Netlist& nl, NetId a, NetId b) {
+    return {g_xor(nl, a, b), g_and(nl, a, b)};
+}
+
+inline SumCarry full_adder(Netlist& nl, NetId a, NetId b, NetId c) {
+    const NetId t = g_xor(nl, a, b);
+    const NetId sum = g_xor(nl, t, c);
+    const NetId carry = g_or(nl, g_and(nl, a, b), g_and(nl, t, c));
+    return {sum, carry};
+}
+
+}  // namespace raq::netlist::detail

@@ -1,0 +1,38 @@
+#include <stdexcept>
+
+#include "netlist/builders.hpp"
+#include "netlist/gates_util.hpp"
+
+namespace raq::netlist {
+
+Netlist build_mac_circuit(const MacConfig& config) {
+    if (config.mul_width < 2)
+        throw std::invalid_argument("build_mac_circuit: mul_width must be >= 2");
+    const int product_width = 2 * config.mul_width;
+    if (config.acc_width < product_width)
+        throw std::invalid_argument(
+            "build_mac_circuit: accumulator narrower than the product");
+
+    Netlist nl;
+    const auto a = nl.add_input_bus("A", config.mul_width);
+    const auto b = nl.add_input_bus("B", config.mul_width);
+    const auto c = nl.add_input_bus("C", config.acc_width);
+
+    const auto product =
+        build_multiplier(nl, config.multiplier, a, b, config.product_adder);
+
+    // Zero-extend the product to the accumulator width; the constant-folding
+    // helpers in the adder builders then collapse the upper columns into a
+    // pure carry-propagation tail, as synthesis would.
+    std::vector<NetId> product_ext(static_cast<std::size_t>(config.acc_width),
+                                   nl.const_zero());
+    for (std::size_t i = 0; i < product.size(); ++i) product_ext[i] = product[i];
+
+    auto sum = build_adder(nl, config.accumulator_adder, c, product_ext);
+    // The carry out of the accumulator is dropped: the paper sizes the
+    // 22-bit adder so that accumulation does not overflow in practice.
+    nl.mark_output_bus("S", sum.sum);
+    return nl;
+}
+
+}  // namespace raq::netlist

@@ -1,0 +1,184 @@
+#include <stdexcept>
+
+#include "netlist/builders.hpp"
+#include "netlist/gates_util.hpp"
+
+namespace raq::netlist {
+
+using detail::full_adder;
+using detail::g_and;
+using detail::half_adder;
+
+const char* multiplier_name(MultiplierKind kind) {
+    switch (kind) {
+        case MultiplierKind::Array: return "array";
+        case MultiplierKind::Wallace: return "wallace";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Partial products pp[i][j] = a[j] & b[i], weight i + j.
+std::vector<std::vector<NetId>> partial_products(Netlist& nl, const std::vector<NetId>& a,
+                                                 const std::vector<NetId>& b) {
+    std::vector<std::vector<NetId>> pp(b.size(), std::vector<NetId>(a.size()));
+    for (std::size_t i = 0; i < b.size(); ++i)
+        for (std::size_t j = 0; j < a.size(); ++j) pp[i][j] = g_and(nl, a[j], b[i]);
+    return pp;
+}
+
+/// Array multiplier: row-by-row carry-save accumulation with a final
+/// ripple merge — the classic slow structure (delay grows linearly in both
+/// operand widths), matching what the paper calls "the very slow ...
+/// array multiplier" of [10].
+std::vector<NetId> build_array(Netlist& nl, const std::vector<NetId>& a,
+                               const std::vector<NetId>& b) {
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const auto pp = partial_products(nl, a, b);
+
+    // Running sum bits of weight w are kept in `sum`; carries ripple
+    // through the rows in carry-save form.
+    std::vector<NetId> product(n + m, kNoNet);
+    std::vector<NetId> row_sum(pp[0]);     // weights i..i+n-1 for row i
+    std::vector<NetId> row_carry(n, kNoNet);
+
+    product[0] = row_sum[0];
+    for (std::size_t i = 1; i < m; ++i) {
+        std::vector<NetId> next_sum(n, kNoNet);
+        std::vector<NetId> next_carry(n, kNoNet);
+        for (std::size_t j = 0; j < n; ++j) {
+            // Bit of weight i + j: add pp[i][j], the aligned previous-row
+            // sum (weight i + j came from row i-1 position j + 1) and the
+            // previous-row carry of position j.
+            const NetId prev_sum = (j + 1 < n) ? row_sum[j + 1] : kNoNet;
+            const NetId prev_carry = row_carry[j];
+            if (prev_sum == kNoNet && prev_carry == kNoNet) {
+                next_sum[j] = pp[i][j];
+            } else if (prev_sum == kNoNet || prev_carry == kNoNet) {
+                const NetId other = (prev_sum == kNoNet) ? prev_carry : prev_sum;
+                const auto hc = half_adder(nl, pp[i][j], other);
+                next_sum[j] = hc.sum;
+                next_carry[j] = hc.carry;
+            } else {
+                const auto fc = full_adder(nl, pp[i][j], prev_sum, prev_carry);
+                next_sum[j] = fc.sum;
+                next_carry[j] = fc.carry;
+            }
+        }
+        product[i] = next_sum[0];
+        row_sum = std::move(next_sum);
+        row_carry = std::move(next_carry);
+    }
+
+    // Vector-merge row: ripple-add the remaining sums and carries.
+    NetId carry = kNoNet;
+    for (std::size_t j = 1; j < n; ++j) {
+        const NetId s = row_sum[j];
+        const NetId c = row_carry[j - 1];
+        if (carry == kNoNet) {
+            const auto hc = half_adder(nl, s, c);
+            product[m - 1 + j] = hc.sum;
+            carry = hc.carry;
+        } else {
+            const auto fc = full_adder(nl, s, c, carry);
+            product[m - 1 + j] = fc.sum;
+            carry = fc.carry;
+        }
+    }
+    // Top bit of weight n+m-1: the merge ripple carry (the top column never
+    // receives an adder of its own — row_carry[n-1] is structurally absent).
+    {
+        const NetId c = row_carry[n - 1];
+        if (c == kNoNet) {
+            product[n + m - 1] = (carry == kNoNet) ? nl.const_zero() : carry;
+        } else if (carry == kNoNet) {
+            product[n + m - 1] = c;
+        } else {
+            // A carry beyond bit n+m-1 is arithmetically impossible, so a
+            // plain XOR suffices (no dead carry gate).
+            product[n + m - 1] = detail::g_xor(nl, c, carry);
+        }
+    }
+    return product;
+}
+
+/// Wallace-tree multiplier: column-wise 3:2 carry-save reduction down to
+/// two rows, then a fast carry-propagate final adder. This is the
+/// DesignWare-class, max-performance structure.
+std::vector<NetId> build_wallace(Netlist& nl, const std::vector<NetId>& a,
+                                 const std::vector<NetId>& b, AdderKind final_adder) {
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const std::size_t width = n + m;
+    const auto pp = partial_products(nl, a, b);
+
+    std::vector<std::vector<NetId>> columns(width);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) columns[i + j].push_back(pp[i][j]);
+
+    auto too_tall = [&] {
+        for (const auto& col : columns)
+            if (col.size() > 2) return true;
+        return false;
+    };
+
+    while (too_tall()) {
+        std::vector<std::vector<NetId>> next(width);
+        for (std::size_t k = 0; k < width; ++k) {
+            const auto& col = columns[k];
+            std::size_t i = 0;
+            while (col.size() - i >= 3) {
+                const auto fc = full_adder(nl, col[i], col[i + 1], col[i + 2]);
+                next[k].push_back(fc.sum);
+                if (k + 1 < width) next[k + 1].push_back(fc.carry);
+                i += 3;
+            }
+            if (col.size() - i == 2 && col.size() > 2) {
+                // Column still congested: compress the leftover pair too.
+                const auto hc = half_adder(nl, col[i], col[i + 1]);
+                next[k].push_back(hc.sum);
+                if (k + 1 < width) next[k + 1].push_back(hc.carry);
+                i += 2;
+            }
+            for (; i < col.size(); ++i) next[k].push_back(col[i]);
+        }
+        columns = std::move(next);
+    }
+
+    // Final carry-propagate addition of the two remaining rows.
+    std::vector<NetId> row_a(width), row_b(width);
+    for (std::size_t k = 0; k < width; ++k) {
+        row_a[k] = columns[k].empty() ? nl.const_zero() : columns[k][0];
+        row_b[k] = columns[k].size() > 1 ? columns[k][1] : nl.const_zero();
+    }
+    auto res = build_adder(nl, final_adder, row_a, row_b);
+    return res.sum;  // carry beyond 2n bits cannot occur
+}
+
+}  // namespace
+
+std::vector<NetId> build_multiplier(Netlist& nl, MultiplierKind kind,
+                                    const std::vector<NetId>& a,
+                                    const std::vector<NetId>& b, AdderKind final_adder) {
+    if (a.size() < 2 || b.size() < 2)
+        throw std::invalid_argument("build_multiplier: operands must be at least 2 bits");
+    switch (kind) {
+        case MultiplierKind::Array: return build_array(nl, a, b);
+        case MultiplierKind::Wallace: return build_wallace(nl, a, b, final_adder);
+    }
+    throw std::invalid_argument("build_multiplier: unknown kind");
+}
+
+Netlist build_multiplier_circuit(int width, MultiplierKind kind, AdderKind final_adder) {
+    if (width < 2) throw std::invalid_argument("build_multiplier_circuit: width < 2");
+    Netlist nl;
+    const auto a = nl.add_input_bus("A", width);
+    const auto b = nl.add_input_bus("B", width);
+    const auto p = build_multiplier(nl, kind, a, b, final_adder);
+    nl.mark_output_bus("P", p);
+    return nl;
+}
+
+}  // namespace raq::netlist

@@ -1,0 +1,193 @@
+#include "nn/composite.hpp"
+
+#include <stdexcept>
+
+namespace raq::nn {
+
+// ------------------------------------------------------------ Sequential
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& x, bool training) {
+    tensor::Tensor cur = x;
+    for (auto& child : children_) cur = child->forward(cur, training);
+    return cur;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor cur = grad_out;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+    for (auto& child : children_) child->collect_params(out);
+}
+
+std::pair<int, tensor::Shape> Sequential::append_ir(ir::Graph& graph, int input_id,
+                                                    tensor::Shape input_shape) const {
+    int id = input_id;
+    tensor::Shape shape = input_shape;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+        // BN folding: a Conv2d immediately followed by BatchNorm2d lowers
+        // into one conv with scaled weights/bias.
+        if (i + 1 < children_.size() && children_[i + 1]->is_batchnorm()) {
+            if (const auto* conv = dynamic_cast<const Conv2d*>(children_[i].get())) {
+                const auto& bn = dynamic_cast<const BatchNorm2d&>(*children_[i + 1]);
+                std::tie(id, shape) = conv->append_ir_folded(graph, id, shape, bn);
+                ++i;  // consume the BN
+                continue;
+            }
+        }
+        std::tie(id, shape) = children_[i]->append_ir(graph, id, shape);
+    }
+    return {id, shape};
+}
+
+// --------------------------------------------------------- ResidualBlock
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Sequential> main,
+                             std::unique_ptr<Sequential> shortcut)
+    : main_(std::move(main)), shortcut_(std::move(shortcut)) {
+    if (!main_) throw std::invalid_argument("ResidualBlock: main path required");
+}
+
+tensor::Tensor ResidualBlock::forward(const tensor::Tensor& x, bool training) {
+    tensor::Tensor m = main_->forward(x, training);
+    tensor::Tensor s = shortcut_ ? shortcut_->forward(x, training) : x;
+    if (m.size() != s.size())
+        throw std::invalid_argument("ResidualBlock: main/shortcut shape mismatch");
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] += s[i];
+    return relu_.forward(m, training);
+}
+
+tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_out) {
+    const tensor::Tensor g = relu_.backward(grad_out);
+    tensor::Tensor grad_main = main_->backward(g);
+    if (shortcut_) {
+        const tensor::Tensor grad_short = shortcut_->backward(g);
+        for (std::size_t i = 0; i < grad_main.size(); ++i) grad_main[i] += grad_short[i];
+    } else {
+        for (std::size_t i = 0; i < grad_main.size(); ++i) grad_main[i] += g[i];
+    }
+    return grad_main;
+}
+
+void ResidualBlock::collect_params(std::vector<Param*>& out) {
+    main_->collect_params(out);
+    if (shortcut_) shortcut_->collect_params(out);
+}
+
+std::pair<int, tensor::Shape> ResidualBlock::append_ir(ir::Graph& graph, int input_id,
+                                                       tensor::Shape input_shape) const {
+    auto [main_id, main_shape] = main_->append_ir(graph, input_id, input_shape);
+    int short_id = input_id;
+    if (shortcut_) {
+        auto [sid, sshape] = shortcut_->append_ir(graph, input_id, input_shape);
+        short_id = sid;
+        if (!(sshape == main_shape))
+            throw std::invalid_argument("ResidualBlock: IR shape mismatch");
+    }
+    ir::Op add;
+    add.kind = ir::OpKind::Add;
+    add.inputs = {main_id, short_id};
+    add.name = "residual-add";
+    const int add_id = graph.add(std::move(add));
+    ir::Op relu;
+    relu.kind = ir::OpKind::Relu;
+    relu.inputs = {add_id};
+    relu.name = "relu";
+    return {graph.add(std::move(relu)), main_shape};
+}
+
+// ------------------------------------------------------------ FireModule
+
+namespace {
+
+std::unique_ptr<Sequential> conv_relu(int in_c, int out_c, int k, int pad,
+                                      std::uint64_t seed, const std::string& name,
+                                      bool with_bn) {
+    auto seq = std::make_unique<Sequential>();
+    seq->add(std::make_unique<Conv2d>(in_c, out_c, k, 1, pad, seed, name));
+    if (with_bn) seq->add(std::make_unique<BatchNorm2d>(out_c, name + ".bn"));
+    seq->add(std::make_unique<ReLU>());
+    return seq;
+}
+
+}  // namespace
+
+FireModule::FireModule(int in_c, int squeeze_c, int expand_c, std::uint64_t seed,
+                       const std::string& name, bool with_bn)
+    : expand_c_(expand_c),
+      squeeze_(),
+      expand1_(),
+      expand3_() {
+    squeeze_ =
+        std::move(*conv_relu(in_c, squeeze_c, 1, 0, seed * 3 + 1, name + ".squeeze", with_bn));
+    expand1_ = std::move(
+        *conv_relu(squeeze_c, expand_c, 1, 0, seed * 3 + 2, name + ".expand1", with_bn));
+    expand3_ = std::move(
+        *conv_relu(squeeze_c, expand_c, 3, 1, seed * 3 + 3, name + ".expand3", with_bn));
+}
+
+tensor::Tensor FireModule::forward(const tensor::Tensor& x, bool training) {
+    const tensor::Tensor sq = squeeze_.forward(x, training);
+    const tensor::Tensor a = expand1_.forward(sq, training);
+    const tensor::Tensor b = expand3_.forward(sq, training);
+    const auto& s = a.shape();
+    tensor::Tensor out({s.n, 2 * expand_c_, s.h, s.w});
+    const std::size_t hw = static_cast<std::size_t>(s.h) * static_cast<std::size_t>(s.w);
+    const std::size_t block = static_cast<std::size_t>(expand_c_) * hw;
+    for (int n = 0; n < s.n; ++n) {
+        std::copy(a.data() + static_cast<std::size_t>(n) * block,
+                  a.data() + static_cast<std::size_t>(n + 1) * block,
+                  out.data() + static_cast<std::size_t>(n) * 2 * block);
+        std::copy(b.data() + static_cast<std::size_t>(n) * block,
+                  b.data() + static_cast<std::size_t>(n + 1) * block,
+                  out.data() + static_cast<std::size_t>(n) * 2 * block + block);
+    }
+    return out;
+}
+
+tensor::Tensor FireModule::backward(const tensor::Tensor& grad_out) {
+    const auto& s = grad_out.shape();
+    const int half = expand_c_;
+    const std::size_t hw = static_cast<std::size_t>(s.h) * static_cast<std::size_t>(s.w);
+    const std::size_t block = static_cast<std::size_t>(half) * hw;
+    tensor::Tensor ga({s.n, half, s.h, s.w});
+    tensor::Tensor gb({s.n, half, s.h, s.w});
+    for (int n = 0; n < s.n; ++n) {
+        std::copy(grad_out.data() + static_cast<std::size_t>(n) * 2 * block,
+                  grad_out.data() + static_cast<std::size_t>(n) * 2 * block + block,
+                  ga.data() + static_cast<std::size_t>(n) * block);
+        std::copy(grad_out.data() + static_cast<std::size_t>(n) * 2 * block + block,
+                  grad_out.data() + static_cast<std::size_t>(n + 1) * 2 * block,
+                  gb.data() + static_cast<std::size_t>(n) * block);
+    }
+    tensor::Tensor gsq = expand1_.backward(ga);
+    const tensor::Tensor gsq3 = expand3_.backward(gb);
+    for (std::size_t i = 0; i < gsq.size(); ++i) gsq[i] += gsq3[i];
+    return squeeze_.backward(gsq);
+}
+
+void FireModule::collect_params(std::vector<Param*>& out) {
+    squeeze_.collect_params(out);
+    expand1_.collect_params(out);
+    expand3_.collect_params(out);
+}
+
+std::pair<int, tensor::Shape> FireModule::append_ir(ir::Graph& graph, int input_id,
+                                                    tensor::Shape input_shape) const {
+    auto [sq_id, sq_shape] = squeeze_.append_ir(graph, input_id, input_shape);
+    auto [a_id, a_shape] = expand1_.append_ir(graph, sq_id, sq_shape);
+    auto [b_id, b_shape] = expand3_.append_ir(graph, sq_id, sq_shape);
+    if (!(a_shape == b_shape)) throw std::logic_error("FireModule: expand shape mismatch");
+    ir::Op cat;
+    cat.kind = ir::OpKind::Concat;
+    cat.inputs = {a_id, b_id};
+    cat.name = "fire-concat";
+    tensor::Shape out = a_shape;
+    out.c = 2 * expand_c_;
+    return {graph.add(std::move(cat)), out};
+}
+
+}  // namespace raq::nn

@@ -1,0 +1,77 @@
+// Composite modules: Sequential containers, residual blocks (ResNet /
+// WideResNet families) and fire modules (SqueezeNet). These mirror the
+// topologies of the ten torchvision networks the paper evaluates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace raq::nn {
+
+class Sequential : public Module {
+public:
+    Sequential() = default;
+    explicit Sequential(std::vector<std::unique_ptr<Module>> children)
+        : children_(std::move(children)) {}
+
+    void add(std::unique_ptr<Module> child) { children_.push_back(std::move(child)); }
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+
+    /// Lowers children in order, folding Conv2d + BatchNorm2d pairs.
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+    [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+private:
+    std::vector<std::unique_ptr<Module>> children_;
+};
+
+/// Residual block: out = ReLU(main(x) + shortcut(x)). The shortcut is the
+/// identity when null (shapes must then match).
+class ResidualBlock : public Module {
+public:
+    ResidualBlock(std::unique_ptr<Sequential> main, std::unique_ptr<Sequential> shortcut);
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+private:
+    std::unique_ptr<Sequential> main_;
+    std::unique_ptr<Sequential> shortcut_;  ///< null = identity
+    ReLU relu_;
+};
+
+/// SqueezeNet fire module: squeeze 1x1 conv, then parallel 1x1 / 3x3
+/// expand convolutions concatenated along channels. `with_bn` inserts
+/// BatchNorm after each conv as a training aid; it is folded away during
+/// IR export, so the deployed topology matches the original fire module.
+class FireModule : public Module {
+public:
+    FireModule(int in_c, int squeeze_c, int expand_c, std::uint64_t seed,
+               const std::string& name, bool with_bn = false);
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+    [[nodiscard]] int out_channels() const { return 2 * expand_c_; }
+
+private:
+    int expand_c_;
+    Sequential squeeze_;
+    Sequential expand1_;
+    Sequential expand3_;
+};
+
+}  // namespace raq::nn

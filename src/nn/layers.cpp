@@ -1,0 +1,513 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+
+namespace raq::nn {
+
+void kaiming_init(std::vector<float>& weights, std::size_t fan_in, std::uint64_t seed) {
+    common::Rng rng(seed);
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    for (auto& w : weights) w = stddev * static_cast<float>(rng.next_gaussian());
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int in_c, int out_c, int kernel, int stride, int pad, std::uint64_t seed,
+               std::string name)
+    : in_c_(in_c), out_c_(out_c), kernel_(kernel), stride_(stride), pad_(pad),
+      name_(std::move(name)) {
+    if (in_c <= 0 || out_c <= 0 || kernel <= 0 || stride <= 0 || pad < 0)
+        throw std::invalid_argument("Conv2d: bad configuration");
+    const std::size_t fan_in = static_cast<std::size_t>(in_c) *
+                               static_cast<std::size_t>(kernel) *
+                               static_cast<std::size_t>(kernel);
+    weight.resize(static_cast<std::size_t>(out_c) * fan_in);
+    weight.name = name_ + ".weight";
+    kaiming_init(weight.value, fan_in, seed);
+    bias.resize(static_cast<std::size_t>(out_c));
+    bias.name = name_ + ".bias";
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& x, bool training) {
+    if (x.shape().c != in_c_) throw std::invalid_argument(name_ + ": channel mismatch");
+    if (training) cached_input_ = x;
+    int oh = 0, ow = 0;
+    std::vector<float> columns;
+    tensor::im2col(x, kernel_, kernel_, stride_, pad_, columns, oh, ow);
+    const std::size_t kdim = weight.value.size() / static_cast<std::size_t>(out_c_);
+    const std::size_t cols = static_cast<std::size_t>(x.shape().n) *
+                             static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+    std::vector<float> product(static_cast<std::size_t>(out_c_) * cols);
+    tensor::gemm(weight.value.data(), columns.data(), product.data(),
+                 static_cast<std::size_t>(out_c_), kdim, cols);
+    tensor::Tensor out({x.shape().n, out_c_, oh, ow});
+    const std::size_t hw = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+    for (int n = 0; n < x.shape().n; ++n)
+        for (int oc = 0; oc < out_c_; ++oc) {
+            const float b = bias.value[static_cast<std::size_t>(oc)];
+            const float* src = product.data() + static_cast<std::size_t>(oc) * cols +
+                               static_cast<std::size_t>(n) * hw;
+            float* dst = out.data() +
+                         (static_cast<std::size_t>(n) * static_cast<std::size_t>(out_c_) +
+                          static_cast<std::size_t>(oc)) *
+                             hw;
+            for (std::size_t i = 0; i < hw; ++i) dst[i] = src[i] + b;
+        }
+    return out;
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
+    const tensor::Tensor& x = cached_input_;
+    if (x.size() == 0) throw std::logic_error(name_ + ": backward before forward(training)");
+    const auto& gs = grad_out.shape();
+    const std::size_t hw = static_cast<std::size_t>(gs.h) * static_cast<std::size_t>(gs.w);
+    const std::size_t cols = static_cast<std::size_t>(gs.n) * hw;
+    const std::size_t kdim = weight.value.size() / static_cast<std::size_t>(out_c_);
+
+    // Re-expand the input patches (recompute instead of caching: halves the
+    // training memory footprint of deep models).
+    int oh = 0, ow = 0;
+    std::vector<float> columns;
+    tensor::im2col(x, kernel_, kernel_, stride_, pad_, columns, oh, ow);
+
+    // grad_out as a [out_c, n*oh*ow] matrix.
+    std::vector<float> gout_mat(static_cast<std::size_t>(out_c_) * cols);
+    for (int n = 0; n < gs.n; ++n)
+        for (int oc = 0; oc < out_c_; ++oc) {
+            const float* src = grad_out.data() +
+                               (static_cast<std::size_t>(n) * static_cast<std::size_t>(out_c_) +
+                                static_cast<std::size_t>(oc)) *
+                                   hw;
+            float* dst = gout_mat.data() + static_cast<std::size_t>(oc) * cols +
+                         static_cast<std::size_t>(n) * hw;
+            std::copy(src, src + hw, dst);
+        }
+
+    // dW += gout_mat x columns^T ; db += row sums of gout_mat.
+    tensor::gemm_bt(gout_mat.data(), columns.data(), weight.grad.data(),
+                    static_cast<std::size_t>(out_c_), cols, kdim, /*accumulate=*/true);
+    for (int oc = 0; oc < out_c_; ++oc) {
+        float acc = 0;
+        const float* row = gout_mat.data() + static_cast<std::size_t>(oc) * cols;
+        for (std::size_t i = 0; i < cols; ++i) acc += row[i];
+        bias.grad[static_cast<std::size_t>(oc)] += acc;
+    }
+
+    // dX = col2im(W^T x gout_mat).
+    std::vector<float> dcols(kdim * cols);
+    tensor::gemm_at(weight.value.data(), gout_mat.data(), dcols.data(), kdim,
+                    static_cast<std::size_t>(out_c_), cols);
+    tensor::Tensor grad_in;
+    tensor::col2im(dcols, x.shape(), kernel_, kernel_, stride_, pad_, grad_in);
+    return grad_in;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+    out.push_back(&weight);
+    out.push_back(&bias);
+}
+
+std::pair<int, tensor::Shape> Conv2d::append_ir(ir::Graph& graph, int input_id,
+                                                tensor::Shape input_shape) const {
+    ir::Op op;
+    op.kind = ir::OpKind::Conv2d;
+    op.name = name_;
+    op.inputs = {input_id};
+    op.conv = {in_c_, out_c_, kernel_, kernel_, stride_, pad_};
+    op.weights = weight.value;
+    op.bias = bias.value;
+    const int id = graph.add(std::move(op));
+    tensor::Shape out = input_shape;
+    out.c = out_c_;
+    out.h = tensor::conv_out_dim(input_shape.h, kernel_, stride_, pad_);
+    out.w = tensor::conv_out_dim(input_shape.w, kernel_, stride_, pad_);
+    return {id, out};
+}
+
+std::pair<int, tensor::Shape> Conv2d::append_ir_folded(ir::Graph& graph, int input_id,
+                                                       tensor::Shape input_shape,
+                                                       const BatchNorm2d& bn) const {
+    std::vector<float> scale, shift;
+    bn.folded_affine(scale, shift);
+    if (scale.size() != static_cast<std::size_t>(out_c_))
+        throw std::invalid_argument(name_ + ": BN channel mismatch while folding");
+    ir::Op op;
+    op.kind = ir::OpKind::Conv2d;
+    op.name = name_ + "+bnfold";
+    op.inputs = {input_id};
+    op.conv = {in_c_, out_c_, kernel_, kernel_, stride_, pad_};
+    op.weights = weight.value;
+    op.bias.resize(static_cast<std::size_t>(out_c_));
+    const std::size_t kdim = weight.value.size() / static_cast<std::size_t>(out_c_);
+    for (int oc = 0; oc < out_c_; ++oc) {
+        const float s = scale[static_cast<std::size_t>(oc)];
+        float* wrow = op.weights.data() + static_cast<std::size_t>(oc) * kdim;
+        for (std::size_t i = 0; i < kdim; ++i) wrow[i] *= s;
+        op.bias[static_cast<std::size_t>(oc)] =
+            bias.value[static_cast<std::size_t>(oc)] * s + shift[static_cast<std::size_t>(oc)];
+    }
+    const int id = graph.add(std::move(op));
+    tensor::Shape out = input_shape;
+    out.c = out_c_;
+    out.h = tensor::conv_out_dim(input_shape.h, kernel_, stride_, pad_);
+    out.w = tensor::conv_out_dim(input_shape.w, kernel_, stride_, pad_);
+    return {id, out};
+}
+
+// ------------------------------------------------------------ BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(int channels, std::string name)
+    : channels_(channels), name_(std::move(name)) {
+    gamma.resize(static_cast<std::size_t>(channels));
+    beta.resize(static_cast<std::size_t>(channels));
+    running_mean.resize(static_cast<std::size_t>(channels));
+    running_var.resize(static_cast<std::size_t>(channels));
+    gamma.name = name_ + ".gamma";
+    beta.name = name_ + ".beta";
+    running_mean.name = name_ + ".running_mean";
+    running_var.name = name_ + ".running_var";
+    running_mean.trainable = false;
+    running_var.trainable = false;
+    std::fill(gamma.value.begin(), gamma.value.end(), 1.0f);
+    std::fill(running_var.value.begin(), running_var.value.end(), 1.0f);
+}
+
+tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& x, bool training) {
+    const auto& s = x.shape();
+    if (s.c != channels_) throw std::invalid_argument(name_ + ": channel mismatch");
+    const std::size_t hw = static_cast<std::size_t>(s.h) * static_cast<std::size_t>(s.w);
+    const std::size_t m = static_cast<std::size_t>(s.n) * hw;
+    tensor::Tensor out(s);
+    if (training) {
+        cached_xhat_ = tensor::Tensor(s);
+        cached_invstd_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    }
+    for (int c = 0; c < channels_; ++c) {
+        float mean, var;
+        if (training) {
+            double sum = 0, sq = 0;
+            for (int n = 0; n < s.n; ++n) {
+                const float* src = x.data() +
+                                   (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                                    static_cast<std::size_t>(c)) *
+                                       hw;
+                for (std::size_t i = 0; i < hw; ++i) {
+                    sum += src[i];
+                    sq += static_cast<double>(src[i]) * src[i];
+                }
+            }
+            mean = static_cast<float>(sum / static_cast<double>(m));
+            var = static_cast<float>(sq / static_cast<double>(m)) - mean * mean;
+            if (var < 0) var = 0;
+            running_mean.value[static_cast<std::size_t>(c)] =
+                (1 - momentum_) * running_mean.value[static_cast<std::size_t>(c)] +
+                momentum_ * mean;
+            running_var.value[static_cast<std::size_t>(c)] =
+                (1 - momentum_) * running_var.value[static_cast<std::size_t>(c)] +
+                momentum_ * var;
+        } else {
+            mean = running_mean.value[static_cast<std::size_t>(c)];
+            var = running_var.value[static_cast<std::size_t>(c)];
+        }
+        const float invstd = 1.0f / std::sqrt(var + eps_);
+        const float g = gamma.value[static_cast<std::size_t>(c)];
+        const float b = beta.value[static_cast<std::size_t>(c)];
+        if (training) cached_invstd_[static_cast<std::size_t>(c)] = invstd;
+        for (int n = 0; n < s.n; ++n) {
+            const std::size_t base =
+                (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                 static_cast<std::size_t>(c)) *
+                hw;
+            const float* src = x.data() + base;
+            float* dst = out.data() + base;
+            float* xh = training ? cached_xhat_.data() + base : nullptr;
+            for (std::size_t i = 0; i < hw; ++i) {
+                const float xhat = (src[i] - mean) * invstd;
+                if (xh) xh[i] = xhat;
+                dst[i] = g * xhat + b;
+            }
+        }
+    }
+    return out;
+}
+
+tensor::Tensor BatchNorm2d::backward(const tensor::Tensor& grad_out) {
+    const auto& s = grad_out.shape();
+    if (cached_xhat_.size() != grad_out.size())
+        throw std::logic_error(name_ + ": backward before forward(training)");
+    const std::size_t hw = static_cast<std::size_t>(s.h) * static_cast<std::size_t>(s.w);
+    const double m = static_cast<double>(s.n) * static_cast<double>(hw);
+    tensor::Tensor grad_in(s);
+    for (int c = 0; c < channels_; ++c) {
+        double dbeta = 0, dgamma = 0;
+        for (int n = 0; n < s.n; ++n) {
+            const std::size_t base =
+                (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                 static_cast<std::size_t>(c)) *
+                hw;
+            const float* g = grad_out.data() + base;
+            const float* xh = cached_xhat_.data() + base;
+            for (std::size_t i = 0; i < hw; ++i) {
+                dbeta += g[i];
+                dgamma += static_cast<double>(g[i]) * xh[i];
+            }
+        }
+        beta.grad[static_cast<std::size_t>(c)] += static_cast<float>(dbeta);
+        gamma.grad[static_cast<std::size_t>(c)] += static_cast<float>(dgamma);
+        const float ginv = gamma.value[static_cast<std::size_t>(c)] *
+                           cached_invstd_[static_cast<std::size_t>(c)] /
+                           static_cast<float>(m);
+        for (int n = 0; n < s.n; ++n) {
+            const std::size_t base =
+                (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                 static_cast<std::size_t>(c)) *
+                hw;
+            const float* g = grad_out.data() + base;
+            const float* xh = cached_xhat_.data() + base;
+            float* gi = grad_in.data() + base;
+            for (std::size_t i = 0; i < hw; ++i)
+                gi[i] = ginv * (static_cast<float>(m) * g[i] - static_cast<float>(dbeta) -
+                                xh[i] * static_cast<float>(dgamma));
+        }
+    }
+    return grad_in;
+}
+
+void BatchNorm2d::collect_params(std::vector<Param*>& out) {
+    out.push_back(&gamma);
+    out.push_back(&beta);
+    out.push_back(&running_mean);
+    out.push_back(&running_var);
+}
+
+void BatchNorm2d::folded_affine(std::vector<float>& scale, std::vector<float>& shift) const {
+    scale.resize(static_cast<std::size_t>(channels_));
+    shift.resize(static_cast<std::size_t>(channels_));
+    for (int c = 0; c < channels_; ++c) {
+        const float invstd =
+            1.0f / std::sqrt(running_var.value[static_cast<std::size_t>(c)] + eps_);
+        scale[static_cast<std::size_t>(c)] =
+            gamma.value[static_cast<std::size_t>(c)] * invstd;
+        shift[static_cast<std::size_t>(c)] =
+            beta.value[static_cast<std::size_t>(c)] -
+            gamma.value[static_cast<std::size_t>(c)] * invstd *
+                running_mean.value[static_cast<std::size_t>(c)];
+    }
+}
+
+std::pair<int, tensor::Shape> BatchNorm2d::append_ir(ir::Graph& graph, int input_id,
+                                                     tensor::Shape input_shape) const {
+    // Standalone BN (not fused with a conv) is lowered as a 1x1 depthwise-
+    // style conv would be overkill; our architectures always place BN after
+    // a conv, so Sequential folds it. Reaching here indicates a topology we
+    // do not support.
+    (void)graph;
+    (void)input_id;
+    (void)input_shape;
+    throw std::logic_error(name_ + ": standalone BatchNorm cannot be lowered; fold into conv");
+}
+
+// ----------------------------------------------------------------- ReLU
+
+tensor::Tensor ReLU::forward(const tensor::Tensor& x, bool training) {
+    tensor::Tensor out = x;
+    if (training) mask_.assign(x.size(), false);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const bool pos = out[i] > 0.0f;
+        if (training) mask_[i] = pos;
+        if (!pos) out[i] = 0.0f;
+    }
+    return out;
+}
+
+tensor::Tensor ReLU::backward(const tensor::Tensor& grad_out) {
+    if (mask_.size() != grad_out.size())
+        throw std::logic_error("ReLU: backward before forward(training)");
+    tensor::Tensor grad_in = grad_out;
+    for (std::size_t i = 0; i < grad_in.size(); ++i)
+        if (!mask_[i]) grad_in[i] = 0.0f;
+    return grad_in;
+}
+
+std::pair<int, tensor::Shape> ReLU::append_ir(ir::Graph& graph, int input_id,
+                                              tensor::Shape input_shape) const {
+    ir::Op op;
+    op.kind = ir::OpKind::Relu;
+    op.inputs = {input_id};
+    op.name = "relu";
+    return {graph.add(std::move(op)), input_shape};
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+tensor::Tensor MaxPool2d::forward(const tensor::Tensor& x, bool training) {
+    const auto& s = x.shape();
+    in_shape_ = s;
+    const int oh = tensor::conv_out_dim(s.h, kernel_, stride_, 0);
+    const int ow = tensor::conv_out_dim(s.w, kernel_, stride_, 0);
+    tensor::Tensor out({s.n, s.c, oh, ow});
+    if (training) argmax_.assign(out.size(), 0);
+    std::size_t oi = 0;
+    for (int n = 0; n < s.n; ++n)
+        for (int c = 0; c < s.c; ++c)
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox, ++oi) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::size_t best_idx = 0;
+                    for (int ky = 0; ky < kernel_; ++ky)
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            const int iy = oy * stride_ + ky;
+                            const int ix = ox * stride_ + kx;
+                            if (iy >= s.h || ix >= s.w) continue;
+                            const float v = x.at(n, c, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_idx = ((static_cast<std::size_t>(n) * s.c + c) * s.h + iy) *
+                                               static_cast<std::size_t>(s.w) +
+                                           static_cast<std::size_t>(ix);
+                            }
+                        }
+                    out[oi] = best;
+                    if (training) argmax_[oi] = best_idx;
+                }
+    return out;
+}
+
+tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_out) {
+    if (argmax_.size() != grad_out.size())
+        throw std::logic_error("MaxPool2d: backward before forward(training)");
+    tensor::Tensor grad_in(in_shape_);
+    for (std::size_t i = 0; i < grad_out.size(); ++i) grad_in[argmax_[i]] += grad_out[i];
+    return grad_in;
+}
+
+std::pair<int, tensor::Shape> MaxPool2d::append_ir(ir::Graph& graph, int input_id,
+                                                   tensor::Shape input_shape) const {
+    ir::Op op;
+    op.kind = ir::OpKind::MaxPool2d;
+    op.inputs = {input_id};
+    op.pool = {kernel_, stride_};
+    op.name = "maxpool";
+    tensor::Shape out = input_shape;
+    out.h = tensor::conv_out_dim(input_shape.h, kernel_, stride_, 0);
+    out.w = tensor::conv_out_dim(input_shape.w, kernel_, stride_, 0);
+    return {graph.add(std::move(op)), out};
+}
+
+// --------------------------------------------------------- GlobalAvgPool
+
+tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& x, bool training) {
+    (void)training;
+    const auto& s = x.shape();
+    in_shape_ = s;
+    tensor::Tensor out({s.n, s.c, 1, 1});
+    const float inv = 1.0f / static_cast<float>(s.h * s.w);
+    for (int n = 0; n < s.n; ++n)
+        for (int c = 0; c < s.c; ++c) {
+            float acc = 0;
+            for (int y = 0; y < s.h; ++y)
+                for (int x2 = 0; x2 < s.w; ++x2) acc += x.at(n, c, y, x2);
+            out.at(n, c, 0, 0) = acc * inv;
+        }
+    return out;
+}
+
+tensor::Tensor GlobalAvgPool::backward(const tensor::Tensor& grad_out) {
+    tensor::Tensor grad_in(in_shape_);
+    const float inv = 1.0f / static_cast<float>(in_shape_.h * in_shape_.w);
+    for (int n = 0; n < in_shape_.n; ++n)
+        for (int c = 0; c < in_shape_.c; ++c) {
+            const float g = grad_out.at(n, c, 0, 0) * inv;
+            for (int y = 0; y < in_shape_.h; ++y)
+                for (int x = 0; x < in_shape_.w; ++x) grad_in.at(n, c, y, x) = g;
+        }
+    return grad_in;
+}
+
+std::pair<int, tensor::Shape> GlobalAvgPool::append_ir(ir::Graph& graph, int input_id,
+                                                       tensor::Shape input_shape) const {
+    ir::Op op;
+    op.kind = ir::OpKind::GlobalAvgPool;
+    op.inputs = {input_id};
+    op.name = "gap";
+    tensor::Shape out = input_shape;
+    out.h = out.w = 1;
+    return {graph.add(std::move(op)), out};
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(int in_features, int out_features, std::uint64_t seed, std::string name)
+    : in_features_(in_features), out_features_(out_features), name_(std::move(name)) {
+    weight.resize(static_cast<std::size_t>(out_features) *
+                  static_cast<std::size_t>(in_features));
+    weight.name = name_ + ".weight";
+    kaiming_init(weight.value, static_cast<std::size_t>(in_features), seed);
+    bias.resize(static_cast<std::size_t>(out_features));
+    bias.name = name_ + ".bias";
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& x, bool training) {
+    const auto& s = x.shape();
+    const int features = s.c * s.h * s.w;
+    if (features != in_features_) throw std::invalid_argument(name_ + ": feature mismatch");
+    if (training) cached_input_ = x;
+    tensor::Tensor out({s.n, out_features_, 1, 1});
+    tensor::gemm_bt(x.data(), weight.value.data(), out.data(),
+                    static_cast<std::size_t>(s.n), static_cast<std::size_t>(in_features_),
+                    static_cast<std::size_t>(out_features_));
+    for (int n = 0; n < s.n; ++n)
+        for (int o = 0; o < out_features_; ++o)
+            out.at(n, o, 0, 0) += bias.value[static_cast<std::size_t>(o)];
+    return out;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_out) {
+    const tensor::Tensor& x = cached_input_;
+    if (x.size() == 0) throw std::logic_error(name_ + ": backward before forward(training)");
+    const int n = grad_out.shape().n;
+    // dW += gout^T x ; db += column sums.
+    tensor::gemm_at(grad_out.data(), x.data(), weight.grad.data(),
+                    static_cast<std::size_t>(out_features_), static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(in_features_), /*accumulate=*/true);
+    for (int i = 0; i < n; ++i)
+        for (int o = 0; o < out_features_; ++o)
+            bias.grad[static_cast<std::size_t>(o)] += grad_out.at(i, o, 0, 0);
+    // dX = gout x W.
+    tensor::Tensor grad_in(x.shape());
+    tensor::gemm(grad_out.data(), weight.value.data(), grad_in.data(),
+                 static_cast<std::size_t>(n), static_cast<std::size_t>(out_features_),
+                 static_cast<std::size_t>(in_features_));
+    return grad_in;
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+    out.push_back(&weight);
+    out.push_back(&bias);
+}
+
+std::pair<int, tensor::Shape> Linear::append_ir(ir::Graph& graph, int input_id,
+                                                tensor::Shape input_shape) const {
+    // Lower as a convolution whose kernel covers the full spatial extent:
+    // the [out][c*h*w] weight layout matches [oc][ic*kh*kw] exactly.
+    if (input_shape.c * input_shape.h * input_shape.w != in_features_)
+        throw std::invalid_argument(name_ + ": IR lowering feature mismatch");
+    ir::Op op;
+    op.kind = ir::OpKind::Conv2d;
+    op.name = name_;
+    op.inputs = {input_id};
+    op.conv = {input_shape.c, out_features_, input_shape.h, input_shape.w, 1, 0};
+    op.weights = weight.value;
+    op.bias = bias.value;
+    tensor::Shape out = input_shape;
+    out.c = out_features_;
+    out.h = out.w = 1;
+    return {graph.add(std::move(op)), out};
+}
+
+}  // namespace raq::nn

@@ -1,0 +1,167 @@
+// Trainable NN layers with hand-written backpropagation (PyTorch
+// substitute, DESIGN.md §2). Each module caches what it needs from the
+// last forward pass; backward() must be called with the gradient of the
+// loss w.r.t. that forward's output.
+//
+// Every module can also lower itself into the deployment IR (ir::Graph);
+// Sequential fuses Conv2d + BatchNorm2d pairs during lowering (BN
+// folding), which is what the post-training quantization flow consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace raq::nn {
+
+struct Param {
+    std::vector<float> value;
+    std::vector<float> grad;
+    bool trainable = true;
+    std::string name;
+
+    void resize(std::size_t n) {
+        value.assign(n, 0.0f);
+        grad.assign(n, 0.0f);
+    }
+};
+
+class Module {
+public:
+    virtual ~Module() = default;
+
+    virtual tensor::Tensor forward(const tensor::Tensor& x, bool training) = 0;
+    virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+    /// Collect parameter (and buffer) pointers in a deterministic order.
+    virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+    /// Lower into the IR: returns (output tensor id, output shape).
+    virtual std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                                    tensor::Shape input_shape) const = 0;
+
+    [[nodiscard]] virtual bool is_batchnorm() const { return false; }
+};
+
+/// Kaiming-normal initialization shared by conv/linear layers.
+void kaiming_init(std::vector<float>& weights, std::size_t fan_in, std::uint64_t seed);
+
+class Conv2d : public Module {
+public:
+    Conv2d(int in_c, int out_c, int kernel, int stride, int pad, std::uint64_t seed,
+           std::string name = "conv");
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+    /// Lowering with a following BatchNorm folded into weights/bias.
+    std::pair<int, tensor::Shape> append_ir_folded(ir::Graph& graph, int input_id,
+                                                   tensor::Shape input_shape,
+                                                   const class BatchNorm2d& bn) const;
+
+    [[nodiscard]] int out_channels() const { return out_c_; }
+
+    Param weight;  ///< [out_c][in_c*k*k]
+    Param bias;    ///< [out_c]
+
+private:
+    int in_c_, out_c_, kernel_, stride_, pad_;
+    std::string name_;
+    tensor::Tensor cached_input_;
+};
+
+class BatchNorm2d : public Module {
+public:
+    explicit BatchNorm2d(int channels, std::string name = "bn");
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+    [[nodiscard]] bool is_batchnorm() const override { return true; }
+
+    /// Effective per-channel affine (scale, shift) for folding:
+    /// y = scale * x + shift with running statistics.
+    void folded_affine(std::vector<float>& scale, std::vector<float>& shift) const;
+
+    Param gamma, beta;
+    Param running_mean, running_var;  ///< buffers (trainable = false)
+
+private:
+    int channels_;
+    std::string name_;
+    float momentum_ = 0.2f;
+    float eps_ = 1e-5f;
+    // caches for backward
+    tensor::Tensor cached_xhat_;
+    std::vector<float> cached_invstd_;
+};
+
+class ReLU : public Module {
+public:
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+private:
+    std::vector<bool> mask_;
+};
+
+class MaxPool2d : public Module {
+public:
+    explicit MaxPool2d(int kernel = 2, int stride = 2) : kernel_(kernel), stride_(stride) {}
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+private:
+    int kernel_, stride_;
+    tensor::Shape in_shape_;
+    std::vector<std::size_t> argmax_;  ///< linear input index per output element
+};
+
+class GlobalAvgPool : public Module {
+public:
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+private:
+    tensor::Shape in_shape_;
+};
+
+/// Fully connected layer over the flattened (C,H,W) features. Lowered to
+/// a Conv2d whose kernel covers the full spatial extent, so the NPU/
+/// quantization stack sees a single MAC op kind.
+class Linear : public Module {
+public:
+    Linear(int in_features, int out_features, std::uint64_t seed, std::string name = "fc");
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+    std::pair<int, tensor::Shape> append_ir(ir::Graph& graph, int input_id,
+                                            tensor::Shape input_shape) const override;
+
+    Param weight;  ///< [out][in]
+    Param bias;    ///< [out]
+
+private:
+    int in_features_, out_features_;
+    std::string name_;
+    tensor::Tensor cached_input_;
+};
+
+}  // namespace raq::nn

@@ -1,0 +1,94 @@
+#include "nn/model_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
+
+namespace raq::nn {
+
+ModelCache::ModelCache(std::string dir, data::DatasetConfig dataset_config)
+    : dir_(std::move(dir)) {
+    if (dir_.empty()) {
+        if (const char* env = std::getenv("RAQ_MODEL_CACHE"))
+            dir_ = env;
+        else
+            dir_ = "models_cache";
+    }
+    std::filesystem::create_directories(dir_);
+    dataset_ = std::make_unique<data::SyntheticDataset>(dataset_config);
+}
+
+std::string ModelCache::model_path(const std::string& name) const {
+    return dir_ + "/" + name + ".net";
+}
+
+Network ModelCache::train_and_save(const std::string& name) {
+    Network net = make_network(name);
+    SgdTrainer trainer(recommended_train_config(name));
+    const TrainResult result = trainer.fit(net, *dataset_);
+    std::fprintf(stderr, "[model-cache] trained %s: test acc %.1f%% (loss %.3f)\n",
+                 name.c_str(), 100.0 * result.test_accuracy, result.final_train_loss);
+    net.save(model_path(name));
+    return net;
+}
+
+Network& ModelCache::get(const std::string& name) {
+    if (const auto it = loaded_.find(name); it != loaded_.end()) return *it->second;
+    auto net = std::make_unique<Network>(make_network(name));
+    const std::string path = model_path(name);
+    if (std::filesystem::exists(path)) {
+        net->load(path);
+    } else {
+        *net = train_and_save(name);
+    }
+    auto [it, inserted] = loaded_.emplace(name, std::move(net));
+    (void)inserted;
+    return *it->second;
+}
+
+void ModelCache::ensure(const std::vector<std::string>& names, int threads) {
+    std::vector<std::string> missing;
+    for (const auto& name : names)
+        if (!std::filesystem::exists(model_path(name)) && !loaded_.count(name))
+            missing.push_back(name);
+    if (missing.empty()) return;
+    if (threads <= 0)
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+    std::fprintf(stderr,
+                 "[model-cache] training %zu missing model(s) with %d thread(s); "
+                 "results are cached under %s\n",
+                 missing.size(), threads, dir_.c_str());
+    std::size_t next = 0;
+    std::vector<std::thread> workers;
+    std::mutex mutex;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            for (;;) {
+                std::string name;
+                {
+                    const std::lock_guard<std::mutex> lock(mutex);
+                    if (next >= missing.size()) return;
+                    name = missing[next++];
+                }
+                // Training writes only to the thread-local network; the
+                // shared dataset is read-only.
+                Network net = make_network(name);
+                SgdTrainer trainer(recommended_train_config(name));
+                const TrainResult result = trainer.fit(net, *dataset_);
+                net.save(model_path(name));
+                std::fprintf(stderr, "[model-cache] trained %s: test acc %.1f%%\n",
+                             name.c_str(), 100.0 * result.test_accuracy);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+}
+
+}  // namespace raq::nn

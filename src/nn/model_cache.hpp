@@ -1,0 +1,43 @@
+// Train-once model cache: trained weights are persisted on disk so every
+// bench/example/test shares the same models (and the same FP32 baseline
+// accuracies) without retraining. Missing models are trained in parallel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_dataset.hpp"
+#include "nn/network.hpp"
+
+namespace raq::nn {
+
+class ModelCache {
+public:
+    /// `dir` defaults to $RAQ_MODEL_CACHE or "models_cache" under the
+    /// current working directory; created if missing.
+    explicit ModelCache(std::string dir = {}, data::DatasetConfig dataset_config = {});
+
+    /// The dataset all cached models are trained/evaluated on.
+    [[nodiscard]] const data::SyntheticDataset& dataset() const { return *dataset_; }
+
+    /// Load (or train + persist) a model; the returned reference stays
+    /// valid for the cache's lifetime.
+    Network& get(const std::string& name);
+
+    /// Train all missing models, `threads` at a time (0 = hardware).
+    void ensure(const std::vector<std::string>& names, int threads = 0);
+
+    [[nodiscard]] const std::string& dir() const { return dir_; }
+    [[nodiscard]] std::string model_path(const std::string& name) const;
+
+private:
+    Network train_and_save(const std::string& name);
+
+    std::string dir_;
+    std::unique_ptr<data::SyntheticDataset> dataset_;
+    std::map<std::string, std::unique_ptr<Network>> loaded_;
+};
+
+}  // namespace raq::nn

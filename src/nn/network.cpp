@@ -1,0 +1,78 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace raq::nn {
+
+Network::Network(std::string name, std::unique_ptr<Module> body, tensor::Shape input_shape,
+                 int num_classes)
+    : name_(std::move(name)), body_(std::move(body)), input_shape_(input_shape),
+      num_classes_(num_classes) {
+    if (!body_) throw std::invalid_argument("Network: body required");
+}
+
+std::vector<Param*> Network::parameters() {
+    std::vector<Param*> out;
+    body_->collect_params(out);
+    return out;
+}
+
+std::size_t Network::num_weights() {
+    std::size_t total = 0;
+    for (const Param* p : parameters()) total += p->value.size();
+    return total;
+}
+
+ir::Graph Network::export_ir() {
+    ir::Graph graph;
+    tensor::Shape in = input_shape_;
+    in.n = 1;
+    const int input_id = graph.add_input(in);
+    auto [out_id, out_shape] = body_->append_ir(graph, input_id, in);
+    if (out_shape.c != num_classes_ || out_shape.h != 1 || out_shape.w != 1)
+        throw std::logic_error(name_ + ": IR output is not (classes,1,1): " +
+                               out_shape.to_string());
+    graph.set_output(out_id);
+    return graph;
+}
+
+void Network::save(const std::string& path) {
+    common::BinaryWriter writer(path);
+    writer.write_u32(common::kSerializeMagic);
+    writer.write_string(name_);
+    const auto params = parameters();
+    writer.write_u64(params.size());
+    for (const Param* p : params) {
+        writer.write_string(p->name);
+        writer.write_f32_vector(p->value);
+    }
+    if (!writer.good()) throw std::runtime_error("Network::save: write failed " + path);
+}
+
+void Network::load(const std::string& path) {
+    common::BinaryReader reader(path);
+    if (reader.read_u32() != common::kSerializeMagic)
+        throw std::runtime_error("Network::load: bad magic in " + path);
+    const std::string stored_name = reader.read_string();
+    if (stored_name != name_)
+        throw std::runtime_error("Network::load: file holds '" + stored_name +
+                                 "', expected '" + name_ + "'");
+    const auto params = parameters();
+    const auto count = reader.read_u64();
+    if (count != params.size())
+        throw std::runtime_error("Network::load: parameter count mismatch in " + path);
+    for (Param* p : params) {
+        const std::string pname = reader.read_string();
+        if (pname != p->name)
+            throw std::runtime_error("Network::load: parameter order mismatch: " + pname +
+                                     " vs " + p->name);
+        auto values = reader.read_f32_vector();
+        if (values.size() != p->value.size())
+            throw std::runtime_error("Network::load: size mismatch for " + pname);
+        p->value = std::move(values);
+    }
+}
+
+}  // namespace raq::nn

@@ -1,0 +1,43 @@
+// A named, trainable network: module tree + input/output metadata,
+// weight (de)serialization and lowering to the deployment IR.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/composite.hpp"
+
+namespace raq::nn {
+
+class Network {
+public:
+    Network(std::string name, std::unique_ptr<Module> body, tensor::Shape input_shape,
+            int num_classes);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const tensor::Shape& input_shape() const { return input_shape_; }
+    [[nodiscard]] int num_classes() const { return num_classes_; }
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool training = false) {
+        return body_->forward(x, training);
+    }
+    tensor::Tensor backward(const tensor::Tensor& grad) { return body_->backward(grad); }
+
+    [[nodiscard]] std::vector<Param*> parameters();
+    [[nodiscard]] std::size_t num_weights();
+
+    /// Lower to the deployment IR with BN folding.
+    [[nodiscard]] ir::Graph export_ir();
+
+    void save(const std::string& path);
+    /// Load weights saved by save(); parameter names/sizes must match.
+    void load(const std::string& path);
+
+private:
+    std::string name_;
+    std::unique_ptr<Module> body_;
+    tensor::Shape input_shape_;
+    int num_classes_;
+};
+
+}  // namespace raq::nn

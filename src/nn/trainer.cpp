@@ -1,0 +1,115 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace raq::nn {
+
+double cross_entropy_loss(const tensor::Tensor& logits, const std::vector<int>& labels,
+                          tensor::Tensor& grad) {
+    const auto& s = logits.shape();
+    if (static_cast<std::size_t>(s.n) != labels.size())
+        throw std::invalid_argument("cross_entropy_loss: label count mismatch");
+    grad = tensor::Tensor(s);
+    double total = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(s.n);
+    for (int n = 0; n < s.n; ++n) {
+        float max_logit = logits.at(n, 0, 0, 0);
+        for (int c = 1; c < s.c; ++c) max_logit = std::max(max_logit, logits.at(n, c, 0, 0));
+        double denom = 0.0;
+        for (int c = 0; c < s.c; ++c)
+            denom += std::exp(static_cast<double>(logits.at(n, c, 0, 0) - max_logit));
+        const int label = labels[static_cast<std::size_t>(n)];
+        const double log_p =
+            static_cast<double>(logits.at(n, label, 0, 0) - max_logit) - std::log(denom);
+        total -= log_p;
+        for (int c = 0; c < s.c; ++c) {
+            const double p =
+                std::exp(static_cast<double>(logits.at(n, c, 0, 0) - max_logit)) / denom;
+            grad.at(n, c, 0, 0) = (static_cast<float>(p) - (c == label ? 1.0f : 0.0f)) * inv_n;
+        }
+    }
+    return total / static_cast<double>(s.n);
+}
+
+TrainResult SgdTrainer::fit(Network& net, const data::SyntheticDataset& dataset) {
+    const auto params = net.parameters();
+    std::vector<std::vector<float>> velocity(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+        velocity[i].assign(params[i]->value.size(), 0.0f);
+
+    double lr = config_.lr;
+    TrainResult result;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        const auto order = dataset.epoch_order(epoch);
+        double epoch_loss = 0.0;
+        int batches = 0;
+        for (std::size_t start = 0; start + static_cast<std::size_t>(config_.batch_size) <=
+                                    order.size();
+             start += static_cast<std::size_t>(config_.batch_size)) {
+            std::vector<int> indices(order.begin() + static_cast<long>(start),
+                                     order.begin() +
+                                         static_cast<long>(start) + config_.batch_size);
+            const tensor::Tensor batch = dataset.gather_train(indices);
+            std::vector<int> labels(indices.size());
+            for (std::size_t i = 0; i < indices.size(); ++i)
+                labels[i] = dataset.train_labels()[static_cast<std::size_t>(indices[i])];
+
+            for (Param* p : params) std::fill(p->grad.begin(), p->grad.end(), 0.0f);
+            const tensor::Tensor logits = net.forward(batch, /*training=*/true);
+            tensor::Tensor grad;
+            epoch_loss += cross_entropy_loss(logits, labels, grad);
+            ++batches;
+            net.backward(grad);
+
+            for (std::size_t i = 0; i < params.size(); ++i) {
+                Param* p = params[i];
+                if (!p->trainable) continue;
+                auto& vel = velocity[i];
+                for (std::size_t j = 0; j < p->value.size(); ++j) {
+                    const float g = p->grad[j] +
+                                    static_cast<float>(config_.weight_decay) * p->value[j];
+                    vel[j] = static_cast<float>(config_.momentum) * vel[j] -
+                             static_cast<float>(lr) * g;
+                    p->value[j] += vel[j];
+                }
+            }
+        }
+        result.final_train_loss = batches ? epoch_loss / batches : 0.0;
+        result.epochs_run = epoch + 1;
+        if (config_.verbose)
+            std::fprintf(stderr, "[%s] epoch %d loss %.4f\n", net.name().c_str(), epoch + 1,
+                         result.final_train_loss);
+        if (epoch >= 1) lr *= config_.lr_decay;
+    }
+    result.test_accuracy = evaluate(net, dataset);
+    return result;
+}
+
+double evaluate(Network& net, const data::SyntheticDataset& dataset, int max_samples) {
+    const int total = max_samples < 0
+                          ? dataset.test_size()
+                          : std::min(max_samples, dataset.test_size());
+    const int batch = 64;
+    std::size_t correct = 0;
+    for (int start = 0; start < total; start += batch) {
+        const int count = std::min(batch, total - start);
+        const tensor::Tensor images = dataset.test_batch(start, count);
+        const tensor::Tensor logits = net.forward(images, /*training=*/false);
+        for (int n = 0; n < count; ++n) {
+            int best = 0;
+            float best_v = logits.at(n, 0, 0, 0);
+            for (int c = 1; c < logits.shape().c; ++c) {
+                if (logits.at(n, c, 0, 0) > best_v) {
+                    best_v = logits.at(n, c, 0, 0);
+                    best = c;
+                }
+            }
+            correct += (best == dataset.test_labels()[static_cast<std::size_t>(start + n)]);
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace raq::nn

@@ -1,0 +1,46 @@
+// SGD-with-momentum trainer and evaluation helpers for the model zoo.
+// Training is a one-time cost per network; ModelCache persists the result.
+#pragma once
+
+#include <cstdint>
+
+#include "data/synthetic_dataset.hpp"
+#include "nn/network.hpp"
+
+namespace raq::nn {
+
+struct TrainConfig {
+    int epochs = 4;
+    int batch_size = 32;
+    double lr = 0.06;
+    double momentum = 0.9;
+    double weight_decay = 5e-4;
+    double lr_decay = 0.4;  ///< multiplicative per-epoch decay after epoch 1
+    bool verbose = false;
+};
+
+struct TrainResult {
+    double final_train_loss = 0.0;
+    double test_accuracy = 0.0;
+    int epochs_run = 0;
+};
+
+/// Softmax cross-entropy on (N, classes, 1, 1) logits. Returns mean loss
+/// and writes d(loss)/d(logits) into `grad` (same shape).
+double cross_entropy_loss(const tensor::Tensor& logits, const std::vector<int>& labels,
+                          tensor::Tensor& grad);
+
+class SgdTrainer {
+public:
+    explicit SgdTrainer(const TrainConfig& config = {}) : config_(config) {}
+
+    TrainResult fit(Network& net, const data::SyntheticDataset& dataset);
+
+private:
+    TrainConfig config_;
+};
+
+/// Top-1 accuracy of the (module-level, inference-mode) network.
+double evaluate(Network& net, const data::SyntheticDataset& dataset, int max_samples = -1);
+
+}  // namespace raq::nn

@@ -1,0 +1,239 @@
+#include "nn/zoo.hpp"
+
+#include <stdexcept>
+
+namespace raq::nn {
+
+namespace {
+
+constexpr int kClasses = 10;
+constexpr int kImage = 16;
+
+std::uint64_t name_seed(const std::string& name) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char ch : name) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void add_conv_bn_relu(Sequential& seq, int in_c, int out_c, int k, int stride, int pad,
+                      std::uint64_t& seed, const std::string& name) {
+    seq.add(std::make_unique<Conv2d>(in_c, out_c, k, stride, pad, seed++, name));
+    seq.add(std::make_unique<BatchNorm2d>(out_c, name + ".bn"));
+    seq.add(std::make_unique<ReLU>());
+}
+
+std::unique_ptr<Sequential> projection_shortcut(int in_c, int out_c, int stride,
+                                                std::uint64_t& seed, const std::string& name) {
+    auto sc = std::make_unique<Sequential>();
+    sc->add(std::make_unique<Conv2d>(in_c, out_c, 1, stride, 0, seed++, name + ".proj"));
+    sc->add(std::make_unique<BatchNorm2d>(out_c, name + ".proj.bn"));
+    return sc;
+}
+
+/// Bottleneck block: 1x1 reduce -> 3x3 -> 1x1 expand (expansion 2),
+/// `wide` doubles the inner width (WideResNet style).
+std::unique_ptr<ResidualBlock> bottleneck(int in_c, int width, int out_c, int stride,
+                                          bool wide, std::uint64_t& seed,
+                                          const std::string& name) {
+    const int mid = wide ? 2 * width : width;
+    auto main = std::make_unique<Sequential>();
+    main->add(std::make_unique<Conv2d>(in_c, mid, 1, 1, 0, seed++, name + ".c1"));
+    main->add(std::make_unique<BatchNorm2d>(mid, name + ".c1.bn"));
+    main->add(std::make_unique<ReLU>());
+    main->add(std::make_unique<Conv2d>(mid, mid, 3, stride, 1, seed++, name + ".c2"));
+    main->add(std::make_unique<BatchNorm2d>(mid, name + ".c2.bn"));
+    main->add(std::make_unique<ReLU>());
+    main->add(std::make_unique<Conv2d>(mid, out_c, 1, 1, 0, seed++, name + ".c3"));
+    main->add(std::make_unique<BatchNorm2d>(out_c, name + ".c3.bn"));
+    std::unique_ptr<Sequential> shortcut;
+    if (stride != 1 || in_c != out_c) shortcut = projection_shortcut(in_c, out_c, stride, seed, name);
+    return std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut));
+}
+
+/// Basic block (CIFAR ResNet20/32/44): two 3x3 convolutions.
+std::unique_ptr<ResidualBlock> basic_block(int in_c, int out_c, int stride,
+                                           std::uint64_t& seed, const std::string& name) {
+    auto main = std::make_unique<Sequential>();
+    main->add(std::make_unique<Conv2d>(in_c, out_c, 3, stride, 1, seed++, name + ".c1"));
+    main->add(std::make_unique<BatchNorm2d>(out_c, name + ".c1.bn"));
+    main->add(std::make_unique<ReLU>());
+    main->add(std::make_unique<Conv2d>(out_c, out_c, 3, 1, 1, seed++, name + ".c2"));
+    main->add(std::make_unique<BatchNorm2d>(out_c, name + ".c2.bn"));
+    std::unique_ptr<Sequential> shortcut;
+    if (stride != 1 || in_c != out_c) shortcut = projection_shortcut(in_c, out_c, stride, seed, name);
+    return std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut));
+}
+
+Network make_bottleneck_resnet(const std::string& name, int base_width,
+                               const std::vector<int>& counts, bool wide) {
+    std::uint64_t seed = name_seed(name);
+    auto body = std::make_unique<Sequential>();
+    constexpr int kExpansion = 2;
+    add_conv_bn_relu(*body, 3, base_width, 3, 1, 1, seed, name + ".stem");
+    int in_c = base_width;
+    for (std::size_t stage = 0; stage < counts.size(); ++stage) {
+        const int width = base_width << stage;
+        const int out_c = width * kExpansion;
+        for (int b = 0; b < counts[stage]; ++b) {
+            const int stride = (b == 0 && stage > 0) ? 2 : 1;
+            body->add(bottleneck(in_c, width, out_c, stride, wide, seed,
+                                 name + ".s" + std::to_string(stage) + "b" + std::to_string(b)));
+            in_c = out_c;
+        }
+    }
+    body->add(std::make_unique<GlobalAvgPool>());
+    body->add(std::make_unique<Linear>(in_c, kClasses, seed++, name + ".fc"));
+    return Network(name, std::move(body), {1, 3, kImage, kImage}, kClasses);
+}
+
+Network make_basic_resnet(const std::string& name, int blocks_per_stage) {
+    std::uint64_t seed = name_seed(name);
+    auto body = std::make_unique<Sequential>();
+    const int widths[3] = {8, 16, 32};
+    add_conv_bn_relu(*body, 3, widths[0], 3, 1, 1, seed, name + ".stem");
+    int in_c = widths[0];
+    for (int stage = 0; stage < 3; ++stage) {
+        for (int b = 0; b < blocks_per_stage; ++b) {
+            const int stride = (b == 0 && stage > 0) ? 2 : 1;
+            body->add(basic_block(in_c, widths[stage], stride, seed,
+                                  name + ".s" + std::to_string(stage) + "b" + std::to_string(b)));
+            in_c = widths[stage];
+        }
+    }
+    body->add(std::make_unique<GlobalAvgPool>());
+    body->add(std::make_unique<Linear>(in_c, kClasses, seed++, name + ".fc"));
+    return Network(name, std::move(body), {1, 3, kImage, kImage}, kClasses);
+}
+
+Network make_vgg(const std::string& name, const std::vector<int>& counts) {
+    std::uint64_t seed = name_seed(name);
+    const int widths[4] = {8, 16, 32, 48};
+    auto body = std::make_unique<Sequential>();
+    int in_c = 3;
+    for (std::size_t stage = 0; stage < counts.size(); ++stage) {
+        for (int b = 0; b < counts[stage]; ++b) {
+            add_conv_bn_relu(*body, in_c, widths[stage], 3, 1, 1, seed,
+                             name + ".s" + std::to_string(stage) + "c" + std::to_string(b));
+            in_c = widths[stage];
+        }
+        body->add(std::make_unique<MaxPool2d>(2, 2));
+    }
+    // After 4 pools: 16 -> 1, features = widths[3].
+    body->add(std::make_unique<Linear>(widths[3], 64, seed++, name + ".fc1"));
+    body->add(std::make_unique<ReLU>());
+    body->add(std::make_unique<Linear>(64, kClasses, seed++, name + ".fc2"));
+    return Network(name, std::move(body), {1, 3, kImage, kImage}, kClasses);
+}
+
+/// BN-free nets train less gracefully; a small positive bias keeps the
+/// first ReLUs alive at initialization.
+void warm_bias(Network& net, float value) {
+    for (Param* p : net.parameters())
+        if (p->name.find(".bias") != std::string::npos ||
+            p->name.find("fc") != std::string::npos) {
+            if (p->name.size() >= 5 && p->name.compare(p->name.size() - 5, 5, ".bias") == 0)
+                std::fill(p->value.begin(), p->value.end(), value);
+        }
+}
+
+Network make_alexnet(const std::string& name) {
+    // BatchNorm is a training aid here (the original AlexNet has none);
+    // it is folded into the convolutions at IR export, so the deployed
+    // graph matches the original conv+ReLU topology (DESIGN.md §6).
+    std::uint64_t seed = name_seed(name);
+    auto body = std::make_unique<Sequential>();
+    auto conv_relu = [&](int in_c, int out_c, const std::string& cname) {
+        body->add(std::make_unique<Conv2d>(in_c, out_c, 3, 1, 1, seed++, cname));
+        body->add(std::make_unique<BatchNorm2d>(out_c, cname + ".bn"));
+        body->add(std::make_unique<ReLU>());
+    };
+    conv_relu(3, 16, name + ".c1");
+    body->add(std::make_unique<MaxPool2d>(2, 2));  // 16 -> 8
+    conv_relu(16, 32, name + ".c2");
+    body->add(std::make_unique<MaxPool2d>(2, 2));  // 8 -> 4
+    conv_relu(32, 48, name + ".c3");
+    conv_relu(48, 32, name + ".c4");
+    conv_relu(32, 32, name + ".c5");
+    body->add(std::make_unique<MaxPool2d>(2, 2));  // 4 -> 2
+    body->add(std::make_unique<Linear>(32 * 2 * 2, 64, seed++, name + ".fc1"));
+    body->add(std::make_unique<ReLU>());
+    body->add(std::make_unique<Linear>(64, kClasses, seed++, name + ".fc2"));
+    Network net(name, std::move(body), {1, 3, kImage, kImage}, kClasses);
+    warm_bias(net, 0.05f);
+    return net;
+}
+
+Network make_squeezenet(const std::string& name) {
+    // Like AlexNet above: BN as a training aid, folded at export so the
+    // deployed graph keeps the original fire-module topology.
+    std::uint64_t seed = name_seed(name);
+    auto body = std::make_unique<Sequential>();
+    body->add(std::make_unique<Conv2d>(3, 24, 3, 1, 1, seed++, name + ".stem"));
+    body->add(std::make_unique<BatchNorm2d>(24, name + ".stem.bn"));
+    body->add(std::make_unique<ReLU>());
+    body->add(std::make_unique<MaxPool2d>(2, 2));  // 16 -> 8
+    body->add(std::make_unique<FireModule>(24, 8, 16, seed++, name + ".fire1", true));   // -> 32
+    body->add(std::make_unique<FireModule>(32, 8, 16, seed++, name + ".fire2", true));   // -> 32
+    body->add(std::make_unique<MaxPool2d>(2, 2));  // 8 -> 4
+    body->add(std::make_unique<FireModule>(32, 12, 24, seed++, name + ".fire3", true));  // -> 48
+    body->add(std::make_unique<FireModule>(48, 12, 24, seed++, name + ".fire4", true));  // -> 48
+    body->add(std::make_unique<MaxPool2d>(2, 2));  // 4 -> 2
+    body->add(std::make_unique<FireModule>(48, 16, 32, seed++, name + ".fire5", true));  // -> 64
+    body->add(std::make_unique<FireModule>(64, 16, 32, seed++, name + ".fire6", true));  // -> 64
+    // torchvision-style classifier: 1x1 conv to classes, ReLU, then GAP.
+    body->add(std::make_unique<Conv2d>(64, kClasses, 1, 1, 0, seed++, name + ".classifier"));
+    body->add(std::make_unique<ReLU>());
+    body->add(std::make_unique<GlobalAvgPool>());
+    Network net(name, std::move(body), {1, 3, kImage, kImage}, kClasses);
+    warm_bias(net, 0.10f);
+    return net;
+}
+
+}  // namespace
+
+std::vector<std::string> paper_networks() {
+    return {"resnet50-mini",  "resnet101-mini",     "resnet152-mini",
+            "vgg13-mini",     "vgg16-mini",         "vgg19-mini",
+            "alexnet-mini",   "squeezenet1.1-mini", "wide-resnet50-mini",
+            "wide-resnet101-mini"};
+}
+
+std::vector<std::string> fig1b_networks() {
+    return {"resnet20-mini", "resnet32-mini", "resnet44-mini"};
+}
+
+std::vector<std::string> all_networks() {
+    auto all = paper_networks();
+    for (auto& n : fig1b_networks()) all.push_back(n);
+    return all;
+}
+
+Network make_network(const std::string& name) {
+    if (name == "resnet50-mini") return make_bottleneck_resnet(name, 8, {2, 3, 2}, false);
+    if (name == "resnet101-mini") return make_bottleneck_resnet(name, 8, {2, 6, 3}, false);
+    if (name == "resnet152-mini") return make_bottleneck_resnet(name, 8, {3, 8, 4}, false);
+    if (name == "wide-resnet50-mini") return make_bottleneck_resnet(name, 8, {2, 3, 2}, true);
+    if (name == "wide-resnet101-mini") return make_bottleneck_resnet(name, 8, {2, 6, 3}, true);
+    if (name == "vgg13-mini") return make_vgg(name, {2, 2, 2, 2});
+    if (name == "vgg16-mini") return make_vgg(name, {2, 2, 3, 3});
+    if (name == "vgg19-mini") return make_vgg(name, {2, 2, 4, 4});
+    if (name == "alexnet-mini") return make_alexnet(name);
+    if (name == "squeezenet1.1-mini") return make_squeezenet(name);
+    if (name == "resnet20-mini") return make_basic_resnet(name, 3);
+    if (name == "resnet32-mini") return make_basic_resnet(name, 5);
+    if (name == "resnet44-mini") return make_basic_resnet(name, 7);
+    throw std::invalid_argument("make_network: unknown model '" + name + "'");
+}
+
+TrainConfig recommended_train_config(const std::string& name) {
+    TrainConfig cfg;
+    if (name == "alexnet-mini" || name == "squeezenet1.1-mini") {
+        cfg.epochs = 6;
+    }
+    return cfg;
+}
+
+}  // namespace raq::nn

@@ -1,0 +1,37 @@
+// Model zoo: scaled-down counterparts of the networks the paper evaluates.
+//
+// Table 1 set (10): ResNet50/101/152, VGG13/16/19, AlexNet,
+// SqueezeNet1.1, WideResNet50/101. Fig. 1b set (3): ResNet20/32/44
+// (CIFAR-style basic-block ResNets).
+//
+// Substitution note (DESIGN.md §2): ImageNet-scale weights are not
+// reproducible offline; each mini model keeps the family's topology
+// (bottleneck vs basic blocks, VGG conv stacks, fire modules, width
+// doubling for the wide variants) and the intra-family depth ordering,
+// at widths that train on the synthetic task in minutes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+
+namespace raq::nn {
+
+/// The ten networks of the paper's Table 1, in the paper's row order.
+[[nodiscard]] std::vector<std::string> paper_networks();
+
+/// The three networks of the paper's Fig. 1b.
+[[nodiscard]] std::vector<std::string> fig1b_networks();
+
+/// All known zoo entries.
+[[nodiscard]] std::vector<std::string> all_networks();
+
+/// Build an untrained network by zoo name; throws on unknown names.
+[[nodiscard]] Network make_network(const std::string& name);
+
+/// Per-network training hyperparameters (BN-free nets need gentler LR).
+[[nodiscard]] TrainConfig recommended_train_config(const std::string& name);
+
+}  // namespace raq::nn

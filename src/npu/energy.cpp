@@ -1,0 +1,22 @@
+#include "npu/energy.hpp"
+
+#include "sim/activity.hpp"
+
+namespace raq::npu {
+
+MacEnergyPoint MacEnergyModel::estimate(const cell::Library& lib,
+                                        const common::Compression& comp,
+                                        double period_ps) const {
+    sim::ActivityRunConfig cfg;
+    cfg.period_ps = period_ps;
+    cfg.cycles = config_.activity_cycles;
+    cfg.seed = config_.seed;
+    cfg.compression = comp;
+    const sim::ActivityStats stats = sim::measure_mac_activity(*mac_, lib, cfg);
+    MacEnergyPoint point;
+    point.dynamic_fj = stats.avg_dynamic_energy_fj;
+    point.leakage_fj = stats.leakage_energy_fj;
+    return point;
+}
+
+}  // namespace raq::npu

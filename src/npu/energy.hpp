@@ -1,0 +1,40 @@
+// NPU energy model (Fig. 5 substrate): per-MAC dynamic energy measured by
+// gate-level switching-activity simulation of the MAC under the operating
+// compression, plus leakage power integrated over the (possibly
+// guardbanded) clock period.
+#pragma once
+
+#include "cell/library.hpp"
+#include "common/compression.hpp"
+#include "netlist/netlist.hpp"
+
+namespace raq::npu {
+
+struct MacEnergyPoint {
+    double dynamic_fj = 0.0;   ///< per MAC operation
+    double leakage_fj = 0.0;   ///< per cycle (leakage power x period)
+    [[nodiscard]] double total_fj() const { return dynamic_fj + leakage_fj; }
+};
+
+struct EnergyModelConfig {
+    int activity_cycles = 3000;    ///< simulated MAC operations per estimate
+    std::uint64_t seed = 0xE4E26;
+};
+
+class MacEnergyModel {
+public:
+    MacEnergyModel(const netlist::Netlist& mac, EnergyModelConfig config = {})
+        : mac_(&mac), config_(config) {}
+
+    /// Energy of one MAC operation at the given aging level, input
+    /// compression and clock period.
+    [[nodiscard]] MacEnergyPoint estimate(const cell::Library& lib,
+                                          const common::Compression& comp,
+                                          double period_ps) const;
+
+private:
+    const netlist::Netlist* mac_;
+    EnergyModelConfig config_;
+};
+
+}  // namespace raq::npu

@@ -1,0 +1,44 @@
+#include "npu/systolic.hpp"
+
+#include <stdexcept>
+
+namespace raq::npu {
+
+InferenceCycles SystolicArrayModel::analyze(const ir::Graph& graph) const {
+    const auto shapes = ir::infer_shapes(graph, 1);
+    InferenceCycles result;
+    for (const ir::Op& op : graph.ops()) {
+        if (op.kind != ir::OpKind::Conv2d) continue;
+        const auto& out = shapes[static_cast<std::size_t>(op.output)];
+        const std::uint64_t positions =
+            static_cast<std::uint64_t>(out.h) * static_cast<std::uint64_t>(out.w);
+        const std::uint64_t reduce = static_cast<std::uint64_t>(op.conv.in_c) *
+                                     static_cast<std::uint64_t>(op.conv.kh) *
+                                     static_cast<std::uint64_t>(op.conv.kw);
+        // Weight-stationary tiling: the [reduce, out_c] weight matrix is cut
+        // into rows x cols tiles; each tile streams all output positions.
+        const std::uint64_t row_tiles =
+            (reduce + static_cast<std::uint64_t>(config_.rows) - 1) /
+            static_cast<std::uint64_t>(config_.rows);
+        const std::uint64_t col_tiles =
+            (static_cast<std::uint64_t>(op.conv.out_c) +
+             static_cast<std::uint64_t>(config_.cols) - 1) /
+            static_cast<std::uint64_t>(config_.cols);
+        LayerCycles layer;
+        layer.name = op.name;
+        layer.macs = reduce * static_cast<std::uint64_t>(op.conv.out_c) * positions;
+        layer.cycles = row_tiles * col_tiles *
+                       (positions + static_cast<std::uint64_t>(config_.pipeline_fill));
+        layer.utilization =
+            static_cast<double>(layer.macs) /
+            (static_cast<double>(layer.cycles) * config_.rows * config_.cols);
+        result.total_cycles += layer.cycles;
+        result.total_macs += layer.macs;
+        result.layers.push_back(std::move(layer));
+    }
+    if (result.layers.empty())
+        throw std::invalid_argument("SystolicArrayModel: graph has no conv layers");
+    return result;
+}
+
+}  // namespace raq::npu

@@ -1,0 +1,54 @@
+// Edge-TPU-class systolic array performance model (paper §4: 64×64 MAC
+// array). Maps each IR convolution onto the array with weight-stationary
+// tiling and reports cycle counts; combined with the MAC critical-path
+// delay from STA this yields inference latency and throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace raq::npu {
+
+struct SystolicConfig {
+    int rows = 64;  ///< dot-product (reduction) dimension
+    int cols = 64;  ///< output-channel dimension
+    int pipeline_fill = 64 + 64;  ///< array drain/fill latency per tile pass
+};
+
+struct LayerCycles {
+    std::string name;
+    std::uint64_t macs = 0;
+    std::uint64_t cycles = 0;
+    double utilization = 0.0;  ///< macs / (cycles * rows * cols)
+};
+
+struct InferenceCycles {
+    std::vector<LayerCycles> layers;
+    std::uint64_t total_cycles = 0;
+    std::uint64_t total_macs = 0;
+
+    [[nodiscard]] double latency_us(double mac_period_ps) const {
+        return static_cast<double>(total_cycles) * mac_period_ps * 1e-6;
+    }
+    [[nodiscard]] double inferences_per_second(double mac_period_ps) const {
+        return 1e6 / latency_us(mac_period_ps);
+    }
+};
+
+class SystolicArrayModel {
+public:
+    explicit SystolicArrayModel(const SystolicConfig& config = {}) : config_(config) {}
+
+    /// Cycle model for one inference of the graph (batch 1).
+    [[nodiscard]] InferenceCycles analyze(const ir::Graph& graph) const;
+
+    [[nodiscard]] const SystolicConfig& config() const { return config_; }
+
+private:
+    SystolicConfig config_;
+};
+
+}  // namespace raq::npu

@@ -1,0 +1,47 @@
+#include "quant/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ir/float_executor.hpp"
+
+namespace raq::quant {
+
+TensorStats compute_stats(const float* data, std::size_t n) {
+    if (n == 0) throw std::invalid_argument("compute_stats: empty span");
+    TensorStats s;
+    s.min = s.max = data[0];
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float v = data[i];
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+        sum += v;
+        sq += static_cast<double>(v) * v;
+    }
+    s.mean = static_cast<float>(sum / static_cast<double>(n));
+    const double var = sq / static_cast<double>(n) - static_cast<double>(s.mean) * s.mean;
+    s.stddev = static_cast<float>(std::sqrt(std::max(0.0, var)));
+    double dev = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dev += std::abs(data[i] - s.mean);
+    s.abs_dev = static_cast<float>(dev / static_cast<double>(n));
+    return s;
+}
+
+CalibrationData calibrate(const ir::Graph& graph, const tensor::Tensor& images,
+                          std::vector<int> labels) {
+    if (static_cast<std::size_t>(images.shape().n) != labels.size())
+        throw std::invalid_argument("calibrate: label count mismatch");
+    CalibrationData out;
+    out.images = images;
+    out.labels = std::move(labels);
+    const auto tensors = ir::run_float_all(graph, images);
+    out.per_tensor.resize(tensors.size());
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+        if (tensors[i].size() == 0) continue;  // unused tensor slot
+        out.per_tensor[i] = compute_stats(tensors[i].data(), tensors[i].size());
+    }
+    return out;
+}
+
+}  // namespace raq::quant

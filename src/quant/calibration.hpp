@@ -1,0 +1,35 @@
+// Calibration: per-tensor statistics gathered from an FP32 run over a
+// calibration batch. ACIQ consumes the Laplace dispersion (mean absolute
+// deviation), min/max methods consume the range, LAPQ additionally uses
+// the labeled calibration batch to evaluate task loss.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace raq::quant {
+
+struct TensorStats {
+    float min = 0.0f;
+    float max = 0.0f;
+    float mean = 0.0f;
+    float abs_dev = 0.0f;  ///< mean |x − mean| (Laplace dispersion b)
+    float stddev = 0.0f;
+};
+
+struct CalibrationData {
+    std::vector<TensorStats> per_tensor;  ///< indexed by IR tensor id
+    tensor::Tensor images;                ///< the calibration batch
+    std::vector<int> labels;              ///< labels for loss-aware methods
+};
+
+/// Run FP32 inference on `images` and collect statistics for every tensor.
+[[nodiscard]] CalibrationData calibrate(const ir::Graph& graph, const tensor::Tensor& images,
+                                        std::vector<int> labels);
+
+/// Statistics over an arbitrary float span (exposed for weight stats).
+[[nodiscard]] TensorStats compute_stats(const float* data, std::size_t n);
+
+}  // namespace raq::quant

@@ -1,0 +1,48 @@
+#include "quant/evaluate.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "ir/float_executor.hpp"
+#include "quant/quant_executor.hpp"
+
+namespace raq::quant {
+
+double quantized_accuracy(const QuantizedGraph& qgraph, const tensor::Tensor& images,
+                          const std::vector<int>& labels, const EvalOptions& options) {
+    const auto& s = images.shape();
+    if (static_cast<std::size_t>(s.n) != labels.size())
+        throw std::invalid_argument("quantized_accuracy: label count mismatch");
+    const bool inject = options.injection.flip_probability > 0.0;
+    const int reps = inject ? std::max(1, options.repetitions) : 1;
+
+    double accuracy_sum = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::unique_ptr<inject::BitFlipInjector> injector;
+        if (inject) {
+            inject::InjectionConfig cfg = options.injection;
+            cfg.seed = options.injection.seed + static_cast<std::uint64_t>(rep) * 0x9E3779B9u;
+            injector = std::make_unique<inject::BitFlipInjector>(cfg);
+        }
+        std::size_t correct = 0;
+        for (int start = 0; start < s.n; start += options.batch_size) {
+            const int count = std::min(options.batch_size, s.n - start);
+            tensor::Tensor batch({count, s.c, s.h, s.w});
+            const std::size_t pixels = static_cast<std::size_t>(s.c) *
+                                       static_cast<std::size_t>(s.h) *
+                                       static_cast<std::size_t>(s.w);
+            std::copy(images.data() + static_cast<std::size_t>(start) * pixels,
+                      images.data() + static_cast<std::size_t>(start + count) * pixels,
+                      batch.data());
+            const tensor::Tensor logits = run_quantized(qgraph, batch, injector.get());
+            const auto preds = ir::argmax_classes(logits);
+            for (int n = 0; n < count; ++n)
+                correct += (preds[static_cast<std::size_t>(n)] ==
+                            labels[static_cast<std::size_t>(start + n)]);
+        }
+        accuracy_sum += static_cast<double>(correct) / static_cast<double>(s.n);
+    }
+    return accuracy_sum / static_cast<double>(reps);
+}
+
+}  // namespace raq::quant

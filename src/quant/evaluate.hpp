@@ -1,0 +1,24 @@
+// Accuracy evaluation of quantized graphs, with optional MSB bit-flip
+// error injection (the Fig. 1b protocol: each experiment repeated to
+// average the injected-error accuracy).
+#pragma once
+
+#include "inject/bitflip.hpp"
+#include "quant/quantized_graph.hpp"
+
+namespace raq::quant {
+
+struct EvalOptions {
+    int batch_size = 100;
+    /// When flip_probability > 0, inject per-product MSB flips.
+    inject::InjectionConfig injection{};
+    int repetitions = 1;  ///< reseeded injection runs averaged together
+};
+
+/// Top-1 accuracy of the quantized graph on (images, labels).
+[[nodiscard]] double quantized_accuracy(const QuantizedGraph& qgraph,
+                                        const tensor::Tensor& images,
+                                        const std::vector<int>& labels,
+                                        const EvalOptions& options = {});
+
+}  // namespace raq::quant

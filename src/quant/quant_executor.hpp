@@ -1,0 +1,36 @@
+// Integer executor for quantized graphs: every convolution runs on the
+// unsigned-MAC datapath (q_a × q_w products accumulated in int32, zero-
+// point corrections applied afterwards, 16−α−β-bit biases), exactly the
+// computation the systolic array performs. The per-product hook is where
+// the Fig. 1b bit-flip injection happens.
+//
+// LSB padding semantics (paper Eq. 5): the hardware multiplies shifted
+// operands (q_a·2^α)(q_w·2^β) and the result is shifted back in software.
+// Numerically this is an identity, but it moves the product's MSB — the
+// executor accounts for that when an injector is attached by flipping the
+// correspondingly lower bit of the unshifted product.
+#pragma once
+
+#include <cstdint>
+
+#include "inject/bitflip.hpp"
+#include "quant/quantized_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace raq::quant {
+
+struct QuantExecStats {
+    std::uint64_t mac_count = 0;
+    std::uint64_t flips = 0;
+    std::int64_t max_abs_accumulator = 0;  ///< in the shifted (hardware) domain
+    std::uint64_t accumulator_overflows = 0;  ///< values exceeding the 22-bit register
+};
+
+/// Run the quantized graph; `injector` (optional) is invoked once per MAC
+/// product. Returns float logits.
+[[nodiscard]] tensor::Tensor run_quantized(const QuantizedGraph& qgraph,
+                                           const tensor::Tensor& batch,
+                                           inject::BitFlipInjector* injector = nullptr,
+                                           QuantExecStats* stats = nullptr);
+
+}  // namespace raq::quant

@@ -1,0 +1,68 @@
+#include "quant/quantized_graph.hpp"
+
+#include <stdexcept>
+
+namespace raq::quant {
+
+QuantConfig QuantConfig::from_compression(const common::Compression& comp) {
+    if (comp.alpha < 0 || comp.alpha > 7 || comp.beta < 0 || comp.beta > 7)
+        throw std::invalid_argument(
+            "QuantConfig: compression must keep at least 1 bit (alpha, beta in [0,7])");
+    QuantConfig cfg;
+    cfg.act_bits = 8 - comp.alpha;
+    cfg.weight_bits = 8 - comp.beta;
+    cfg.bias_bits = 16 - comp.alpha - comp.beta;
+    cfg.padding = comp.padding;
+    return cfg;
+}
+
+std::string QuantConfig::to_string() const {
+    return "W" + std::to_string(weight_bits) + "A" + std::to_string(act_bits) + "B" +
+           std::to_string(bias_bits) + "/" + common::padding_name(padding);
+}
+
+QuantizedGraph::QuantizedGraph(const ir::Graph& graph, QuantConfig config)
+    : graph_(graph), config_(config) {
+    conv_index_of_op_.assign(graph_.ops().size(), -1);
+    int count = 0;
+    for (std::size_t i = 0; i < graph_.ops().size(); ++i)
+        if (graph_.ops()[i].kind == ir::OpKind::Conv2d)
+            conv_index_of_op_[i] = count++;
+    conv_data_.resize(static_cast<std::size_t>(count));
+}
+
+const QConv& QuantizedGraph::conv(std::size_t op_index) const {
+    const int idx = conv_index_of_op_.at(op_index);
+    if (idx < 0) throw std::invalid_argument("QuantizedGraph: op is not a conv");
+    return conv_data_[static_cast<std::size_t>(idx)];
+}
+
+QConv& QuantizedGraph::conv(std::size_t op_index) {
+    const int idx = conv_index_of_op_.at(op_index);
+    if (idx < 0) throw std::invalid_argument("QuantizedGraph: op is not a conv");
+    return conv_data_[static_cast<std::size_t>(idx)];
+}
+
+double QuantizedGraph::weight_mse() const {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < graph_.ops().size(); ++i) {
+        if (conv_index_of_op_[i] < 0) continue;
+        const auto& op = graph_.ops()[i];
+        const QConv& qc = conv_data_[static_cast<std::size_t>(conv_index_of_op_[i])];
+        const std::size_t kdim = op.weights.size() / static_cast<std::size_t>(op.conv.out_c);
+        for (int oc = 0; oc < op.conv.out_c; ++oc) {
+            const QuantParams& wq = qc.wq(oc);
+            for (std::size_t k = 0; k < kdim; ++k) {
+                const std::size_t idx = static_cast<std::size_t>(oc) * kdim + k;
+                const double err = static_cast<double>(op.weights[idx]) -
+                                   wq.dequantize(qc.qweights[idx]);
+                total += err * err;
+            }
+        }
+        count += op.weights.size();
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace raq::quant

@@ -1,0 +1,65 @@
+// A quantized deployment graph: the IR topology plus per-convolution
+// integer weights, activation quantizers and bias words, under an
+// (α, β) compression configuration (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/compression.hpp"
+#include "ir/graph.hpp"
+#include "quant/qparams.hpp"
+
+namespace raq::quant {
+
+struct QuantConfig {
+    int act_bits = 8;
+    int weight_bits = 8;
+    int bias_bits = 16;
+    common::Padding padding = common::Padding::Msb;
+
+    /// Paper §5 mapping: activations 8−α, weights 8−β, biases 16−α−β.
+    static QuantConfig from_compression(const common::Compression& comp);
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Per-conv-op quantization payload.
+struct QConv {
+    std::vector<std::uint8_t> qweights;  ///< [oc][kdim], unsigned codes
+    std::vector<QuantParams> weight_q;   ///< size 1 (per-tensor) or out_c
+    QuantParams act;                     ///< input activation quantizer (zp = 0)
+    std::vector<std::int32_t> qbias;     ///< at scale act.scale * weight_scale(oc)
+    /// Precision-scaling ablation ([10,11]-style LSB masking): this many
+    /// low bits of every activation code are forced to zero at run time
+    /// (floor truncation, no re-quantization). 0 = disabled.
+    int act_mask_bits = 0;
+
+    [[nodiscard]] const QuantParams& wq(int oc) const {
+        return weight_q.size() == 1 ? weight_q[0] : weight_q[static_cast<std::size_t>(oc)];
+    }
+};
+
+class QuantizedGraph {
+public:
+    QuantizedGraph(const ir::Graph& graph, QuantConfig config);
+
+    [[nodiscard]] const ir::Graph& graph() const { return graph_; }
+    [[nodiscard]] const QuantConfig& config() const { return config_; }
+
+    /// Conv payload for the op at `op_index` in graph().ops().
+    [[nodiscard]] const QConv& conv(std::size_t op_index) const;
+    [[nodiscard]] QConv& conv(std::size_t op_index);
+
+    /// Sum of per-weight quantization errors (for diagnostics/tests).
+    [[nodiscard]] double weight_mse() const;
+
+private:
+    ir::Graph graph_;  ///< owned copy (weights retained for reference)
+    QuantConfig config_;
+    std::vector<QConv> conv_data_;          ///< dense, one per conv op
+    std::vector<int> conv_index_of_op_;     ///< -1 for non-conv ops
+};
+
+}  // namespace raq::quant

@@ -1,0 +1,145 @@
+#include "sim/error_stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sim/event_sim.hpp"
+
+namespace raq::sim {
+
+namespace {
+
+/// Draw an operand compressed to `width − removed` bits with the requested
+/// zero-padding (value in the low bits for MSB padding, shifted up for LSB
+/// padding) — the data-side counterpart of the STA case analysis.
+std::uint64_t draw_compressed(common::Rng& rng, int width, int removed,
+                              common::Padding padding) {
+    const int effective = width - removed;
+    if (effective <= 0) return 0;
+    const std::uint64_t value = rng.next_below(1ULL << effective);
+    return padding == common::Padding::Lsb ? value << removed : value;
+}
+
+void set_bus_bits(const netlist::Netlist& nl, const std::string& bus, std::uint64_t value,
+                  std::vector<bool>& pi_values) {
+    const auto& bits = nl.input_bus(bus);
+    // Primary inputs are indexed positionally; build a net->index map once
+    // per call site would be cleaner, but buses are added first in all our
+    // circuits so net id == position for PIs. Verify instead of assuming.
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const auto& pis = nl.primary_inputs();
+        std::size_t pos = static_cast<std::size_t>(bits[i]);
+        if (pos >= pis.size() || pis[pos] != bits[i])
+            throw std::logic_error("set_bus_bits: bus nets are not leading primary inputs");
+        pi_values[pos] = ((value >> i) & 1ULL) != 0;
+    }
+}
+
+struct Accumulators {
+    std::uint64_t cycles = 0;
+    std::uint64_t erroneous = 0;
+    long double abs_error_sum = 0.0L;
+    std::vector<std::uint64_t> bit_flips;
+    std::uint64_t msb2_flips = 0;
+
+    explicit Accumulators(std::size_t out_bits) : bit_flips(out_bits, 0) {}
+
+    void record(std::uint64_t sampled, std::uint64_t golden) {
+        ++cycles;
+        if (sampled != golden) {
+            ++erroneous;
+            const auto diff = sampled > golden ? sampled - golden : golden - sampled;
+            abs_error_sum += static_cast<long double>(diff);
+        }
+        const std::uint64_t flipped = sampled ^ golden;
+        for (std::size_t b = 0; b < bit_flips.size(); ++b)
+            if ((flipped >> b) & 1ULL) ++bit_flips[b];
+        const std::size_t n = bit_flips.size();
+        if (n >= 2 && ((flipped >> (n - 1)) & 1ULL || (flipped >> (n - 2)) & 1ULL))
+            ++msb2_flips;
+    }
+
+    [[nodiscard]] ErrorStats finish() const {
+        ErrorStats s;
+        s.cycles = cycles;
+        s.erroneous_cycles = erroneous;
+        s.med = cycles == 0 ? 0.0
+                            : static_cast<double>(abs_error_sum / static_cast<long double>(cycles));
+        s.bit_flip_prob.resize(bit_flips.size());
+        for (std::size_t b = 0; b < bit_flips.size(); ++b)
+            s.bit_flip_prob[b] =
+                static_cast<double>(bit_flips[b]) / static_cast<double>(cycles);
+        s.msb2_flip_prob = static_cast<double>(msb2_flips) / static_cast<double>(cycles);
+        return s;
+    }
+};
+
+}  // namespace
+
+ErrorStats characterize_multiplier(const netlist::Netlist& mult,
+                                   const cell::Library& aged_lib, const ErrorRunConfig& cfg) {
+    if (cfg.clock_ps <= 0) throw std::invalid_argument("characterize_multiplier: clock_ps");
+    const int width = static_cast<int>(mult.input_bus("A").size());
+    const auto out_bits = mult.output_bus("P").size();
+
+    EventSimulator sim(mult, aged_lib);
+    common::Rng rng(cfg.seed);
+    Accumulators acc(out_bits);
+    std::vector<bool> pi(mult.primary_inputs().size(), false);
+
+    // One warm-up cycle so the pipeline-style sampling starts from a
+    // settled previous vector.
+    sim.step(pi, cfg.clock_ps * 4.0);
+
+    const std::uint64_t out_mask = (out_bits >= 64) ? ~0ULL : ((1ULL << out_bits) - 1);
+    for (int k = 0; k < cfg.cycles; ++k) {
+        const std::uint64_t a =
+            draw_compressed(rng, width, cfg.compression.alpha, cfg.compression.padding);
+        const std::uint64_t b =
+            draw_compressed(rng, width, cfg.compression.beta, cfg.compression.padding);
+        set_bus_bits(mult, "A", a, pi);
+        set_bus_bits(mult, "B", b, pi);
+        // step() applies the vector at this edge and runs to just before the
+        // next edge; read_bus then sees what the capture flops latch for
+        // this very vector (residual transitions spill into later cycles).
+        sim.step(pi, cfg.clock_ps);
+        acc.record(sim.read_bus("P"), (a * b) & out_mask);
+    }
+    return acc.finish();
+}
+
+ErrorStats characterize_mac(const netlist::Netlist& mac, const cell::Library& aged_lib,
+                            const ErrorRunConfig& cfg) {
+    if (cfg.clock_ps <= 0) throw std::invalid_argument("characterize_mac: clock_ps");
+    const int width = static_cast<int>(mac.input_bus("A").size());
+    const auto acc_bits = mac.output_bus("S").size();
+    const std::uint64_t acc_mask =
+        (acc_bits >= 64) ? ~0ULL : ((1ULL << acc_bits) - 1);
+
+    EventSimulator sim(mac, aged_lib);
+    common::Rng rng(cfg.seed);
+    Accumulators acc(acc_bits);
+    std::vector<bool> pi(mac.primary_inputs().size(), false);
+    sim.step(pi, cfg.clock_ps * 4.0);
+
+    std::uint64_t c = 0;  // golden running accumulator (dot-product traffic)
+    const int reset_interval = 64;  // dot-product length before restarting
+    for (int k = 0; k < cfg.cycles; ++k) {
+        const std::uint64_t a =
+            draw_compressed(rng, width, cfg.compression.alpha, cfg.compression.padding);
+        const std::uint64_t b =
+            draw_compressed(rng, width, cfg.compression.beta, cfg.compression.padding);
+        if (k % reset_interval == 0) c = 0;
+        set_bus_bits(mac, "A", a, pi);
+        set_bus_bits(mac, "B", b, pi);
+        set_bus_bits(mac, "C", c, pi);
+        sim.step(pi, cfg.clock_ps);
+        const std::uint64_t golden = (a * b + c) & acc_mask;
+        acc.record(sim.read_bus("S"), golden);
+        c = golden;
+    }
+    return acc.finish();
+}
+
+}  // namespace raq::sim

@@ -1,0 +1,50 @@
+// Aging-induced timing-error characterization of arithmetic circuits
+// (the measurement behind Fig. 1a): clock the circuit at the fresh
+// critical-path period, age the cells, feed random operand streams, and
+// compare the flip-flop-sampled outputs against golden arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "common/compression.hpp"
+#include "netlist/netlist.hpp"
+
+namespace raq::sim {
+
+struct ErrorStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t erroneous_cycles = 0;
+    double med = 0.0;  ///< mean |golden − sampled| over all cycles
+    std::vector<double> bit_flip_prob;  ///< per output bit position
+    double msb2_flip_prob = 0.0;  ///< P(either of the two MSBs flipped)
+
+    [[nodiscard]] double error_rate() const {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(erroneous_cycles) / static_cast<double>(cycles);
+    }
+};
+
+struct ErrorRunConfig {
+    double clock_ps = 0.0;      ///< sampling period (e.g. fresh critical path)
+    int cycles = 100000;        ///< random vectors (paper: 10^6)
+    std::uint64_t seed = 1;
+    /// Optional input compression applied to the *operand data* (quantized
+    /// range + padding). The circuit itself is never modified.
+    common::Compression compression{};
+};
+
+/// Characterize a standalone multiplier circuit (buses "A","B" -> "P").
+[[nodiscard]] ErrorStats characterize_multiplier(const netlist::Netlist& mult,
+                                                 const cell::Library& aged_lib,
+                                                 const ErrorRunConfig& cfg);
+
+/// Characterize a MAC circuit (buses "A","B","C" -> "S"); C carries an
+/// accumulating value (fed back from the golden sum, wrapping at the
+/// accumulator width) to mimic real dot-product traffic.
+[[nodiscard]] ErrorStats characterize_mac(const netlist::Netlist& mac,
+                                          const cell::Library& aged_lib,
+                                          const ErrorRunConfig& cfg);
+
+}  // namespace raq::sim

@@ -1,0 +1,112 @@
+#include "sim/event_sim.hpp"
+
+#include <stdexcept>
+
+namespace raq::sim {
+
+EventSimulator::EventSimulator(const netlist::Netlist& nl, const cell::Library& lib)
+    : nl_(&nl), lib_(&lib) {
+    // Cache per-gate propagation delay and per-toggle energy under this
+    // (possibly aged) library. Loads mirror the STA load model.
+    std::vector<double> loads_ff(nl.num_nets(), 0.0);
+    for (const auto& gate : nl.gates()) {
+        const double pin_cap = lib.spec(gate.type).input_cap_ff;
+        for (int i = 0; i < gate.num_inputs(); ++i)
+            loads_ff[static_cast<std::size_t>(gate.inputs[i])] += pin_cap;
+    }
+    for (netlist::NetId out : nl.primary_outputs())
+        loads_ff[static_cast<std::size_t>(out)] += lib.tech().output_pin_cap_ff;
+
+    gate_delay_ps_.reserve(nl.num_gates());
+    toggle_energy_fj_.reserve(nl.num_gates());
+    for (const auto& gate : nl.gates()) {
+        const double load = loads_ff[static_cast<std::size_t>(gate.output)];
+        gate_delay_ps_.push_back(lib.cell_delay_ps(gate.type, load));
+        toggle_energy_fj_.push_back(lib.switching_energy_fj(gate.type, load));
+    }
+    reset();
+}
+
+void EventSimulator::reset() {
+    // Settle the all-zero input vector instantaneously via functional
+    // evaluation: a consistent quiescent state without an event storm.
+    std::vector<std::uint64_t> pi_words(nl_->primary_inputs().size(), 0);
+    const auto words = nl_->eval_words(pi_words);
+    values_.assign(nl_->num_nets(), 0);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        values_[i] = static_cast<std::uint8_t>(words[i] & 1ULL);
+    pending_ = values_;
+    queue_ = {};
+    now_ps_ = 0.0;
+    seq_ = 0;
+    toggles_ = 0;
+    switching_energy_fj_ = 0.0;
+}
+
+void EventSimulator::schedule(netlist::NetId net, std::uint8_t value, double time) {
+    // Transport delay: each computed transition is queued. Scheduling is
+    // suppressed only when it would repeat the most recently projected
+    // value of the net, which keeps glitch trains while bounding work.
+    if (pending_[static_cast<std::size_t>(net)] == value) return;
+    pending_[static_cast<std::size_t>(net)] = value;
+    queue_.push(Event{time, net, value, seq_++});
+}
+
+void EventSimulator::evaluate_gate(std::int32_t gate_index, double at_time) {
+    const auto& gate = nl_->gates()[static_cast<std::size_t>(gate_index)];
+    std::uint64_t ins[3] = {0, 0, 0};
+    const int n = gate.num_inputs();
+    for (int i = 0; i < n; ++i)
+        ins[i] = values_[static_cast<std::size_t>(gate.inputs[i])] ? ~0ULL : 0ULL;
+    const std::uint8_t out = static_cast<std::uint8_t>(
+        cell::eval_word(gate.type, std::span<const std::uint64_t>(ins, static_cast<std::size_t>(n))) & 1ULL);
+    schedule(gate.output, out, at_time + gate_delay_ps_[static_cast<std::size_t>(gate_index)]);
+}
+
+void EventSimulator::apply_events_before(double deadline_ps) {
+    while (!queue_.empty() && queue_.top().time < deadline_ps) {
+        const Event ev = queue_.top();
+        queue_.pop();
+        const auto idx = static_cast<std::size_t>(ev.net);
+        if (values_[idx] == ev.value) continue;  // superseded transition
+        values_[idx] = ev.value;
+        const auto driver = nl_->driver(ev.net);
+        if (driver >= 0) {
+            ++toggles_;
+            switching_energy_fj_ += toggle_energy_fj_[static_cast<std::size_t>(driver)];
+        }
+        for (std::int32_t g : nl_->fanout(ev.net)) evaluate_gate(g, ev.time);
+    }
+}
+
+void EventSimulator::step(const std::vector<bool>& pi_values, double period_ps) {
+    const auto& pis = nl_->primary_inputs();
+    if (pi_values.size() != pis.size())
+        throw std::invalid_argument("EventSimulator: wrong primary-input count");
+    if (period_ps <= 0) throw std::invalid_argument("EventSimulator: period must be positive");
+
+    // New inputs switch exactly at the clock edge (now).
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+        const auto value = static_cast<std::uint8_t>(pi_values[i] ? 1 : 0);
+        const auto idx = static_cast<std::size_t>(pis[i]);
+        if (values_[idx] == value) continue;
+        values_[idx] = value;
+        pending_[idx] = value;
+        for (std::int32_t g : nl_->fanout(pis[i])) evaluate_gate(g, now_ps_);
+    }
+    // Run the wave up to (but excluding) the next active edge: flip-flops
+    // capture strictly-earlier arrivals only.
+    now_ps_ += period_ps;
+    apply_events_before(now_ps_);
+}
+
+std::uint64_t EventSimulator::read_bus(const std::string& bus) const {
+    const auto& bits =
+        nl_->has_output_bus(bus) ? nl_->output_bus(bus) : nl_->input_bus(bus);
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        value |= static_cast<std::uint64_t>(values_[static_cast<std::size_t>(bits[i])] & 1U) << i;
+    return value;
+}
+
+}  // namespace raq::sim

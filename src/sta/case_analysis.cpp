@@ -1,0 +1,34 @@
+#include "sta/case_analysis.hpp"
+
+#include <stdexcept>
+
+namespace raq::sta {
+
+namespace {
+
+void tie_zero_bits(CaseAnalysis& ca, const std::vector<netlist::NetId>& bus, int removed,
+                   common::Padding padding) {
+    const int width = static_cast<int>(bus.size());
+    if (removed < 0 || removed > width)
+        throw std::invalid_argument("compression_case: removed bits outside [0, width]");
+    if (padding == common::Padding::Msb) {
+        for (int i = width - removed; i < width; ++i)
+            ca.set(bus[static_cast<std::size_t>(i)], cell::Logic::Zero);
+    } else {
+        for (int i = 0; i < removed; ++i)
+            ca.set(bus[static_cast<std::size_t>(i)], cell::Logic::Zero);
+    }
+}
+
+}  // namespace
+
+CaseAnalysis compression_case(const netlist::Netlist& nl, const common::Compression& comp) {
+    CaseAnalysis ca;
+    tie_zero_bits(ca, nl.input_bus("A"), comp.alpha, comp.padding);
+    tie_zero_bits(ca, nl.input_bus("B"), comp.beta, comp.padding);
+    if (nl.has_bus("C"))
+        tie_zero_bits(ca, nl.input_bus("C"), comp.alpha + comp.beta, comp.padding);
+    return ca;
+}
+
+}  // namespace raq::sta

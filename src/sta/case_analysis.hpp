@@ -1,0 +1,30 @@
+// PrimeTime-style case analysis: pin assignments of constant logic values
+// used during STA. The paper sets the zero-padded input bits of the MAC
+// to constant '0' so that only the paths activated by the compressed
+// inputs contribute to the reported delay (§6.1(3)).
+#pragma once
+
+#include <vector>
+
+#include "cell/cell.hpp"
+#include "common/compression.hpp"
+#include "netlist/netlist.hpp"
+
+namespace raq::sta {
+
+struct CaseAnalysis {
+    std::vector<std::pair<netlist::NetId, cell::Logic>> assignments;
+
+    void set(netlist::NetId net, cell::Logic value) { assignments.emplace_back(net, value); }
+    [[nodiscard]] bool empty() const { return assignments.empty(); }
+};
+
+/// Build the case analysis for an (α, β, padding) input compression on a
+/// multiplier circuit (buses "A","B") or a MAC circuit (buses "A","B","C").
+/// For MSB padding the value occupies the low bits (high bits tied to 0);
+/// for LSB padding the value is shifted up (low bits tied to 0). The
+/// accumulator input C loses α+β bits on the matching side.
+[[nodiscard]] CaseAnalysis compression_case(const netlist::Netlist& nl,
+                                            const common::Compression& comp);
+
+}  // namespace raq::sta

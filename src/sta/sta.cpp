@@ -1,0 +1,112 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace raq::sta {
+
+Sta::Sta(const netlist::Netlist& nl, const cell::Library& reference) : nl_(&nl) {
+    loads_ff_.assign(nl.num_nets(), 0.0);
+    for (const auto& gate : nl.gates()) {
+        const double pin_cap = reference.spec(gate.type).input_cap_ff;
+        for (int i = 0; i < gate.num_inputs(); ++i)
+            loads_ff_[static_cast<std::size_t>(gate.inputs[i])] += pin_cap;
+    }
+    for (netlist::NetId out : nl.primary_outputs())
+        loads_ff_[static_cast<std::size_t>(out)] += reference.tech().output_pin_cap_ff;
+}
+
+StaResult Sta::run(const cell::Library& lib, const CaseAnalysis& ca) const {
+    const auto& nl = *nl_;
+    StaResult res;
+    res.values.assign(nl.num_nets(), cell::Logic::X);
+    res.arrival_ps.assign(nl.num_nets(), kNoArrival);
+
+    if (nl.const_zero_net() != netlist::kNoNet)
+        res.values[static_cast<std::size_t>(nl.const_zero_net())] = cell::Logic::Zero;
+    if (nl.const_one_net() != netlist::kNoNet)
+        res.values[static_cast<std::size_t>(nl.const_one_net())] = cell::Logic::One;
+
+    for (netlist::NetId pi : nl.primary_inputs())
+        res.arrival_ps[static_cast<std::size_t>(pi)] = 0.0;
+
+    for (const auto& [net, value] : ca.assignments) {
+        if (net < 0 || static_cast<std::size_t>(net) >= nl.num_nets())
+            throw std::out_of_range("Sta: case-analysis net out of range");
+        res.values[static_cast<std::size_t>(net)] = value;
+        if (value != cell::Logic::X)
+            res.arrival_ps[static_cast<std::size_t>(net)] = kNoArrival;
+    }
+
+    // Worst-input bookkeeping for critical-path extraction.
+    std::vector<netlist::NetId> worst_input(nl.num_nets(), netlist::kNoNet);
+
+    for (const auto& gate : nl.gates()) {
+        const int n = gate.num_inputs();
+        cell::Logic ins[3] = {cell::Logic::X, cell::Logic::X, cell::Logic::X};
+        for (int i = 0; i < n; ++i)
+            ins[i] = res.values[static_cast<std::size_t>(gate.inputs[i])];
+        const cell::Logic out_value =
+            cell::eval_logic(gate.type, std::span<const cell::Logic>(ins, static_cast<std::size_t>(n)));
+        const auto out_idx = static_cast<std::size_t>(gate.output);
+        res.values[out_idx] = out_value;
+        if (out_value != cell::Logic::X) {
+            res.arrival_ps[out_idx] = kNoArrival;  // constant: no timing arc
+            continue;
+        }
+        const double delay = lib.cell_delay_ps(gate.type, loads_ff_[out_idx]);
+        double worst = kNoArrival;
+        netlist::NetId worst_net = netlist::kNoNet;
+        for (int i = 0; i < n; ++i) {
+            if (ins[i] != cell::Logic::X) continue;  // constant pins have no arc
+            const double a = res.arrival_ps[static_cast<std::size_t>(gate.inputs[i])];
+            if (a > worst) {
+                worst = a;
+                worst_net = gate.inputs[i];
+            }
+        }
+        if (worst == kNoArrival) continue;  // only floating inputs (degenerate)
+        res.arrival_ps[out_idx] = worst + delay;
+        worst_input[out_idx] = worst_net;
+    }
+
+    // Worst primary output and path trace-back.
+    netlist::NetId worst_out = netlist::kNoNet;
+    double worst_arrival = kNoArrival;
+    for (netlist::NetId out : nl.primary_outputs()) {
+        const double a = res.arrival_ps[static_cast<std::size_t>(out)];
+        if (a > worst_arrival) {
+            worst_arrival = a;
+            worst_out = out;
+        }
+    }
+    res.critical_path_ps = (worst_out == netlist::kNoNet) ? 0.0 : std::max(worst_arrival, 0.0);
+    for (netlist::NetId net = worst_out; net != netlist::kNoNet;
+         net = worst_input[static_cast<std::size_t>(net)])
+        res.critical_path.push_back(net);
+    std::reverse(res.critical_path.begin(), res.critical_path.end());
+    return res;
+}
+
+double Sta::total_leakage_nw(const netlist::Netlist& nl, const cell::Library& lib) {
+    double total = 0.0;
+    for (const auto& gate : nl.gates()) total += lib.leakage_nw(gate.type);
+    return total;
+}
+
+std::string format_path_report(const netlist::Netlist& nl, const StaResult& result) {
+    std::ostringstream out;
+    out << "critical path: " << result.critical_path_ps << " ps\n";
+    for (netlist::NetId net : result.critical_path) {
+        const auto driver = nl.driver(net);
+        out << "  " << nl.net_name(net);
+        if (driver >= 0)
+            out << "  (" << cell::cell_name(nl.gates()[static_cast<std::size_t>(driver)].type)
+                << ")";
+        out << "  @ " << result.arrival(net) << " ps\n";
+    }
+    return out.str();
+}
+
+}  // namespace raq::sta

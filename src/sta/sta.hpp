@@ -1,0 +1,73 @@
+// Static timing analysis engine (PrimeTime substitute, DESIGN.md §2).
+//
+// Arrival times propagate through the topologically ordered netlist with
+// a per-cell linear delay model (intrinsic + drive resistance × fanout
+// load). Three-valued constant propagation implements case analysis:
+// nets that are logically constant under the assignments carry no arrival
+// time, and gates whose output is forced by a controlling constant kill
+// every downstream path — exactly the mechanism by which zero-padded MAC
+// inputs shorten the critical path (paper §4, Fig. 2).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/case_analysis.hpp"
+
+namespace raq::sta {
+
+inline constexpr double kNoArrival = -std::numeric_limits<double>::infinity();
+
+struct StaResult {
+    double critical_path_ps = 0.0;           ///< worst primary-output arrival
+    std::vector<double> arrival_ps;          ///< per net (kNoArrival if constant)
+    std::vector<cell::Logic> values;         ///< constant-propagation result
+    std::vector<netlist::NetId> critical_path;  ///< worst path, PI -> output
+
+    [[nodiscard]] double arrival(netlist::NetId net) const {
+        return arrival_ps[static_cast<std::size_t>(net)];
+    }
+    [[nodiscard]] bool is_constant(netlist::NetId net) const {
+        return values[static_cast<std::size_t>(net)] != cell::Logic::X;
+    }
+};
+
+class Sta {
+public:
+    /// The reference library supplies pin capacitances for the load model;
+    /// aging does not change pin caps, so one Sta instance serves every
+    /// aged corner via run(aged_library, ...).
+    Sta(const netlist::Netlist& nl, const cell::Library& reference);
+
+    /// Analyze with the given (possibly aged) library and case analysis.
+    [[nodiscard]] StaResult run(const cell::Library& lib,
+                                const CaseAnalysis& ca = {}) const;
+
+    /// Convenience: critical path delay only.
+    [[nodiscard]] double critical_path_ps(const cell::Library& lib,
+                                          const CaseAnalysis& ca = {}) const {
+        return run(lib, ca).critical_path_ps;
+    }
+
+    [[nodiscard]] const netlist::Netlist& netlist() const { return *nl_; }
+    [[nodiscard]] double load_ff(netlist::NetId net) const {
+        return loads_ff_[static_cast<std::size_t>(net)];
+    }
+
+    /// Total leakage power of the design under the given library (nW).
+    [[nodiscard]] static double total_leakage_nw(const netlist::Netlist& nl,
+                                                 const cell::Library& lib);
+
+private:
+    const netlist::Netlist* nl_;
+    std::vector<double> loads_ff_;  ///< per-net capacitive load
+};
+
+/// Human-readable critical-path report (for examples and debugging).
+[[nodiscard]] std::string format_path_report(const netlist::Netlist& nl,
+                                             const StaResult& result);
+
+}  // namespace raq::sta

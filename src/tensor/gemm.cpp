@@ -1,0 +1,51 @@
+#include "tensor/gemm.hpp"
+
+#include <cstring>
+
+namespace raq::tensor {
+
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const float aip = a[i * k + p];
+            if (aip == 0.0f) continue;
+            const float* brow = b + p * n;
+            float* crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+    }
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t p = 0; p < k; ++p) {
+        const float* arow = a + p * m;
+        const float* brow = b + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float aip = arow[i];
+            if (aip == 0.0f) continue;
+            float* crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+    }
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] += acc;
+        }
+    }
+}
+
+}  // namespace raq::tensor

@@ -1,0 +1,24 @@
+// Row-major float GEMM used by the float conv/linear paths. The ikj loop
+// order keeps the inner loop contiguous for auto-vectorization; this is
+// the whole performance story the project needs (training the scaled
+// model zoo in minutes).
+#pragma once
+
+#include <cstddef>
+
+namespace raq::tensor {
+
+/// C[m,n] += A[m,k] * B[k,n]  (row-major; C must be pre-sized; if
+/// `accumulate` is false C is overwritten).
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate = false);
+
+/// C[m,n] += A^T[k,m] * B[k,n]  (A stored row-major as [k, m]).
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate = false);
+
+/// C[m,n] += A[m,k] * B^T[n,k]  (B stored row-major as [n, k]).
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate = false);
+
+}  // namespace raq::tensor

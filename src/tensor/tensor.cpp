@@ -1,0 +1,103 @@
+#include "tensor/tensor.hpp"
+
+#include <stdexcept>
+
+namespace raq::tensor {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(shape), data_(std::move(data)) {
+    if (data_.size() != shape_.size())
+        throw std::invalid_argument("Tensor: data size does not match shape " +
+                                    shape_.to_string());
+}
+
+void Tensor::reshape(Shape shape) {
+    if (shape.size() != data_.size())
+        throw std::invalid_argument("Tensor: reshape size mismatch");
+    shape_ = shape;
+}
+
+int conv_out_dim(int in, int kernel, int stride, int pad) {
+    const int out = (in + 2 * pad - kernel) / stride + 1;
+    if (out <= 0) throw std::invalid_argument("conv_out_dim: empty output");
+    return out;
+}
+
+void im2col(const Tensor& in, int kh, int kw, int stride, int pad,
+            std::vector<float>& columns, int& out_h, int& out_w) {
+    const Shape& s = in.shape();
+    out_h = conv_out_dim(s.h, kh, stride, pad);
+    out_w = conv_out_dim(s.w, kw, stride, pad);
+    const std::size_t rows = static_cast<std::size_t>(s.c) * static_cast<std::size_t>(kh) *
+                             static_cast<std::size_t>(kw);
+    const std::size_t cols = static_cast<std::size_t>(s.n) *
+                             static_cast<std::size_t>(out_h) *
+                             static_cast<std::size_t>(out_w);
+    columns.assign(rows * cols, 0.0f);
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            for (int ky = 0; ky < kh; ++ky) {
+                for (int kx = 0; kx < kw; ++kx) {
+                    const std::size_t row =
+                        (static_cast<std::size_t>(c) * static_cast<std::size_t>(kh) +
+                         static_cast<std::size_t>(ky)) *
+                            static_cast<std::size_t>(kw) +
+                        static_cast<std::size_t>(kx);
+                    for (int oy = 0; oy < out_h; ++oy) {
+                        const int iy = oy * stride - pad + ky;
+                        if (iy < 0 || iy >= s.h) continue;
+                        const std::size_t col_base =
+                            (static_cast<std::size_t>(n) * static_cast<std::size_t>(out_h) +
+                             static_cast<std::size_t>(oy)) *
+                            static_cast<std::size_t>(out_w);
+                        for (int ox = 0; ox < out_w; ++ox) {
+                            const int ix = ox * stride - pad + kx;
+                            if (ix < 0 || ix >= s.w) continue;
+                            columns[row * cols + col_base + static_cast<std::size_t>(ox)] =
+                                in.at(n, c, iy, ix);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im(const std::vector<float>& columns, const Shape& in_shape, int kh, int kw,
+            int stride, int pad, Tensor& grad_in) {
+    const int out_h = conv_out_dim(in_shape.h, kh, stride, pad);
+    const int out_w = conv_out_dim(in_shape.w, kw, stride, pad);
+    const std::size_t cols = static_cast<std::size_t>(in_shape.n) *
+                             static_cast<std::size_t>(out_h) *
+                             static_cast<std::size_t>(out_w);
+    grad_in = Tensor(in_shape);
+    for (int n = 0; n < in_shape.n; ++n) {
+        for (int c = 0; c < in_shape.c; ++c) {
+            for (int ky = 0; ky < kh; ++ky) {
+                for (int kx = 0; kx < kw; ++kx) {
+                    const std::size_t row =
+                        (static_cast<std::size_t>(c) * static_cast<std::size_t>(kh) +
+                         static_cast<std::size_t>(ky)) *
+                            static_cast<std::size_t>(kw) +
+                        static_cast<std::size_t>(kx);
+                    for (int oy = 0; oy < out_h; ++oy) {
+                        const int iy = oy * stride - pad + ky;
+                        if (iy < 0 || iy >= in_shape.h) continue;
+                        const std::size_t col_base =
+                            (static_cast<std::size_t>(n) * static_cast<std::size_t>(out_h) +
+                             static_cast<std::size_t>(oy)) *
+                            static_cast<std::size_t>(out_w);
+                        for (int ox = 0; ox < out_w; ++ox) {
+                            const int ix = ox * stride - pad + kx;
+                            if (ix < 0 || ix >= in_shape.w) continue;
+                            grad_in.at(n, c, iy, ix) +=
+                                columns[row * cols + col_base + static_cast<std::size_t>(ox)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace raq::tensor

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "cell/cell.hpp"
+#include "cell/library.hpp"
+
+namespace {
+
+using raq::cell::CellType;
+using raq::cell::eval_logic;
+using raq::cell::eval_word;
+using raq::cell::Library;
+using raq::cell::Logic;
+using raq::cell::num_inputs;
+
+/// Reference boolean semantics for each cell, used to cross-check both
+/// the word-parallel evaluator and the ternary evaluator.
+bool reference_eval(CellType type, const std::vector<bool>& in) {
+    switch (type) {
+        case CellType::Inv: return !in[0];
+        case CellType::Buf: return in[0];
+        case CellType::Nand2: return !(in[0] && in[1]);
+        case CellType::Nor2: return !(in[0] || in[1]);
+        case CellType::And2: return in[0] && in[1];
+        case CellType::Or2: return in[0] || in[1];
+        case CellType::Xor2: return in[0] != in[1];
+        case CellType::Xnor2: return in[0] == in[1];
+        case CellType::Nand3: return !(in[0] && in[1] && in[2]);
+        case CellType::Nor3: return !(in[0] || in[1] || in[2]);
+        case CellType::And3: return in[0] && in[1] && in[2];
+        case CellType::Or3: return in[0] || in[1] || in[2];
+        case CellType::Aoi21: return !((in[0] && in[1]) || in[2]);
+        case CellType::Oai21: return !((in[0] || in[1]) && in[2]);
+        case CellType::Mux2: return in[2] ? in[1] : in[0];
+    }
+    return false;
+}
+
+std::vector<CellType> all_cells() {
+    std::vector<CellType> out;
+    for (int i = 0; i < raq::cell::kNumCellTypes; ++i)
+        out.push_back(static_cast<CellType>(i));
+    return out;
+}
+
+class CellTruthTable : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(CellTruthTable, WordEvalMatchesReference) {
+    const CellType type = GetParam();
+    const int n = num_inputs(type);
+    for (int combo = 0; combo < (1 << n); ++combo) {
+        std::vector<std::uint64_t> words(static_cast<std::size_t>(n));
+        std::vector<bool> bits(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            bits[static_cast<std::size_t>(i)] = (combo >> i) & 1;
+            words[static_cast<std::size_t>(i)] = bits[static_cast<std::size_t>(i)] ? ~0ULL : 0ULL;
+        }
+        const std::uint64_t out = eval_word(type, words);
+        const bool expect = reference_eval(type, bits);
+        EXPECT_EQ(out, expect ? ~0ULL : 0ULL)
+            << raq::cell::cell_name(type) << " combo " << combo;
+    }
+}
+
+TEST_P(CellTruthTable, TernaryEvalAgreesOnDefiniteInputs) {
+    const CellType type = GetParam();
+    const int n = num_inputs(type);
+    for (int combo = 0; combo < (1 << n); ++combo) {
+        std::vector<Logic> lin(static_cast<std::size_t>(n));
+        std::vector<bool> bits(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            bits[static_cast<std::size_t>(i)] = (combo >> i) & 1;
+            lin[static_cast<std::size_t>(i)] = bits[static_cast<std::size_t>(i)] ? Logic::One : Logic::Zero;
+        }
+        const Logic out = eval_logic(type, lin);
+        ASSERT_NE(out, Logic::X);
+        EXPECT_EQ(out == Logic::One, reference_eval(type, bits));
+    }
+}
+
+TEST_P(CellTruthTable, TernaryXIsSoundAbstraction) {
+    // Whenever the ternary evaluator returns a definite value with some
+    // inputs X, every boolean completion of those X inputs must agree.
+    const CellType type = GetParam();
+    const int n = num_inputs(type);
+    for (int xmask = 0; xmask < (1 << n); ++xmask) {
+        std::vector<std::size_t> x_positions;
+        for (int i = 0; i < n; ++i)
+            if ((xmask >> i) & 1) x_positions.push_back(static_cast<std::size_t>(i));
+        for (int fixed = 0; fixed < (1 << n); ++fixed) {
+            std::vector<Logic> lin(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i) {
+                if ((xmask >> i) & 1)
+                    lin[static_cast<std::size_t>(i)] = Logic::X;
+                else
+                    lin[static_cast<std::size_t>(i)] = ((fixed >> i) & 1) ? Logic::One : Logic::Zero;
+            }
+            const Logic out = eval_logic(type, lin);
+            if (out == Logic::X) continue;
+            // Enumerate boolean completions of exactly the X positions.
+            const int n_completions = 1 << x_positions.size();
+            for (int sub = 0; sub < n_completions; ++sub) {
+                std::vector<bool> bits(static_cast<std::size_t>(n));
+                for (int i = 0; i < n; ++i)
+                    bits[static_cast<std::size_t>(i)] = ((fixed >> i) & 1) != 0;
+                for (std::size_t k = 0; k < x_positions.size(); ++k)
+                    bits[x_positions[k]] = ((sub >> k) & 1) != 0;
+                EXPECT_EQ(reference_eval(type, bits), out == Logic::One)
+                    << raq::cell::cell_name(type) << " xmask=" << xmask
+                    << " fixed=" << fixed << " sub=" << sub;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, CellTruthTable, ::testing::ValuesIn(all_cells()),
+                         [](const auto& info) {
+                             return std::string(raq::cell::cell_name(info.param));
+                         });
+
+TEST(CellLogic, ControllingValuesShortCircuit) {
+    EXPECT_EQ(eval_logic(CellType::Nand2, std::vector<Logic>{Logic::Zero, Logic::X}), Logic::One);
+    EXPECT_EQ(eval_logic(CellType::And2, std::vector<Logic>{Logic::Zero, Logic::X}), Logic::Zero);
+    EXPECT_EQ(eval_logic(CellType::Or2, std::vector<Logic>{Logic::One, Logic::X}), Logic::One);
+    EXPECT_EQ(eval_logic(CellType::Xor2, std::vector<Logic>{Logic::Zero, Logic::X}), Logic::X);
+    EXPECT_EQ(eval_logic(CellType::Mux2, std::vector<Logic>{Logic::One, Logic::One, Logic::X}),
+              Logic::One);
+}
+
+TEST(Library, FreshLibraryHasUnitDerate) {
+    const Library lib = Library::finfet14();
+    EXPECT_DOUBLE_EQ(lib.derate_factor(), 1.0);
+    EXPECT_DOUBLE_EQ(lib.dvth_mv(), 0.0);
+}
+
+TEST(Library, DerateMatchesPaperGuardbandAnchor) {
+    // ΔVth = 50 mV (10 years) must cost ≈ 23 % delay — the paper's aging
+    // guardband (Fig. 4a).
+    const Library lib = Library::finfet14();
+    EXPECT_NEAR(lib.derate_for(50.0), 1.23, 0.015);
+}
+
+TEST(Library, DerateIsMonotoneInAging) {
+    const Library lib = Library::finfet14();
+    double prev = 1.0;
+    for (double dvth = 5.0; dvth <= 50.0; dvth += 5.0) {
+        const double d = lib.derate_for(dvth);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Library, AgedLibraryScalesAllCellDelays) {
+    const Library fresh = Library::finfet14();
+    const Library aged = fresh.aged(30.0);
+    for (int i = 0; i < raq::cell::kNumCellTypes; ++i) {
+        const auto type = static_cast<CellType>(i);
+        for (double load : {0.0, 2.0, 8.0}) {
+            EXPECT_NEAR(aged.cell_delay_ps(type, load),
+                        fresh.cell_delay_ps(type, load) * fresh.derate_for(30.0), 1e-9);
+        }
+    }
+}
+
+TEST(Library, DelayGrowsWithLoad) {
+    const Library lib = Library::finfet14();
+    for (int i = 0; i < raq::cell::kNumCellTypes; ++i) {
+        const auto type = static_cast<CellType>(i);
+        EXPECT_LT(lib.cell_delay_ps(type, 1.0), lib.cell_delay_ps(type, 4.0));
+    }
+}
+
+TEST(Library, LeakageFallsWithAging) {
+    const Library fresh = Library::finfet14();
+    const Library aged = fresh.aged(50.0);
+    for (int i = 0; i < raq::cell::kNumCellTypes; ++i) {
+        const auto type = static_cast<CellType>(i);
+        EXPECT_LT(aged.leakage_nw(type), fresh.leakage_nw(type));
+        EXPECT_GT(aged.leakage_nw(type), 0.0);
+    }
+}
+
+TEST(Library, XorSlowerThanNand) {
+    // Sanity on the characterization: XOR-class cells are the slowest
+    // two-input functions, as in any real library.
+    const Library lib = Library::finfet14();
+    EXPECT_GT(lib.cell_delay_ps(CellType::Xor2, 2.0),
+              lib.cell_delay_ps(CellType::Nand2, 2.0));
+}
+
+TEST(Library, SwitchingEnergyGrowsWithLoad) {
+    const Library lib = Library::finfet14();
+    EXPECT_LT(lib.switching_energy_fj(CellType::Nand2, 1.0),
+              lib.switching_energy_fj(CellType::Nand2, 5.0));
+}
+
+TEST(Library, ExcessiveAgingRejected) {
+    const Library lib = Library::finfet14();
+    EXPECT_THROW(lib.aged(1000.0), std::invalid_argument);
+    EXPECT_THROW(lib.aged(-1.0), std::invalid_argument);
+}
+
+}  // namespace

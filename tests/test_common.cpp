@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/compression.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using raq::common::BoxStats;
+using raq::common::Compression;
+using raq::common::Padding;
+using raq::common::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_double();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Rng rng(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 255ULL, 65536ULL}) {
+        for (int i = 0; i < 2000; ++i) ASSERT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+    Rng rng(11);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; ++i) hits[rng.next_below(8)]++;
+    for (int h : hits) EXPECT_GT(h, 800);  // each bucket near 1000
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.next_int(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng(17);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.next_gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+    Rng rng(19);
+    for (double p : {0.5, 0.1, 0.01}) {
+        double sum = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.next_geometric(p));
+        const double expected = (1.0 - p) / p;
+        EXPECT_NEAR(sum / n, expected, expected * 0.1 + 0.05) << "p=" << p;
+    }
+}
+
+TEST(Rng, GeometricDegenerateProbabilities) {
+    Rng rng(23);
+    EXPECT_EQ(rng.next_geometric(1.0), 0u);
+    EXPECT_EQ(rng.next_geometric(2.0), 0u);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(raq::common::mean(xs), 3.0);
+    EXPECT_DOUBLE_EQ(raq::common::variance(xs), 2.0);
+    EXPECT_DOUBLE_EQ(raq::common::stddev(xs), std::sqrt(2.0));
+}
+
+TEST(Stats, MeanThrowsOnEmpty) {
+    EXPECT_THROW(raq::common::mean({}), std::invalid_argument);
+}
+
+TEST(Stats, QuantileInterpolation) {
+    const std::vector<double> xs{0, 10};
+    EXPECT_DOUBLE_EQ(raq::common::quantile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(raq::common::quantile(xs, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(raq::common::quantile(xs, 1.0), 10.0);
+    EXPECT_THROW(raq::common::quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, BoxStatsOrdering) {
+    const std::vector<double> xs{5, 1, 9, 3, 7, 2, 8};
+    const BoxStats b = raq::common::box_stats(xs);
+    EXPECT_LE(b.min, b.q1);
+    EXPECT_LE(b.q1, b.median);
+    EXPECT_LE(b.median, b.q3);
+    EXPECT_LE(b.q3, b.max);
+    EXPECT_DOUBLE_EQ(b.min, 1.0);
+    EXPECT_DOUBLE_EQ(b.max, 9.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(raq::common::pearson(xs, ys), 1.0, 1e-12);
+    const std::vector<double> neg{8, 6, 4, 2};
+    EXPECT_NEAR(raq::common::pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+    EXPECT_DOUBLE_EQ(raq::common::pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, RanksWithTies) {
+    const auto r = raq::common::ranks({10, 20, 20, 30});
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+    std::vector<double> xs, ys;
+    for (int i = 1; i <= 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(std::exp(0.3 * i));  // nonlinear but monotone
+    }
+    EXPECT_NEAR(raq::common::spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Compression, NormAndFormatting) {
+    const Compression c{3, 4, Padding::Lsb};
+    EXPECT_DOUBLE_EQ(c.norm(), 5.0);
+    EXPECT_EQ(c.to_string(), "(3,4)/LSB");
+    EXPECT_FALSE(c.is_none());
+    EXPECT_TRUE((Compression{0, 0, Padding::Msb}).is_none());
+}
+
+TEST(Table, AlignsAndFormats) {
+    raq::common::Table t({"name", "value"});
+    t.add_row({"a", raq::common::Table::fmt(1.5, 1)});
+    t.add_row({"longer", raq::common::Table::pct(0.23, 0)});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("23%"), std::string::npos);
+    EXPECT_THROW(t.add_row({"only-one-column"}), std::invalid_argument);
+}
+
+TEST(Table, ScientificFormat) {
+    EXPECT_EQ(raq::common::Table::sci(0.0015, 1), "1.5e-03");
+}
+
+}  // namespace

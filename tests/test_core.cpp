@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "aging/aging_model.hpp"
+#include "cell/library.hpp"
+#include "core/aging_aware_quantizer.hpp"
+#include "core/compression_selector.hpp"
+#include "core/lifetime.hpp"
+#include "data/synthetic_dataset.hpp"
+#include "netlist/builders.hpp"
+#include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
+
+namespace {
+
+using namespace raq;
+
+class Selector : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        mac_ = new netlist::Netlist(netlist::build_mac_circuit());
+        lib_ = new cell::Library(cell::Library::finfet14());
+        selector_ = new core::CompressionSelector(*mac_, *lib_);
+    }
+    static void TearDownTestSuite() {
+        delete selector_;
+        delete lib_;
+        delete mac_;
+    }
+    static netlist::Netlist* mac_;
+    static cell::Library* lib_;
+    static core::CompressionSelector* selector_;
+};
+
+netlist::Netlist* Selector::mac_ = nullptr;
+cell::Library* Selector::lib_ = nullptr;
+core::CompressionSelector* Selector::selector_ = nullptr;
+
+TEST_F(Selector, FreshChipNeedsNoCompression) {
+    const auto choice = selector_->select(0.0);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_TRUE(choice->compression.is_none());
+    EXPECT_NEAR(choice->normalized_delay, 1.0, 1e-9);
+}
+
+TEST_F(Selector, SelectedCompressionAlwaysMeetsTiming) {
+    for (const double dvth : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+        const auto choice = selector_->select(dvth);
+        ASSERT_TRUE(choice.has_value()) << dvth;
+        EXPECT_LE(choice->delay_ps, selector_->fresh_critical_path_ps() + 1e-6) << dvth;
+        EXPECT_LE(choice->normalized_delay, 1.0 + 1e-9) << dvth;
+    }
+}
+
+TEST_F(Selector, CompressionNormGrowsWithAging) {
+    double prev_norm = -1.0;
+    for (const double dvth : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+        const auto choice = selector_->select(dvth);
+        ASSERT_TRUE(choice.has_value());
+        EXPECT_GE(choice->compression.norm(), prev_norm - 1e-9) << dvth;
+        prev_norm = choice->compression.norm();
+    }
+    EXPECT_GT(prev_norm, 0.0);  // end of life demands real compression
+}
+
+TEST_F(Selector, FeasibleSetShrinksWithAging) {
+    std::size_t prev = selector_->feasible(10.0).size();
+    EXPECT_GT(prev, 0u);
+    for (const double dvth : {20.0, 30.0, 40.0, 50.0}) {
+        const auto count = selector_->feasible(dvth).size();
+        EXPECT_LE(count, prev) << dvth;
+        prev = count;
+    }
+}
+
+TEST_F(Selector, SelectionIsMinimalNorm) {
+    // No feasible candidate may have a strictly smaller norm than the
+    // selected one.
+    const auto choice = selector_->select(50.0);
+    ASSERT_TRUE(choice.has_value());
+    for (const auto& candidate : selector_->feasible(50.0))
+        EXPECT_GE(candidate.compression.norm() + 1e-12, choice->compression.norm());
+}
+
+TEST_F(Selector, GuardbandRelaxesSelection) {
+    const auto strict = selector_->select(50.0, 0.0);
+    const auto relaxed = selector_->select(50.0, 0.09);
+    ASSERT_TRUE(strict.has_value());
+    ASSERT_TRUE(relaxed.has_value());
+    EXPECT_LE(relaxed->compression.norm(), strict->compression.norm());
+    const auto full_gb = selector_->select(50.0, 0.25);
+    ASSERT_TRUE(full_gb.has_value());
+    EXPECT_TRUE(full_gb->compression.is_none());
+}
+
+TEST_F(Selector, SweepCoversBothPaddings) {
+    const auto grid = selector_->sweep(2, 2);
+    EXPECT_EQ(grid.size(), 9u * 2u);
+    for (const auto& point : grid) {
+        EXPECT_GT(point.delay_ps, 0.0);
+        EXPECT_LE(point.normalized_delay, 1.0 + 1e-9);  // compression never slows
+    }
+}
+
+TEST_F(Selector, RejectsBadArguments) {
+    EXPECT_THROW(selector_->feasible(10.0, 0.0, 9), std::invalid_argument);
+}
+
+TEST_F(Selector, LifetimeSchedulerReproducesGuardband) {
+    const aging::AgingModel model;
+    const core::LifetimeScheduler scheduler(*selector_, model);
+    EXPECT_NEAR(scheduler.required_guardband_fraction(), 0.23, 0.02);
+    const auto schedule = scheduler.standard_schedule();
+    ASSERT_EQ(schedule.size(), 6u);
+    EXPECT_NEAR(schedule.front().baseline_normalized_delay, 1.0, 1e-9);
+    EXPECT_NEAR(schedule.back().baseline_normalized_delay, 1.23, 0.02);
+    for (const auto& point : schedule) {
+        ASSERT_TRUE(point.ours_feasible) << point.dvth_mv;
+        EXPECT_LE(point.ours_normalized_delay, 1.0 + 1e-9) << point.dvth_mv;
+        if (point.dvth_mv > 0.0)
+            EXPECT_GT(point.baseline_normalized_delay, 1.0) << point.dvth_mv;
+    }
+}
+
+TEST(AlgorithmOne, EndToEndOnTrainedModel) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library lib = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, lib);
+
+    data::DatasetConfig dc;
+    dc.train_size = 900;
+    dc.test_size = 250;
+    const data::SyntheticDataset ds(dc);
+    auto net = nn::make_network("resnet20-mini");
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 3;
+    nn::SgdTrainer trainer(tcfg);
+    trainer.fit(net, ds);
+    auto graph = net.export_ir();
+
+    const auto test_images = ds.test_batch(0, 250);
+    const std::vector<int> test_labels(ds.test_labels().begin(),
+                                       ds.test_labels().begin() + 250);
+    const auto calib_images = ds.train_batch(0, 48);
+    const std::vector<int> calib_labels(ds.train_labels().begin(),
+                                        ds.train_labels().begin() + 48);
+
+    core::AagInputs in;
+    in.graph = &graph;
+    in.test_images = &test_images;
+    in.test_labels = &test_labels;
+    in.calib_images = &calib_images;
+    in.calib_labels = &calib_labels;
+
+    const core::AgingAwareQuantizer quantizer(selector);
+    const auto mild = quantizer.run(in, 10.0);
+    const auto severe = quantizer.run(in, 50.0);
+
+    EXPECT_GT(mild.fp32_accuracy, 0.8);
+    EXPECT_EQ(mild.all_methods.size(), 5u);
+    // Graceful degradation: end-of-life loss stays bounded...
+    EXPECT_LT(severe.accuracy_loss, 15.0);
+    // ...and the stronger compression cannot be *better* by much.
+    EXPECT_GE(severe.accuracy_loss, mild.accuracy_loss - 2.0);
+    // The best method is recorded consistently.
+    double best_acc = 0.0;
+    for (const auto& outcome : severe.all_methods) best_acc = std::max(best_acc, outcome.accuracy);
+    EXPECT_DOUBLE_EQ(best_acc, severe.quantized_accuracy);
+
+    // With a loose accuracy threshold, Algorithm 1 stops at the first
+    // satisfying method rather than sweeping all five.
+    core::AagInputs thresholded = in;
+    thresholded.accuracy_loss_threshold = 50.0;
+    const auto early = quantizer.run(thresholded, 50.0);
+    EXPECT_LE(early.all_methods.size(), 5u);
+    EXPECT_LE(early.all_methods.back().accuracy_loss, 50.0);
+
+    // Missing inputs are rejected.
+    core::AagInputs incomplete;
+    EXPECT_THROW(quantizer.run(incomplete, 10.0), std::invalid_argument);
+}
+
+}  // namespace

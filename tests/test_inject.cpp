@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "inject/bitflip.hpp"
+
+namespace {
+
+using raq::inject::BitFlipInjector;
+using raq::inject::InjectionConfig;
+
+TEST(BitFlip, ZeroProbabilityNeverFlips) {
+    InjectionConfig cfg;
+    cfg.flip_probability = 0.0;
+    BitFlipInjector injector(cfg);
+    for (int i = 0; i < 10000; ++i) EXPECT_EQ(injector.apply(12345), 12345);
+    EXPECT_EQ(injector.flips_injected(), 0u);
+}
+
+TEST(BitFlip, EmpiricalRateMatchesConfigured) {
+    for (const double p : {1e-1, 1e-2, 1e-3}) {
+        InjectionConfig cfg;
+        cfg.flip_probability = p;
+        cfg.seed = 7;
+        BitFlipInjector injector(cfg);
+        const int n = 400000;
+        int flips = 0;
+        for (int i = 0; i < n; ++i) flips += (injector.apply(0) != 0);
+        const double rate = static_cast<double>(flips) / n;
+        EXPECT_NEAR(rate, p, 0.25 * p + 1e-5) << "p=" << p;
+        EXPECT_EQ(injector.flips_injected(), static_cast<std::uint64_t>(flips));
+    }
+}
+
+TEST(BitFlip, FlipsLandInTopTwoBitsOnly) {
+    InjectionConfig cfg;
+    cfg.flip_probability = 0.5;
+    cfg.product_bits = 16;
+    cfg.candidate_msbs = 2;
+    BitFlipInjector injector(cfg);
+    bool saw_bit15 = false, saw_bit14 = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t out = injector.apply(0);
+        if (out == 0) continue;
+        EXPECT_TRUE(out == (1 << 15) || out == (1 << 14)) << out;
+        saw_bit15 |= (out == (1 << 15));
+        saw_bit14 |= (out == (1 << 14));
+    }
+    EXPECT_TRUE(saw_bit15);
+    EXPECT_TRUE(saw_bit14);
+}
+
+TEST(BitFlip, FlipIsAnXorSoSetBitsClear) {
+    InjectionConfig cfg;
+    cfg.flip_probability = 1.0;  // flip every product
+    cfg.product_bits = 16;
+    cfg.candidate_msbs = 1;      // always bit 15
+    BitFlipInjector injector(cfg);
+    EXPECT_EQ(injector.apply(0), 1 << 15);
+    EXPECT_EQ(injector.apply(1 << 15), 0);
+    EXPECT_EQ(injector.apply((1 << 15) | 5), 5);
+}
+
+TEST(BitFlip, NarrowerRegisterMovesTheMsb) {
+    // Used to model the LSB-padding shift of the product register.
+    InjectionConfig cfg;
+    cfg.flip_probability = 1.0;
+    cfg.product_bits = 12;
+    cfg.candidate_msbs = 1;
+    BitFlipInjector injector(cfg);
+    EXPECT_EQ(injector.apply(0), 1 << 11);
+}
+
+TEST(BitFlip, ResetRestoresDeterminism) {
+    InjectionConfig cfg;
+    cfg.flip_probability = 0.01;
+    cfg.seed = 42;
+    BitFlipInjector a(cfg), b(cfg);
+    std::vector<std::int64_t> first;
+    for (int i = 0; i < 5000; ++i) first.push_back(a.apply(1000));
+    a.reset(42);
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_EQ(a.apply(1000), first[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(b.apply(1000), first[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(BitFlip, ConfigValidation) {
+    InjectionConfig bad;
+    bad.flip_probability = 1.5;
+    EXPECT_THROW(BitFlipInjector{bad}, std::invalid_argument);
+    InjectionConfig bad2;
+    bad2.product_bits = 1;
+    EXPECT_THROW(BitFlipInjector{bad2}, std::invalid_argument);
+    InjectionConfig bad3;
+    bad3.candidate_msbs = 20;
+    EXPECT_THROW(BitFlipInjector{bad3}, std::invalid_argument);
+}
+
+}  // namespace

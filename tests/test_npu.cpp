@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "cell/library.hpp"
+#include "netlist/builders.hpp"
+#include "nn/zoo.hpp"
+#include "npu/energy.hpp"
+#include "npu/systolic.hpp"
+
+namespace {
+
+using namespace raq;
+
+TEST(Systolic, CyclesBoundedBelowByIdealThroughput) {
+    auto net = nn::make_network("resnet20-mini");
+    const auto graph = net.export_ir();
+    const npu::SystolicArrayModel array;
+    const auto result = array.analyze(graph);
+    EXPECT_EQ(result.total_macs, graph.macs_per_sample());
+    // 64x64 array: at best rows*cols MACs per cycle.
+    EXPECT_GE(result.total_cycles * 64ull * 64ull, result.total_macs);
+    for (const auto& layer : result.layers) {
+        EXPECT_GT(layer.cycles, 0u);
+        EXPECT_GT(layer.utilization, 0.0);
+        EXPECT_LE(layer.utilization, 1.0);
+    }
+}
+
+TEST(Systolic, SmallerArrayNeedsMoreCycles) {
+    auto net = nn::make_network("vgg13-mini");
+    const auto graph = net.export_ir();
+    npu::SystolicConfig big;  // 64x64
+    npu::SystolicConfig small;
+    small.rows = small.cols = 16;
+    small.pipeline_fill = 32;
+    const auto big_result = npu::SystolicArrayModel(big).analyze(graph);
+    const auto small_result = npu::SystolicArrayModel(small).analyze(graph);
+    EXPECT_GT(small_result.total_cycles, big_result.total_cycles);
+}
+
+TEST(Systolic, LatencyScalesWithMacPeriod) {
+    auto net = nn::make_network("alexnet-mini");
+    const auto result = npu::SystolicArrayModel().analyze(net.export_ir());
+    EXPECT_NEAR(result.latency_us(500.0), 2.0 * result.latency_us(250.0), 1e-9);
+    EXPECT_GT(result.inferences_per_second(500.0), 0.0);
+}
+
+TEST(Energy, CompressionReducesMacEnergy) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library lib = cell::Library::finfet14();
+    npu::EnergyModelConfig cfg;
+    cfg.activity_cycles = 500;
+    const npu::MacEnergyModel model(mac, cfg);
+    const auto base = model.estimate(lib, common::Compression{}, 500.0);
+    const auto compressed =
+        model.estimate(lib, common::Compression{4, 4, common::Padding::Msb}, 500.0);
+    EXPECT_LT(compressed.dynamic_fj, base.dynamic_fj);
+    EXPECT_GT(base.total_fj(), 0.0);
+}
+
+TEST(Energy, GuardbandedPeriodRaisesLeakageShare) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library lib = cell::Library::finfet14();
+    npu::EnergyModelConfig cfg;
+    cfg.activity_cycles = 200;
+    const npu::MacEnergyModel model(mac, cfg);
+    const auto fast = model.estimate(lib, common::Compression{}, 450.0);
+    const auto slow = model.estimate(lib, common::Compression{}, 450.0 * 1.23);
+    EXPECT_NEAR(slow.leakage_fj, fast.leakage_fj * 1.23, 1e-9);
+    // Same vectors and delays; only residual glitch tails beyond the
+    // settle window can differ, so compare with a relative tolerance.
+    EXPECT_NEAR(slow.dynamic_fj, fast.dynamic_fj, 1e-3 * fast.dynamic_fj);
+}
+
+}  // namespace

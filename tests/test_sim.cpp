@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cell/library.hpp"
+#include "common/rng.hpp"
+#include "netlist/builders.hpp"
+#include "sim/activity.hpp"
+#include "sim/error_stats.hpp"
+#include "sim/event_sim.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using raq::cell::Library;
+using raq::common::Compression;
+using raq::common::Padding;
+using raq::netlist::build_mac_circuit;
+using raq::netlist::build_multiplier_circuit;
+using raq::netlist::Netlist;
+using raq::sim::ActivityRunConfig;
+using raq::sim::ErrorRunConfig;
+using raq::sim::EventSimulator;
+using raq::sta::Sta;
+
+/// Drive the simulator with one vector and a generous period so it settles.
+std::uint64_t settled_eval(EventSimulator& sim, const Netlist& nl, std::uint64_t a,
+                           std::uint64_t b, const std::string& out_bus, double period) {
+    std::vector<bool> pi(nl.primary_inputs().size(), false);
+    const auto& abits = nl.input_bus("A");
+    const auto& bbits = nl.input_bus("B");
+    for (std::size_t i = 0; i < abits.size(); ++i)
+        pi[static_cast<std::size_t>(abits[i])] = (a >> i) & 1;
+    for (std::size_t i = 0; i < bbits.size(); ++i)
+        pi[static_cast<std::size_t>(bbits[i])] = (b >> i) & 1;
+    sim.step(pi, period);
+    return sim.read_bus(out_bus);
+}
+
+TEST(EventSim, SettledOutputsMatchFunctionalSimulation) {
+    const Netlist nl = build_multiplier_circuit(6);
+    const Library lib = Library::finfet14();
+    EventSimulator sim(nl, lib);
+    const double slow = 10 * Sta(nl, lib).critical_path_ps(lib);
+    raq::common::Rng rng(0x51u);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = rng.next_below(64);
+        const std::uint64_t b = rng.next_below(64);
+        ASSERT_EQ(settled_eval(sim, nl, a, b, "P", slow), a * b) << a << "*" << b;
+    }
+}
+
+TEST(EventSim, ResetRestoresQuiescentZeroState) {
+    const Netlist nl = build_multiplier_circuit(4);
+    const Library lib = Library::finfet14();
+    EventSimulator sim(nl, lib);
+    settled_eval(sim, nl, 9, 13, "P", 1e5);
+    sim.reset();
+    EXPECT_EQ(sim.read_bus("P"), 0u);
+    EXPECT_EQ(sim.toggle_count(), 0u);
+    EXPECT_DOUBLE_EQ(sim.switching_energy_fj(), 0.0);
+    EXPECT_EQ(settled_eval(sim, nl, 5, 7, "P", 1e5), 35u);
+}
+
+TEST(EventSim, TogglesAccumulateAndEnergyIsPositive) {
+    const Netlist nl = build_multiplier_circuit(6);
+    const Library lib = Library::finfet14();
+    EventSimulator sim(nl, lib);
+    settled_eval(sim, nl, 63, 63, "P", 1e5);
+    EXPECT_GT(sim.toggle_count(), 0u);
+    EXPECT_GT(sim.switching_energy_fj(), 0.0);
+}
+
+TEST(EventSim, TooShortClockCapturesWrongValue) {
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library lib = Library::finfet14();
+    const double cp = Sta(nl, lib).critical_path_ps(lib);
+    EventSimulator sim(nl, lib);
+    // At 40% of the critical path many vectors cannot settle.
+    raq::common::Rng rng(0x52u);
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t a = rng.next_below(256);
+        const std::uint64_t b = rng.next_below(256);
+        wrong += settled_eval(sim, nl, a, b, "P", 0.4 * cp) != a * b;
+    }
+    EXPECT_GT(wrong, 10);
+}
+
+TEST(EventSim, StepValidatesArguments) {
+    const Netlist nl = build_multiplier_circuit(4);
+    const Library lib = Library::finfet14();
+    EventSimulator sim(nl, lib);
+    std::vector<bool> wrong_size(3, false);
+    EXPECT_THROW(sim.step(wrong_size, 100.0), std::invalid_argument);
+    std::vector<bool> ok(nl.primary_inputs().size(), false);
+    EXPECT_THROW(sim.step(ok, -5.0), std::invalid_argument);
+}
+
+TEST(ErrorStats, FreshCircuitAtFreshClockIsErrorFree) {
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library lib = Library::finfet14();
+    ErrorRunConfig cfg;
+    cfg.clock_ps = Sta(nl, lib).critical_path_ps(lib) * 1.0001;
+    cfg.cycles = 2000;
+    const auto stats = raq::sim::characterize_multiplier(nl, lib, cfg);
+    EXPECT_EQ(stats.erroneous_cycles, 0u);
+    EXPECT_DOUBLE_EQ(stats.med, 0.0);
+    EXPECT_DOUBLE_EQ(stats.msb2_flip_prob, 0.0);
+}
+
+TEST(ErrorStats, AgedCircuitAtFreshClockProducesErrors) {
+    // The core mechanism behind Fig. 1a: clocking the aged multiplier at
+    // the fresh period yields timing errors.
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library fresh = Library::finfet14();
+    ErrorRunConfig cfg;
+    cfg.clock_ps = Sta(nl, fresh).critical_path_ps(fresh) * 1.0001;
+    cfg.cycles = 3000;
+    const auto stats = raq::sim::characterize_multiplier(nl, fresh.aged(50.0), cfg);
+    EXPECT_GT(stats.erroneous_cycles, 0u);
+    EXPECT_GT(stats.med, 0.0);
+}
+
+TEST(ErrorStats, ErrorsGrowWithAging) {
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library fresh = Library::finfet14();
+    ErrorRunConfig cfg;
+    cfg.clock_ps = Sta(nl, fresh).critical_path_ps(fresh) * 1.0001;
+    cfg.cycles = 3000;
+    const auto mild = raq::sim::characterize_multiplier(nl, fresh.aged(20.0), cfg);
+    const auto severe = raq::sim::characterize_multiplier(nl, fresh.aged(50.0), cfg);
+    EXPECT_LE(mild.error_rate(), severe.error_rate());
+    EXPECT_LE(mild.med, severe.med);
+}
+
+TEST(ErrorStats, ErrorsConcentrateInMostSignificantBits) {
+    // Paper §3: "in arithmetic circuits, errors mainly occur in the MSBs".
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library fresh = Library::finfet14();
+    ErrorRunConfig cfg;
+    cfg.clock_ps = Sta(nl, fresh).critical_path_ps(fresh) * 1.0001;
+    cfg.cycles = 4000;
+    const auto stats = raq::sim::characterize_multiplier(nl, fresh.aged(50.0), cfg);
+    ASSERT_EQ(stats.bit_flip_prob.size(), 16u);
+    double high = 0.0, low = 0.0;
+    for (int b = 0; b < 8; ++b) low += stats.bit_flip_prob[static_cast<std::size_t>(b)];
+    for (int b = 8; b < 16; ++b) high += stats.bit_flip_prob[static_cast<std::size_t>(b)];
+    EXPECT_GT(high, low);
+}
+
+TEST(ErrorStats, CompressionSuppressesAgingErrors) {
+    // The paper's central claim, observed mechanistically: with (4,4)
+    // compressed operands the aged multiplier meets the fresh clock again.
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library fresh = Library::finfet14();
+    ErrorRunConfig cfg;
+    cfg.clock_ps = Sta(nl, fresh).critical_path_ps(fresh) * 1.0001;
+    cfg.cycles = 3000;
+
+    const Library aged = fresh.aged(50.0);
+    const auto uncompressed = raq::sim::characterize_multiplier(nl, aged, cfg);
+    EXPECT_GT(uncompressed.erroneous_cycles, 0u);
+
+    // Pick the padding that the STA says is better at (4,4).
+    const Sta sta(nl, fresh);
+    double best_delay = 1e18;
+    Padding best = Padding::Msb;
+    for (const auto padding : {Padding::Msb, Padding::Lsb}) {
+        const double d = sta.critical_path_ps(
+            aged, raq::sta::compression_case(nl, Compression{4, 4, padding}));
+        if (d < best_delay) {
+            best_delay = d;
+            best = padding;
+        }
+    }
+    ASSERT_LE(best_delay, cfg.clock_ps) << "STA says (4,4) cannot meet timing";
+    cfg.compression = Compression{4, 4, best};
+    const auto compressed = raq::sim::characterize_multiplier(nl, aged, cfg);
+    EXPECT_EQ(compressed.erroneous_cycles, 0u);
+}
+
+TEST(ErrorStats, MacCharacterizationRunsAndIsErrorFreeWhenFresh) {
+    const Netlist nl = build_mac_circuit();
+    const Library lib = Library::finfet14();
+    ErrorRunConfig cfg;
+    cfg.clock_ps = Sta(nl, lib).critical_path_ps(lib) * 1.0001;
+    cfg.cycles = 1000;
+    const auto stats = raq::sim::characterize_mac(nl, lib, cfg);
+    EXPECT_EQ(stats.erroneous_cycles, 0u);
+    EXPECT_EQ(stats.cycles, 1000u);
+}
+
+TEST(ErrorStats, ConfigValidation) {
+    const Netlist nl = build_multiplier_circuit(4);
+    const Library lib = Library::finfet14();
+    ErrorRunConfig cfg;
+    cfg.clock_ps = 0.0;
+    EXPECT_THROW(raq::sim::characterize_multiplier(nl, lib, cfg), std::invalid_argument);
+}
+
+TEST(Activity, CompressionReducesSwitchingEnergy) {
+    // Fig. 5 mechanism: zero-padded operand bits stop toggling.
+    const Netlist nl = build_mac_circuit();
+    const Library lib = Library::finfet14();
+    ActivityRunConfig cfg;
+    cfg.period_ps = Sta(nl, lib).critical_path_ps(lib);
+    cfg.cycles = 400;
+    const auto base = raq::sim::measure_mac_activity(nl, lib, cfg);
+    cfg.compression = Compression{4, 4, Padding::Msb};
+    const auto compressed = raq::sim::measure_mac_activity(nl, lib, cfg);
+    EXPECT_LT(compressed.avg_dynamic_energy_fj, 0.8 * base.avg_dynamic_energy_fj);
+    EXPECT_LT(compressed.avg_toggles, base.avg_toggles);
+}
+
+TEST(Activity, LeakageEnergyScalesWithPeriod) {
+    const Netlist nl = build_mac_circuit();
+    const Library lib = Library::finfet14();
+    ActivityRunConfig cfg;
+    cfg.cycles = 50;
+    cfg.period_ps = 100.0;
+    const auto short_period = raq::sim::measure_mac_activity(nl, lib, cfg);
+    cfg.period_ps = 200.0;
+    const auto long_period = raq::sim::measure_mac_activity(nl, lib, cfg);
+    EXPECT_NEAR(long_period.leakage_energy_fj, 2.0 * short_period.leakage_energy_fj, 1e-9);
+    EXPECT_GT(short_period.leakage_energy_fj, 0.0);
+}
+
+TEST(Activity, AgedLibraryLeaksLess) {
+    const Netlist nl = build_mac_circuit();
+    const Library fresh = Library::finfet14();
+    ActivityRunConfig cfg;
+    cfg.cycles = 50;
+    cfg.period_ps = 100.0;
+    const auto f = raq::sim::measure_mac_activity(nl, fresh, cfg);
+    const auto a = raq::sim::measure_mac_activity(nl, fresh.aged(50.0), cfg);
+    EXPECT_LT(a.leakage_energy_fj, f.leakage_energy_fj);
+}
+
+}  // namespace

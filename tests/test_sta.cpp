@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/builders.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/case_analysis.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using raq::cell::CellType;
+using raq::cell::Library;
+using raq::cell::Logic;
+using raq::common::Compression;
+using raq::common::Padding;
+using raq::netlist::AdderKind;
+using raq::netlist::build_adder_circuit;
+using raq::netlist::build_mac_circuit;
+using raq::netlist::build_multiplier_circuit;
+using raq::netlist::MacConfig;
+using raq::netlist::MultiplierKind;
+using raq::netlist::Netlist;
+using raq::sta::CaseAnalysis;
+using raq::sta::compression_case;
+using raq::sta::Sta;
+
+TEST(Sta, InverterChainDelayIsSumOfStageDelays) {
+    Netlist nl;
+    const auto in = nl.add_primary_input("in");
+    auto net = in;
+    const int stages = 5;
+    for (int i = 0; i < stages; ++i) net = nl.add_gate(CellType::Inv, {net});
+    nl.mark_primary_output(net, "out");
+
+    const Library lib = Library::finfet14();
+    const Sta sta(nl, lib);
+    const auto res = sta.run(lib);
+
+    // Interior stages drive one INV pin; the last stage drives the output pin.
+    const double pin = lib.spec(CellType::Inv).input_cap_ff;
+    const double interior = lib.cell_delay_ps(CellType::Inv, pin);
+    const double last = lib.cell_delay_ps(CellType::Inv, lib.tech().output_pin_cap_ff);
+    EXPECT_NEAR(res.critical_path_ps, (stages - 1) * interior + last, 1e-9);
+}
+
+TEST(Sta, CriticalPathIsConnectedAndStartsAtInput) {
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library lib = Library::finfet14();
+    const Sta sta(nl, lib);
+    const auto res = sta.run(lib);
+    ASSERT_GE(res.critical_path.size(), 2u);
+    EXPECT_TRUE(nl.is_primary_input(res.critical_path.front()));
+    // Each hop must be driven by a gate reading the previous net.
+    for (std::size_t i = 1; i < res.critical_path.size(); ++i) {
+        const auto driver = nl.driver(res.critical_path[i]);
+        ASSERT_GE(driver, 0);
+        const auto& gate = nl.gates()[static_cast<std::size_t>(driver)];
+        bool connected = false;
+        for (int k = 0; k < gate.num_inputs(); ++k)
+            connected |= (gate.inputs[k] == res.critical_path[i - 1]);
+        EXPECT_TRUE(connected) << "hop " << i;
+    }
+}
+
+TEST(Sta, ArrivalsAreMonotoneAlongCriticalPath) {
+    const Netlist nl = build_mac_circuit();
+    const Library lib = Library::finfet14();
+    const Sta sta(nl, lib);
+    const auto res = sta.run(lib);
+    for (std::size_t i = 1; i < res.critical_path.size(); ++i)
+        EXPECT_LT(res.arrival(res.critical_path[i - 1]), res.arrival(res.critical_path[i]));
+}
+
+TEST(Sta, AgingScalesCriticalPathByExactDerate) {
+    const Netlist nl = build_mac_circuit();
+    const Library fresh = Library::finfet14();
+    const Sta sta(nl, fresh);
+    const double fresh_cp = sta.critical_path_ps(fresh);
+    for (double dvth : {10.0, 30.0, 50.0}) {
+        const double aged_cp = sta.critical_path_ps(fresh.aged(dvth));
+        EXPECT_NEAR(aged_cp / fresh_cp, fresh.derate_for(dvth), 1e-9);
+    }
+}
+
+TEST(Sta, RippleAdderSlowerThanParallelPrefix) {
+    const Library lib = Library::finfet14();
+    const Netlist ripple = build_adder_circuit(22, AdderKind::RippleCarry);
+    const Netlist sklansky = build_adder_circuit(22, AdderKind::Sklansky);
+    const Netlist kogge = build_adder_circuit(22, AdderKind::KoggeStone);
+    const double d_ripple = Sta(ripple, lib).critical_path_ps(lib);
+    const double d_sklansky = Sta(sklansky, lib).critical_path_ps(lib);
+    const double d_kogge = Sta(kogge, lib).critical_path_ps(lib);
+    EXPECT_GT(d_ripple, 1.5 * d_sklansky);
+    EXPECT_GT(d_ripple, 1.5 * d_kogge);
+}
+
+TEST(Sta, WallaceScalesBetterThanArray) {
+    // O(n) array rows vs O(log n) CSA levels: at 8 bits the two are close
+    // (the array even wins slightly under our characterization), from 12
+    // bits up the Wallace tree must win clearly.
+    const Library lib = Library::finfet14();
+    const Netlist array16 = build_multiplier_circuit(16, MultiplierKind::Array);
+    const Netlist wallace16 =
+        build_multiplier_circuit(16, MultiplierKind::Wallace, AdderKind::KoggeStone);
+    EXPECT_GT(Sta(array16, lib).critical_path_ps(lib),
+              1.3 * Sta(wallace16, lib).critical_path_ps(lib));
+
+    const Netlist array8 = build_multiplier_circuit(8, MultiplierKind::Array);
+    const Netlist wallace8 =
+        build_multiplier_circuit(8, MultiplierKind::Wallace, AdderKind::KoggeStone);
+    const double ratio = Sta(array8, lib).critical_path_ps(lib) /
+                         Sta(wallace8, lib).critical_path_ps(lib);
+    EXPECT_GT(ratio, 0.75);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Sta, CaseAnalysisAllZeroInputsKillAllPaths) {
+    const Netlist nl = build_multiplier_circuit(8);
+    const Library lib = Library::finfet14();
+    CaseAnalysis ca;
+    for (const auto net : nl.input_bus("A")) ca.set(net, Logic::Zero);
+    const auto res = Sta(nl, lib).run(lib, ca);
+    // A = 0 forces P = 0: every output is constant, no timing paths left.
+    EXPECT_DOUBLE_EQ(res.critical_path_ps, 0.0);
+    for (const auto out : nl.output_bus("P")) EXPECT_TRUE(res.is_constant(out));
+}
+
+TEST(Sta, CaseAnalysisConstantsPropagate) {
+    Netlist nl;
+    const auto a = nl.add_primary_input("a");
+    const auto b = nl.add_primary_input("b");
+    const auto g1 = nl.add_gate(CellType::And2, {a, b});  // 0 under a=0
+    const auto g2 = nl.add_gate(CellType::Or2, {g1, b});  // follows b
+    const auto g3 = nl.add_gate(CellType::Nand2, {a, g2});  // 1 under a=0
+    nl.mark_primary_output(g2, "live");
+    nl.mark_primary_output(g3, "dead");
+    const Library lib = Library::finfet14();
+    CaseAnalysis ca;
+    ca.set(a, Logic::Zero);
+    const auto res = Sta(nl, lib).run(lib, ca);
+    EXPECT_TRUE(res.is_constant(g1));   // AND with controlling 0
+    EXPECT_FALSE(res.is_constant(g2));  // OR(0, b) = b stays live
+    EXPECT_TRUE(res.is_constant(g3));   // NAND with controlling 0 -> 1
+    // The live output's arrival counts only the OR stage: the AND arc died.
+    const double or_delay =
+        lib.cell_delay_ps(CellType::Or2,
+                          lib.spec(CellType::Nand2).input_cap_ff + lib.tech().output_pin_cap_ff);
+    EXPECT_NEAR(res.arrival(g2), or_delay, 1e-9);
+}
+
+TEST(Sta, CompressionNeverIncreasesDelay) {
+    // Property: tying more input bits to constants can only remove timing
+    // arcs. Delay must be monotonically non-increasing in (alpha, beta)
+    // for a fixed padding side.
+    const Netlist nl = build_mac_circuit();
+    const Library lib = Library::finfet14();
+    const Sta sta(nl, lib);
+    for (const auto padding : {Padding::Msb, Padding::Lsb}) {
+        for (int alpha = 0; alpha <= 4; ++alpha) {
+            double prev = 1e18;
+            for (int beta = 0; beta <= 4; ++beta) {
+                const Compression comp{alpha, beta, padding};
+                const double d = sta.critical_path_ps(lib, compression_case(nl, comp));
+                EXPECT_LE(d, prev + 1e-9) << comp.to_string();
+                prev = d;
+            }
+        }
+        for (int beta = 0; beta <= 4; ++beta) {
+            double prev = 1e18;
+            for (int alpha = 0; alpha <= 4; ++alpha) {
+                const Compression comp{alpha, beta, padding};
+                const double d = sta.critical_path_ps(lib, compression_case(nl, comp));
+                EXPECT_LE(d, prev + 1e-9) << comp.to_string();
+                prev = d;
+            }
+        }
+    }
+}
+
+TEST(Sta, CompressionDelayGainIsSubstantialAtFourFour) {
+    // Fig. 2: (4,4) compression buys roughly 20-25 % delay on the MAC.
+    const Netlist nl = build_mac_circuit();
+    const Library lib = Library::finfet14();
+    const Sta sta(nl, lib);
+    const double base = sta.critical_path_ps(lib);
+    double best = base;
+    for (const auto padding : {Padding::Msb, Padding::Lsb}) {
+        const Compression comp{4, 4, padding};
+        best = std::min(best, sta.critical_path_ps(lib, compression_case(nl, comp)));
+    }
+    EXPECT_LT(best / base, 0.85) << "best (4,4) normalized delay " << best / base;
+}
+
+TEST(Sta, PaddingSidesGiveDifferentDelays) {
+    // Fig. 2 shows MSB and LSB padding win for different (alpha, beta);
+    // at minimum the two sides must not be identical everywhere.
+    const Netlist nl = build_mac_circuit();
+    const Library lib = Library::finfet14();
+    const Sta sta(nl, lib);
+    bool differs = false;
+    for (int alpha = 1; alpha <= 4 && !differs; ++alpha) {
+        for (int beta = 0; beta <= 4 && !differs; ++beta) {
+            const double msb = sta.critical_path_ps(
+                lib, compression_case(nl, Compression{alpha, beta, Padding::Msb}));
+            const double lsb = sta.critical_path_ps(
+                lib, compression_case(nl, Compression{alpha, beta, Padding::Lsb}));
+            differs = std::abs(msb - lsb) > 1e-6;
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Sta, CompressionCaseRejectsBadRanges) {
+    const Netlist nl = build_mac_circuit();
+    EXPECT_THROW(compression_case(nl, Compression{9, 0, Padding::Msb}),
+                 std::invalid_argument);
+    EXPECT_THROW(compression_case(nl, Compression{-1, 0, Padding::Msb}),
+                 std::invalid_argument);
+}
+
+TEST(Sta, LeakageRollupMatchesHistogram) {
+    const Netlist nl = build_multiplier_circuit(4);
+    const Library lib = Library::finfet14();
+    const auto hist = nl.cell_histogram();
+    double expect = 0.0;
+    for (int i = 0; i < raq::cell::kNumCellTypes; ++i)
+        expect += hist[static_cast<std::size_t>(i)] *
+                  lib.leakage_nw(static_cast<CellType>(i));
+    EXPECT_NEAR(Sta::total_leakage_nw(nl, lib), expect, 1e-9);
+}
+
+TEST(Sta, FormatPathReportMentionsDelay) {
+    const Netlist nl = build_multiplier_circuit(4);
+    const Library lib = Library::finfet14();
+    const auto res = Sta(nl, lib).run(lib);
+    const auto report = raq::sta::format_path_report(nl, res);
+    EXPECT_NE(report.find("critical path"), std::string::npos);
+}
+
+}  // namespace
