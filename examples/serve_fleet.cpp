@@ -1,0 +1,126 @@
+// Serve a heterogeneous NPU fleet with online aging-aware re-quantization.
+//
+// Spins up an NpuServer over a pool of simulated devices that entered the
+// field at different times (staggered initial ages), pushes a stream of
+// requests through it, and lets aging run at high acceleration so devices
+// cross the re-quantization threshold *while serving*. The fleet report
+// shows each device's age, ΔVth, deployed compression/method, latency
+// percentiles and its re-quantization events — the serving-runtime view
+// of the paper's Fig. 4: accuracy stays on the "ours" curve at the fresh
+// (zero-guardband) clock.
+//
+// Usage: serve_fleet [requests] [devices] [workers] [network]
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "cell/library.hpp"
+#include "common/table.hpp"
+#include "core/compression_selector.hpp"
+#include "netlist/builders.hpp"
+#include "nn/model_cache.hpp"
+#include "quant/calibration.hpp"
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace raq;
+    const int requests = argc > 1 ? std::atoi(argv[1]) : 400;
+    const int devices = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int workers = argc > 3 ? std::atoi(argv[3]) : devices;
+    const std::string model = argc > 4 ? argv[4] : "resnet20-mini";
+
+    nn::ModelCache cache;
+    auto& net = cache.get(model);
+    auto graph = net.export_ir();
+    const auto& ds = cache.dataset();
+
+    const auto calib_images = ds.train_batch(0, 64);
+    const std::vector<int> calib_labels(ds.train_labels().begin(),
+                                        ds.train_labels().begin() + 64);
+    const auto calib = quant::calibrate(graph, calib_images, calib_labels);
+    const auto eval_images = ds.test_batch(0, 200);
+    const std::vector<int> eval_labels(ds.test_labels().begin(),
+                                       ds.test_labels().begin() + 200);
+
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library fresh = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, fresh);
+    const aging::AgingModel aging_model;
+
+    serve::ServeContext ctx;
+    ctx.graph = &graph;
+    ctx.calib = &calib;
+    ctx.selector = &selector;
+    ctx.aging = &aging_model;
+    ctx.eval_images = &eval_images;
+    ctx.eval_labels = &eval_labels;
+
+    serve::ServeConfig cfg;
+    cfg.num_devices = devices;
+    cfg.num_workers = workers;
+    cfg.max_batch = 8;
+    // A young heterogeneous fleet (devices joined half a year apart):
+    // early-life ΔVth grows fastest, so accelerated aging drives several
+    // re-quantizations while the run serves traffic.
+    cfg.initial_age_years = 0.0;
+    cfg.initial_age_step_years = 0.5;
+    cfg.device.requant_threshold_mv = 5.0;
+
+    // Scale acceleration so this run adds about two years of stress.
+    serve::NpuServer probe(ctx, cfg);
+    const double busy_hours_per_request =
+        static_cast<double>(probe.device(0).per_image_cycles()) *
+        probe.device(0).clock_period_ps() * 1e-12 / 3600.0;
+    probe.shutdown();
+    const double per_device_requests =
+        static_cast<double>(requests) / static_cast<double>(devices);
+    cfg.device.age_acceleration =
+        2.0 * 8760.0 / (per_device_requests * busy_hours_per_request);
+
+    std::printf("serve_fleet: %s on %d device(s), %d worker(s), %d requests\n",
+                model.c_str(), devices, workers, requests);
+    std::printf("fresh clock %.1f ps, %llu cycles/inference, ~2 simulated years of "
+                "aging this run\n\n",
+                probe.device(0).clock_period_ps(),
+                static_cast<unsigned long long>(probe.device(0).per_image_cycles()));
+
+    serve::NpuServer server(ctx, cfg);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i)
+        futures.push_back(server.submit(ds.test_batch(i % 200, 1)));
+    std::size_t correct = 0;
+    for (int i = 0; i < requests; ++i)
+        correct += futures[static_cast<std::size_t>(i)].get().predicted_class ==
+                   eval_labels[static_cast<std::size_t>(i % 200)];
+    server.shutdown();
+
+    const serve::FleetStats fleet = server.fleet_stats();
+    std::printf("%s\n", fleet.to_string().c_str());
+    std::printf("served accuracy: %.1f%% over %d requests\n\n",
+                100.0 * static_cast<double>(correct) / requests, requests);
+
+    common::Table table({"device", "age [h]", "dVth [mV]", "compression", "method",
+                         "requants", "sampled acc"});
+    for (int d = 0; d < server.num_devices(); ++d) {
+        const serve::DeviceStats s = server.device(d).stats();
+        table.add_row({std::to_string(d), common::Table::fmt(s.operating_hours, 0),
+                       common::Table::fmt(s.dvth_mv, 1), s.compression.to_string(),
+                       quant::method_label(s.method), std::to_string(s.requant_count),
+                       common::Table::pct(server.sample_accuracy(d, 200), 1)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    for (int d = 0; d < server.num_devices(); ++d)
+        for (const serve::RequantEvent& e : server.device(d).stats().requant_events)
+            std::printf("requant: dev%d at %.0f h (dVth %.1f mV): %s -> %s via %s\n", d,
+                        e.at_hours, e.dvth_mv, e.before.to_string().c_str(),
+                        e.after.to_string().c_str(), quant::method_label(e.method));
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_fleet: %s\n", e.what());
+    return 1;
+}

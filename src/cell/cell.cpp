@@ -47,7 +47,7 @@ std::string_view cell_name(CellType type) noexcept {
     return "?";
 }
 
-std::uint64_t eval_word(CellType type, std::span<const std::uint64_t> ins) noexcept {
+std::uint64_t eval_word(CellType type, common::Span<const std::uint64_t> ins) noexcept {
     switch (type) {
         case CellType::Inv: return ~ins[0];
         case CellType::Buf: return ins[0];
@@ -98,7 +98,7 @@ Logic l_xor(Logic a, Logic b) noexcept {
 
 }  // namespace
 
-Logic eval_logic(CellType type, std::span<const Logic> ins) noexcept {
+Logic eval_logic(CellType type, common::Span<const Logic> ins) noexcept {
     switch (type) {
         case CellType::Inv: return l_not(ins[0]);
         case CellType::Buf: return ins[0];

@@ -7,7 +7,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "common/span.hpp"
 #include <string_view>
 
 namespace raq::cell {
@@ -36,13 +36,13 @@ inline constexpr int kNumCellTypes = static_cast<int>(CellType::Mux2) + 1;
 [[nodiscard]] std::string_view cell_name(CellType type) noexcept;
 
 /// Bit-parallel evaluation: each word carries 64 independent vectors.
-[[nodiscard]] std::uint64_t eval_word(CellType type, std::span<const std::uint64_t> ins) noexcept;
+[[nodiscard]] std::uint64_t eval_word(CellType type, common::Span<const std::uint64_t> ins) noexcept;
 
 /// Ternary logic for constant propagation.
 enum class Logic : std::uint8_t { Zero = 0, One = 1, X = 2 };
 
 /// Ternary evaluation with controlling-value semantics, e.g.
 /// Nand2(0, X) = 1, And2(0, X) = 0, Xor2(X, anything) = X.
-[[nodiscard]] Logic eval_logic(CellType type, std::span<const Logic> ins) noexcept;
+[[nodiscard]] Logic eval_logic(CellType type, common::Span<const Logic> ins) noexcept;
 
 }  // namespace raq::cell

@@ -36,7 +36,10 @@ struct Compression {
                padding_name(padding);
     }
 
-    friend bool operator==(const Compression&, const Compression&) = default;
+    friend bool operator==(const Compression& a, const Compression& b) {
+        return a.alpha == b.alpha && a.beta == b.beta && a.padding == b.padding;
+    }
+    friend bool operator!=(const Compression& a, const Compression& b) { return !(a == b); }
 };
 
 }  // namespace raq::common

@@ -19,6 +19,19 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
     return z ^ (z >> 31);
 }
 
+/// Derive an independent stream seed from a base seed and stream ids.
+/// Used wherever work is fanned out across threads/devices/requests: each
+/// unit of work seeds its own generator from (base, ids...), so results
+/// do not depend on thread scheduling and runs are reproducible.
+constexpr std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+    std::uint64_t s = base ^ (stream * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+}
+constexpr std::uint64_t stream_seed(std::uint64_t base, std::uint64_t a,
+                                    std::uint64_t b) noexcept {
+    return stream_seed(stream_seed(base, a), b);
+}
+
 /// xoshiro256** — fast, high-quality 64-bit generator.
 class Rng {
 public:

@@ -1,0 +1,40 @@
+// Minimal C++17 stand-in for std::span (the project targets C++17; the
+// real std::span is C++20). Non-owning pointer + length view with just
+// the surface the netlist/STA/simulation engines need.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace raq::common {
+
+template <typename T>
+class Span {
+public:
+    constexpr Span() noexcept = default;
+    constexpr Span(T* data, std::size_t size) noexcept : data_(data), size_(size) {}
+
+    /// Views over containers of the (non-const) element type; only valid
+    /// for read-only spans (T = const U).
+    template <typename U, typename Alloc,
+              typename = std::enable_if_t<std::is_same_v<T, const U>>>
+    constexpr Span(const std::vector<U, Alloc>& v) noexcept
+        : data_(v.data()), size_(v.size()) {}
+    constexpr Span(std::initializer_list<std::remove_const_t<T>> il) noexcept
+        : data_(il.begin()), size_(il.size()) {}
+
+    [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+    [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] constexpr T& operator[](std::size_t i) const noexcept { return data_[i]; }
+    [[nodiscard]] constexpr T* begin() const noexcept { return data_; }
+    [[nodiscard]] constexpr T* end() const noexcept { return data_ + size_; }
+
+private:
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace raq::common

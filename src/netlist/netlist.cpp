@@ -36,7 +36,7 @@ NetId Netlist::const_one() {
     return const1_;
 }
 
-NetId Netlist::add_gate(cell::CellType type, std::span<const NetId> inputs,
+NetId Netlist::add_gate(cell::CellType type, common::Span<const NetId> inputs,
                         std::string output_name) {
     const int expect = cell::num_inputs(type);
     if (static_cast<int>(inputs.size()) != expect)
@@ -117,7 +117,7 @@ std::array<int, cell::kNumCellTypes> Netlist::cell_histogram() const {
 }
 
 std::vector<std::uint64_t> Netlist::eval_words(
-    std::span<const std::uint64_t> pi_words) const {
+    common::Span<const std::uint64_t> pi_words) const {
     if (pi_words.size() != primary_inputs_.size())
         throw std::invalid_argument("Netlist: eval_words needs one word per primary input");
     std::vector<std::uint64_t> values(net_names_.size(), 0);
@@ -132,7 +132,7 @@ std::vector<std::uint64_t> Netlist::eval_words(
         for (int i = 0; i < n; ++i)
             ins[i] = values[static_cast<std::size_t>(g.inputs[i])];
         values[static_cast<std::size_t>(g.output)] =
-            cell::eval_word(g.type, std::span<const std::uint64_t>(ins, static_cast<std::size_t>(n)));
+            cell::eval_word(g.type, common::Span<const std::uint64_t>(ins, static_cast<std::size_t>(n)));
     }
     return values;
 }

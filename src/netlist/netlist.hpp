@@ -8,7 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <span>
+#include "common/span.hpp"
 #include <string>
 #include <vector>
 
@@ -44,11 +44,11 @@ public:
     NetId const_one();
 
     /// Add a gate; returns its output net (freshly created).
-    NetId add_gate(cell::CellType type, std::span<const NetId> inputs,
+    NetId add_gate(cell::CellType type, common::Span<const NetId> inputs,
                    std::string output_name = {});
     NetId add_gate(cell::CellType type, std::initializer_list<NetId> inputs,
                    std::string output_name = {}) {
-        return add_gate(type, std::span<const NetId>(inputs.begin(), inputs.size()),
+        return add_gate(type, common::Span<const NetId>(inputs.begin(), inputs.size()),
                         std::move(output_name));
     }
 
@@ -88,7 +88,7 @@ public:
     /// Evaluate 64 input vectors at once. `pi_words[i]` carries the values of
     /// primary input i across the 64 vectors; returns one word per net.
     [[nodiscard]] std::vector<std::uint64_t> eval_words(
-        std::span<const std::uint64_t> pi_words) const;
+        common::Span<const std::uint64_t> pi_words) const;
 
     /// Convenience single-vector evaluation: bit i of `pi_bits` is the value
     /// of primary input i. Returns per-net boolean values.

@@ -1,5 +1,6 @@
 #include "nn/model_cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -28,17 +29,34 @@ std::string ModelCache::model_path(const std::string& name) const {
     return dir_ + "/" + name + ".net";
 }
 
+namespace {
+
+/// Write-then-rename so no reader ever observes a half-written model:
+/// ensure() trains outside the cache mutex, and a concurrent get() must
+/// either see no file or a complete one.
+void save_atomically(Network& net, const std::string& path) {
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp = path + ".tmp" + std::to_string(counter.fetch_add(1));
+    net.save(tmp);
+    std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
 Network ModelCache::train_and_save(const std::string& name) {
     Network net = make_network(name);
     SgdTrainer trainer(recommended_train_config(name));
     const TrainResult result = trainer.fit(net, *dataset_);
     std::fprintf(stderr, "[model-cache] trained %s: test acc %.1f%% (loss %.3f)\n",
                  name.c_str(), 100.0 * result.test_accuracy, result.final_train_loss);
-    net.save(model_path(name));
+    save_atomically(net, model_path(name));
     return net;
 }
 
 Network& ModelCache::get(const std::string& name) {
+    // Coarse lock: concurrent first-loads of the same model must not race
+    // on loaded_, and training the same model twice would waste minutes.
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = loaded_.find(name); it != loaded_.end()) return *it->second;
     auto net = std::make_unique<Network>(make_network(name));
     const std::string path = model_path(name);
@@ -54,9 +72,12 @@ Network& ModelCache::get(const std::string& name) {
 
 void ModelCache::ensure(const std::vector<std::string>& names, int threads) {
     std::vector<std::string> missing;
-    for (const auto& name : names)
-        if (!std::filesystem::exists(model_path(name)) && !loaded_.count(name))
-            missing.push_back(name);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& name : names)
+            if (!std::filesystem::exists(model_path(name)) && !loaded_.count(name))
+                missing.push_back(name);
+    }
     if (missing.empty()) return;
     if (threads <= 0)
         threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -82,7 +103,7 @@ void ModelCache::ensure(const std::vector<std::string>& names, int threads) {
                 Network net = make_network(name);
                 SgdTrainer trainer(recommended_train_config(name));
                 const TrainResult result = trainer.fit(net, *dataset_);
-                net.save(model_path(name));
+                save_atomically(net, model_path(name));
                 std::fprintf(stderr, "[model-cache] trained %s: test acc %.1f%%\n",
                              name.c_str(), 100.0 * result.test_accuracy);
             }

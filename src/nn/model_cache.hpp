@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,8 @@ public:
     [[nodiscard]] const data::SyntheticDataset& dataset() const { return *dataset_; }
 
     /// Load (or train + persist) a model; the returned reference stays
-    /// valid for the cache's lifetime.
+    /// valid for the cache's lifetime. Safe to call concurrently (the
+    /// serving runtime warms models from multiple threads).
     Network& get(const std::string& name);
 
     /// Train all missing models, `threads` at a time (0 = hardware).
@@ -37,6 +39,7 @@ private:
 
     std::string dir_;
     std::unique_ptr<data::SyntheticDataset> dataset_;
+    std::mutex mutex_;  ///< guards loaded_
     std::map<std::string, std::unique_ptr<Network>> loaded_;
 };
 

@@ -28,6 +28,13 @@ struct QuantExecStats {
 
 /// Run the quantized graph; `injector` (optional) is invoked once per MAC
 /// product. Returns float logits.
+///
+/// Reentrancy guarantee (relied on by the serving runtime in src/serve):
+/// this function keeps no shared mutable state — all scratch buffers are
+/// per call, and the only stateful collaborators (`injector`, `stats`)
+/// are caller-provided per-call objects. Concurrent calls on the same
+/// `qgraph` from different threads are safe and bit-identical to serial
+/// execution as long as each call gets its own injector/stats.
 [[nodiscard]] tensor::Tensor run_quantized(const QuantizedGraph& qgraph,
                                            const tensor::Tensor& batch,
                                            inject::BitFlipInjector* injector = nullptr,

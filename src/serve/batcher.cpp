@@ -1,0 +1,43 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace raq::serve {
+
+tensor::Tensor stack_batch(const std::vector<InferenceRequest>& batch) {
+    if (batch.empty()) throw std::invalid_argument("stack_batch: empty batch");
+    const tensor::Shape& s0 = batch.front().image.shape();
+    tensor::Tensor stacked(
+        {static_cast<int>(batch.size()), s0.c, s0.h, s0.w});
+    const std::size_t pixels = static_cast<std::size_t>(s0.c) *
+                               static_cast<std::size_t>(s0.h) *
+                               static_cast<std::size_t>(s0.w);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const tensor::Tensor& img = batch[i].image;
+        const tensor::Shape& s = img.shape();
+        if (s.n != 1 || s.c != s0.c || s.h != s0.h || s.w != s0.w)
+            throw std::invalid_argument("stack_batch: mismatched sample shapes");
+        std::copy(img.data(), img.data() + pixels, stacked.data() + i * pixels);
+    }
+    return stacked;
+}
+
+InferenceResult make_result(std::uint64_t request_id, const tensor::Tensor& logits,
+                            int row) {
+    const tensor::Shape& s = logits.shape();
+    if (row < 0 || row >= s.n) throw std::out_of_range("make_result: bad logits row");
+    InferenceResult result;
+    result.request_id = request_id;
+    const std::size_t classes = static_cast<std::size_t>(s.c) *
+                                static_cast<std::size_t>(s.h) *
+                                static_cast<std::size_t>(s.w);
+    const float* first = logits.data() + static_cast<std::size_t>(row) * classes;
+    result.logits.assign(first, first + classes);
+    result.predicted_class = static_cast<int>(
+        std::max_element(result.logits.begin(), result.logits.end()) -
+        result.logits.begin());
+    return result;
+}
+
+}  // namespace raq::serve

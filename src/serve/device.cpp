@@ -1,0 +1,177 @@
+#include "serve/device.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "ir/float_executor.hpp"
+#include "quant/methods.hpp"
+#include "serve/batcher.hpp"
+
+namespace raq::serve {
+
+NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config)
+    : id_(id), ctx_(&ctx), config_(config) {
+    if (!ctx.graph || !ctx.calib || !ctx.selector || !ctx.aging)
+        throw std::invalid_argument("NpuDevice: graph/calib/selector/aging are required");
+    if (config.full_algorithm1 && (!ctx.eval_images || !ctx.eval_labels))
+        throw std::invalid_argument("NpuDevice: full Algorithm 1 needs an eval set");
+    clock_period_ps_ = ctx.selector->fresh_critical_path_ps();
+    const npu::SystolicArrayModel array(config.systolic);
+    per_image_cycles_ = array.analyze(*ctx.graph).total_cycles;
+    deploy(ctx.aging->dvth_mv(config.initial_age_years), /*record_event=*/false);
+    if (!qgraph_)
+        throw std::runtime_error(
+            "NpuDevice: no feasible compression at the initial aging level");
+}
+
+double NpuDevice::hours_unlocked() const {
+    const double busy_hours =
+        static_cast<double>(busy_cycles_) * clock_period_ps_ * 1e-12 / 3600.0;
+    return config_.initial_age_years * 8760.0 + busy_hours * config_.age_acceleration;
+}
+
+double NpuDevice::operating_hours() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return hours_unlocked();
+}
+
+double NpuDevice::dvth_mv() const { return ctx_->aging->dvth_mv(operating_hours() / 8760.0); }
+
+int NpuDevice::requant_count() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return requant_count_;
+}
+
+std::shared_ptr<const quant::QuantizedGraph> NpuDevice::deployed_graph() const {
+    const std::lock_guard<std::mutex> lock(graph_mutex_);
+    return qgraph_;
+}
+
+void NpuDevice::deploy(double dvth, bool record_event) {
+    const auto choice = ctx_->selector->select(dvth);
+    // Even full compression cannot meet timing: keep the current
+    // deployment rather than serve a graph that violates the clock.
+    if (!choice) return;
+
+    quant::Method method = quant::Method::M5_AciqNoBias;
+    if (config_.full_algorithm1) {
+        core::AagInputs inputs;
+        inputs.graph = ctx_->graph;
+        inputs.test_images = ctx_->eval_images;
+        inputs.test_labels = ctx_->eval_labels;
+        inputs.calib_images = &ctx_->calib->images;
+        inputs.calib_labels = &ctx_->calib->labels;
+        inputs.accuracy_loss_threshold = config_.accuracy_loss_threshold;
+        const core::AgingAwareQuantizer quantizer(*ctx_->selector);
+        method = quantizer.run(inputs, dvth).selected_method;
+    }
+    const auto qconfig = quant::QuantConfig::from_compression(choice->compression);
+    auto graph = std::make_shared<const quant::QuantizedGraph>(
+        quant::quantize_graph(*ctx_->graph, method, qconfig, *ctx_->calib));
+
+    common::Compression before;
+    {
+        const std::lock_guard<std::mutex> lock(graph_mutex_);
+        before = compression_;
+        qgraph_ = std::move(graph);
+        compression_ = choice->compression;
+        method_ = method;
+        dvth_at_deploy_ = dvth;
+    }
+    if (record_event) {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requant_count_;
+        RequantEvent event;
+        event.at_hours = hours_unlocked();
+        event.dvth_mv = dvth;
+        event.before = before;
+        event.after = choice->compression;
+        event.method = method;
+        requant_events_.push_back(event);
+    }
+}
+
+void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
+    if (batch.empty()) return;
+    const auto qgraph = deployed_graph();
+    const std::uint64_t batch_cycles =
+        per_image_cycles_ * static_cast<std::uint64_t>(batch.size());
+    const double latency_us =
+        static_cast<double>(batch_cycles) * clock_period_ps_ * 1e-6;
+
+    std::uint64_t batch_flips = 0;
+    if (config_.flip_probability > 0.0) {
+        // Fault-injection mode executes per request with a request-id-
+        // derived seed: results are independent of batching decisions and
+        // thread scheduling, so parallel serving runs are reproducible.
+        inject::InjectionConfig inj_cfg;
+        inj_cfg.flip_probability = config_.flip_probability;
+        for (InferenceRequest& request : batch) {
+            inj_cfg.seed = common::stream_seed(config_.base_seed, request.id);
+            inject::BitFlipInjector injector(inj_cfg);
+            const tensor::Tensor logits =
+                quant::run_quantized(*qgraph, request.image, &injector);
+            InferenceResult result = make_result(request.id, logits, 0);
+            result.device_id = id_;
+            result.latency_cycles = batch_cycles;
+            result.latency_us = latency_us;
+            request.promise.set_value(std::move(result));
+            batch_flips += injector.flips_injected();
+        }
+    } else {
+        const tensor::Tensor stacked = stack_batch(batch);
+        const tensor::Tensor logits = quant::run_quantized(*qgraph, stacked);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            InferenceResult result = make_result(batch[i].id, logits, static_cast<int>(i));
+            result.device_id = id_;
+            result.latency_cycles = batch_cycles;
+            result.latency_us = latency_us;
+            batch[i].promise.set_value(std::move(result));
+        }
+    }
+
+    double dvth_now = 0.0;
+    double dvth_deployed = 0.0;
+    {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        requests_ += batch.size();
+        ++batches_;
+        busy_cycles_ += batch_cycles;
+        flips_ += batch_flips;
+        for (std::size_t i = 0; i < batch.size(); ++i) latency_.record(batch_cycles);
+        dvth_now = ctx_->aging->dvth_mv(hours_unlocked() / 8760.0);
+    }
+    {
+        const std::lock_guard<std::mutex> lock(graph_mutex_);
+        dvth_deployed = dvth_at_deploy_;
+    }
+    // Batch-boundary aging check (exactly one deployment per crossing:
+    // the device is held exclusively, and deploy() resets the baseline).
+    if (dvth_now - dvth_deployed >= config_.requant_threshold_mv)
+        deploy(dvth_now, /*record_event=*/true);
+}
+
+DeviceStats NpuDevice::stats() const {
+    DeviceStats s;
+    s.device_id = id_;
+    s.clock_period_ps = clock_period_ps_;
+    {
+        const std::lock_guard<std::mutex> lock(graph_mutex_);
+        s.compression = compression_;
+        s.method = method_;
+    }
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.requests = requests_;
+    s.batches = batches_;
+    s.busy_cycles = busy_cycles_;
+    s.flips = flips_;
+    s.operating_hours = hours_unlocked();
+    s.dvth_mv = ctx_->aging->dvth_mv(s.operating_hours / 8760.0);
+    s.requant_count = requant_count_;
+    s.requant_events = requant_events_;
+    s.latency = latency_.summary();
+    return s;
+}
+
+}  // namespace raq::serve

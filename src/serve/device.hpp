@@ -1,0 +1,116 @@
+// A simulated NPU device inside the serving fleet.
+//
+// Each device carries its own aging state: simulated operating hours
+// (initial field age + busy time accumulated while serving, optionally
+// accelerated), the resulting ΔVth from the shared AgingModel, and the
+// QuantizedGraph currently deployed on it. The device clock is the fresh
+// MAC critical path from STA — the paper's zero-guardband operating
+// point — and staying correct at that clock as ΔVth grows is exactly what
+// online re-quantization (Algorithm 1) provides: when the device's aging
+// has advanced by `requant_threshold_mv` since the last deployment, the
+// next batch boundary triggers re-quantization and atomically swaps the
+// deployed graph.
+//
+// Concurrency contract: a device is checked out exclusively by one worker
+// at a time (the server's device pool enforces this), so execution state
+// needs no locks; the deployed-graph pointer and the statistics are
+// additionally guarded so observers can snapshot a device mid-run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "core/aging_aware_quantizer.hpp"
+#include "inject/bitflip.hpp"
+#include "npu/systolic.hpp"
+#include "quant/quant_executor.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/stats.hpp"
+
+namespace raq::serve {
+
+/// Read-only deployment context shared by every device in the fleet.
+struct ServeContext {
+    const ir::Graph* graph = nullptr;                 ///< trained, BN-folded model
+    const quant::CalibrationData* calib = nullptr;    ///< calibration statistics
+    const core::CompressionSelector* selector = nullptr;
+    const aging::AgingModel* aging = nullptr;
+    /// Optional labeled evaluation set: enables the full Algorithm 1
+    /// method search on re-quantization and online accuracy sampling.
+    const tensor::Tensor* eval_images = nullptr;
+    const std::vector<int>* eval_labels = nullptr;
+};
+
+struct DeviceConfig {
+    double initial_age_years = 0.0;
+    /// Simulated aging hours accrued per simulated busy hour. 1.0 = real
+    /// time; large values compress years of field aging into one run.
+    double age_acceleration = 1.0;
+    /// ΔVth growth since the last deployment that triggers re-quantization.
+    double requant_threshold_mv = 5.0;
+    /// Full Algorithm 1 (all PTQ methods, needs eval set) vs. the fast
+    /// path (compression selection + M5 ACIQ), suitable per batch boundary.
+    bool full_algorithm1 = false;
+    std::optional<double> accuracy_loss_threshold;  ///< Algorithm 1 line 9
+    /// Per-product MSB flip probability while serving (0 = clean device).
+    double flip_probability = 0.0;
+    std::uint64_t base_seed = 0x5EEDC0DEULL;
+    npu::SystolicConfig systolic{};
+};
+
+class NpuDevice {
+public:
+    /// `ctx` must outlive the device (NpuServer guarantees this by
+    /// owning its own ServeContext copy).
+    NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config);
+
+    /// Serve one batch: execute every request on the deployed graph,
+    /// fulfill its promise, account busy time, then age the device and
+    /// re-quantize if the threshold was crossed. Called with exclusive
+    /// ownership of the device.
+    void serve(std::vector<InferenceRequest>& batch);
+
+    [[nodiscard]] int id() const { return id_; }
+    [[nodiscard]] double clock_period_ps() const { return clock_period_ps_; }
+    [[nodiscard]] std::uint64_t per_image_cycles() const { return per_image_cycles_; }
+    [[nodiscard]] double operating_hours() const;
+    [[nodiscard]] double dvth_mv() const;
+    [[nodiscard]] int requant_count() const;
+
+    /// Snapshot of the deployed graph (stable even while serving).
+    [[nodiscard]] std::shared_ptr<const quant::QuantizedGraph> deployed_graph() const;
+
+    [[nodiscard]] DeviceStats stats() const;
+
+private:
+    void deploy(double dvth, bool record_event);
+    [[nodiscard]] double hours_unlocked() const;
+
+    const int id_;
+    const ServeContext* ctx_;
+    const DeviceConfig config_;
+
+    double clock_period_ps_ = 0.0;      ///< fresh critical path (constant)
+    std::uint64_t per_image_cycles_ = 0;
+
+    mutable std::mutex graph_mutex_;
+    std::shared_ptr<const quant::QuantizedGraph> qgraph_;
+    common::Compression compression_;
+    quant::Method method_ = quant::Method::M5_AciqNoBias;
+    double dvth_at_deploy_ = 0.0;
+
+    mutable std::mutex stats_mutex_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t busy_cycles_ = 0;
+    std::uint64_t flips_ = 0;
+    int requant_count_ = 0;
+    std::vector<RequantEvent> requant_events_;
+    LatencyRecorder latency_;
+};
+
+}  // namespace raq::serve

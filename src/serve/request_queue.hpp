@@ -1,0 +1,103 @@
+// Bounded MPMC request queue with batched pops — the admission point of
+// the serving runtime. Producers (submit calls) block when the queue is
+// full (backpressure instead of unbounded memory growth); consumers
+// (workers) pop up to `max_batch` requests in one critical section, which
+// is what makes dynamic batching cheap: one lock acquisition per batch,
+// not per request.
+//
+// close() stops admission but lets consumers drain what was accepted:
+// pop_batch keeps returning work until the queue is empty, then returns
+// an empty vector — the worker-exit signal. Nothing accepted is ever
+// dropped.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace raq::serve {
+
+/// The outcome of one served request.
+struct InferenceResult {
+    std::uint64_t request_id = 0;
+    int predicted_class = -1;
+    std::vector<float> logits;
+    int device_id = -1;
+    std::uint64_t latency_cycles = 0;  ///< batch residency in model cycles
+    double latency_us = 0.0;           ///< latency_cycles × device clock
+};
+
+struct InferenceRequest {
+    std::uint64_t id = 0;
+    tensor::Tensor image;  ///< one sample, shape (1, c, h, w)
+    std::promise<InferenceResult> promise;
+};
+
+class RequestQueue {
+public:
+    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Blocks while the queue is full. Returns false (and drops the
+    /// request) once the queue is closed.
+    bool push(InferenceRequest&& request) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return false;
+        items_.push_back(std::move(request));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Pops 1..max_batch requests, blocking until work arrives. An empty
+    /// result means the queue is closed *and* fully drained.
+    std::vector<InferenceRequest> pop_batch(std::size_t max_batch) {
+        std::vector<InferenceRequest> batch;
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        const std::size_t n = std::min(max_batch, items_.size());
+        batch.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            batch.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        lock.unlock();
+        if (n > 0) not_full_.notify_all();
+        return batch;
+    }
+
+    /// Stop admission; wakes all blocked producers and consumers.
+    void close() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+    [[nodiscard]] std::size_t size() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<InferenceRequest> items_;
+    bool closed_ = false;
+};
+
+}  // namespace raq::serve

@@ -1,0 +1,98 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "quant/evaluate.hpp"
+
+namespace raq::serve {
+
+NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
+    : config_(config), ctx_(ctx), queue_(config.queue_capacity) {
+    if (config.num_devices < 1 || config.num_workers < 1 || config.max_batch < 1)
+        throw std::invalid_argument("NpuServer: devices/workers/max_batch must be >= 1");
+    devices_.reserve(static_cast<std::size_t>(config.num_devices));
+    for (int i = 0; i < config.num_devices; ++i) {
+        DeviceConfig dev = config.device;
+        dev.initial_age_years =
+            config.initial_age_years + static_cast<double>(i) * config.initial_age_step_years;
+        devices_.push_back(std::make_unique<NpuDevice>(i, ctx_, dev));
+        idle_devices_.push_back(devices_.back().get());
+    }
+    workers_.reserve(static_cast<std::size_t>(config.num_workers));
+    for (int i = 0; i < config.num_workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+NpuServer::~NpuServer() { shutdown(); }
+
+std::future<InferenceResult> NpuServer::submit(tensor::Tensor image) {
+    InferenceRequest request;
+    request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    request.image = std::move(image);
+    std::future<InferenceResult> future = request.promise.get_future();
+    if (!queue_.push(std::move(request)))
+        throw std::runtime_error("NpuServer: submit after shutdown");
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+}
+
+void NpuServer::worker_loop() {
+    for (;;) {
+        std::vector<InferenceRequest> batch =
+            queue_.pop_batch(static_cast<std::size_t>(config_.max_batch));
+        if (batch.empty()) return;  // closed and drained
+
+        NpuDevice* device = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(pool_mutex_);
+            pool_cv_.wait(lock, [&] { return !idle_devices_.empty(); });
+            device = idle_devices_.back();
+            idle_devices_.pop_back();
+        }
+        device->serve(batch);
+        {
+            const std::lock_guard<std::mutex> lock(pool_mutex_);
+            idle_devices_.push_back(device);
+        }
+        pool_cv_.notify_one();
+        completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+}
+
+void NpuServer::shutdown() {
+    if (stopped_.exchange(true)) return;
+    queue_.close();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+}
+
+double NpuServer::sample_accuracy(int device_index, int samples) const {
+    if (!ctx_.eval_images || !ctx_.eval_labels)
+        throw std::logic_error("NpuServer: no eval set in the serve context");
+    if (samples < 1) throw std::invalid_argument("NpuServer: samples must be >= 1");
+    const auto qgraph = devices_.at(static_cast<std::size_t>(device_index))->deployed_graph();
+    const tensor::Shape& s = ctx_.eval_images->shape();
+    samples = std::min(samples, s.n);
+    const std::size_t pixels = static_cast<std::size_t>(s.c) *
+                               static_cast<std::size_t>(s.h) *
+                               static_cast<std::size_t>(s.w);
+    tensor::Tensor subset({samples, s.c, s.h, s.w});
+    std::copy(ctx_.eval_images->data(),
+              ctx_.eval_images->data() + static_cast<std::size_t>(samples) * pixels,
+              subset.data());
+    const std::vector<int> labels(ctx_.eval_labels->begin(),
+                                  ctx_.eval_labels->begin() + samples);
+    return quant::quantized_accuracy(*qgraph, subset, labels);
+}
+
+FleetStats NpuServer::fleet_stats() const {
+    FleetStats fleet;
+    fleet.submitted = accepted_.load(std::memory_order_relaxed);
+    fleet.completed = completed_.load(std::memory_order_relaxed);
+    fleet.devices.reserve(devices_.size());
+    for (const auto& device : devices_) fleet.devices.push_back(device->stats());
+    return fleet;
+}
+
+}  // namespace raq::serve

@@ -1,0 +1,84 @@
+// NpuServer — the multi-threaded aging-aware inference serving runtime.
+//
+// Topology: submit() → bounded RequestQueue → worker threads. Each worker
+// pops a dynamic batch, checks an idle device out of the pool, serves the
+// batch on it (fulfilling the requests' futures) and returns the device.
+// Devices age as they serve; crossing the ΔVth re-quantization threshold
+// swaps that device's deployed QuantizedGraph at the next batch boundary
+// while the rest of the fleet keeps serving (paper Algorithm 1, run
+// online instead of offline).
+//
+// shutdown() closes admission, drains every accepted request, and joins
+// the workers; no accepted request is ever dropped.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/device.hpp"
+#include "serve/request_queue.hpp"
+
+namespace raq::serve {
+
+struct ServeConfig {
+    int num_devices = 1;
+    int num_workers = 1;
+    int max_batch = 8;          ///< dynamic batching cap per device pass
+    std::size_t queue_capacity = 4096;
+    /// Device i enters the fleet aged initial_age_years + i × step (real
+    /// fleets are heterogeneous: devices were deployed at different times).
+    double initial_age_years = 0.0;
+    double initial_age_step_years = 0.0;
+    DeviceConfig device;  ///< per-device knobs (aging, requant, injection)
+};
+
+class NpuServer {
+public:
+    /// The context is copied (it is a bundle of pointers); the pointed-to
+    /// objects (graph, calibration, selector, aging model, eval set) must
+    /// outlive the server.
+    NpuServer(const ServeContext& ctx, const ServeConfig& config);
+    ~NpuServer();
+
+    NpuServer(const NpuServer&) = delete;
+    NpuServer& operator=(const NpuServer&) = delete;
+
+    /// Enqueue one sample (shape (1, c, h, w)); blocks under backpressure.
+    /// Throws once the server is shut down.
+    std::future<InferenceResult> submit(tensor::Tensor image);
+
+    /// Close admission, drain all accepted requests, join the workers.
+    /// Idempotent.
+    void shutdown();
+
+    [[nodiscard]] int num_devices() const { return static_cast<int>(devices_.size()); }
+    [[nodiscard]] const NpuDevice& device(int i) const { return *devices_.at(i); }
+
+    /// Online accuracy sampling: evaluate the device's currently deployed
+    /// graph on the first `samples` images of the context eval set.
+    [[nodiscard]] double sample_accuracy(int device_index, int samples) const;
+
+    [[nodiscard]] FleetStats fleet_stats() const;
+
+private:
+    void worker_loop();
+
+    ServeConfig config_;
+    ServeContext ctx_;  ///< owned copy; pointed-to objects outlive the server
+    RequestQueue queue_;
+    std::vector<std::unique_ptr<NpuDevice>> devices_;
+
+    std::mutex pool_mutex_;
+    std::condition_variable pool_cv_;
+    std::vector<NpuDevice*> idle_devices_;
+
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> next_request_id_{0};
+    std::atomic<std::uint64_t> accepted_{0};  ///< requests the queue admitted
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<bool> stopped_{false};
+};
+
+}  // namespace raq::serve

@@ -1,0 +1,78 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace raq::serve {
+
+namespace {
+
+double percentile(const std::vector<std::uint64_t>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+           static_cast<double>(sorted[hi]) * frac;
+}
+
+}  // namespace
+
+LatencySummary LatencyRecorder::summary() const {
+    LatencySummary s;
+    s.count = samples_.size();
+    if (samples_.empty()) return s;
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_cycles = percentile(sorted, 0.50);
+    s.p99_cycles = percentile(sorted, 0.99);
+    s.max_cycles = sorted.back();
+    double sum = 0.0;
+    for (const std::uint64_t v : sorted) sum += static_cast<double>(v);
+    s.mean_cycles = sum / static_cast<double>(sorted.size());
+    return s;
+}
+
+double FleetStats::sim_throughput_ips() const {
+    double max_busy_s = 0.0;
+    std::uint64_t served = 0;
+    for (const DeviceStats& d : devices) {
+        max_busy_s = std::max(
+            max_busy_s, static_cast<double>(d.busy_cycles) * d.clock_period_ps * 1e-12);
+        served += d.requests;
+    }
+    return max_busy_s > 0.0 ? static_cast<double>(served) / max_busy_s : 0.0;
+}
+
+int FleetStats::total_requants() const {
+    int n = 0;
+    for (const DeviceStats& d : devices) n += d.requant_count;
+    return n;
+}
+
+std::string FleetStats::to_string() const {
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "fleet: %llu submitted, %llu completed, %d requant(s), "
+                  "%.0f inf/s (simulated)\n",
+                  static_cast<unsigned long long>(submitted),
+                  static_cast<unsigned long long>(completed), total_requants(),
+                  sim_throughput_ips());
+    out += line;
+    for (const DeviceStats& d : devices) {
+        std::snprintf(line, sizeof(line),
+                      "  dev%-2d %6llu req %5llu batch  %8.1f h  dVth %5.2f mV  "
+                      "%s %s  p50 %.0f p99 %.0f cyc  requants %d\n",
+                      d.device_id, static_cast<unsigned long long>(d.requests),
+                      static_cast<unsigned long long>(d.batches), d.operating_hours,
+                      d.dvth_mv, d.compression.to_string().c_str(),
+                      quant::method_label(d.method), d.latency.p50_cycles,
+                      d.latency.p99_cycles, d.requant_count);
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace raq::serve

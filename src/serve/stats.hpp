@@ -1,0 +1,84 @@
+// Serving statistics: per-request latency distribution in model-cycles,
+// per-device counters (requests, batches, busy cycles, injected flips,
+// re-quantization events) and fleet-level aggregates.
+//
+// All simulated-time figures come from the systolic-array cycle model ×
+// the MAC clock period: the host we simulate on has nothing to do with
+// how fast the modelled NPU runs, so throughput/latency are reported in
+// model time (wall-clock is reported separately by the bench).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/compression.hpp"
+#include "quant/methods.hpp"
+
+namespace raq::serve {
+
+struct LatencySummary {
+    std::uint64_t count = 0;
+    double p50_cycles = 0.0;
+    double p99_cycles = 0.0;
+    double mean_cycles = 0.0;
+    std::uint64_t max_cycles = 0;
+};
+
+/// Collects per-request latencies (model cycles). Not thread-safe; each
+/// device owns one and guards it with its stats mutex.
+class LatencyRecorder {
+public:
+    void record(std::uint64_t cycles) { samples_.push_back(cycles); }
+    [[nodiscard]] LatencySummary summary() const;
+    [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+private:
+    std::vector<std::uint64_t> samples_;
+};
+
+/// One online re-quantization performed by a device.
+struct RequantEvent {
+    double at_hours = 0.0;          ///< simulated operating hours
+    double dvth_mv = 0.0;           ///< aging level that triggered it
+    common::Compression before;
+    common::Compression after;
+    quant::Method method = quant::Method::M5_AciqNoBias;
+};
+
+struct DeviceStats {
+    int device_id = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t busy_cycles = 0;
+    std::uint64_t flips = 0;
+    double operating_hours = 0.0;
+    double dvth_mv = 0.0;
+    double clock_period_ps = 0.0;
+    common::Compression compression;
+    quant::Method method = quant::Method::M5_AciqNoBias;
+    int requant_count = 0;
+    std::vector<RequantEvent> requant_events;
+    LatencySummary latency;
+
+    /// Saturated simulated throughput: served requests per simulated second.
+    [[nodiscard]] double sim_throughput_ips() const {
+        const double busy_s = static_cast<double>(busy_cycles) * clock_period_ps * 1e-12;
+        return busy_s > 0.0 ? static_cast<double>(requests) / busy_s : 0.0;
+    }
+};
+
+struct FleetStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::vector<DeviceStats> devices;
+
+    /// Fleet simulated throughput: completed requests over the busiest
+    /// device's simulated busy time (devices run concurrently in model
+    /// time, so the slowest device bounds the fleet).
+    [[nodiscard]] double sim_throughput_ips() const;
+    [[nodiscard]] int total_requants() const;
+    [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace raq::serve

@@ -59,7 +59,7 @@ void EventSimulator::evaluate_gate(std::int32_t gate_index, double at_time) {
     for (int i = 0; i < n; ++i)
         ins[i] = values_[static_cast<std::size_t>(gate.inputs[i])] ? ~0ULL : 0ULL;
     const std::uint8_t out = static_cast<std::uint8_t>(
-        cell::eval_word(gate.type, std::span<const std::uint64_t>(ins, static_cast<std::size_t>(n))) & 1ULL);
+        cell::eval_word(gate.type, common::Span<const std::uint64_t>(ins, static_cast<std::size_t>(n))) & 1ULL);
     schedule(gate.output, out, at_time + gate_delay_ps_[static_cast<std::size_t>(gate_index)]);
 }
 

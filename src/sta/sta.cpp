@@ -48,7 +48,7 @@ StaResult Sta::run(const cell::Library& lib, const CaseAnalysis& ca) const {
         for (int i = 0; i < n; ++i)
             ins[i] = res.values[static_cast<std::size_t>(gate.inputs[i])];
         const cell::Logic out_value =
-            cell::eval_logic(gate.type, std::span<const cell::Logic>(ins, static_cast<std::size_t>(n)));
+            cell::eval_logic(gate.type, common::Span<const cell::Logic>(ins, static_cast<std::size_t>(n)));
         const auto out_idx = static_cast<std::size_t>(gate.output);
         res.values[out_idx] = out_value;
         if (out_value != cell::Logic::X) {

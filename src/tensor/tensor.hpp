@@ -21,7 +21,10 @@ struct Shape {
         return "(" + std::to_string(n) + "," + std::to_string(c) + "," + std::to_string(h) +
                "," + std::to_string(w) + ")";
     }
-    friend bool operator==(const Shape&, const Shape&) = default;
+    friend bool operator==(const Shape& a, const Shape& b) {
+        return a.n == b.n && a.c == b.c && a.h == b.h && a.w == b.w;
+    }
+    friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
 };
 
 class Tensor {

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "cell/library.hpp"
+#include "core/compression_selector.hpp"
+#include "data/synthetic_dataset.hpp"
+#include "netlist/builders.hpp"
+#include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
+#include "quant/methods.hpp"
+#include "quant/quant_executor.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace raq;
+
+/// Shared deployment context: one small trained model, the paper's MAC
+/// timing stack, and the aging model. Trained once for the whole file.
+class Serve : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        data::DatasetConfig dc;
+        dc.train_size = 600;
+        dc.test_size = 200;
+        dataset_ = new data::SyntheticDataset(dc);
+
+        auto net = nn::make_network("alexnet-mini");
+        nn::TrainConfig tcfg;
+        tcfg.epochs = 2;
+        nn::SgdTrainer trainer(tcfg);
+        trainer.fit(net, *dataset_);
+        graph_ = new ir::Graph(net.export_ir());
+
+        const auto calib_images = dataset_->train_batch(0, 48);
+        const std::vector<int> calib_labels(dataset_->train_labels().begin(),
+                                            dataset_->train_labels().begin() + 48);
+        calib_ = new quant::CalibrationData(
+            quant::calibrate(*graph_, calib_images, calib_labels));
+
+        mac_ = new netlist::Netlist(netlist::build_mac_circuit());
+        library_ = new cell::Library(cell::Library::finfet14());
+        selector_ = new core::CompressionSelector(*mac_, *library_);
+        aging_ = new aging::AgingModel();
+
+        eval_images_ = new tensor::Tensor(dataset_->test_batch(0, 100));
+        eval_labels_ = new std::vector<int>(dataset_->test_labels().begin(),
+                                            dataset_->test_labels().begin() + 100);
+    }
+    static void TearDownTestSuite() {
+        delete eval_labels_;
+        delete eval_images_;
+        delete aging_;
+        delete selector_;
+        delete library_;
+        delete mac_;
+        delete calib_;
+        delete graph_;
+        delete dataset_;
+    }
+
+    [[nodiscard]] static serve::ServeContext context() {
+        serve::ServeContext ctx;
+        ctx.graph = graph_;
+        ctx.calib = calib_;
+        ctx.selector = selector_;
+        ctx.aging = aging_;
+        ctx.eval_images = eval_images_;
+        ctx.eval_labels = eval_labels_;
+        return ctx;
+    }
+
+    [[nodiscard]] static tensor::Tensor test_image(int index) {
+        return dataset_->test_batch(index, 1);
+    }
+
+    static data::SyntheticDataset* dataset_;
+    static ir::Graph* graph_;
+    static quant::CalibrationData* calib_;
+    static netlist::Netlist* mac_;
+    static cell::Library* library_;
+    static core::CompressionSelector* selector_;
+    static aging::AgingModel* aging_;
+    static tensor::Tensor* eval_images_;
+    static std::vector<int>* eval_labels_;
+};
+
+data::SyntheticDataset* Serve::dataset_ = nullptr;
+ir::Graph* Serve::graph_ = nullptr;
+quant::CalibrationData* Serve::calib_ = nullptr;
+netlist::Netlist* Serve::mac_ = nullptr;
+cell::Library* Serve::library_ = nullptr;
+core::CompressionSelector* Serve::selector_ = nullptr;
+aging::AgingModel* Serve::aging_ = nullptr;
+tensor::Tensor* Serve::eval_images_ = nullptr;
+std::vector<int>* Serve::eval_labels_ = nullptr;
+
+TEST_F(Serve, ConcurrentBatchedExecutionIsBitIdenticalToSerial) {
+    constexpr int kRequests = 48;
+
+    // Serial reference: the exact graph a fresh device deploys (no
+    // compression at dVth = 0, M5 ACIQ), executed one sample at a time.
+    const auto choice = selector_->select(0.0);
+    ASSERT_TRUE(choice.has_value());
+    const auto qconfig = quant::QuantConfig::from_compression(choice->compression);
+    const auto reference = quant::quantize_graph(*graph_, quant::Method::M5_AciqNoBias,
+                                                 qconfig, *calib_);
+
+    serve::ServeConfig cfg;
+    cfg.num_devices = 4;
+    cfg.num_workers = 4;
+    cfg.max_batch = 8;
+    serve::NpuServer server(context(), cfg);
+
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) futures.push_back(server.submit(test_image(i)));
+
+    for (int i = 0; i < kRequests; ++i) {
+        const serve::InferenceResult result = futures[static_cast<std::size_t>(i)].get();
+        const tensor::Tensor serial = quant::run_quantized(reference, test_image(i));
+        ASSERT_EQ(result.logits.size(), serial.size()) << "request " << i;
+        for (std::size_t c = 0; c < serial.size(); ++c)
+            EXPECT_EQ(result.logits[c], serial[c]) << "request " << i << " class " << c;
+        EXPECT_GE(result.device_id, 0);
+        EXPECT_GT(result.latency_cycles, 0u);
+    }
+    server.shutdown();
+
+    const serve::FleetStats fleet = server.fleet_stats();
+    EXPECT_EQ(fleet.completed, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(fleet.total_requants(), 0);  // nothing aged in this run
+}
+
+TEST_F(Serve, AgingDeviceRequantizesExactlyOnce) {
+    constexpr int kRequests = 180;
+    constexpr double kThresholdMv = 10.0;
+
+    serve::ServeConfig cfg;
+    cfg.num_devices = 1;
+    cfg.num_workers = 1;
+    cfg.max_batch = 4;
+    cfg.device.requant_threshold_mv = kThresholdMv;
+
+    // Scale aging so the run ends around 12 mV: the 10 mV threshold is
+    // crossed mid-run (one re-quantization), while the next crossing
+    // (20 mV) would need ~60x more stress time — unreachable here.
+    {
+        serve::NpuServer probe(context(), cfg);
+        const auto& dev = probe.device(0);
+        const double busy_hours_per_request =
+            static_cast<double>(dev.per_image_cycles()) * dev.clock_period_ps() * 1e-12 /
+            3600.0;
+        const double target_hours = aging_->years_for_dvth(12.0) * 8760.0;
+        cfg.device.age_acceleration =
+            target_hours / (kRequests * busy_hours_per_request);
+        probe.shutdown();
+    }
+
+    serve::NpuServer server(context(), cfg);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(server.submit(test_image(i % 100)));
+    for (auto& f : futures) f.get();
+    server.shutdown();
+
+    const serve::DeviceStats stats = server.device(0).stats();
+    EXPECT_EQ(stats.requant_count, 1);
+    ASSERT_EQ(stats.requant_events.size(), 1u);
+    EXPECT_GE(stats.requant_events[0].dvth_mv, kThresholdMv);
+    EXPECT_TRUE(stats.requant_events[0].before.is_none());
+    EXPECT_FALSE(stats.requant_events[0].after.is_none());
+    EXPECT_GT(stats.dvth_mv, kThresholdMv);
+
+    // The re-deployed graph still serves sensible accuracy.
+    const double acc = server.sample_accuracy(0, 100);
+    EXPECT_GT(acc, 0.3);
+}
+
+TEST_F(Serve, ShutdownDrainsQueueWithoutLosingRequests) {
+    constexpr int kRequests = 120;
+
+    serve::ServeConfig cfg;
+    cfg.num_devices = 2;
+    cfg.num_workers = 4;  // more workers than devices: pool must arbitrate
+    cfg.max_batch = 8;
+    serve::NpuServer server(context(), cfg);
+
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(server.submit(test_image(i % 100)));
+
+    // Shut down immediately: every accepted request must still complete.
+    server.shutdown();
+    for (int i = 0; i < kRequests; ++i) {
+        const serve::InferenceResult result = futures[static_cast<std::size_t>(i)].get();
+        EXPECT_GE(result.predicted_class, 0);
+    }
+
+    const serve::FleetStats fleet = server.fleet_stats();
+    EXPECT_EQ(fleet.submitted, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(fleet.completed, static_cast<std::uint64_t>(kRequests));
+    std::uint64_t served = 0;
+    for (const auto& dev : fleet.devices) served += dev.requests;
+    EXPECT_EQ(served, static_cast<std::uint64_t>(kRequests));
+
+    EXPECT_THROW((void)server.submit(test_image(0)), std::runtime_error);
+}
+
+TEST_F(Serve, FaultInjectionIsReproducibleAcrossParallelRuns) {
+    constexpr int kRequests = 32;
+
+    const auto run_once = [&] {
+        serve::ServeConfig cfg;
+        cfg.num_devices = 3;
+        cfg.num_workers = 3;
+        cfg.max_batch = 4;
+        cfg.device.flip_probability = 0.02;
+        cfg.device.base_seed = 0xC0FFEE;
+        serve::NpuServer server(context(), cfg);
+        std::vector<std::future<serve::InferenceResult>> futures;
+        for (int i = 0; i < kRequests; ++i)
+            futures.push_back(server.submit(test_image(i)));
+        std::vector<std::vector<float>> logits;
+        logits.reserve(kRequests);
+        for (auto& f : futures) logits.push_back(f.get().logits);
+        server.shutdown();
+        std::uint64_t flips = 0;
+        for (const auto& dev : server.fleet_stats().devices) flips += dev.flips;
+        return std::make_pair(std::move(logits), flips);
+    };
+
+    const auto [logits_a, flips_a] = run_once();
+    const auto [logits_b, flips_b] = run_once();
+    // Per-request seeding makes results independent of which worker or
+    // batch served a request: two parallel runs agree bit for bit.
+    EXPECT_EQ(flips_a, flips_b);
+    ASSERT_EQ(logits_a.size(), logits_b.size());
+    for (std::size_t i = 0; i < logits_a.size(); ++i) {
+        ASSERT_EQ(logits_a[i].size(), logits_b[i].size()) << i;
+        for (std::size_t c = 0; c < logits_a[i].size(); ++c)
+            EXPECT_EQ(logits_a[i][c], logits_b[i][c]) << i;
+    }
+    EXPECT_GT(flips_a, 0u);
+}
+
+TEST(ServeQueue, BatchedPopRespectsLimitAndOrder) {
+    serve::RequestQueue queue(16);
+    for (int i = 0; i < 10; ++i) {
+        serve::InferenceRequest request;
+        request.id = static_cast<std::uint64_t>(i);
+        ASSERT_TRUE(queue.push(std::move(request)));
+    }
+    auto first = queue.pop_batch(4);
+    ASSERT_EQ(first.size(), 4u);
+    EXPECT_EQ(first[0].id, 0u);
+    EXPECT_EQ(first[3].id, 3u);
+    auto rest = queue.pop_batch(100);
+    EXPECT_EQ(rest.size(), 6u);
+    queue.close();
+    EXPECT_FALSE(queue.push(serve::InferenceRequest{}));
+    EXPECT_TRUE(queue.pop_batch(4).empty());
+}
+
+TEST(ServeBatcher, StackAndSplitRoundTrip) {
+    std::vector<serve::InferenceRequest> batch(3);
+    for (int i = 0; i < 3; ++i) {
+        batch[static_cast<std::size_t>(i)].id = static_cast<std::uint64_t>(i);
+        tensor::Tensor img({1, 2, 2, 2});
+        for (std::size_t j = 0; j < img.size(); ++j)
+            img.data()[j] = static_cast<float>(i * 100 + static_cast<int>(j));
+        batch[static_cast<std::size_t>(i)].image = img;
+    }
+    const tensor::Tensor stacked = serve::stack_batch(batch);
+    EXPECT_EQ(stacked.shape().n, 3);
+    EXPECT_EQ(stacked.data()[8], 100.0f);  // row 1 starts at sample 1's data
+
+    tensor::Tensor logits({3, 4, 1, 1});
+    for (int n = 0; n < 3; ++n)
+        for (int c = 0; c < 4; ++c) logits.at(n, c, 0, 0) = (c == n) ? 5.0f : 0.0f;
+    for (int n = 0; n < 3; ++n) {
+        const auto result = serve::make_result(batch[static_cast<std::size_t>(n)].id,
+                                               logits, n);
+        EXPECT_EQ(result.predicted_class, n);
+        EXPECT_EQ(result.logits.size(), 4u);
+    }
+}
+
+}  // namespace
