@@ -1,5 +1,7 @@
 #include "core/aging_aware_quantizer.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "ir/float_executor.hpp"
@@ -26,9 +28,23 @@ AagResult AgingAwareQuantizer::run(const AagInputs& in, double dvth_mv,
     const auto config = quant::QuantConfig::from_compression(choice->compression);
 
     bool have_best = false;
+    // Algorithm 1 inner loop: every candidate method runs through one
+    // shared execution plan — only the quantization payload is rebound,
+    // so the schedule, arena and conv workspaces are compiled once. The
+    // runner pins each bound graph itself (owning rebind).
+    std::unique_ptr<quant::QuantRunner> runner;
+    const quant::EvalOptions eval_options;
     for (const quant::Method method : quant::all_methods()) {
-        const auto qgraph = quant::quantize_graph(*in.graph, method, config, calib);
-        const double acc = quant::quantized_accuracy(qgraph, *in.test_images, *in.test_labels);
+        auto qgraph = std::make_shared<const quant::QuantizedGraph>(
+            quant::quantize_graph(*in.graph, method, config, calib));
+        if (!runner)
+            runner = std::make_unique<quant::QuantRunner>(
+                std::move(qgraph),
+                std::min(eval_options.batch_size, in.test_images->shape().n));
+        else
+            runner->rebind(std::move(qgraph));
+        const double acc = quant::quantized_accuracy(*runner, *in.test_images,
+                                                     *in.test_labels, eval_options);
         MethodOutcome outcome;
         outcome.method = method;
         outcome.accuracy = acc;

@@ -1,0 +1,44 @@
+// The execution engine: drives an ExecPlan over a batch through a Backend
+// using one ExecContext of scratch state. One plan, many concurrent
+// executions: the plan is immutable, each thread brings its own context
+// (and backend instance, when the backend carries per-run hooks).
+//
+// Determinism guarantee: with or without a thread pool, outputs are bit-
+// identical — parallelism only ever splits convolutions over disjoint
+// output-channel ranges whose per-element arithmetic is unchanged.
+#pragma once
+
+#include <memory>
+
+#include "exec/backend.hpp"
+
+namespace raq::exec {
+
+struct RunOptions {
+    ThreadPool* pool = nullptr;  ///< optional intra-plan parallelism (off by default)
+};
+
+/// Execute `plan` with `backend` on `batch` (1 ≤ n ≤ plan capacity).
+/// Returns the graph-output tensor. The batch is read in place (zero-copy
+/// for Tensor::batch_view slices).
+[[nodiscard]] tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
+                                 tensor::TensorView batch, const RunOptions& options = {});
+
+/// Reusable FP32 execution state: plan + context + FloatBackend, growing
+/// its batch capacity on demand. One per thread.
+class FloatRunner {
+public:
+    explicit FloatRunner(const ir::Graph& graph, int batch_capacity = 1,
+                         ThreadPool* pool = nullptr);
+
+    [[nodiscard]] tensor::Tensor run(tensor::TensorView batch);
+    [[nodiscard]] const ExecPlan& plan() const { return *plan_; }
+
+private:
+    std::unique_ptr<ExecPlan> plan_;
+    FloatBackend backend_;
+    ExecContext ctx_;
+    ThreadPool* pool_;
+};
+
+}  // namespace raq::exec

@@ -1,0 +1,77 @@
+#include "exec/backend.hpp"
+
+#include <cstring>
+
+#include "exec/kernels.hpp"
+#include "tensor/gemm.hpp"
+
+namespace raq::exec {
+
+void FloatBackend::prepare(const ExecPlan& plan, ExecContext& ctx) const {
+    ExecContext::reserve(ctx.columns, plan.max_columns());
+    ExecContext::reserve(ctx.product, plan.max_product_floats());
+}
+
+void FloatBackend::conv(const ConvCall& call, ExecContext& ctx) {
+    const ir::Op& op = *call.op;
+    const ConvGeom& g = *call.geom;
+    const tensor::Shape& s = call.in_shape;
+    const std::size_t cols = static_cast<std::size_t>(s.n) * g.hw;
+
+    ExecContext::reserve(ctx.columns, g.kdim * cols);
+    kernels::im2col(call.in, s, op.conv.kh, op.conv.kw, op.conv.stride, op.conv.pad,
+                    ctx.columns.data(), g.oh, g.ow, g.zero_columns);
+
+    const auto gemm_rows = [&](float* c, std::size_t oc_begin, std::size_t oc_end) {
+        tensor::gemm(op.weights.data() + oc_begin * g.kdim, ctx.columns.data(),
+                     c + oc_begin * cols, oc_end - oc_begin, g.kdim, cols);
+    };
+
+    if (s.n == 1) {
+        // Single-sample fast path: the [oc, cols] GEMM result already is
+        // the (1, oc, oh, ow) output layout — GEMM straight into the
+        // output buffer, then the bias in place. Same float ops as the
+        // product-buffer path, so still bit-identical.
+        const auto run = [&](std::size_t oc_begin, std::size_t oc_end) {
+            gemm_rows(call.out, oc_begin, oc_end);
+            for (std::size_t oc = oc_begin; oc < oc_end; ++oc) {
+                const float b = op.bias[oc];
+                float* row = call.out + oc * g.hw;
+                for (std::size_t i = 0; i < g.hw; ++i) row[i] += b;
+            }
+        };
+        if (call.pool)
+            call.pool->parallel_for(
+                static_cast<std::size_t>(op.conv.out_c),
+                [&](std::size_t, std::size_t b, std::size_t e) { run(b, e); });
+        else
+            run(0, static_cast<std::size_t>(op.conv.out_c));
+        return;
+    }
+
+    ExecContext::reserve(ctx.product, static_cast<std::size_t>(op.conv.out_c) * cols);
+    // product is [oc, n*oh*ow]; output layout is [n, oc, oh, ow].
+    const auto run = [&](std::size_t oc_begin, std::size_t oc_end) {
+        gemm_rows(ctx.product.data(), oc_begin, oc_end);
+        for (int n = 0; n < s.n; ++n)
+            for (std::size_t oc = oc_begin; oc < oc_end; ++oc) {
+                const float b = op.bias[oc];
+                const float* src =
+                    ctx.product.data() + oc * cols + static_cast<std::size_t>(n) * g.hw;
+                float* dst = call.out +
+                             (static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(op.conv.out_c) +
+                              oc) *
+                                 g.hw;
+                for (std::size_t i = 0; i < g.hw; ++i) dst[i] = src[i] + b;
+            }
+    };
+    if (call.pool)
+        call.pool->parallel_for(
+            static_cast<std::size_t>(op.conv.out_c),
+            [&](std::size_t, std::size_t b, std::size_t e) { run(b, e); });
+    else
+        run(0, static_cast<std::size_t>(op.conv.out_c));
+}
+
+}  // namespace raq::exec

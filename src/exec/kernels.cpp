@@ -1,0 +1,138 @@
+#include "exec/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace raq::exec::kernels {
+
+void relu(const float* in, float* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i] > 0 ? in[i] : 0.0f;
+}
+
+void maxpool(const float* in, const tensor::Shape& s, int kernel, int stride, float* out,
+             int oh, int ow) {
+    const std::size_t in_hw = static_cast<std::size_t>(s.h) * static_cast<std::size_t>(s.w);
+    const std::size_t out_hw = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+    for (int n = 0; n < s.n; ++n)
+        for (int c = 0; c < s.c; ++c) {
+            const float* plane =
+                in + (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                      static_cast<std::size_t>(c)) *
+                         in_hw;
+            float* dst = out + (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                                static_cast<std::size_t>(c)) *
+                                   out_hw;
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    for (int ky = 0; ky < kernel; ++ky)
+                        for (int kx = 0; kx < kernel; ++kx) {
+                            const int iy = oy * stride + ky;
+                            const int ix = ox * stride + kx;
+                            if (iy < s.h && ix < s.w)
+                                best = std::max(
+                                    best, plane[static_cast<std::size_t>(iy) *
+                                                    static_cast<std::size_t>(s.w) +
+                                                static_cast<std::size_t>(ix)]);
+                        }
+                    dst[static_cast<std::size_t>(oy) * static_cast<std::size_t>(ow) +
+                        static_cast<std::size_t>(ox)] = best;
+                }
+        }
+}
+
+void global_avg_pool(const float* in, const tensor::Shape& s, float* out) {
+    const std::size_t hw = static_cast<std::size_t>(s.h) * static_cast<std::size_t>(s.w);
+    const float inv = 1.0f / static_cast<float>(s.h * s.w);
+    for (int n = 0; n < s.n; ++n)
+        for (int c = 0; c < s.c; ++c) {
+            const float* plane =
+                in + (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                      static_cast<std::size_t>(c)) *
+                         hw;
+            float acc = 0;
+            // Same y-major accumulation order as the reference walker.
+            for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+            out[static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                static_cast<std::size_t>(c)] = acc * inv;
+        }
+}
+
+void add(const float* a, const float* b, float* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void concat(const std::vector<ConcatInput>& ins, const tensor::Shape& out_shape, float* out) {
+    const std::size_t hw =
+        static_cast<std::size_t>(out_shape.h) * static_cast<std::size_t>(out_shape.w);
+    for (int n = 0; n < out_shape.n; ++n) {
+        std::size_t c_off = 0;
+        for (const ConcatInput& in : ins) {
+            const std::size_t block = static_cast<std::size_t>(in.channels) * hw;
+            std::memcpy(out + (static_cast<std::size_t>(n) *
+                                   static_cast<std::size_t>(out_shape.c) +
+                               c_off) *
+                                  hw,
+                        in.data + static_cast<std::size_t>(n) * block,
+                        block * sizeof(float));
+            c_off += static_cast<std::size_t>(in.channels);
+        }
+    }
+}
+
+namespace {
+
+template <typename T>
+void im2col_impl(const T* in, const tensor::Shape& s, int kh, int kw, int stride, int pad,
+                 T* columns, int oh, int ow, bool zero_first) {
+    const std::size_t rows = static_cast<std::size_t>(s.c) * static_cast<std::size_t>(kh) *
+                             static_cast<std::size_t>(kw);
+    const std::size_t cols = static_cast<std::size_t>(s.n) * static_cast<std::size_t>(oh) *
+                             static_cast<std::size_t>(ow);
+    if (zero_first) std::memset(columns, 0, rows * cols * sizeof(T));
+    for (int n = 0; n < s.n; ++n)
+        for (int c = 0; c < s.c; ++c)
+            for (int ky = 0; ky < kh; ++ky)
+                for (int kx = 0; kx < kw; ++kx) {
+                    const std::size_t row =
+                        (static_cast<std::size_t>(c) * static_cast<std::size_t>(kh) +
+                         static_cast<std::size_t>(ky)) *
+                            static_cast<std::size_t>(kw) +
+                        static_cast<std::size_t>(kx);
+                    for (int oy = 0; oy < oh; ++oy) {
+                        const int iy = oy * stride - pad + ky;
+                        if (iy < 0 || iy >= s.h) continue;
+                        const std::size_t col_base =
+                            (static_cast<std::size_t>(n) * static_cast<std::size_t>(oh) +
+                             static_cast<std::size_t>(oy)) *
+                            static_cast<std::size_t>(ow);
+                        const std::size_t in_base =
+                            ((static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
+                              static_cast<std::size_t>(c)) *
+                                 static_cast<std::size_t>(s.h) +
+                             static_cast<std::size_t>(iy)) *
+                            static_cast<std::size_t>(s.w);
+                        for (int ox = 0; ox < ow; ++ox) {
+                            const int ix = ox * stride - pad + kx;
+                            if (ix < 0 || ix >= s.w) continue;
+                            columns[row * cols + col_base + static_cast<std::size_t>(ox)] =
+                                in[in_base + static_cast<std::size_t>(ix)];
+                        }
+                    }
+                }
+}
+
+}  // namespace
+
+void im2col(const float* in, const tensor::Shape& s, int kh, int kw, int stride, int pad,
+            float* columns, int oh, int ow, bool zero_first) {
+    im2col_impl(in, s, kh, kw, stride, pad, columns, oh, ow, zero_first);
+}
+
+void im2col_u8(const std::uint8_t* qx, const tensor::Shape& s, int kh, int kw, int stride,
+               int pad, std::uint8_t* columns, int oh, int ow, bool zero_first) {
+    im2col_impl(qx, s, kh, kw, stride, pad, columns, oh, ow, zero_first);
+}
+
+}  // namespace raq::exec::kernels

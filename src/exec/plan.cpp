@@ -1,0 +1,173 @@
+#include "exec/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace raq::exec {
+
+namespace {
+
+/// Best-fit free-list allocator over a growable flat arena. Regions are
+/// measured in floats; freeing coalesces with adjacent free regions so
+/// long-lived plans do not fragment.
+class ArenaAllocator {
+public:
+    std::size_t allocate(std::size_t size) {
+        // Best fit: smallest free region that holds `size`.
+        auto best = free_.end();
+        for (auto it = free_.begin(); it != free_.end(); ++it) {
+            if (it->second < size) continue;
+            if (best == free_.end() || it->second < best->second) best = it;
+        }
+        if (best != free_.end()) {
+            const std::size_t offset = best->first;
+            const std::size_t remaining = best->second - size;
+            free_.erase(best);
+            if (remaining > 0) free_[offset + size] = remaining;
+            return offset;
+        }
+        const std::size_t offset = high_water_;
+        high_water_ += size;
+        return offset;
+    }
+
+    void release(std::size_t offset, std::size_t size) {
+        auto [it, inserted] = free_.emplace(offset, size);
+        if (!inserted) throw std::logic_error("ArenaAllocator: double free");
+        // Coalesce with the next free region.
+        auto next = std::next(it);
+        if (next != free_.end() && it->first + it->second == next->first) {
+            it->second += next->second;
+            free_.erase(next);
+        }
+        // Coalesce with the previous free region.
+        if (it != free_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second == it->first) {
+                prev->second += it->second;
+                free_.erase(it);
+            }
+        }
+    }
+
+    [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+private:
+    std::map<std::size_t, std::size_t> free_;  ///< offset -> size, offset-ordered
+    std::size_t high_water_ = 0;
+};
+
+}  // namespace
+
+ExecPlan::ExecPlan(const ir::Graph& graph, PlanOptions options)
+    : ExecPlan(std::make_shared<const ir::Graph>(graph), options) {}
+
+ExecPlan::ExecPlan(std::shared_ptr<const ir::Graph> graph, PlanOptions options)
+    : graph_(std::move(graph)), options_(options) {
+    static std::atomic<std::uint64_t> next_serial{1};
+    serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
+    if (!graph_) throw std::invalid_argument("ExecPlan: null graph");
+    if (options_.batch_capacity < 1)
+        throw std::invalid_argument("ExecPlan: batch_capacity must be >= 1");
+    if (graph_->output_id() < 0) throw std::invalid_argument("ExecPlan: graph has no output");
+
+    const auto& ops = graph_->ops();
+    const std::size_t num_tensors = static_cast<std::size_t>(graph_->num_tensors());
+    const auto shapes = ir::infer_shapes(*graph_, options_.batch_capacity);
+
+    // ---- schedule + dependency levels. Ops are appended in topological
+    // order by construction (an op may only consume existing tensors), so
+    // the schedule is the op order; levels expose the independence
+    // structure (two ops on one level share no data path).
+    std::vector<int> tensor_level(num_tensors, 0);
+    schedule_.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        int level = 0;
+        for (const int in : ops[i].inputs)
+            level = std::max(level, tensor_level[static_cast<std::size_t>(in)]);
+        tensor_level[static_cast<std::size_t>(ops[i].output)] = level + 1;
+        schedule_.push_back(OpStep{static_cast<int>(i), level});
+    }
+
+    // ---- tensor lifetimes: step producing each tensor and the step of
+    // its last consumer. The graph output (and the external input) are
+    // pinned for the whole run.
+    constexpr int kLive = std::numeric_limits<int>::max();
+    std::vector<int> last_use(num_tensors, -1);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        for (const int in : ops[i].inputs)
+            last_use[static_cast<std::size_t>(in)] = static_cast<int>(i);
+    last_use[static_cast<std::size_t>(graph_->output_id())] = kLive;
+    last_use[static_cast<std::size_t>(graph_->input_id())] = kLive;  // external anyway
+
+    // ---- arena assignment: allocate each op's output right before the op
+    // runs (its inputs are still live, so an output region can never alias
+    // an input region), release inputs right after their last consumer.
+    offsets_.assign(num_tensors, kExternal);
+    ArenaAllocator arena;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const int out = ops[i].output;
+        const std::size_t out_size = shapes[static_cast<std::size_t>(out)].size();
+        total_tensor_floats_ += out_size;
+        offsets_[static_cast<std::size_t>(out)] = arena.allocate(out_size);
+        if (!options_.reuse_buffers) continue;
+        // Tensor produced but never consumed (and not the output): its
+        // region is reusable immediately after this op.
+        if (last_use[static_cast<std::size_t>(out)] < static_cast<int>(i))
+            arena.release(offsets_[static_cast<std::size_t>(out)], out_size);
+        std::vector<int> dead(ops[i].inputs);
+        std::sort(dead.begin(), dead.end());
+        dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+        for (const int in : dead) {
+            if (last_use[static_cast<std::size_t>(in)] != static_cast<int>(i)) continue;
+            if (in == graph_->input_id()) continue;  // external, not in the arena
+            arena.release(offsets_[static_cast<std::size_t>(in)],
+                          shapes[static_cast<std::size_t>(in)].size());
+        }
+    }
+    arena_floats_ = arena.high_water();
+
+    // ---- conv geometry + worst-case scratch extents.
+    conv_geom_.assign(ops.size(), ConvGeom{});
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const ir::Op& op = ops[i];
+        if (op.kind != ir::OpKind::Conv2d) continue;
+        const tensor::Shape& in = shapes[static_cast<std::size_t>(op.inputs.at(0))];
+        const tensor::Shape& out = shapes[static_cast<std::size_t>(op.output)];
+        ConvGeom g;
+        g.oh = out.h;
+        g.ow = out.w;
+        g.kdim = static_cast<std::size_t>(op.conv.in_c) * static_cast<std::size_t>(op.conv.kh) *
+                 static_cast<std::size_t>(op.conv.kw);
+        g.hw = static_cast<std::size_t>(out.h) * static_cast<std::size_t>(out.w);
+        g.cols_cap = static_cast<std::size_t>(options_.batch_capacity) * g.hw;
+        g.in_floats_cap = in.size();
+        g.zero_columns = op.conv.pad > 0;
+        // Worst-case |acc| for unsigned 8-bit codes: kdim * 255 * 255.
+        g.acc32_safe = g.kdim <= static_cast<std::size_t>(
+                                     std::numeric_limits<std::int32_t>::max()) /
+                                     (255u * 255u);
+        conv_geom_[i] = g;
+
+        max_columns_ = std::max(max_columns_, g.kdim * g.cols_cap);
+        max_product_floats_ =
+            std::max(max_product_floats_,
+                     static_cast<std::size_t>(op.conv.out_c) * g.cols_cap);
+        max_conv_in_floats_ = std::max(max_conv_in_floats_, g.in_floats_cap);
+        max_cols_ = std::max(max_cols_, g.cols_cap);
+    }
+}
+
+std::vector<tensor::Shape> ExecPlan::shapes_for(int batch_n) const {
+    if (batch_n < 1 || batch_n > options_.batch_capacity)
+        throw std::invalid_argument("ExecPlan: batch size " + std::to_string(batch_n) +
+                                    " outside [1, " +
+                                    std::to_string(options_.batch_capacity) + "]");
+    return ir::infer_shapes(*graph_, batch_n);
+}
+
+}  // namespace raq::exec

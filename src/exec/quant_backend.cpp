@@ -1,0 +1,188 @@
+#include "exec/quant_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exec/kernels.hpp"
+
+namespace raq::exec {
+
+namespace {
+
+/// Column-tile length: keep one [kdim, tile] u8 column block resident in
+/// L2 while every output channel of the range streams over it. This cuts
+/// main-memory traffic by ~out_c versus the seed's whole-matrix sweep per
+/// channel — the integer GEMM is memory-bound for real batch sizes.
+constexpr std::size_t kTileBytes = 256 * 1024;
+
+std::size_t tile_length(std::size_t kdim, std::size_t cols) {
+    const std::size_t tile = std::max<std::size_t>(512, kTileBytes / std::max<std::size_t>(1, kdim));
+    return std::min(cols, tile);
+}
+
+/// Shared zero-point/bias/stats epilogue: turn raw accumulators for
+/// columns [j0, j0 + jn) of channel `oc` into output activations in NCHW
+/// (identical for the tiled fast path and the seed-order injection path).
+template <typename AccT>
+void epilogue_rows(const quant::QConv& qc, std::size_t oc, const AccT* acc,
+                   const std::int32_t* colsum, std::size_t j0, std::size_t jn,
+                   std::size_t hw, std::size_t out_c, float* out, int shift,
+                   QuantExecStats* stats) {
+    const quant::QuantParams& wq = qc.wq(static_cast<int>(oc));
+    const float scale = qc.act.scale * wq.scale;
+    const std::int32_t zw = wq.zero_point;
+    const std::int64_t qb = qc.qbias[oc];
+    for (std::size_t j = 0; j < jn; ++j) {
+        const std::size_t jj = j0 + j;
+        const std::int64_t corrected = static_cast<std::int64_t>(acc[j]) -
+                                       static_cast<std::int64_t>(zw) * colsum[jj] + qb;
+        if (stats) {
+            // Accumulator occupancy in the shifted hardware domain
+            // (22-bit register of the paper's MAC). Shift the
+            // magnitude, not the signed value: same number, no UB.
+            const std::int64_t mag = (corrected < 0 ? -corrected : corrected) << shift;
+            stats->max_abs_accumulator = std::max(stats->max_abs_accumulator, mag);
+            if (mag >= (std::int64_t{1} << 22)) ++stats->accumulator_overflows;
+        }
+        // Map [oc, col] back to NCHW.
+        const std::size_t n = jj / hw;
+        const std::size_t pos = jj % hw;
+        out[(n * out_c + oc) * hw + pos] = static_cast<float>(corrected) * scale;
+    }
+}
+
+/// Tiled integer GEMM + epilogue for output channels [oc_begin, oc_end).
+/// AccT is int32 when the plan proved the row sum cannot overflow
+/// (kdim * 255^2 bound), int64 otherwise; both produce the same exact
+/// integers, so the narrow fast path stays bit-identical.
+template <typename AccT>
+void conv_rows(const ir::Op& op, const quant::QConv& qc, const ConvGeom& g,
+               const std::uint8_t* columns, const std::int32_t* colsum, std::size_t cols,
+               float* out, int shift, QuantExecStats* stats, std::vector<AccT>& acc,
+               std::size_t oc_begin, std::size_t oc_end) {
+    const std::size_t kdim = g.kdim;
+    const std::size_t out_c = static_cast<std::size_t>(op.conv.out_c);
+    const std::size_t tile = tile_length(kdim, cols);
+    ExecContext::reserve(acc, tile);
+
+    for (std::size_t j0 = 0; j0 < cols; j0 += tile) {
+        const std::size_t jn = std::min(tile, cols - j0);
+        for (std::size_t oc = oc_begin; oc < oc_end; ++oc) {
+            const std::uint8_t* wrow = qc.qweights.data() + oc * kdim;
+            std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(jn), AccT{0});
+            for (std::size_t k = 0; k < kdim; ++k) {
+                const std::int32_t w = wrow[k];
+                if (w == 0) continue;
+                const std::uint8_t* crow = columns + k * cols + j0;
+                for (std::size_t j = 0; j < jn; ++j)
+                    acc[j] += static_cast<AccT>(w * static_cast<std::int32_t>(crow[j]));
+            }
+            epilogue_rows(qc, oc, acc.data(), colsum, j0, jn, g.hw, out_c, out, shift,
+                          stats);
+        }
+    }
+    if (stats) stats->mac_count += kdim * cols * (oc_end - oc_begin);
+}
+
+}  // namespace
+
+void QuantBackend::prepare(const ExecPlan& plan, ExecContext& ctx) const {
+    ExecContext::reserve(ctx.qx, plan.max_conv_in_floats());
+    ExecContext::reserve(ctx.u8_columns, plan.max_columns());
+    ExecContext::reserve(ctx.colsum, plan.max_cols());
+    ExecContext::reserve(ctx.acc64, plan.max_cols());
+}
+
+void QuantBackend::conv(const ConvCall& call, ExecContext& ctx) {
+    const ir::Op& op = *call.op;
+    const ConvGeom& g = *call.geom;
+    const quant::QConv& qc = qgraph_->conv(static_cast<std::size_t>(call.op_index));
+    if (qc.act.zero_point != 0)
+        throw std::logic_error("QuantBackend: activation zero-point must be 0");
+
+    const tensor::Shape& s = call.in_shape;
+    const std::size_t in_size = s.size();
+    const std::size_t cols = static_cast<std::size_t>(s.n) * g.hw;
+
+    // Quantize the input activations (optionally truncating LSBs for the
+    // precision-scaling ablation).
+    const std::uint8_t act_mask = static_cast<std::uint8_t>(0xFFu << (qc.act_mask_bits & 7));
+    ExecContext::reserve(ctx.qx, in_size);
+    for (std::size_t i = 0; i < in_size; ++i)
+        ctx.qx[i] = static_cast<std::uint8_t>(qc.act.quantize(call.in[i])) & act_mask;
+
+    ExecContext::reserve(ctx.u8_columns, g.kdim * cols);
+    kernels::im2col_u8(ctx.qx.data(), s, op.conv.kh, op.conv.kw, op.conv.stride, op.conv.pad,
+                       ctx.u8_columns.data(), g.oh, g.ow, g.zero_columns);
+    const std::uint8_t* columns = ctx.u8_columns.data();
+
+    // Per-column activation code sums for the zero-point correction.
+    ExecContext::reserve(ctx.colsum, cols);
+    std::fill(ctx.colsum.begin(), ctx.colsum.begin() + static_cast<std::ptrdiff_t>(cols), 0);
+    for (std::size_t k = 0; k < g.kdim; ++k) {
+        const std::uint8_t* row = columns + k * cols;
+        for (std::size_t j = 0; j < cols; ++j) ctx.colsum[j] += row[j];
+    }
+
+    // With LSB padding the hardware product register holds p << (α+β); a
+    // flip of register bit 15/14 lands on bit 15−(α+β)/14−(α+β) of the
+    // unshifted product. Model by narrowing the injector's register view.
+    const int shift = qgraph_->config().padding == common::Padding::Lsb
+                          ? (8 - qc.act.bits) + (8 - qc.wq(0).bits)
+                          : 0;
+    const std::size_t out_c = static_cast<std::size_t>(op.conv.out_c);
+
+    if (injector_ != nullptr) {
+        // Injection path: the seed interpreter's exact loop, one ordered
+        // hook call per MAC product (including zero-weight products).
+        ExecContext::reserve(ctx.acc64, cols);
+        for (std::size_t oc = 0; oc < out_c; ++oc) {
+            const std::uint8_t* wrow = qc.qweights.data() + oc * g.kdim;
+            std::fill(ctx.acc64.begin(), ctx.acc64.begin() + static_cast<std::ptrdiff_t>(cols),
+                      std::int64_t{0});
+            for (std::size_t k = 0; k < g.kdim; ++k) {
+                const std::int32_t w = wrow[k];
+                const std::uint8_t* crow = columns + k * cols;
+                for (std::size_t j = 0; j < cols; ++j) {
+                    std::int64_t product = static_cast<std::int64_t>(w) * crow[j];
+                    product = injector_->apply(product);
+                    ctx.acc64[j] += product;
+                }
+            }
+            if (stats_) stats_->mac_count += g.kdim * cols;
+            epilogue_rows(qc, oc, ctx.acc64.data(), ctx.colsum.data(), 0, cols, g.hw,
+                          out_c, call.out, shift, stats_);
+        }
+        if (stats_) stats_->flips = injector_->flips_injected();
+        return;
+    }
+
+    // Fast path: tiled integer GEMM. Parallel only without stats (the
+    // struct is unsynchronized); each lane owns a disjoint channel range
+    // and a private accumulator tile, so results match serial bit for bit.
+    const auto run_range = [&](std::vector<std::int32_t>& acc32,
+                               std::vector<std::int64_t>& acc64, std::size_t b,
+                               std::size_t e) {
+        if (g.acc32_safe)
+            conv_rows<std::int32_t>(op, qc, g, columns, ctx.colsum.data(), cols, call.out,
+                                    shift, stats_, acc32, b, e);
+        else
+            conv_rows<std::int64_t>(op, qc, g, columns, ctx.colsum.data(), cols, call.out,
+                                    shift, stats_, acc64, b, e);
+    };
+    if (call.pool != nullptr && stats_ == nullptr && out_c > 1) {
+        // Lane-private accumulator tiles live in the context and persist
+        // across convs/runs: pooled steady state allocates nothing.
+        const std::size_t lanes = static_cast<std::size_t>(call.pool->size());
+        if (ctx.lane_acc32.size() < lanes) ctx.lane_acc32.resize(lanes);
+        if (ctx.lane_acc64.size() < lanes) ctx.lane_acc64.resize(lanes);
+        call.pool->parallel_for(out_c, [&](std::size_t lane, std::size_t b, std::size_t e) {
+            run_range(ctx.lane_acc32[lane], ctx.lane_acc64[lane], b, e);
+        });
+    } else {
+        // Serial: reuse context scratch, no per-conv allocation.
+        run_range(ctx.acc32, ctx.acc64, 0, out_c);
+    }
+}
+
+}  // namespace raq::exec

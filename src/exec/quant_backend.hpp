@@ -1,0 +1,58 @@
+// QuantBackend: the unsigned-MAC integer datapath of the paper's NPU,
+// executed through the planned engine. Numerics are bit-identical to the
+// seed quantized interpreter (integer accumulation is order-independent,
+// so the cache-tiled GEMM below reassociates freely without changing a
+// single output bit); the Fig. 1b bit-flip injection path preserves the
+// seed's exact per-product hook order, because the injector is a seeded
+// RNG stream whose draws must line up.
+//
+// LSB padding semantics (paper Eq. 5): the hardware multiplies shifted
+// operands (q_a·2^α)(q_w·2^β) and the result is shifted back in software.
+// Numerically an identity, but it moves the product's MSB — accounted for
+// by narrowing the injector's register view, exactly as the seed did.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/backend.hpp"
+#include "inject/bitflip.hpp"
+#include "quant/quantized_graph.hpp"
+
+namespace raq::exec {
+
+struct QuantExecStats {
+    std::uint64_t mac_count = 0;
+    std::uint64_t flips = 0;
+    std::int64_t max_abs_accumulator = 0;  ///< in the shifted (hardware) domain
+    std::uint64_t accumulator_overflows = 0;  ///< values exceeding the 22-bit register
+};
+
+class QuantBackend final : public Backend {
+public:
+    explicit QuantBackend(const quant::QuantizedGraph& qgraph) : qgraph_(&qgraph) {}
+
+    /// Swap the executed graph (same topology: re-quantization replaces
+    /// the payload, not the structure). The caller keeps `qgraph` alive
+    /// for as long as this backend may run.
+    void bind(const quant::QuantizedGraph& qgraph) { qgraph_ = &qgraph; }
+    [[nodiscard]] const quant::QuantizedGraph& bound() const { return *qgraph_; }
+
+    /// Per-run fault hooks (injector invoked once per MAC product). Runs
+    /// with an injector or stats attached execute serially regardless of
+    /// any thread pool: the injector stream is ordered and the stats are
+    /// unsynchronized.
+    void set_fault_hooks(inject::BitFlipInjector* injector, QuantExecStats* stats) {
+        injector_ = injector;
+        stats_ = stats;
+    }
+
+    void prepare(const ExecPlan& plan, ExecContext& ctx) const override;
+    void conv(const ConvCall& call, ExecContext& ctx) override;
+
+private:
+    const quant::QuantizedGraph* qgraph_;
+    inject::BitFlipInjector* injector_ = nullptr;
+    QuantExecStats* stats_ = nullptr;
+};
+
+}  // namespace raq::exec

@@ -1,0 +1,94 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace raq::exec {
+
+ThreadPool::ThreadPool(int threads) {
+    if (threads < 1) throw std::invalid_argument("ThreadPool: threads must be >= 1");
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) return;  // stop requested and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t lanes = std::min<std::size_t>(static_cast<std::size_t>(size()), n);
+    if (lanes == 1) {
+        fn(0, 0, n);
+        return;
+    }
+    const std::size_t chunk = (n + lanes - 1) / lanes;
+
+    struct Sync {
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        std::size_t pending;
+        std::exception_ptr error;
+    } sync;
+    sync.pending = lanes - 1;
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t lane = 1; lane < lanes; ++lane) {
+            const std::size_t begin = lane * chunk;
+            const std::size_t end = std::min(n, begin + chunk);
+            tasks_.emplace_back([&, lane, begin, end] {
+                std::exception_ptr error;
+                try {
+                    if (begin < end) fn(lane, begin, end);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                // Decrement and notify under the lock: once the caller
+                // observes pending == 0 it may destroy `sync`, so this
+                // task must be done with it before the mutex is released.
+                const std::lock_guard<std::mutex> done_lock(sync.mutex);
+                if (error && !sync.error) sync.error = error;
+                --sync.pending;
+                sync.done_cv.notify_one();
+            });
+        }
+    }
+    work_cv_.notify_all();
+
+    std::exception_ptr caller_error;
+    try {
+        fn(0, 0, std::min(n, chunk));
+    } catch (...) {
+        caller_error = std::current_exception();
+    }
+    {
+        std::unique_lock<std::mutex> lock(sync.mutex);
+        sync.done_cv.wait(lock, [&] { return sync.pending == 0; });
+    }
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (sync.error) std::rethrow_exception(sync.error);
+}
+
+}  // namespace raq::exec

@@ -1,0 +1,50 @@
+// Fixed-size worker pool for intra-plan parallelism (off by default: the
+// engine runs serially unless a pool is passed in). Work is always split
+// into size() contiguous chunks, so a given (n, pool size) produces the
+// same tiling every run; determinism then follows because callers only
+// parallelize over disjoint output regions (output-channel tiles, GEMM
+// row blocks) whose per-element computation is order-independent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace raq::exec {
+
+class ThreadPool {
+public:
+    /// `threads` worker threads; the calling thread also executes chunks,
+    /// so parallel_for fans out over threads + 1 lanes.
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Parallel lanes (workers + the calling thread).
+    [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /// Run fn(lane, begin, end) over [0, n) split into size() contiguous
+    /// chunks; `lane` < size() identifies the chunk, so callers can keep
+    /// lane-private scratch that persists across calls. Blocks until
+    /// every chunk finished; rethrows the first exception. Not reentrant:
+    /// do not call parallel_for from inside fn.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool stop_ = false;
+};
+
+}  // namespace raq::exec

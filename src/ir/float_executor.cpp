@@ -1,8 +1,10 @@
 #include "ir/float_executor.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
+#include "exec/engine.hpp"
 #include "tensor/gemm.hpp"
 
 namespace raq::ir {
@@ -57,6 +59,49 @@ tensor::Tensor maxpool_forward(const Op& op, const tensor::Tensor& in) {
                     out.at(n, c, oy, ox) = best;
                 }
     return out;
+}
+
+/// The seed tree-walking interpreter. `eager_free` drops every
+/// intermediate right after its last consumer (the input and the graph
+/// output stay pinned); `visit` sees each tensor while it is live.
+void walk(const Graph& graph, tensor::TensorView batch, bool eager_free,
+          const std::function<void(int, const tensor::Tensor&)>& visit,
+          std::vector<tensor::Tensor>* keep) {
+    if (!(batch.shape.c == graph.input_shape().c && batch.shape.h == graph.input_shape().h &&
+          batch.shape.w == graph.input_shape().w))
+        throw std::invalid_argument("run_float: batch shape does not match graph input");
+
+    const std::size_t num_tensors = static_cast<std::size_t>(graph.num_tensors());
+    std::vector<int> remaining_uses(num_tensors, 0);
+    if (eager_free)
+        for (const Op& op : graph.ops())
+            for (const int in : op.inputs) ++remaining_uses[static_cast<std::size_t>(in)];
+
+    std::vector<tensor::Tensor> tensors(num_tensors);
+    tensors[static_cast<std::size_t>(graph.input_id())] = tensor::Tensor(
+        batch.shape, std::vector<float>(batch.data, batch.data + batch.size()));
+    if (visit) visit(graph.input_id(), tensors[static_cast<std::size_t>(graph.input_id())]);
+
+    for (const Op& op : graph.ops()) {
+        tensor::Tensor out;
+        if (op.kind == OpKind::Conv2d) {
+            out = conv_forward(op, tensors[static_cast<std::size_t>(op.inputs.at(0))]);
+        } else {
+            std::vector<const tensor::Tensor*> ins;
+            ins.reserve(op.inputs.size());
+            for (int id : op.inputs) ins.push_back(&tensors[static_cast<std::size_t>(id)]);
+            out = apply_nonconv_op(op, ins);
+        }
+        tensors[static_cast<std::size_t>(op.output)] = std::move(out);
+        if (visit) visit(op.output, tensors[static_cast<std::size_t>(op.output)]);
+        if (!eager_free) continue;
+        for (const int in : op.inputs) {
+            if (--remaining_uses[static_cast<std::size_t>(in)] > 0) continue;
+            if (in == graph.input_id() || in == graph.output_id()) continue;
+            tensors[static_cast<std::size_t>(in)] = tensor::Tensor{};  // release storage
+        }
+    }
+    if (keep) *keep = std::move(tensors);
 }
 
 }  // namespace
@@ -119,30 +164,20 @@ tensor::Tensor apply_nonconv_op(const Op& op, const std::vector<const tensor::Te
     throw std::invalid_argument("apply_nonconv_op: unknown op kind");
 }
 
-std::vector<tensor::Tensor> run_float_all(const Graph& graph, const tensor::Tensor& batch) {
-    if (!(batch.shape().c == graph.input_shape().c && batch.shape().h == graph.input_shape().h &&
-          batch.shape().w == graph.input_shape().w))
-        throw std::invalid_argument("run_float: batch shape does not match graph input");
-    std::vector<tensor::Tensor> tensors(static_cast<std::size_t>(graph.num_tensors()));
-    tensors[static_cast<std::size_t>(graph.input_id())] = batch;
-    for (const Op& op : graph.ops()) {
-        tensor::Tensor out;
-        if (op.kind == OpKind::Conv2d) {
-            out = conv_forward(op, tensors[static_cast<std::size_t>(op.inputs.at(0))]);
-        } else {
-            std::vector<const tensor::Tensor*> ins;
-            ins.reserve(op.inputs.size());
-            for (int id : op.inputs) ins.push_back(&tensors[static_cast<std::size_t>(id)]);
-            out = apply_nonconv_op(op, ins);
-        }
-        tensors[static_cast<std::size_t>(op.output)] = std::move(out);
-    }
+std::vector<tensor::Tensor> run_float_all(const Graph& graph, tensor::TensorView batch) {
+    std::vector<tensor::Tensor> tensors;
+    walk(graph, batch, /*eager_free=*/false, nullptr, &tensors);
     return tensors;
 }
 
-tensor::Tensor run_float(const Graph& graph, const tensor::Tensor& batch) {
-    auto tensors = run_float_all(graph, batch);
-    return std::move(tensors[static_cast<std::size_t>(graph.output_id())]);
+void for_each_float_tensor(const Graph& graph, tensor::TensorView batch,
+                           const std::function<void(int, const tensor::Tensor&)>& visit) {
+    walk(graph, batch, /*eager_free=*/true, visit, nullptr);
+}
+
+tensor::Tensor run_float(const Graph& graph, tensor::TensorView batch) {
+    exec::FloatRunner runner(graph, batch.shape.n);
+    return runner.run(batch);
 }
 
 std::vector<int> argmax_classes(const tensor::Tensor& logits) {
@@ -163,15 +198,25 @@ std::vector<int> argmax_classes(const tensor::Tensor& logits) {
     return out;
 }
 
-double float_accuracy(const Graph& graph, const tensor::Tensor& images,
+double float_accuracy(const Graph& graph, tensor::TensorView images,
                       const std::vector<int>& labels) {
-    const auto preds = argmax_classes(run_float(graph, images));
-    if (preds.size() != labels.size())
+    if (static_cast<std::size_t>(images.shape.n) != labels.size())
         throw std::invalid_argument("float_accuracy: label count mismatch");
+    // Bounded batches keep the arena (and its im2col workspaces) small;
+    // per-sample logits do not depend on batching, so the accuracy is
+    // bit-identical to a single whole-set run.
+    const int total = images.shape.n;
+    const int batch_size = std::min(total, 128);
+    exec::FloatRunner runner(graph, batch_size);
     std::size_t correct = 0;
-    for (std::size_t i = 0; i < preds.size(); ++i)
-        correct += (preds[i] == labels[i]);
-    return static_cast<double>(correct) / static_cast<double>(preds.size());
+    for (int start = 0; start < total; start += batch_size) {
+        const int count = std::min(batch_size, total - start);
+        const auto preds = argmax_classes(runner.run(images.batch_view(start, count)));
+        for (int i = 0; i < count; ++i)
+            correct += (preds[static_cast<std::size_t>(i)] ==
+                        labels[static_cast<std::size_t>(start + i)]);
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
 }
 
 }  // namespace raq::ir

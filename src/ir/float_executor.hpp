@@ -1,9 +1,16 @@
-// FP32 reference executor for the deployment IR. Serves three roles:
-// baseline accuracy (the paper reports accuracy loss w.r.t. FP32
-// inference), calibration-statistics collection (all intermediate tensors
-// can be returned), and a cross-check for the quantized executor.
+// FP32 execution of the deployment IR. Serves three roles: baseline
+// accuracy (the paper reports accuracy loss w.r.t. FP32 inference),
+// calibration-statistics collection, and the reference for the planned
+// execution engine (src/exec/), which run_float and float_accuracy are
+// thin wrappers over.
+//
+// run_float_all / for_each_float_tensor keep the seed's tree-walking
+// interpreter: it materialises real Tensors per op, bypasses the exec
+// arena planner, and is retained as the independent bit-identity
+// reference and for whole-graph diagnostics.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "ir/graph.hpp"
@@ -12,22 +19,34 @@
 namespace raq::ir {
 
 /// Run the graph on a batch and return the output tensor (logits).
-[[nodiscard]] tensor::Tensor run_float(const Graph& graph, const tensor::Tensor& batch);
+/// Thin wrapper over the planned engine (see exec::FloatRunner for the
+/// reusable-state form used in loops).
+[[nodiscard]] tensor::Tensor run_float(const Graph& graph, tensor::TensorView batch);
 
-/// Apply a single non-convolution op in float. Shared with the quantized
-/// executor, which only re-implements the integer MAC path.
+/// Apply a single non-convolution op in float (reference walker path).
 [[nodiscard]] tensor::Tensor apply_nonconv_op(const Op& op,
                                               const std::vector<const tensor::Tensor*>& ins);
 
-/// Run and return every intermediate tensor, indexed by tensor id.
+/// Reference walker: run and return every intermediate tensor, indexed by
+/// tensor id. Keeps the whole live set — use for_each_float_tensor when
+/// tensors are only inspected once.
 [[nodiscard]] std::vector<tensor::Tensor> run_float_all(const Graph& graph,
-                                                        const tensor::Tensor& batch);
+                                                        tensor::TensorView batch);
+
+/// Reference walker with eager tensor lifetime: visits the input and
+/// every op output in topological order, dropping each intermediate right
+/// after its last consumer ran. Peak memory is the live-set maximum even
+/// though this path bypasses the exec arena planner.
+void for_each_float_tensor(const Graph& graph, tensor::TensorView batch,
+                           const std::function<void(int, const tensor::Tensor&)>& visit);
 
 /// Argmax class per sample from (N, classes, 1, 1) logits.
 [[nodiscard]] std::vector<int> argmax_classes(const tensor::Tensor& logits);
 
-/// Top-1 accuracy of the graph on (images, labels).
-[[nodiscard]] double float_accuracy(const Graph& graph, const tensor::Tensor& images,
+/// Top-1 accuracy of the graph on (images, labels). Evaluates in batched
+/// zero-copy slices through the planned engine; per-sample results (and
+/// therefore the accuracy) are bit-identical to one whole-set run.
+[[nodiscard]] double float_accuracy(const Graph& graph, tensor::TensorView images,
                                     const std::vector<int>& labels);
 
 }  // namespace raq::ir

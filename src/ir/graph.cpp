@@ -99,6 +99,27 @@ std::vector<tensor::Shape> infer_shapes(const Graph& graph, int batch_n) {
     return shapes;
 }
 
+bool topology_equals(const Graph& a, const Graph& b) {
+    if (a.num_tensors() != b.num_tensors() || a.input_id() != b.input_id() ||
+        a.output_id() != b.output_id() || !(a.input_shape() == b.input_shape()) ||
+        a.ops().size() != b.ops().size())
+        return false;
+    for (std::size_t i = 0; i < a.ops().size(); ++i) {
+        const Op& x = a.ops()[i];
+        const Op& y = b.ops()[i];
+        if (x.kind != y.kind || x.inputs != y.inputs || x.output != y.output) return false;
+        if (x.kind == OpKind::Conv2d &&
+            (x.conv.in_c != y.conv.in_c || x.conv.out_c != y.conv.out_c ||
+             x.conv.kh != y.conv.kh || x.conv.kw != y.conv.kw ||
+             x.conv.stride != y.conv.stride || x.conv.pad != y.conv.pad))
+            return false;
+        if (x.kind == OpKind::MaxPool2d &&
+            (x.pool.kernel != y.pool.kernel || x.pool.stride != y.pool.stride))
+            return false;
+    }
+    return true;
+}
+
 std::uint64_t Graph::macs_per_sample() const {
     const auto shapes = infer_shapes(*this, 1);
     std::uint64_t total = 0;

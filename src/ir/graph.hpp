@@ -79,4 +79,10 @@ private:
 /// Infer per-tensor shapes for a batch with `batch_n` samples.
 [[nodiscard]] std::vector<tensor::Shape> infer_shapes(const Graph& graph, int batch_n);
 
+/// Structural equality: op kinds, tensor wiring and conv/pool attributes
+/// (weights and biases are ignored). Graphs lowered from the same
+/// architecture — e.g. successive re-quantizations of one model — compare
+/// equal, which is what lets an ExecPlan be reused across them.
+[[nodiscard]] bool topology_equals(const Graph& a, const Graph& b);
+
 }  // namespace raq::ir

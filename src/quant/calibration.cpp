@@ -28,19 +28,21 @@ TensorStats compute_stats(const float* data, std::size_t n) {
     return s;
 }
 
-CalibrationData calibrate(const ir::Graph& graph, const tensor::Tensor& images,
+CalibrationData calibrate(const ir::Graph& graph, tensor::TensorView images,
                           std::vector<int> labels) {
-    if (static_cast<std::size_t>(images.shape().n) != labels.size())
+    if (static_cast<std::size_t>(images.shape.n) != labels.size())
         throw std::invalid_argument("calibrate: label count mismatch");
     CalibrationData out;
-    out.images = images;
+    out.images = tensor::Tensor(images.shape,
+                                std::vector<float>(images.data, images.data + images.size()));
     out.labels = std::move(labels);
-    const auto tensors = ir::run_float_all(graph, images);
-    out.per_tensor.resize(tensors.size());
-    for (std::size_t i = 0; i < tensors.size(); ++i) {
-        if (tensors[i].size() == 0) continue;  // unused tensor slot
-        out.per_tensor[i] = compute_stats(tensors[i].data(), tensors[i].size());
-    }
+    // Stream the statistics off the eager-freeing walker: each tensor is
+    // visited once while live and dropped after its last consumer, so the
+    // peak is the live set, not every intermediate of the batch at once.
+    out.per_tensor.resize(static_cast<std::size_t>(graph.num_tensors()));
+    ir::for_each_float_tensor(graph, images, [&](int id, const tensor::Tensor& t) {
+        out.per_tensor[static_cast<std::size_t>(id)] = compute_stats(t.data(), t.size());
+    });
     return out;
 }
 

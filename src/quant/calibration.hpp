@@ -25,8 +25,10 @@ struct CalibrationData {
     std::vector<int> labels;              ///< labels for loss-aware methods
 };
 
-/// Run FP32 inference on `images` and collect statistics for every tensor.
-[[nodiscard]] CalibrationData calibrate(const ir::Graph& graph, const tensor::Tensor& images,
+/// Run FP32 inference on `images` and collect statistics for every tensor
+/// (streamed off the eager-freeing reference walker; the calibration
+/// batch itself is copied into the result for loss-aware methods).
+[[nodiscard]] CalibrationData calibrate(const ir::Graph& graph, tensor::TensorView images,
                                         std::vector<int> labels);
 
 /// Statistics over an arbitrary float span (exposed for weight stats).

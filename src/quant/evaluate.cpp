@@ -1,16 +1,16 @@
 #include "quant/evaluate.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
 #include "ir/float_executor.hpp"
-#include "quant/quant_executor.hpp"
 
 namespace raq::quant {
 
-double quantized_accuracy(const QuantizedGraph& qgraph, const tensor::Tensor& images,
+double quantized_accuracy(QuantRunner& runner, tensor::TensorView images,
                           const std::vector<int>& labels, const EvalOptions& options) {
-    const auto& s = images.shape();
+    const auto& s = images.shape;
     if (static_cast<std::size_t>(s.n) != labels.size())
         throw std::invalid_argument("quantized_accuracy: label count mismatch");
     const bool inject = options.injection.flip_probability > 0.0;
@@ -27,14 +27,9 @@ double quantized_accuracy(const QuantizedGraph& qgraph, const tensor::Tensor& im
         std::size_t correct = 0;
         for (int start = 0; start < s.n; start += options.batch_size) {
             const int count = std::min(options.batch_size, s.n - start);
-            tensor::Tensor batch({count, s.c, s.h, s.w});
-            const std::size_t pixels = static_cast<std::size_t>(s.c) *
-                                       static_cast<std::size_t>(s.h) *
-                                       static_cast<std::size_t>(s.w);
-            std::copy(images.data() + static_cast<std::size_t>(start) * pixels,
-                      images.data() + static_cast<std::size_t>(start + count) * pixels,
-                      batch.data());
-            const tensor::Tensor logits = run_quantized(qgraph, batch, injector.get());
+            // Zero-copy slice: the engine reads the samples in place.
+            const tensor::Tensor logits =
+                runner.run(images.batch_view(start, count), injector.get());
             const auto preds = ir::argmax_classes(logits);
             for (int n = 0; n < count; ++n)
                 correct += (preds[static_cast<std::size_t>(n)] ==
@@ -43,6 +38,12 @@ double quantized_accuracy(const QuantizedGraph& qgraph, const tensor::Tensor& im
         accuracy_sum += static_cast<double>(correct) / static_cast<double>(s.n);
     }
     return accuracy_sum / static_cast<double>(reps);
+}
+
+double quantized_accuracy(const QuantizedGraph& qgraph, tensor::TensorView images,
+                          const std::vector<int>& labels, const EvalOptions& options) {
+    QuantRunner runner(qgraph, std::min(options.batch_size, images.shape.n));
+    return quantized_accuracy(runner, images, labels, options);
 }
 
 }  // namespace raq::quant

@@ -1,9 +1,12 @@
 // Accuracy evaluation of quantized graphs, with optional MSB bit-flip
 // error injection (the Fig. 1b protocol: each experiment repeated to
-// average the injected-error accuracy).
+// average the injected-error accuracy). Batches are zero-copy views into
+// the image tensor; execution goes through a reusable QuantRunner so the
+// plan and every scratch buffer are shared across batches and reps.
 #pragma once
 
 #include "inject/bitflip.hpp"
+#include "quant/quant_executor.hpp"
 #include "quant/quantized_graph.hpp"
 
 namespace raq::quant {
@@ -17,7 +20,14 @@ struct EvalOptions {
 
 /// Top-1 accuracy of the quantized graph on (images, labels).
 [[nodiscard]] double quantized_accuracy(const QuantizedGraph& qgraph,
-                                        const tensor::Tensor& images,
+                                        tensor::TensorView images,
+                                        const std::vector<int>& labels,
+                                        const EvalOptions& options = {});
+
+/// Same, over a caller-owned runner — the Algorithm 1 inner loop form:
+/// one plan and one set of scratch buffers serve every candidate method
+/// (rebind the runner between methods).
+[[nodiscard]] double quantized_accuracy(QuantRunner& runner, tensor::TensorView images,
                                         const std::vector<int>& labels,
                                         const EvalOptions& options = {});
 

@@ -1,6 +1,7 @@
 #include "quant/methods.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "quant/quant_executor.hpp"
@@ -138,10 +139,9 @@ std::vector<float> bias_corrected(const ir::Op& op, const QConv& qc, float mean_
     return bias;
 }
 
-/// Cross-entropy of the quantized graph on the calibration batch (the
-/// loss LAPQ minimizes).
-double calib_loss(const QuantizedGraph& qgraph, const CalibrationData& calib) {
-    const tensor::Tensor logits = run_quantized(qgraph, calib.images);
+/// Cross-entropy of quantized logits on the calibration batch (the loss
+/// LAPQ minimizes); the caller produces the logits through its runner.
+double calib_loss(const tensor::Tensor& logits, const CalibrationData& calib) {
     const auto& s = logits.shape();
     double total = 0.0;
     for (int n = 0; n < s.n; ++n) {
@@ -238,10 +238,24 @@ QuantizedGraph quantize_graph(const ir::Graph& graph, Method method, const Quant
         // LAPQ: loss-aware clip search. Coarse stage-wise grid over the
         // (weight, activation) clip multipliers, then golden-section
         // refinement of each coordinate against the calibration loss.
+        // Every probe shares one runner: the plan and all scratch buffers
+        // are compiled once, only the quantization payload is rebound
+        // (owning rebind — the runner pins each probe graph itself).
+        std::unique_ptr<QuantRunner> runner;
+        const auto probe_loss = [&](double ma, double mw) {
+            auto probe = std::make_shared<const QuantizedGraph>(
+                build_scaled(graph, config, calib, ma, mw));
+            if (!runner)
+                runner =
+                    std::make_unique<QuantRunner>(std::move(probe), calib.images.shape().n);
+            else
+                runner->rebind(std::move(probe));
+            return calib_loss(runner->run(calib.images), calib);
+        };
         const double grid[] = {0.6, 0.8, 1.0, 1.3, 1.7};
         double best_w = 1.0, best_loss = 1e300;
         for (const double mw : grid) {
-            const double loss = calib_loss(build_scaled(graph, config, calib, 1.0, mw), calib);
+            const double loss = probe_loss(1.0, mw);
             if (loss < best_loss) {
                 best_loss = loss;
                 best_w = mw;
@@ -250,23 +264,16 @@ QuantizedGraph quantize_graph(const ir::Graph& graph, Method method, const Quant
         double best_a = 1.0;
         best_loss = 1e300;
         for (const double ma : grid) {
-            const double loss =
-                calib_loss(build_scaled(graph, config, calib, ma, best_w), calib);
+            const double loss = probe_loss(ma, best_w);
             if (loss < best_loss) {
                 best_loss = loss;
                 best_a = ma;
             }
         }
-        best_w = golden_min(
-            [&](double mw) {
-                return calib_loss(build_scaled(graph, config, calib, best_a, mw), calib);
-            },
-            best_w * 0.7, best_w * 1.4, 5);
-        best_a = golden_min(
-            [&](double ma) {
-                return calib_loss(build_scaled(graph, config, calib, ma, best_w), calib);
-            },
-            best_a * 0.7, best_a * 1.4, 5);
+        best_w = golden_min([&](double mw) { return probe_loss(best_a, mw); }, best_w * 0.7,
+                            best_w * 1.4, 5);
+        best_a = golden_min([&](double ma) { return probe_loss(ma, best_w); }, best_a * 0.7,
+                            best_a * 1.4, 5);
         return build_scaled(graph, config, calib, best_a, best_w);
     }
 

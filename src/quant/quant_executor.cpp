@@ -2,169 +2,76 @@
 
 #include <stdexcept>
 
-#include "ir/float_executor.hpp"
-
 namespace raq::quant {
 
 namespace {
 
-/// Integer im2col on quantized activation codes; padding positions hold
-/// the code for real-value zero (zp = 0 for our unsigned activations).
-void im2col_u8(const std::vector<std::uint8_t>& qx, const tensor::Shape& s, int kh, int kw,
-               int stride, int pad, std::vector<std::uint8_t>& columns, int& oh, int& ow) {
-    oh = tensor::conv_out_dim(s.h, kh, stride, pad);
-    ow = tensor::conv_out_dim(s.w, kw, stride, pad);
-    const std::size_t rows = static_cast<std::size_t>(s.c) * static_cast<std::size_t>(kh) *
-                             static_cast<std::size_t>(kw);
-    const std::size_t cols = static_cast<std::size_t>(s.n) * static_cast<std::size_t>(oh) *
-                             static_cast<std::size_t>(ow);
-    columns.assign(rows * cols, 0);
-    for (int n = 0; n < s.n; ++n)
-        for (int c = 0; c < s.c; ++c)
-            for (int ky = 0; ky < kh; ++ky)
-                for (int kx = 0; kx < kw; ++kx) {
-                    const std::size_t row =
-                        (static_cast<std::size_t>(c) * static_cast<std::size_t>(kh) +
-                         static_cast<std::size_t>(ky)) *
-                            static_cast<std::size_t>(kw) +
-                        static_cast<std::size_t>(kx);
-                    for (int oy = 0; oy < oh; ++oy) {
-                        const int iy = oy * stride - pad + ky;
-                        if (iy < 0 || iy >= s.h) continue;
-                        const std::size_t col_base =
-                            (static_cast<std::size_t>(n) * static_cast<std::size_t>(oh) +
-                             static_cast<std::size_t>(oy)) *
-                            static_cast<std::size_t>(ow);
-                        const std::size_t in_base =
-                            ((static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
-                              static_cast<std::size_t>(c)) *
-                                 static_cast<std::size_t>(s.h) +
-                             static_cast<std::size_t>(iy)) *
-                            static_cast<std::size_t>(s.w);
-                        for (int ox = 0; ox < ow; ++ox) {
-                            const int ix = ox * stride - pad + kx;
-                            if (ix < 0 || ix >= s.w) continue;
-                            columns[row * cols + col_base + static_cast<std::size_t>(ox)] =
-                                qx[in_base + static_cast<std::size_t>(ix)];
-                        }
-                    }
-                }
-}
-
-tensor::Tensor conv_quantized(const ir::Op& op, const QConv& qc,
-                              const common::Padding padding, const tensor::Tensor& in,
-                              inject::BitFlipInjector* injector, QuantExecStats* stats) {
-    if (qc.act.zero_point != 0)
-        throw std::logic_error("conv_quantized: activation zero-point must be 0");
-    const auto& s = in.shape();
-    // Quantize the input activations (optionally truncating LSBs for the
-    // precision-scaling ablation).
-    const std::uint8_t act_mask =
-        static_cast<std::uint8_t>(0xFFu << (qc.act_mask_bits & 7));
-    std::vector<std::uint8_t> qx(in.size());
-    for (std::size_t i = 0; i < in.size(); ++i)
-        qx[i] = static_cast<std::uint8_t>(qc.act.quantize(in[i])) & act_mask;
-
-    std::vector<std::uint8_t> columns;
-    int oh = 0, ow = 0;
-    im2col_u8(qx, s, op.conv.kh, op.conv.kw, op.conv.stride, op.conv.pad, columns, oh, ow);
-    const std::size_t kdim = static_cast<std::size_t>(op.conv.in_c) *
-                             static_cast<std::size_t>(op.conv.kh) *
-                             static_cast<std::size_t>(op.conv.kw);
-    const std::size_t cols = static_cast<std::size_t>(s.n) * static_cast<std::size_t>(oh) *
-                             static_cast<std::size_t>(ow);
-
-    // Per-column activation code sums for the zero-point correction.
-    std::vector<std::int32_t> colsum(cols, 0);
-    for (std::size_t k = 0; k < kdim; ++k) {
-        const std::uint8_t* row = columns.data() + k * cols;
-        for (std::size_t j = 0; j < cols; ++j) colsum[j] += row[j];
+/// Clears the backend's per-run fault hooks on every exit path: a run
+/// that throws must not leave the backend pointing at caller-owned
+/// injector/stats objects that are about to be destroyed.
+class FaultHookGuard {
+public:
+    FaultHookGuard(exec::QuantBackend& backend, inject::BitFlipInjector* injector,
+                   QuantExecStats* stats)
+        : backend_(backend) {
+        backend_.set_fault_hooks(injector, stats);
     }
+    ~FaultHookGuard() { backend_.set_fault_hooks(nullptr, nullptr); }
 
-    // With LSB padding the hardware product register holds p << (α+β); a
-    // flip of register bit 15/14 lands on bit 15−(α+β)/14−(α+β) of the
-    // unshifted product. Model by narrowing the injector's register view.
-    const int shift =
-        padding == common::Padding::Lsb ? (8 - qc.act.bits) + (8 - qc.wq(0).bits) : 0;
+    FaultHookGuard(const FaultHookGuard&) = delete;
+    FaultHookGuard& operator=(const FaultHookGuard&) = delete;
 
-    tensor::Tensor out({s.n, op.conv.out_c, oh, ow});
-    const std::size_t hw = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
-    std::vector<std::int64_t> acc(cols);
-    for (int oc = 0; oc < op.conv.out_c; ++oc) {
-        const std::uint8_t* wrow = qc.qweights.data() + static_cast<std::size_t>(oc) * kdim;
-        std::fill(acc.begin(), acc.end(), 0);
-        if (injector == nullptr) {
-            // Fast path: plain integer GEMM row.
-            for (std::size_t k = 0; k < kdim; ++k) {
-                const std::int32_t w = wrow[k];
-                if (w == 0) continue;
-                const std::uint8_t* crow = columns.data() + k * cols;
-                for (std::size_t j = 0; j < cols; ++j) acc[j] += w * crow[j];
-            }
-        } else {
-            // Injection path: one hook call per MAC product.
-            for (std::size_t k = 0; k < kdim; ++k) {
-                const std::int32_t w = wrow[k];
-                const std::uint8_t* crow = columns.data() + k * cols;
-                for (std::size_t j = 0; j < cols; ++j) {
-                    std::int64_t product = static_cast<std::int64_t>(w) * crow[j];
-                    product = injector->apply(product);
-                    acc[j] += product;
-                }
-            }
-        }
-        if (stats) stats->mac_count += kdim * cols;
-
-        const QuantParams& wq = qc.wq(oc);
-        const float scale = qc.act.scale * wq.scale;
-        const std::int32_t zw = wq.zero_point;
-        const std::int64_t qb = qc.qbias[static_cast<std::size_t>(oc)];
-        for (std::size_t j = 0; j < cols; ++j) {
-            const std::int64_t corrected = acc[j] - static_cast<std::int64_t>(zw) * colsum[j] + qb;
-            if (stats) {
-                // Accumulator occupancy check in the shifted hardware domain
-                // (22-bit register of the paper's MAC).
-                const std::int64_t hw_value = corrected << shift;
-                const std::int64_t mag = hw_value < 0 ? -hw_value : hw_value;
-                stats->max_abs_accumulator = std::max(stats->max_abs_accumulator, mag);
-                if (mag >= (std::int64_t{1} << 22)) ++stats->accumulator_overflows;
-            }
-            // Map [oc, col] back to NCHW.
-            const std::size_t n = j / hw;
-            const std::size_t pos = j % hw;
-            out.data()[(n * static_cast<std::size_t>(op.conv.out_c) +
-                        static_cast<std::size_t>(oc)) *
-                           hw +
-                       pos] = static_cast<float>(corrected) * scale;
-        }
-    }
-    if (stats && injector) stats->flips = injector->flips_injected();
-    return out;
-}
+private:
+    exec::QuantBackend& backend_;
+};
 
 }  // namespace
 
-tensor::Tensor run_quantized(const QuantizedGraph& qgraph, const tensor::Tensor& batch,
+QuantRunner::QuantRunner(const QuantizedGraph& qgraph, int batch_capacity,
+                         exec::ThreadPool* pool)
+    : plan_(std::make_unique<exec::ExecPlan>(qgraph.graph(),
+                                             exec::PlanOptions{batch_capacity, true})),
+      backend_(qgraph),
+      pool_(pool) {}
+
+QuantRunner::QuantRunner(std::shared_ptr<const QuantizedGraph> qgraph, int batch_capacity,
+                         exec::ThreadPool* pool)
+    : QuantRunner(*qgraph, batch_capacity, pool) {
+    pinned_ = std::move(qgraph);
+}
+
+void QuantRunner::rebind(const QuantizedGraph& qgraph) {
+    if (!ir::topology_equals(plan_->graph(), qgraph.graph()))
+        throw std::invalid_argument("QuantRunner: rebind graph topology mismatch");
+    backend_.bind(qgraph);
+    pinned_.reset();  // the caller owns this binding's lifetime
+}
+
+void QuantRunner::rebind(std::shared_ptr<const QuantizedGraph> qgraph) {
+    if (!qgraph) throw std::invalid_argument("QuantRunner: rebind null graph");
+    if (!ir::topology_equals(plan_->graph(), qgraph->graph()))
+        throw std::invalid_argument("QuantRunner: rebind graph topology mismatch");
+    backend_.bind(*qgraph);
+    pinned_ = std::move(qgraph);  // releases the previous pin after re-pointing
+}
+
+tensor::Tensor QuantRunner::run(tensor::TensorView batch, inject::BitFlipInjector* injector,
+                                QuantExecStats* stats) {
+    if (batch.shape.n > plan_->batch_capacity())
+        // Recompile at the larger capacity, sharing (not copying) the
+        // plan's owned graph.
+        plan_ = std::make_unique<exec::ExecPlan>(
+            plan_->graph_shared(), exec::PlanOptions{batch.shape.n, true});
+    const FaultHookGuard guard(backend_, injector, stats);
+    exec::RunOptions options;
+    options.pool = pool_;
+    return exec::run(*plan_, backend_, ctx_, batch, options);
+}
+
+tensor::Tensor run_quantized(const QuantizedGraph& qgraph, tensor::TensorView batch,
                              inject::BitFlipInjector* injector, QuantExecStats* stats) {
-    const ir::Graph& graph = qgraph.graph();
-    std::vector<tensor::Tensor> tensors(static_cast<std::size_t>(graph.num_tensors()));
-    tensors[static_cast<std::size_t>(graph.input_id())] = batch;
-    for (std::size_t i = 0; i < graph.ops().size(); ++i) {
-        const ir::Op& op = graph.ops()[i];
-        tensor::Tensor out;
-        if (op.kind == ir::OpKind::Conv2d) {
-            out = conv_quantized(op, qgraph.conv(i), qgraph.config().padding,
-                                 tensors[static_cast<std::size_t>(op.inputs.at(0))], injector,
-                                 stats);
-        } else {
-            std::vector<const tensor::Tensor*> ins;
-            ins.reserve(op.inputs.size());
-            for (int id : op.inputs) ins.push_back(&tensors[static_cast<std::size_t>(id)]);
-            out = ir::apply_nonconv_op(op, ins);
-        }
-        tensors[static_cast<std::size_t>(op.output)] = std::move(out);
-    }
-    return std::move(tensors[static_cast<std::size_t>(graph.output_id())]);
+    QuantRunner runner(qgraph, batch.shape.n);
+    return runner.run(batch, injector, stats);
 }
 
 }  // namespace raq::quant

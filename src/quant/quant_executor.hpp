@@ -1,33 +1,72 @@
-// Integer executor for quantized graphs: every convolution runs on the
-// unsigned-MAC datapath (q_a × q_w products accumulated in int32, zero-
-// point corrections applied afterwards, 16−α−β-bit biases), exactly the
-// computation the systolic array performs. The per-product hook is where
-// the Fig. 1b bit-flip injection happens.
+// Quantized execution of QuantizedGraphs, as thin wrappers over the
+// planned execution engine (src/exec/): every convolution runs on the
+// unsigned-MAC datapath (q_a × q_w products accumulated in integers,
+// zero-point corrections applied afterwards, 16−α−β-bit biases), exactly
+// the computation the systolic array performs. The per-product hook is
+// where the Fig. 1b bit-flip injection happens.
 //
-// LSB padding semantics (paper Eq. 5): the hardware multiplies shifted
-// operands (q_a·2^α)(q_w·2^β) and the result is shifted back in software.
-// Numerically this is an identity, but it moves the product's MSB — the
-// executor accounts for that when an injector is attached by flipping the
-// correspondingly lower bit of the unshifted product.
+// QuantRunner is the reusable-state form: the Algorithm 1 inner loop and
+// the serving runtime compile the plan once and re-run it with zero
+// steady-state allocation, rebinding re-quantized graphs in place.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "exec/engine.hpp"
+#include "exec/quant_backend.hpp"
 #include "inject/bitflip.hpp"
 #include "quant/quantized_graph.hpp"
 #include "tensor/tensor.hpp"
 
 namespace raq::quant {
 
-struct QuantExecStats {
-    std::uint64_t mac_count = 0;
-    std::uint64_t flips = 0;
-    std::int64_t max_abs_accumulator = 0;  ///< in the shifted (hardware) domain
-    std::uint64_t accumulator_overflows = 0;  ///< values exceeding the 22-bit register
+using QuantExecStats = exec::QuantExecStats;
+
+/// Reusable quantized execution state: one ExecPlan (compiled from the
+/// graph topology at a batch capacity), one QuantBackend and one
+/// ExecContext. Capacity grows on demand; rebind() swaps in a graph with
+/// identical topology (e.g. the next re-quantization) without recompiling
+/// the plan or dropping the scratch buffers.
+///
+/// Concurrency: a runner is single-threaded mutable state — one per
+/// thread/device. The underlying plan is immutable and may be shared.
+class QuantRunner {
+public:
+    /// Borrowing form: `qgraph` must outlive the binding (next rebind or
+    /// destruction). Prefer the shared_ptr forms, which pin the graph.
+    explicit QuantRunner(const QuantizedGraph& qgraph, int batch_capacity = 1,
+                         exec::ThreadPool* pool = nullptr);
+    /// Owning form: the runner keeps the graph alive itself.
+    explicit QuantRunner(std::shared_ptr<const QuantizedGraph> qgraph,
+                         int batch_capacity = 1, exec::ThreadPool* pool = nullptr);
+
+    /// Swap the executed graph; its topology must match the planned one.
+    /// Borrowing form: `qgraph` must stay alive until the next rebind
+    /// (or destruction).
+    void rebind(const QuantizedGraph& qgraph);
+    /// Owning form: the runner pins the new graph (and releases the
+    /// previous pin only after re-pointing at the new one).
+    void rebind(std::shared_ptr<const QuantizedGraph> qgraph);
+
+    /// Run one batch; `injector` (optional) is invoked once per MAC
+    /// product, in the same order as the seed interpreter.
+    [[nodiscard]] tensor::Tensor run(tensor::TensorView batch,
+                                     inject::BitFlipInjector* injector = nullptr,
+                                     QuantExecStats* stats = nullptr);
+
+    [[nodiscard]] const exec::ExecPlan& plan() const { return *plan_; }
+
+private:
+    std::unique_ptr<exec::ExecPlan> plan_;
+    exec::QuantBackend backend_;
+    exec::ExecContext ctx_;
+    exec::ThreadPool* pool_;
+    std::shared_ptr<const QuantizedGraph> pinned_;  ///< set by the owning forms
 };
 
-/// Run the quantized graph; `injector` (optional) is invoked once per MAC
-/// product. Returns float logits.
+/// Run the quantized graph; one-shot wrapper over QuantRunner. Returns
+/// float logits.
 ///
 /// Reentrancy guarantee (relied on by the serving runtime in src/serve):
 /// this function keeps no shared mutable state — all scratch buffers are
@@ -36,7 +75,7 @@ struct QuantExecStats {
 /// `qgraph` from different threads are safe and bit-identical to serial
 /// execution as long as each call gets its own injector/stats.
 [[nodiscard]] tensor::Tensor run_quantized(const QuantizedGraph& qgraph,
-                                           const tensor::Tensor& batch,
+                                           tensor::TensorView batch,
                                            inject::BitFlipInjector* injector = nullptr,
                                            QuantExecStats* stats = nullptr);
 

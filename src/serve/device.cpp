@@ -79,6 +79,15 @@ void NpuDevice::deploy(double dvth, bool record_event) {
         method_ = method;
         dvth_at_deploy_ = dvth;
     }
+    // Re-point the planned execution state at the new deployment (the
+    // owning rebind pins the graph). The topology is unchanged, so the
+    // compiled plan and all scratch buffers survive the swap; only this
+    // (serve) thread runs the runner.
+    const std::shared_ptr<const quant::QuantizedGraph> deployed = deployed_graph();
+    if (!runner_)
+        runner_.emplace(deployed, std::max(1, config_.plan_batch_capacity));
+    else
+        runner_->rebind(deployed);
     if (record_event) {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++requant_count_;
@@ -94,7 +103,8 @@ void NpuDevice::deploy(double dvth, bool record_event) {
 
 void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
     if (batch.empty()) return;
-    const auto qgraph = deployed_graph();
+    // The deployed graph cannot change mid-serve: only this thread
+    // deploys, and the member shared_ptr pins the runner's binding.
     const std::uint64_t batch_cycles =
         per_image_cycles_ * static_cast<std::uint64_t>(batch.size());
     const double latency_us =
@@ -110,8 +120,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
         for (InferenceRequest& request : batch) {
             inj_cfg.seed = common::stream_seed(config_.base_seed, request.id);
             inject::BitFlipInjector injector(inj_cfg);
-            const tensor::Tensor logits =
-                quant::run_quantized(*qgraph, request.image, &injector);
+            const tensor::Tensor logits = runner_->run(request.image, &injector);
             InferenceResult result = make_result(request.id, logits, 0);
             result.device_id = id_;
             result.latency_cycles = batch_cycles;
@@ -121,7 +130,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
         }
     } else {
         const tensor::Tensor stacked = stack_batch(batch);
-        const tensor::Tensor logits = quant::run_quantized(*qgraph, stacked);
+        const tensor::Tensor logits = runner_->run(stacked);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             InferenceResult result = make_result(batch[i].id, logits, static_cast<int>(i));
             result.device_id = id_;

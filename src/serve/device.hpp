@@ -60,6 +60,10 @@ struct DeviceConfig {
     double flip_probability = 0.0;
     std::uint64_t base_seed = 0x5EEDC0DEULL;
     npu::SystolicConfig systolic{};
+    /// Batch capacity the execution plan is compiled for (NpuServer sets
+    /// this to its max_batch so no plan recompile happens on the serving
+    /// path; larger batches still work by growing the plan).
+    int plan_batch_capacity = 1;
 };
 
 class NpuDevice {
@@ -99,6 +103,11 @@ private:
 
     mutable std::mutex graph_mutex_;
     std::shared_ptr<const quant::QuantizedGraph> qgraph_;
+    /// Long-lived planned execution state: the plan, arena and conv
+    /// scratch survive across batches AND across re-quantizations (deploy
+    /// rebinds the payload; the topology never changes). Only the serve
+    /// thread touches it — the device is checked out exclusively.
+    std::optional<quant::QuantRunner> runner_;
     common::Compression compression_;
     quant::Method method_ = quant::Method::M5_AciqNoBias;
     double dvth_at_deploy_ = 0.0;

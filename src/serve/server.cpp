@@ -16,6 +16,9 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
         DeviceConfig dev = config.device;
         dev.initial_age_years =
             config.initial_age_years + static_cast<double>(i) * config.initial_age_step_years;
+        // Compile each device's execution plan for the largest batch the
+        // server will ever hand it: no plan recompile on the serving path.
+        dev.plan_batch_capacity = config.max_batch;
         devices_.push_back(std::make_unique<NpuDevice>(i, ctx_, dev));
         idle_devices_.push_back(devices_.back().get());
     }
@@ -72,18 +75,12 @@ double NpuServer::sample_accuracy(int device_index, int samples) const {
         throw std::logic_error("NpuServer: no eval set in the serve context");
     if (samples < 1) throw std::invalid_argument("NpuServer: samples must be >= 1");
     const auto qgraph = devices_.at(static_cast<std::size_t>(device_index))->deployed_graph();
-    const tensor::Shape& s = ctx_.eval_images->shape();
-    samples = std::min(samples, s.n);
-    const std::size_t pixels = static_cast<std::size_t>(s.c) *
-                               static_cast<std::size_t>(s.h) *
-                               static_cast<std::size_t>(s.w);
-    tensor::Tensor subset({samples, s.c, s.h, s.w});
-    std::copy(ctx_.eval_images->data(),
-              ctx_.eval_images->data() + static_cast<std::size_t>(samples) * pixels,
-              subset.data());
+    samples = std::min(samples, ctx_.eval_images->shape().n);
     const std::vector<int> labels(ctx_.eval_labels->begin(),
                                   ctx_.eval_labels->begin() + samples);
-    return quant::quantized_accuracy(*qgraph, subset, labels);
+    // Zero-copy slice of the eval set; the engine reads it in place.
+    return quant::quantized_accuracy(*qgraph, ctx_.eval_images->batch_view(0, samples),
+                                     labels);
 }
 
 FleetStats NpuServer::fleet_stats() const {

@@ -17,6 +17,25 @@ void Tensor::reshape(Shape shape) {
     shape_ = shape;
 }
 
+TensorView::TensorView(const Tensor& tensor) : data(tensor.data()), shape(tensor.shape()) {}
+
+TensorView TensorView::batch_view(int start, int count) const {
+    if (start < 0 || count < 1 || start + count > shape.n)
+        throw std::out_of_range("TensorView: batch_view range [" + std::to_string(start) +
+                                ", " + std::to_string(start + count) + ") outside batch of " +
+                                std::to_string(shape.n));
+    const std::size_t pixels = static_cast<std::size_t>(shape.c) *
+                               static_cast<std::size_t>(shape.h) *
+                               static_cast<std::size_t>(shape.w);
+    Shape s = shape;
+    s.n = count;
+    return TensorView(data + static_cast<std::size_t>(start) * pixels, s);
+}
+
+TensorView Tensor::batch_view(int start, int count) const {
+    return TensorView(*this).batch_view(start, count);
+}
+
 int conv_out_dim(int in, int kernel, int stride, int pad) {
     const int out = (in + 2 * pad - kernel) / stride + 1;
     if (out <= 0) throw std::invalid_argument("conv_out_dim: empty output");

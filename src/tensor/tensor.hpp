@@ -10,6 +10,8 @@
 
 namespace raq::tensor {
 
+class Tensor;
+
 struct Shape {
     int n = 1, c = 1, h = 1, w = 1;
 
@@ -25,6 +27,24 @@ struct Shape {
         return a.n == b.n && a.c == b.c && a.h == b.h && a.w == b.w;
     }
     friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+};
+
+/// Non-owning read-only view over contiguous NCHW data. Cheap to copy and
+/// implicitly constructible from a Tensor; valid only while the viewed
+/// storage lives. Batch slices (Tensor::batch_view) alias the owner's
+/// samples without copying.
+struct TensorView {
+    const float* data = nullptr;
+    Shape shape;
+
+    TensorView() = default;
+    TensorView(const float* data, Shape shape) : data(data), shape(shape) {}
+    TensorView(const Tensor& tensor);  // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] std::size_t size() const { return shape.size(); }
+
+    /// Zero-copy sub-view of `count` samples starting at sample `start`.
+    [[nodiscard]] TensorView batch_view(int start, int count) const;
 };
 
 class Tensor {
@@ -53,6 +73,11 @@ public:
 
     /// Reshape without copying; total size must match.
     void reshape(Shape shape);
+
+    /// Zero-copy view of `count` samples starting at sample `start`
+    /// (samples are contiguous in NCHW). The view aliases this tensor's
+    /// storage: no per-batch copy, but it must not outlive the tensor.
+    [[nodiscard]] TensorView batch_view(int start, int count) const;
 
 private:
     [[nodiscard]] std::size_t index(int n, int c, int h, int w) const {

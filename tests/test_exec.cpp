@@ -1,0 +1,350 @@
+// Tests for the planned execution engine (src/exec/).
+//
+// The contract under test is strict bit-identity: planned execution (with
+// arena reuse, cache-tiled integer GEMM, thread pools, zero-copy batch
+// views) must reproduce the seed interpreters to the last bit. The float
+// reference is ir::run_float_all (the retained seed walker); the
+// quantized reference is the verbatim seed interpreter kept in
+// tests/seed_interpreter_ref.hpp (shared with bench/exec_throughput), so
+// the library no longer has to carry the duplicate.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "exec/engine.hpp"
+#include "exec/quant_backend.hpp"
+#include "ir/float_executor.hpp"
+#include "quant/calibration.hpp"
+#include "quant/evaluate.hpp"
+#include "quant/methods.hpp"
+#include "quant/quant_executor.hpp"
+#include "seed_interpreter_ref.hpp"
+
+namespace {
+
+using namespace raq;
+
+// ------------------------------------------------------------- fixtures
+
+ir::Op relu_op(int in) {
+    ir::Op op;
+    op.kind = ir::OpKind::Relu;
+    op.inputs = {in};
+    return op;
+}
+
+ir::Op pool_op(int in, int kernel, int stride) {
+    ir::Op op;
+    op.kind = ir::OpKind::MaxPool2d;
+    op.inputs = {in};
+    op.pool = {kernel, stride};
+    return op;
+}
+
+ir::Op gap_op(int in) {
+    ir::Op op;
+    op.kind = ir::OpKind::GlobalAvgPool;
+    op.inputs = {in};
+    return op;
+}
+
+ir::Op conv_op(int in, int in_c, int out_c, int k, int stride, int pad, std::mt19937& rng) {
+    ir::Op op;
+    op.kind = ir::OpKind::Conv2d;
+    op.inputs = {in};
+    op.conv = {in_c, out_c, k, k, stride, pad};
+    op.weights.resize(static_cast<std::size_t>(out_c * in_c * k * k));
+    op.bias.resize(static_cast<std::size_t>(out_c));
+    std::uniform_real_distribution<float> dist(-0.5f, 0.5f);
+    for (auto& w : op.weights) w = dist(rng);
+    for (auto& b : op.bias) b = 0.1f * dist(rng);
+    return op;
+}
+
+/// Straight conv/relu/pool/gap chain, a lowered-FC classifier at the end.
+ir::Graph chain_graph(unsigned seed = 7) {
+    std::mt19937 rng(seed);
+    ir::Graph g;
+    const int in = g.add_input({1, 3, 8, 8});
+    const int c1 = g.add(conv_op(in, 3, 8, 3, 1, 1, rng));
+    const int r1 = g.add(relu_op(c1));
+    const int p1 = g.add(pool_op(r1, 2, 2));
+    const int c2 = g.add(conv_op(p1, 8, 12, 3, 1, 1, rng));
+    const int r2 = g.add(relu_op(c2));
+    const int gp = g.add(gap_op(r2));
+    g.set_output(g.add(conv_op(gp, 12, 5, 1, 1, 0, rng)));
+    return g;
+}
+
+/// Branching graph: a residual Add plus a fire-style Concat, so several
+/// intermediates are live at once and arena aliasing is actually at risk.
+ir::Graph branch_graph(unsigned seed = 11) {
+    std::mt19937 rng(seed);
+    ir::Graph g;
+    const int in = g.add_input({1, 3, 8, 8});
+    const int c0 = g.add(conv_op(in, 3, 6, 3, 1, 1, rng));
+    const int r0 = g.add(relu_op(c0));
+    const int sq = g.add(conv_op(r0, 6, 4, 1, 1, 0, rng));
+    const int rs = g.add(relu_op(sq));
+    const int a1 = g.add(conv_op(rs, 4, 8, 3, 1, 1, rng));
+    const int ra = g.add(relu_op(a1));
+    const int a2 = g.add(conv_op(rs, 4, 8, 1, 1, 0, rng));
+    ir::Op add;
+    add.kind = ir::OpKind::Add;
+    add.inputs = {ra, a2};
+    const int sum = g.add(add);
+    const int e1 = g.add(conv_op(rs, 4, 8, 1, 1, 0, rng));
+    ir::Op cat;
+    cat.kind = ir::OpKind::Concat;
+    cat.inputs = {sum, e1};
+    const int cc = g.add(cat);
+    const int c3 = g.add(conv_op(cc, 16, 4, 1, 1, 0, rng));
+    const int gp = g.add(gap_op(c3));
+    g.set_output(g.add(conv_op(gp, 4, 3, 1, 1, 0, rng)));
+    return g;
+}
+
+tensor::Tensor random_batch(int n, unsigned seed = 3) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> dist(-1.0f, 2.0f);
+    tensor::Tensor batch({n, 3, 8, 8});
+    for (auto& v : batch.vec()) v = dist(rng);
+    return batch;
+}
+
+quant::QuantizedGraph quantize(const ir::Graph& graph, quant::Method method,
+                               const quant::QuantConfig& config) {
+    const tensor::Tensor calib_images = random_batch(12, 5);
+    std::vector<int> labels(12, 0);
+    const auto calib = quant::calibrate(graph, calib_images, labels);
+    return quant::quantize_graph(graph, method, config, calib);
+}
+
+void expect_bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b,
+                          const char* what) {
+    ASSERT_EQ(a.shape(), b.shape()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+// ----------------------------------------------------------------- tests
+
+TEST(ExecFloat, PlannedMatchesReferenceWalker) {
+    for (const auto& graph : {chain_graph(), branch_graph()}) {
+        exec::FloatRunner runner(graph, 4);
+        for (const int n : {1, 2, 4}) {
+            const tensor::Tensor batch = random_batch(n, 20 + static_cast<unsigned>(n));
+            const auto reference = ir::run_float_all(graph, batch);
+            const tensor::Tensor planned = runner.run(batch);
+            expect_bitwise_equal(
+                planned, reference[static_cast<std::size_t>(graph.output_id())], "float");
+        }
+    }
+}
+
+TEST(ExecQuant, PlannedMatchesSeedInterpreter) {
+    // Per-tensor asymmetric (zero-point corrections exercised), per-channel
+    // ACIQ, and an LSB-padded low-bit config (shift path in the stats).
+    const auto lsb_cfg = quant::QuantConfig::from_compression({2, 3, common::Padding::Lsb});
+    const struct {
+        quant::Method method;
+        quant::QuantConfig config;
+    } cases[] = {
+        {quant::Method::M2_MinMaxAsymmetric, quant::QuantConfig{}},
+        {quant::Method::M4_Aciq, quant::QuantConfig{}},
+        {quant::Method::M5_AciqNoBias, lsb_cfg},
+    };
+    for (const auto& graph : {chain_graph(), branch_graph()}) {
+        for (const auto& c : cases) {
+            auto qgraph = quantize(graph, c.method, c.config);
+            // Exercise the precision-scaling mask on one conv as well.
+            for (std::size_t op = 0; op < qgraph.graph().ops().size(); ++op) {
+                if (qgraph.graph().ops()[op].kind != ir::OpKind::Conv2d) continue;
+                qgraph.conv(op).act_mask_bits = 2;
+                break;
+            }
+            const tensor::Tensor batch = random_batch(3, 31);
+            quant::QuantExecStats ref_stats, planned_stats;
+            const tensor::Tensor reference =
+                seedref::run_quantized(qgraph, batch, nullptr, &ref_stats);
+            const tensor::Tensor planned =
+                quant::run_quantized(qgraph, batch, nullptr, &planned_stats);
+            expect_bitwise_equal(planned, reference, "quant");
+            EXPECT_EQ(planned_stats.mac_count, ref_stats.mac_count);
+            EXPECT_EQ(planned_stats.max_abs_accumulator, ref_stats.max_abs_accumulator);
+            EXPECT_EQ(planned_stats.accumulator_overflows, ref_stats.accumulator_overflows);
+        }
+    }
+}
+
+TEST(ExecQuant, InjectionStreamMatchesSeedInterpreter) {
+    const auto qgraph = quantize(branch_graph(), quant::Method::M4_Aciq, quant::QuantConfig{});
+    const tensor::Tensor batch = random_batch(2, 47);
+    inject::InjectionConfig cfg;
+    cfg.flip_probability = 5e-3;
+    cfg.seed = 99;
+
+    inject::BitFlipInjector ref_injector(cfg);
+    quant::QuantExecStats ref_stats;
+    const tensor::Tensor reference =
+        seedref::run_quantized(qgraph, batch, &ref_injector, &ref_stats);
+
+    inject::BitFlipInjector planned_injector(cfg);
+    quant::QuantExecStats planned_stats;
+    const tensor::Tensor planned =
+        quant::run_quantized(qgraph, batch, &planned_injector, &planned_stats);
+
+    // The injector is a seeded RNG stream: bit-identical logits prove the
+    // engine preserves the seed's exact per-product hook order.
+    expect_bitwise_equal(planned, reference, "injected");
+    EXPECT_GT(planned_injector.flips_injected(), 0u);
+    EXPECT_EQ(planned_injector.flips_injected(), ref_injector.flips_injected());
+    EXPECT_EQ(planned_stats.flips, ref_stats.flips);
+    EXPECT_EQ(planned_stats.mac_count, ref_stats.mac_count);
+}
+
+TEST(ExecPlan, ArenaAliasesDeadIntermediatesSafely) {
+    const ir::Graph graph = branch_graph();
+    const exec::ExecPlan plan(graph, exec::PlanOptions{2, true});
+    // Reuse must actually happen on a branching graph...
+    EXPECT_LT(plan.arena_floats(), plan.total_tensor_floats());
+    // ...without perturbing a single output bit (checked via the walker).
+    exec::FloatBackend backend;
+    exec::ExecContext ctx;
+    const tensor::Tensor batch = random_batch(2, 13);
+    const tensor::Tensor planned = exec::run(plan, backend, ctx, batch);
+    const auto reference = ir::run_float_all(graph, batch);
+    expect_bitwise_equal(planned, reference[static_cast<std::size_t>(graph.output_id())],
+                         "arena");
+    // A no-reuse plan needs the full sum.
+    const exec::ExecPlan flat(graph, exec::PlanOptions{2, false});
+    EXPECT_EQ(flat.arena_floats(), flat.total_tensor_floats());
+}
+
+TEST(ExecPlan, RejectsOversizedBatchesAndBadShapes) {
+    const ir::Graph graph = chain_graph();
+    const exec::ExecPlan plan(graph, exec::PlanOptions{2, true});
+    exec::FloatBackend backend;
+    exec::ExecContext ctx;
+    EXPECT_THROW((void)exec::run(plan, backend, ctx, random_batch(3)),
+                 std::invalid_argument);
+    const tensor::Tensor wrong({1, 4, 8, 8});
+    EXPECT_THROW((void)exec::run(plan, backend, ctx, wrong), std::invalid_argument);
+    EXPECT_THROW(exec::ExecPlan(graph, exec::PlanOptions{0, true}), std::invalid_argument);
+}
+
+TEST(ExecRunner, CapacityGrowsOnDemand) {
+    const ir::Graph graph = chain_graph();
+    const auto qgraph = quantize(graph, quant::Method::M2_MinMaxAsymmetric, {});
+    quant::QuantRunner small(qgraph, 2);
+    const tensor::Tensor batch = random_batch(6, 77);
+    const tensor::Tensor grown = small.run(batch);
+    EXPECT_GE(small.plan().batch_capacity(), 6);
+    expect_bitwise_equal(grown, seedref::run_quantized(qgraph, batch), "grown");
+}
+
+TEST(ExecRunner, RebindSwapsPayloadOnSharedPlan) {
+    const ir::Graph graph = branch_graph();
+    const auto qa = quantize(graph, quant::Method::M2_MinMaxAsymmetric, {});
+    const auto qb = quantize(graph, quant::Method::M4_Aciq, {});
+    const tensor::Tensor batch = random_batch(2, 91);
+
+    quant::QuantRunner runner(qa, 2);
+    expect_bitwise_equal(runner.run(batch), seedref::run_quantized(qa, batch), "bind a");
+    runner.rebind(qb);
+    expect_bitwise_equal(runner.run(batch), seedref::run_quantized(qb, batch), "rebind b");
+
+    const auto other = quantize(chain_graph(), quant::Method::M2_MinMaxAsymmetric, {});
+    EXPECT_THROW(runner.rebind(other), std::invalid_argument);
+}
+
+TEST(ExecThreading, PoolExecutionIsBitIdentical) {
+    exec::ThreadPool pool(3);
+    const ir::Graph graph = branch_graph();
+    const auto qgraph = quantize(graph, quant::Method::M4_Aciq, {});
+    const tensor::Tensor batch = random_batch(5, 101);
+
+    exec::FloatRunner serial_f(graph, 5);
+    exec::FloatRunner parallel_f(graph, 5, &pool);
+    expect_bitwise_equal(parallel_f.run(batch), serial_f.run(batch), "float pool");
+
+    quant::QuantRunner serial_q(qgraph, 5);
+    quant::QuantRunner parallel_q(qgraph, 5, &pool);
+    expect_bitwise_equal(parallel_q.run(batch), serial_q.run(batch), "quant pool");
+}
+
+TEST(ExecThreading, ConcurrentContextReuseMatchesSerial) {
+    // The serve worker-pool pattern: one immutable shared plan, one
+    // (context, backend) pair per thread, each reused across many runs.
+    const ir::Graph graph = branch_graph();
+    const auto qgraph = quantize(graph, quant::Method::M2_MinMaxAsymmetric, {});
+    const exec::ExecPlan plan(qgraph.graph(), exec::PlanOptions{1, true});
+    constexpr int kThreads = 4;
+    constexpr int kRunsPerThread = 8;
+
+    const tensor::Tensor images = random_batch(kThreads * kRunsPerThread, 55);
+    std::vector<tensor::Tensor> serial(static_cast<std::size_t>(images.shape().n));
+    {
+        exec::QuantBackend backend(qgraph);
+        exec::ExecContext ctx;
+        for (int i = 0; i < images.shape().n; ++i)
+            serial[static_cast<std::size_t>(i)] =
+                exec::run(plan, backend, ctx, images.batch_view(i, 1));
+    }
+
+    std::vector<tensor::Tensor> parallel(static_cast<std::size_t>(images.shape().n));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            exec::QuantBackend backend(qgraph);  // per-thread mutable halves
+            exec::ExecContext ctx;
+            for (int r = 0; r < kRunsPerThread; ++r) {
+                const int i = t * kRunsPerThread + r;
+                parallel[static_cast<std::size_t>(i)] =
+                    exec::run(plan, backend, ctx, images.batch_view(i, 1));
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int i = 0; i < images.shape().n; ++i)
+        expect_bitwise_equal(parallel[static_cast<std::size_t>(i)],
+                             serial[static_cast<std::size_t>(i)], "concurrent");
+}
+
+TEST(ExecWalker, EagerFreeVisitsEveryTensorWithReferenceValues) {
+    const ir::Graph graph = branch_graph();
+    const tensor::Tensor batch = random_batch(2, 67);
+    const auto reference = ir::run_float_all(graph, batch);
+    std::vector<int> visits(static_cast<std::size_t>(graph.num_tensors()), 0);
+    ir::for_each_float_tensor(graph, batch, [&](int id, const tensor::Tensor& t) {
+        ++visits[static_cast<std::size_t>(id)];
+        expect_bitwise_equal(t, reference[static_cast<std::size_t>(id)], "walker");
+    });
+    for (const int count : visits) EXPECT_EQ(count, 1);
+}
+
+TEST(TensorView, BatchViewIsZeroCopyAndEquivalent) {
+    const tensor::Tensor images = random_batch(6, 42);
+    const tensor::TensorView view = images.batch_view(2, 3);
+    EXPECT_EQ(view.data, images.data() + 2 * images.size() / 6);  // aliases, no copy
+    EXPECT_EQ(view.shape.n, 3);
+    EXPECT_THROW((void)images.batch_view(4, 3), std::out_of_range);
+    EXPECT_THROW((void)images.batch_view(-1, 2), std::out_of_range);
+
+    // Running a view is identical to running a materialised copy.
+    const ir::Graph graph = chain_graph();
+    tensor::Tensor copy({3, 3, 8, 8});
+    std::copy(view.data, view.data + view.size(), copy.data());
+    exec::FloatRunner runner(graph, 3);
+    expect_bitwise_equal(runner.run(view), runner.run(copy), "view");
+}
+
+TEST(IrGraph, TopologyEqualityIgnoresWeightsOnly) {
+    const ir::Graph a = chain_graph(1);
+    const ir::Graph b = chain_graph(2);  // same wiring, different weights
+    EXPECT_TRUE(ir::topology_equals(a, b));
+    EXPECT_FALSE(ir::topology_equals(a, branch_graph()));
+}
+
+}  // namespace
