@@ -1,24 +1,124 @@
-// Serving throughput scaling: the same request stream served by fleets
-// of 1, 2, 4 and 8 devices (workers == devices), reporting simulated
-// fleet throughput (model cycles × MAC clock — the figure of merit for
-// the modelled NPU, independent of the simulation host) alongside host
+// Serving throughput scaling + the requant-stall scenario.
+//
+// Part 1 — scaling: the same request stream served by fleets of 1, 2, 4
+// and 8 devices (workers == devices), reporting simulated fleet
+// throughput (model cycles × MAC clock — the figure of merit for the
+// modelled NPU, independent of the simulation host) alongside host
 // wall-clock. Devices run concurrently in model time, so simulated
-// throughput scales linearly with fleet size; host wall-clock scaling is
-// bounded by the machine running the simulation.
+// throughput scales linearly with fleet size.
+//
+// Part 2 — requant stall: a single fast-aging device (high
+// age_acceleration, low requant_threshold_mv, full Algorithm 1) under a
+// paced request stream, served once with inline re-quantization (the
+// device stalls at the batch boundary for the full PTQ method search)
+// and once with the background RequantService (build off the serving
+// path, double-buffered swap). Reported latency here is host wall-clock
+// per request (submit → completion): the stall is host time spent not
+// serving, invisible in model cycles. Acceptance: background p99 ≤ 0.5×
+// inline p99 with identical final deployed generations, and zero
+// ExecPlan recompiles across the second run's re-quantizations.
 //
 // Usage: serve_throughput [requests] [network]
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "aging/aging_model.hpp"
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
 #include "core/compression_selector.hpp"
+#include "exec/plan_cache.hpp"
 #include "serve/server.hpp"
+
+namespace {
+
+using namespace raq;
+using Clock = std::chrono::steady_clock;
+
+double percentile_ms(std::vector<double> values, double q) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t index =
+        static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+    return values[index];
+}
+
+struct StallReport {
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::uint64_t final_generation = 0;
+    int requants = 0;
+    double max_build_ms = 0.0;
+    double max_swap_us = 0.0;
+};
+
+/// One paced pass over the aging device; `background` toggles the
+/// RequantService vs. the inline batch-boundary rebuild.
+StallReport run_stall_scenario(const serve::ServeContext& ctx,
+                               const std::vector<tensor::Tensor>& images, bool background,
+                               double threshold_mv, double acceleration,
+                               std::chrono::microseconds pace) {
+    const int requests = static_cast<int>(images.size());
+    serve::ServeConfig cfg;
+    cfg.num_devices = 1;
+    cfg.num_workers = 1;
+    cfg.max_batch = 8;
+    cfg.background_requant = background;
+    cfg.device.requant_threshold_mv = threshold_mv;
+    cfg.device.age_acceleration = acceleration;
+    cfg.device.full_algorithm1 = true;
+    serve::NpuServer server(ctx, cfg);
+
+    std::vector<std::future<serve::InferenceResult>> futures(
+        static_cast<std::size_t>(requests));
+    std::vector<Clock::time_point> submitted(static_cast<std::size_t>(requests));
+    std::vector<double> latency_ms(static_cast<std::size_t>(requests));
+    std::atomic<int> ready{0};
+
+    // Completion stamping runs concurrently with paced submission; one
+    // device and one worker keep completion in FIFO order, so waiting in
+    // submission order observes each future as it resolves.
+    std::thread waiter([&] {
+        for (int i = 0; i < requests; ++i) {
+            while (ready.load(std::memory_order_acquire) <= i)
+                std::this_thread::yield();
+            futures[static_cast<std::size_t>(i)].wait();
+            latency_ms[static_cast<std::size_t>(i)] =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - submitted[static_cast<std::size_t>(i)])
+                    .count();
+        }
+    });
+    for (int i = 0; i < requests; ++i) {
+        submitted[static_cast<std::size_t>(i)] = Clock::now();
+        futures[static_cast<std::size_t>(i)] =
+            server.submit(images[static_cast<std::size_t>(i)]);
+        ready.store(i + 1, std::memory_order_release);
+        std::this_thread::sleep_for(pace);
+    }
+    waiter.join();
+    server.shutdown();
+
+    const serve::DeviceStats stats = server.device(0).stats();
+    StallReport report;
+    report.p50_ms = percentile_ms(latency_ms, 0.50);
+    report.p99_ms = percentile_ms(latency_ms, 0.99);
+    report.final_generation = stats.generation;
+    report.requants = stats.requant_count;
+    for (const serve::RequantEvent& e : stats.requant_events) {
+        report.max_build_ms = std::max(report.max_build_ms, e.build_ms);
+        report.max_swap_us = std::max(report.max_swap_us, e.swap_us);
+    }
+    return report;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
     using namespace raq;
@@ -81,8 +181,82 @@ int main(int argc, char** argv) try {
     }
     std::printf("%s\n", table.to_string().c_str());
     std::printf("sim scaling is the acceptance metric: the modelled fleet serves\n"
-                "concurrently in model time regardless of host core count.\n");
-    return 0;
+                "concurrently in model time regardless of host core count.\n\n");
+
+    // ---------------------------------------------- requant-stall scenario
+    const int stall_requests = 900;
+    const double threshold_mv = 2.5;
+    const double end_dvth_mv = 6.0;  // two crossings (2.5, 5.0) per pass
+    const auto pace = std::chrono::microseconds(3000);
+
+    const tensor::Tensor eval_images = bench.cache.dataset().test_batch(0, 32);
+    const std::vector<int> eval_labels(bench.test_labels.begin(),
+                                       bench.test_labels.begin() + 32);
+    serve::ServeContext stall_ctx = ctx;
+    stall_ctx.eval_images = &eval_images;
+    stall_ctx.eval_labels = &eval_labels;
+
+    std::vector<tensor::Tensor> stall_images;
+    stall_images.reserve(static_cast<std::size_t>(stall_requests));
+    for (int i = 0; i < stall_requests; ++i)
+        stall_images.push_back(
+            bench.cache.dataset().test_batch(i % benchutil::kTestSamples, 1));
+
+    // Scale aging so this stream ends around end_dvth_mv on one device.
+    double acceleration = 0.0;
+    {
+        serve::ServeConfig probe_cfg;
+        serve::NpuServer probe(ctx, probe_cfg);
+        const double busy_hours_per_request =
+            static_cast<double>(probe.device(0).per_image_cycles()) *
+            probe.device(0).clock_period_ps() * 1e-12 / 3600.0;
+        probe.shutdown();
+        acceleration = aging_model.years_for_dvth(end_dvth_mv) * 8760.0 /
+                       (stall_requests * busy_hours_per_request);
+    }
+
+    std::printf("requant-stall: %d paced requests (%.1f ms apart), threshold %.1f mV,\n"
+                "full Algorithm 1 per re-quantization (eval on %d samples)\n\n",
+                stall_requests, 1e-3 * static_cast<double>(pace.count()), threshold_mv,
+                eval_images.shape().n);
+
+    const StallReport inline_run = run_stall_scenario(
+        stall_ctx, stall_images, /*background=*/false, threshold_mv, acceleration, pace);
+    const exec::PlanCacheStats cache_before = exec::PlanCache::global().stats();
+    const StallReport bg_run = run_stall_scenario(
+        stall_ctx, stall_images, /*background=*/true, threshold_mv, acceleration, pace);
+    const exec::PlanCacheStats cache_after = exec::PlanCache::global().stats();
+
+    common::Table stall({"requant mode", "requants", "final gen", "p50 [ms]", "p99 [ms]",
+                         "max build [ms]", "max swap [us]"});
+    stall.add_row({"inline", std::to_string(inline_run.requants),
+                   std::to_string(inline_run.final_generation),
+                   common::Table::fmt(inline_run.p50_ms, 2),
+                   common::Table::fmt(inline_run.p99_ms, 2),
+                   common::Table::fmt(inline_run.max_build_ms, 1),
+                   common::Table::fmt(inline_run.max_swap_us, 0)});
+    stall.add_row({"background", std::to_string(bg_run.requants),
+                   std::to_string(bg_run.final_generation),
+                   common::Table::fmt(bg_run.p50_ms, 2),
+                   common::Table::fmt(bg_run.p99_ms, 2),
+                   common::Table::fmt(bg_run.max_build_ms, 1),
+                   common::Table::fmt(bg_run.max_swap_us, 0)});
+    std::printf("%s\n", stall.to_string().c_str());
+
+    const double ratio =
+        inline_run.p99_ms > 0.0 ? bg_run.p99_ms / inline_run.p99_ms : 0.0;
+    std::printf("p99 ratio (background / inline): %.3f  [gate: <= 0.5]\n", ratio);
+    std::printf("final generations: inline %llu vs background %llu  [gate: identical]\n",
+                static_cast<unsigned long long>(inline_run.final_generation),
+                static_cast<unsigned long long>(bg_run.final_generation));
+    std::printf("ExecPlan recompiles during the background pass: %llu  [gate: 0 — the\n"
+                "plan cache serves every re-quantization of an already-seen topology]\n",
+                static_cast<unsigned long long>(cache_after.misses - cache_before.misses));
+    const bool pass = ratio <= 0.5 &&
+                      inline_run.final_generation == bg_run.final_generation &&
+                      cache_after.misses == cache_before.misses;
+    std::printf("requant-stall gate: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_throughput: %s\n", e.what());
     return 1;

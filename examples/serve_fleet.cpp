@@ -116,9 +116,12 @@ int main(int argc, char** argv) try {
 
     for (int d = 0; d < server.num_devices(); ++d)
         for (const serve::RequantEvent& e : server.device(d).stats().requant_events)
-            std::printf("requant: dev%d at %.0f h (dVth %.1f mV): %s -> %s via %s\n", d,
-                        e.at_hours, e.dvth_mv, e.before.to_string().c_str(),
-                        e.after.to_string().c_str(), quant::method_label(e.method));
+            std::printf("requant: dev%d gen %llu at %.0f h (dVth %.1f mV): %s -> %s via "
+                        "%s, built %s in %.1f ms, swapped in %.0f us\n",
+                        d, static_cast<unsigned long long>(e.generation), e.at_hours,
+                        e.dvth_mv, e.before.to_string().c_str(),
+                        e.after.to_string().c_str(), quant::method_label(e.method),
+                        e.background ? "in background" : "inline", e.build_ms, e.swap_us);
     return 0;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_fleet: %s\n", e.what());

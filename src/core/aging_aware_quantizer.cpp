@@ -1,8 +1,7 @@
 #include "core/aging_aware_quantizer.hpp"
 
-#include <algorithm>
-#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "ir/float_executor.hpp"
 
@@ -27,43 +26,14 @@ AagResult AgingAwareQuantizer::run(const AagInputs& in, double dvth_mv,
     const auto calib = quant::calibrate(*in.graph, *in.calib_images, *in.calib_labels);
     const auto config = quant::QuantConfig::from_compression(choice->compression);
 
-    bool have_best = false;
-    // Algorithm 1 inner loop: every candidate method runs through one
-    // shared execution plan — only the quantization payload is rebound,
-    // so the schedule, arena and conv workspaces are compiled once. The
-    // runner pins each bound graph itself (owning rebind).
-    std::unique_ptr<quant::QuantRunner> runner;
-    const quant::EvalOptions eval_options;
-    for (const quant::Method method : quant::all_methods()) {
-        auto qgraph = std::make_shared<const quant::QuantizedGraph>(
-            quant::quantize_graph(*in.graph, method, config, calib));
-        if (!runner)
-            runner = std::make_unique<quant::QuantRunner>(
-                std::move(qgraph),
-                std::min(eval_options.batch_size, in.test_images->shape().n));
-        else
-            runner->rebind(std::move(qgraph));
-        const double acc = quant::quantized_accuracy(*runner, *in.test_images,
-                                                     *in.test_labels, eval_options);
-        MethodOutcome outcome;
-        outcome.method = method;
-        outcome.accuracy = acc;
-        outcome.accuracy_loss = 100.0 * (result.fp32_accuracy - acc);
-        result.all_methods.push_back(outcome);
-        if (!have_best || acc > result.quantized_accuracy) {
-            result.quantized_accuracy = acc;
-            result.selected_method = method;
-            have_best = true;
-        }
-        // Algorithm 1 line 9: stop at the first method meeting the
-        // user-provided accuracy-loss threshold.
-        if (in.accuracy_loss_threshold &&
-            outcome.accuracy_loss <= *in.accuracy_loss_threshold) {
-            result.quantized_accuracy = acc;
-            result.selected_method = method;
-            break;
-        }
-    }
+    // Algorithm 1 inner loop, shared with the serving runtime's
+    // RequantJob builds (core/requant_job.cpp).
+    MethodSearchResult search =
+        search_methods(*in.graph, config, calib, *in.test_images, *in.test_labels,
+                       result.fp32_accuracy, in.accuracy_loss_threshold);
+    result.selected_method = search.selected;
+    result.quantized_accuracy = search.accuracy;
+    result.all_methods = std::move(search.all_methods);
     result.accuracy_loss = 100.0 * (result.fp32_accuracy - result.quantized_accuracy);
     return result;
 }

@@ -5,6 +5,11 @@
 //      first that satisfies the accuracy-loss threshold (or, as in the
 //      paper's evaluation, the best over all methods when no threshold
 //      is given).
+//
+// This is the one-shot reporting entry point (it calibrates and
+// evaluates FP32 per call). The method search itself lives in
+// core::search_methods / core::RequantJob, the reusable build-job form
+// the serving runtime re-runs online.
 #pragma once
 
 #include <optional>
@@ -12,17 +17,12 @@
 #include <vector>
 
 #include "core/compression_selector.hpp"
+#include "core/requant_job.hpp"
 #include "ir/graph.hpp"
 #include "quant/evaluate.hpp"
 #include "quant/methods.hpp"
 
 namespace raq::core {
-
-struct MethodOutcome {
-    quant::Method method;
-    double accuracy = 0.0;
-    double accuracy_loss = 0.0;  ///< vs. FP32, in percentage points
-};
 
 struct AagResult {
     CompressionCandidate compression;

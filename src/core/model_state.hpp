@@ -1,0 +1,30 @@
+// ModelState: one versioned, immutable deployment artifact — the
+// QuantizedGraph Algorithm 1 produced together with the metadata it was
+// built for. This is the unit the serving runtime double-buffers: a
+// device always points at exactly one ModelState, a background
+// re-quantization builds the next one off the serving path, and the swap
+// is a shared_ptr assignment at a batch boundary. The generation id is
+// monotonic per device, so fleet telemetry can order every deployment a
+// device ever served.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/compression.hpp"
+#include "quant/methods.hpp"
+#include "quant/quantized_graph.hpp"
+
+namespace raq::core {
+
+struct ModelState {
+    /// Monotonic per device; 1 is the initial deployment, 0 means "none".
+    std::uint64_t generation = 0;
+    std::shared_ptr<const quant::QuantizedGraph> qgraph;
+    common::Compression compression;              ///< (α, β, padding) deployed
+    quant::Method method = quant::Method::M5_AciqNoBias;
+    double dvth_mv = 0.0;  ///< aging level this state was built for — the
+                           ///< re-quantization baseline of its successor
+};
+
+}  // namespace raq::core

@@ -25,7 +25,10 @@ struct RunOptions {
                                  tensor::TensorView batch, const RunOptions& options = {});
 
 /// Reusable FP32 execution state: plan + context + FloatBackend, growing
-/// its batch capacity on demand. One per thread.
+/// its batch capacity on demand. One per thread. Compiles a private plan
+/// rather than using the PlanCache: FloatBackend reads weights from the
+/// plan's embedded graph, so float plans cannot be shared across
+/// same-topology graphs with different weights.
 class FloatRunner {
 public:
     explicit FloatRunner(const ir::Graph& graph, int batch_capacity = 1,

@@ -120,6 +120,47 @@ bool topology_equals(const Graph& a, const Graph& b) {
     return true;
 }
 
+std::uint64_t topology_fingerprint(const Graph& graph) {
+    // FNV-1a over the same fields topology_equals inspects, in the same
+    // order, so structurally equal graphs hash identically.
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        // Hash every byte of v so fields that differ only in high bits
+        // (and adjacent small ints) still diffuse.
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(graph.num_tensors()));
+    mix(static_cast<std::uint64_t>(graph.input_id()));
+    mix(static_cast<std::uint64_t>(graph.output_id()));
+    const tensor::Shape& in = graph.input_shape();
+    mix(static_cast<std::uint64_t>(in.n));
+    mix(static_cast<std::uint64_t>(in.c));
+    mix(static_cast<std::uint64_t>(in.h));
+    mix(static_cast<std::uint64_t>(in.w));
+    for (const Op& op : graph.ops()) {
+        mix(static_cast<std::uint64_t>(op.kind));
+        mix(op.inputs.size());
+        for (const int id : op.inputs) mix(static_cast<std::uint64_t>(id));
+        mix(static_cast<std::uint64_t>(op.output));
+        if (op.kind == OpKind::Conv2d) {
+            mix(static_cast<std::uint64_t>(op.conv.in_c));
+            mix(static_cast<std::uint64_t>(op.conv.out_c));
+            mix(static_cast<std::uint64_t>(op.conv.kh));
+            mix(static_cast<std::uint64_t>(op.conv.kw));
+            mix(static_cast<std::uint64_t>(op.conv.stride));
+            mix(static_cast<std::uint64_t>(op.conv.pad));
+        }
+        if (op.kind == OpKind::MaxPool2d) {
+            mix(static_cast<std::uint64_t>(op.pool.kernel));
+            mix(static_cast<std::uint64_t>(op.pool.stride));
+        }
+    }
+    return h;
+}
+
 std::uint64_t Graph::macs_per_sample() const {
     const auto shapes = infer_shapes(*this, 1);
     std::uint64_t total = 0;

@@ -10,6 +10,7 @@
 // an NPU executes both conv and FC layers on the same MAC array.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -84,5 +85,12 @@ private:
 /// architecture — e.g. successive re-quantizations of one model — compare
 /// equal, which is what lets an ExecPlan be reused across them.
 [[nodiscard]] bool topology_equals(const Graph& a, const Graph& b);
+
+/// Order-sensitive hash over exactly the structure topology_equals
+/// compares (op kinds, wiring, conv/pool attributes; weights ignored).
+/// topology_equals(a, b) implies equal fingerprints; the converse is a
+/// hash collision, which callers (e.g. the exec plan cache) must resolve
+/// with topology_equals.
+[[nodiscard]] std::uint64_t topology_fingerprint(const Graph& graph);
 
 }  // namespace raq::ir

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "exec/plan_cache.hpp"
+
 namespace raq::quant {
 
 namespace {
@@ -29,8 +31,7 @@ private:
 
 QuantRunner::QuantRunner(const QuantizedGraph& qgraph, int batch_capacity,
                          exec::ThreadPool* pool)
-    : plan_(std::make_unique<exec::ExecPlan>(qgraph.graph(),
-                                             exec::PlanOptions{batch_capacity, true})),
+    : plan_(exec::PlanCache::global().get(qgraph.graph(), batch_capacity)),
       backend_(qgraph),
       pool_(pool) {}
 
@@ -58,10 +59,10 @@ void QuantRunner::rebind(std::shared_ptr<const QuantizedGraph> qgraph) {
 tensor::Tensor QuantRunner::run(tensor::TensorView batch, inject::BitFlipInjector* injector,
                                 QuantExecStats* stats) {
     if (batch.shape.n > plan_->batch_capacity())
-        // Recompile at the larger capacity, sharing (not copying) the
-        // plan's owned graph.
-        plan_ = std::make_unique<exec::ExecPlan>(
-            plan_->graph_shared(), exec::PlanOptions{batch.shape.n, true});
+        // Re-resolve at the larger capacity (a cache hit when any runner
+        // over this topology already grew this far; a miss shares the
+        // current plan's graph instead of copying it).
+        plan_ = exec::PlanCache::global().get(plan_->graph_shared(), batch.shape.n);
     const FaultHookGuard guard(backend_, injector, stats);
     exec::RunOptions options;
     options.pool = pool_;

@@ -23,8 +23,9 @@ namespace raq::quant {
 
 using QuantExecStats = exec::QuantExecStats;
 
-/// Reusable quantized execution state: one ExecPlan (compiled from the
-/// graph topology at a batch capacity), one QuantBackend and one
+/// Reusable quantized execution state: one ExecPlan (resolved through the
+/// process-wide exec::PlanCache — every runner over the same topology and
+/// capacity shares one compiled plan), one QuantBackend and one
 /// ExecContext. Capacity grows on demand; rebind() swaps in a graph with
 /// identical topology (e.g. the next re-quantization) without recompiling
 /// the plan or dropping the scratch buffers.
@@ -58,7 +59,7 @@ public:
     [[nodiscard]] const exec::ExecPlan& plan() const { return *plan_; }
 
 private:
-    std::unique_ptr<exec::ExecPlan> plan_;
+    std::shared_ptr<const exec::ExecPlan> plan_;
     exec::QuantBackend backend_;
     exec::ExecContext ctx_;
     exec::ThreadPool* pool_;

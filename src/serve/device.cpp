@@ -1,28 +1,58 @@
 #include "serve/device.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "common/rng.hpp"
-#include "ir/float_executor.hpp"
-#include "quant/methods.hpp"
 #include "serve/batcher.hpp"
+#include "serve/requant_service.hpp"
 
 namespace raq::serve {
 
-NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config)
-    : id_(id), ctx_(&ctx), config_(config) {
+namespace {
+
+/// Runs before the RequantJob member is constructed (which dereferences
+/// the context), so a half-filled context fails with a clear error.
+const ir::Graph& validate_context(const ServeContext& ctx) {
     if (!ctx.graph || !ctx.calib || !ctx.selector || !ctx.aging)
         throw std::invalid_argument("NpuDevice: graph/calib/selector/aging are required");
-    if (config.full_algorithm1 && (!ctx.eval_images || !ctx.eval_labels))
-        throw std::invalid_argument("NpuDevice: full Algorithm 1 needs an eval set");
+    return *ctx.graph;
+}
+
+core::RequantJobConfig job_config(const DeviceConfig& config) {
+    core::RequantJobConfig jc;
+    jc.full_algorithm1 = config.full_algorithm1;
+    jc.accuracy_loss_threshold = config.accuracy_loss_threshold;
+    return jc;
+}
+
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config,
+                     RequantService* requant_service)
+    : id_(id),
+      ctx_(&ctx),
+      config_(config),
+      job_(validate_context(ctx), *ctx.calib, *ctx.selector, job_config(config),
+           ctx.eval_images, ctx.eval_labels),
+      requant_service_(requant_service) {
     clock_period_ps_ = ctx.selector->fresh_critical_path_ps();
     const npu::SystolicArrayModel array(config.systolic);
     per_image_cycles_ = array.analyze(*ctx.graph).total_cycles;
-    deploy(ctx.aging->dvth_mv(config.initial_age_years), /*record_event=*/false);
-    if (!qgraph_)
+    auto initial =
+        job_.build(ctx.aging->dvth_mv(config.initial_age_years), /*generation=*/1);
+    if (!initial)
         throw std::runtime_error(
             "NpuDevice: no feasible compression at the initial aging level");
+    install(std::make_shared<const core::ModelState>(std::move(*initial)),
+            /*record_event=*/false, /*background=*/false, /*build_ms=*/0.0);
 }
 
 double NpuDevice::hours_unlocked() const {
@@ -43,68 +73,111 @@ int NpuDevice::requant_count() const {
     return requant_count_;
 }
 
-std::shared_ptr<const quant::QuantizedGraph> NpuDevice::deployed_graph() const {
-    const std::lock_guard<std::mutex> lock(graph_mutex_);
-    return qgraph_;
+std::shared_ptr<const core::ModelState> NpuDevice::deployed_state() const {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    return state_;
 }
 
-void NpuDevice::deploy(double dvth, bool record_event) {
-    const auto choice = ctx_->selector->select(dvth);
-    // Even full compression cannot meet timing: keep the current
-    // deployment rather than serve a graph that violates the clock.
-    if (!choice) return;
+std::shared_ptr<const quant::QuantizedGraph> NpuDevice::deployed_graph() const {
+    const auto state = deployed_state();
+    return state ? state->qgraph : nullptr;
+}
 
-    quant::Method method = quant::Method::M5_AciqNoBias;
-    if (config_.full_algorithm1) {
-        core::AagInputs inputs;
-        inputs.graph = ctx_->graph;
-        inputs.test_images = ctx_->eval_images;
-        inputs.test_labels = ctx_->eval_labels;
-        inputs.calib_images = &ctx_->calib->images;
-        inputs.calib_labels = &ctx_->calib->labels;
-        inputs.accuracy_loss_threshold = config_.accuracy_loss_threshold;
-        const core::AgingAwareQuantizer quantizer(*ctx_->selector);
-        method = quantizer.run(inputs, dvth).selected_method;
-    }
-    const auto qconfig = quant::QuantConfig::from_compression(choice->compression);
-    auto graph = std::make_shared<const quant::QuantizedGraph>(
-        quant::quantize_graph(*ctx_->graph, method, qconfig, *ctx_->calib));
+std::uint64_t NpuDevice::generation() const {
+    const auto state = deployed_state();
+    return state ? state->generation : 0;
+}
 
+void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool record_event,
+                        bool background, double build_ms) {
+    const auto swap_start = std::chrono::steady_clock::now();
     common::Compression before;
     {
-        const std::lock_guard<std::mutex> lock(graph_mutex_);
-        before = compression_;
-        qgraph_ = std::move(graph);
-        compression_ = choice->compression;
-        method_ = method;
-        dvth_at_deploy_ = dvth;
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        if (state_) before = state_->compression;
+        state_ = state;
     }
     // Re-point the planned execution state at the new deployment (the
     // owning rebind pins the graph). The topology is unchanged, so the
-    // compiled plan and all scratch buffers survive the swap; only this
-    // (serve) thread runs the runner.
-    const std::shared_ptr<const quant::QuantizedGraph> deployed = deployed_graph();
+    // compiled plan and all scratch buffers survive the swap; only the
+    // thread holding the device exclusively runs the runner.
     if (!runner_)
-        runner_.emplace(deployed, std::max(1, config_.plan_batch_capacity));
+        runner_.emplace(state->qgraph, std::max(1, config_.plan_batch_capacity));
     else
-        runner_->rebind(deployed);
+        runner_->rebind(state->qgraph);
+    const double swap_us = 1e3 * ms_since(swap_start);
     if (record_event) {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++requant_count_;
         RequantEvent event;
+        event.generation = state->generation;
         event.at_hours = hours_unlocked();
-        event.dvth_mv = dvth;
+        event.dvth_mv = state->dvth_mv;
         event.before = before;
-        event.after = choice->compression;
-        event.method = method;
+        event.after = state->compression;
+        event.method = state->method;
+        event.build_ms = build_ms;
+        event.swap_us = swap_us;
+        event.background = background;
         requant_events_.push_back(event);
+    }
+}
+
+void NpuDevice::requant_inline(double dvth) {
+    const auto build_start = std::chrono::steady_clock::now();
+    auto built = job_.build(dvth, generation() + 1);
+    // Even full compression cannot meet timing: keep the current
+    // deployment rather than serve a graph that violates the clock.
+    if (!built) return;
+    install(std::make_shared<const core::ModelState>(std::move(*built)),
+            /*record_event=*/true, /*background=*/false, ms_since(build_start));
+}
+
+void NpuDevice::execute_requant(double dvth_mv, std::uint64_t generation) {
+    const auto build_start = std::chrono::steady_clock::now();
+    auto built = job_.build(dvth_mv, generation);
+    PendingOutcome outcome;
+    if (built)
+        outcome.state = std::make_shared<const core::ModelState>(std::move(*built));
+    outcome.build_ms = ms_since(build_start);
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_ = std::move(outcome);
+}
+
+bool NpuDevice::adopt_pending() {
+    std::optional<PendingOutcome> outcome;
+    {
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        if (!pending_) return false;
+        outcome.swap(pending_);
+    }
+    const bool swapped = outcome->state != nullptr;
+    if (swapped)
+        install(std::move(outcome->state), /*record_event=*/true, /*background=*/true,
+                outcome->build_ms);
+    // Clear the gate only after the install: the next threshold check
+    // starts from the adopted state's baseline.
+    requant_in_flight_.store(false, std::memory_order_release);
+    return swapped;
+}
+
+void NpuDevice::finish_requants() {
+    adopt_pending();
+    const double dvth_now = dvth_mv();
+    if (dvth_now - deployed_state()->dvth_mv >= config_.requant_threshold_mv) {
+        // Build-and-adopt through the same publish path a service worker
+        // uses: the event records as background (no batch stalled — the
+        // stream is over) with its build latency.
+        execute_requant(dvth_now, generation() + 1);
+        adopt_pending();
     }
 }
 
 void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
     if (batch.empty()) return;
-    // The deployed graph cannot change mid-serve: only this thread
-    // deploys, and the member shared_ptr pins the runner's binding.
+    // The deployed state cannot change mid-serve: only this thread (and
+    // the post-join shutdown drain) installs, and the snapshot pins it.
+    const std::shared_ptr<const core::ModelState> serving = deployed_state();
     const std::uint64_t batch_cycles =
         per_image_cycles_ * static_cast<std::uint64_t>(batch.size());
     const double latency_us =
@@ -123,6 +196,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
             const tensor::Tensor logits = runner_->run(request.image, &injector);
             InferenceResult result = make_result(request.id, logits, 0);
             result.device_id = id_;
+            result.generation = serving->generation;
             result.latency_cycles = batch_cycles;
             result.latency_us = latency_us;
             request.promise.set_value(std::move(result));
@@ -134,6 +208,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
         for (std::size_t i = 0; i < batch.size(); ++i) {
             InferenceResult result = make_result(batch[i].id, logits, static_cast<int>(i));
             result.device_id = id_;
+            result.generation = serving->generation;
             result.latency_cycles = batch_cycles;
             result.latency_us = latency_us;
             batch[i].promise.set_value(std::move(result));
@@ -141,7 +216,6 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
     }
 
     double dvth_now = 0.0;
-    double dvth_deployed = 0.0;
     {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         requests_ += batch.size();
@@ -151,25 +225,37 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
         for (std::size_t i = 0; i < batch.size(); ++i) latency_.record(batch_cycles);
         dvth_now = ctx_->aging->dvth_mv(hours_unlocked() / 8760.0);
     }
-    {
-        const std::lock_guard<std::mutex> lock(graph_mutex_);
-        dvth_deployed = dvth_at_deploy_;
+
+    // Batch boundary: first adopt a background-built generation if one
+    // was published (so the threshold check runs against the newest
+    // baseline), then trigger on a crossing.
+    adopt_pending();
+    const double dvth_deployed = deployed_state()->dvth_mv;
+    if (dvth_now - dvth_deployed < config_.requant_threshold_mv) return;
+    if (requant_service_ == nullptr) {
+        // Inline mode: the device stalls for the full build (exactly one
+        // deployment per crossing: the device is held exclusively, and
+        // the install resets the baseline).
+        requant_inline(dvth_now);
+    } else if (!requant_in_flight_.exchange(true, std::memory_order_acq_rel)) {
+        requant_service_->enqueue(*this, dvth_now, generation() + 1);
     }
-    // Batch-boundary aging check (exactly one deployment per crossing:
-    // the device is held exclusively, and deploy() resets the baseline).
-    if (dvth_now - dvth_deployed >= config_.requant_threshold_mv)
-        deploy(dvth_now, /*record_event=*/true);
 }
 
 DeviceStats NpuDevice::stats() const {
     DeviceStats s;
     s.device_id = id_;
     s.clock_period_ps = clock_period_ps_;
-    {
-        const std::lock_guard<std::mutex> lock(graph_mutex_);
-        s.compression = compression_;
-        s.method = method_;
+    // Deployment snapshot: a pointer copy under state_mutex_ — observers
+    // never contend with a build, and a swap holds the mutex only for a
+    // pointer assignment.
+    const auto state = deployed_state();
+    if (state) {
+        s.generation = state->generation;
+        s.compression = state->compression;
+        s.method = state->method;
     }
+    s.requant_in_flight = requant_in_flight_.load(std::memory_order_acquire);
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     s.requests = requests_;
     s.batches = batches_;

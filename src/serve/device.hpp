@@ -3,20 +3,30 @@
 // Each device carries its own aging state: simulated operating hours
 // (initial field age + busy time accumulated while serving, optionally
 // accelerated), the resulting ΔVth from the shared AgingModel, and the
-// QuantizedGraph currently deployed on it. The device clock is the fresh
-// MAC critical path from STA — the paper's zero-guardband operating
-// point — and staying correct at that clock as ΔVth grows is exactly what
-// online re-quantization (Algorithm 1) provides: when the device's aging
-// has advanced by `requant_threshold_mv` since the last deployment, the
-// next batch boundary triggers re-quantization and atomically swaps the
-// deployed graph.
+// versioned core::ModelState currently deployed on it. The device clock
+// is the fresh MAC critical path from STA — the paper's zero-guardband
+// operating point — and staying correct at that clock as ΔVth grows is
+// exactly what online re-quantization (Algorithm 1) provides.
+//
+// Deployment lifecycle: crossing `requant_threshold_mv` since the
+// deployed state's build level triggers, at the next batch boundary,
+// either an inline rebuild (no RequantService — the device stalls for
+// the build, the pre-PR behavior) or a background build: the device
+// enqueues one job with the RequantService, keeps serving generation g,
+// and adopts the published generation g+1 at a later batch boundary via
+// an atomic payload rebind. At most one build is in flight per device.
 //
 // Concurrency contract: a device is checked out exclusively by one worker
 // at a time (the server's device pool enforces this), so execution state
-// needs no locks; the deployed-graph pointer and the statistics are
-// additionally guarded so observers can snapshot a device mid-run.
+// (the runner) needs no locks. Three small mutexes guard what observers
+// and the background builder touch: `state_mutex_` only the deployed
+// ModelState *pointer* (a swap holds it for a pointer assignment, so
+// stats snapshots never contend with a build), `pending_mutex_` the
+// published-but-not-adopted state, and `stats_mutex_` the counters —
+// observers never block behind either deployment mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -24,7 +34,8 @@
 #include <vector>
 
 #include "aging/aging_model.hpp"
-#include "core/aging_aware_quantizer.hpp"
+#include "core/model_state.hpp"
+#include "core/requant_job.hpp"
 #include "inject/bitflip.hpp"
 #include "npu/systolic.hpp"
 #include "quant/quant_executor.hpp"
@@ -32,6 +43,8 @@
 #include "serve/stats.hpp"
 
 namespace raq::serve {
+
+class RequantService;
 
 /// Read-only deployment context shared by every device in the fleet.
 struct ServeContext {
@@ -52,8 +65,9 @@ struct DeviceConfig {
     double age_acceleration = 1.0;
     /// ΔVth growth since the last deployment that triggers re-quantization.
     double requant_threshold_mv = 5.0;
-    /// Full Algorithm 1 (all PTQ methods, needs eval set) vs. the fast
-    /// path (compression selection + M5 ACIQ), suitable per batch boundary.
+    /// Full Algorithm 1 (all PTQ methods) vs. the fast path (compression
+    /// selection + M5 ACIQ). Requires an eval set in the ServeContext —
+    /// constructing without one throws, there is no silent fallback.
     bool full_algorithm1 = false;
     std::optional<double> accuracy_loss_threshold;  ///< Algorithm 1 line 9
     /// Per-product MSB flip probability while serving (0 = clean device).
@@ -69,13 +83,17 @@ struct DeviceConfig {
 class NpuDevice {
 public:
     /// `ctx` must outlive the device (NpuServer guarantees this by
-    /// owning its own ServeContext copy).
-    NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config);
+    /// owning its own ServeContext copy). With a `requant_service`,
+    /// threshold crossings build the next generation in the background;
+    /// without one they rebuild inline at the batch boundary.
+    NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config,
+              RequantService* requant_service = nullptr);
 
-    /// Serve one batch: execute every request on the deployed graph,
-    /// fulfill its promise, account busy time, then age the device and
-    /// re-quantize if the threshold was crossed. Called with exclusive
-    /// ownership of the device.
+    /// Serve one batch: execute every request on the deployed state,
+    /// fulfill its promise, account busy time, then age the device,
+    /// adopt a background-built state if one was published, and trigger
+    /// re-quantization if the threshold was crossed. Called with
+    /// exclusive ownership of the device.
     void serve(std::vector<InferenceRequest>& batch);
 
     [[nodiscard]] int id() const { return id_; }
@@ -85,32 +103,70 @@ public:
     [[nodiscard]] double dvth_mv() const;
     [[nodiscard]] int requant_count() const;
 
-    /// Snapshot of the deployed graph (stable even while serving).
+    /// Snapshot of the deployed state (stable even while serving: the
+    /// returned ModelState is immutable and pinned by the shared_ptr).
+    [[nodiscard]] std::shared_ptr<const core::ModelState> deployed_state() const;
     [[nodiscard]] std::shared_ptr<const quant::QuantizedGraph> deployed_graph() const;
+    /// Generation of the deployed state (monotonic, starts at 1).
+    [[nodiscard]] std::uint64_t generation() const;
 
     [[nodiscard]] DeviceStats stats() const;
 
+    /// RequantService worker entry: build `generation` for aging level
+    /// `dvth_mv` off the serving path and publish it into the pending
+    /// slot. Touches only the immutable context and the pending slot, so
+    /// it runs concurrently with serve().
+    void execute_requant(double dvth_mv, std::uint64_t generation);
+
+    /// Adopt a published pending state, if any: swap the deployed
+    /// pointer, rebind the runner's payload, record the event. Returns
+    /// true when a new generation was installed. Called by the serve
+    /// thread at batch boundaries and by NpuServer::shutdown() after the
+    /// serve workers have joined (never concurrently with serve()).
+    bool adopt_pending();
+
+    /// Shutdown drain (serve workers joined, RequantService drained):
+    /// adopt anything published, then catch up on a crossing that was
+    /// absorbed while a build was in flight — aging is frozen now, so
+    /// one final build lands the device exactly where an inline run
+    /// would have.
+    void finish_requants();
+
 private:
-    void deploy(double dvth, bool record_event);
+    void install(std::shared_ptr<const core::ModelState> state, bool record_event,
+                 bool background, double build_ms);
+    void requant_inline(double dvth);
     [[nodiscard]] double hours_unlocked() const;
 
     const int id_;
     const ServeContext* ctx_;
     const DeviceConfig config_;
+    const core::RequantJob job_;  ///< Algorithm 1 as a reusable build job
+    RequantService* requant_service_;
 
     double clock_period_ps_ = 0.0;      ///< fresh critical path (constant)
     std::uint64_t per_image_cycles_ = 0;
 
-    mutable std::mutex graph_mutex_;
-    std::shared_ptr<const quant::QuantizedGraph> qgraph_;
-    /// Long-lived planned execution state: the plan, arena and conv
-    /// scratch survive across batches AND across re-quantizations (deploy
-    /// rebinds the payload; the topology never changes). Only the serve
-    /// thread touches it — the device is checked out exclusively.
+    /// Guards only the deployed-state pointer: held for pointer copies
+    /// and the swap assignment, never across a build.
+    mutable std::mutex state_mutex_;
+    std::shared_ptr<const core::ModelState> state_;
+
+    /// Long-lived planned execution state: the plan (shared via the
+    /// exec::PlanCache), arena and conv scratch survive across batches
+    /// AND across re-quantizations (adoption rebinds the payload; the
+    /// topology never changes). Only the serve thread touches it.
     std::optional<quant::QuantRunner> runner_;
-    common::Compression compression_;
-    quant::Method method_ = quant::Method::M5_AciqNoBias;
-    double dvth_at_deploy_ = 0.0;
+
+    /// Background double-buffer: the built-but-not-yet-adopted state.
+    std::mutex pending_mutex_;
+    struct PendingOutcome {
+        std::shared_ptr<const core::ModelState> state;  ///< null: build infeasible
+        double build_ms = 0.0;
+    };
+    std::optional<PendingOutcome> pending_;
+    /// Gates enqueue: at most one background build in flight per device.
+    std::atomic<bool> requant_in_flight_{false};
 
     mutable std::mutex stats_mutex_;
     std::uint64_t requests_ = 0;

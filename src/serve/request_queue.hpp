@@ -29,6 +29,7 @@ struct InferenceResult {
     int predicted_class = -1;
     std::vector<float> logits;
     int device_id = -1;
+    std::uint64_t generation = 0;      ///< ModelState generation that served it
     std::uint64_t latency_cycles = 0;  ///< batch residency in model cycles
     double latency_us = 0.0;           ///< latency_cycles × device clock
 };

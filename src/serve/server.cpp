@@ -11,6 +11,13 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
     : config_(config), ctx_(ctx), queue_(config.queue_capacity) {
     if (config.num_devices < 1 || config.num_workers < 1 || config.max_batch < 1)
         throw std::invalid_argument("NpuServer: devices/workers/max_batch must be >= 1");
+    if (config.background_requant && config.requant_workers < 1)
+        throw std::invalid_argument("NpuServer: requant_workers must be >= 1");
+    // full_algorithm1 without a usable eval set fails loudly below:
+    // every device's RequantJob validates it at construction (no silent
+    // fast-path fallback), and that error propagates out of here.
+    if (config.background_requant)
+        requant_service_ = std::make_unique<RequantService>(config.requant_workers);
     devices_.reserve(static_cast<std::size_t>(config.num_devices));
     for (int i = 0; i < config.num_devices; ++i) {
         DeviceConfig dev = config.device;
@@ -19,7 +26,8 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
         // Compile each device's execution plan for the largest batch the
         // server will ever hand it: no plan recompile on the serving path.
         dev.plan_batch_capacity = config.max_batch;
-        devices_.push_back(std::make_unique<NpuDevice>(i, ctx_, dev));
+        devices_.push_back(
+            std::make_unique<NpuDevice>(i, ctx_, dev, requant_service_.get()));
         idle_devices_.push_back(devices_.back().get());
     }
     workers_.reserve(static_cast<std::size_t>(config.num_workers));
@@ -68,6 +76,14 @@ void NpuServer::shutdown() {
     queue_.close();
     for (std::thread& worker : workers_) worker.join();
     workers_.clear();
+    if (requant_service_) {
+        // Drain outstanding background builds (every accepted job is
+        // built and published), adopt what was published, and catch up
+        // on any crossing absorbed while a build was in flight: the
+        // fleet ends on exactly the generations an inline run deploys.
+        requant_service_->shutdown();
+        for (const auto& device : devices_) device->finish_requants();
+    }
 }
 
 double NpuServer::sample_accuracy(int device_index, int samples) const {

@@ -4,12 +4,16 @@
 // pops a dynamic batch, checks an idle device out of the pool, serves the
 // batch on it (fulfilling the requests' futures) and returns the device.
 // Devices age as they serve; crossing the ΔVth re-quantization threshold
-// swaps that device's deployed QuantizedGraph at the next batch boundary
-// while the rest of the fleet keeps serving (paper Algorithm 1, run
-// online instead of offline).
+// hands Algorithm 1 to the background RequantService, which builds the
+// next ModelState generation off the serving path — the device keeps
+// serving the old generation and swaps at a batch boundary, so no batch
+// ever stalls behind the PTQ method search. (Set
+// `background_requant = false` for the old inline behavior.)
 //
-// shutdown() closes admission, drains every accepted request, and joins
-// the workers; no accepted request is ever dropped.
+// shutdown() closes admission, drains every accepted request, joins the
+// workers, then drains the RequantService and adopts any still-pending
+// generations; no accepted request — and no triggered re-quantization —
+// is ever dropped.
 #pragma once
 
 #include <future>
@@ -19,6 +23,7 @@
 
 #include "serve/device.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/requant_service.hpp"
 
 namespace raq::serve {
 
@@ -31,6 +36,11 @@ struct ServeConfig {
     /// fleets are heterogeneous: devices were deployed at different times).
     double initial_age_years = 0.0;
     double initial_age_step_years = 0.0;
+    /// Build re-quantizations on a background worker pool and swap them
+    /// in double-buffered (the default). Off = the pre-existing inline
+    /// behavior: the device stalls at the batch boundary for the build.
+    bool background_requant = true;
+    int requant_workers = 1;  ///< RequantService pool size
     DeviceConfig device;  ///< per-device knobs (aging, requant, injection)
 };
 
@@ -38,7 +48,8 @@ class NpuServer {
 public:
     /// The context is copied (it is a bundle of pointers); the pointed-to
     /// objects (graph, calibration, selector, aging model, eval set) must
-    /// outlive the server.
+    /// outlive the server. Throws std::invalid_argument when the config
+    /// asks for the full Algorithm 1 without a usable eval set.
     NpuServer(const ServeContext& ctx, const ServeConfig& config);
     ~NpuServer();
 
@@ -49,8 +60,9 @@ public:
     /// Throws once the server is shut down.
     std::future<InferenceResult> submit(tensor::Tensor image);
 
-    /// Close admission, drain all accepted requests, join the workers.
-    /// Idempotent.
+    /// Close admission, drain all accepted requests, join the workers,
+    /// then drain outstanding background re-quantizations and adopt
+    /// their generations. Idempotent.
     void shutdown();
 
     [[nodiscard]] int num_devices() const { return static_cast<int>(devices_.size()); }
@@ -69,6 +81,9 @@ private:
     ServeContext ctx_;  ///< owned copy; pointed-to objects outlive the server
     RequestQueue queue_;
     std::vector<std::unique_ptr<NpuDevice>> devices_;
+    /// Declared after devices_ so it is destroyed (and its threads
+    /// joined) before any device it references.
+    std::unique_ptr<RequantService> requant_service_;
 
     std::mutex pool_mutex_;
     std::condition_variable pool_cv_;

@@ -64,11 +64,12 @@ std::string FleetStats::to_string() const {
     for (const DeviceStats& d : devices) {
         std::snprintf(line, sizeof(line),
                       "  dev%-2d %6llu req %5llu batch  %8.1f h  dVth %5.2f mV  "
-                      "%s %s  p50 %.0f p99 %.0f cyc  requants %d\n",
+                      "%s %s  gen %llu  p50 %.0f p99 %.0f cyc  requants %d\n",
                       d.device_id, static_cast<unsigned long long>(d.requests),
                       static_cast<unsigned long long>(d.batches), d.operating_hours,
                       d.dvth_mv, d.compression.to_string().c_str(),
-                      quant::method_label(d.method), d.latency.p50_cycles,
+                      quant::method_label(d.method),
+                      static_cast<unsigned long long>(d.generation), d.latency.p50_cycles,
                       d.latency.p99_cycles, d.requant_count);
         out += line;
     }

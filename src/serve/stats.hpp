@@ -37,13 +37,21 @@ private:
     std::vector<std::uint64_t> samples_;
 };
 
-/// One online re-quantization performed by a device.
+/// One online re-quantization performed by a device: which generation it
+/// deployed, what triggered it, and what the build and the swap cost in
+/// host wall-clock (the swap is a pointer assignment + payload rebind,
+/// so swap_us stays microseconds even when build_ms is a full
+/// Algorithm 1 method search).
 struct RequantEvent {
-    double at_hours = 0.0;          ///< simulated operating hours
-    double dvth_mv = 0.0;           ///< aging level that triggered it
+    std::uint64_t generation = 0;   ///< generation this event deployed
+    double at_hours = 0.0;          ///< simulated operating hours at the swap
+    double dvth_mv = 0.0;           ///< trigger ΔVth the new state was built for
     common::Compression before;
     common::Compression after;
     quant::Method method = quant::Method::M5_AciqNoBias;
+    double build_ms = 0.0;          ///< Algorithm 1 build latency (host wall-clock)
+    double swap_us = 0.0;           ///< publish-swap latency (host wall-clock)
+    bool background = false;        ///< built by the RequantService, off the serving path
 };
 
 struct DeviceStats {
@@ -55,9 +63,11 @@ struct DeviceStats {
     double operating_hours = 0.0;
     double dvth_mv = 0.0;
     double clock_period_ps = 0.0;
+    std::uint64_t generation = 0;  ///< currently deployed ModelState generation
     common::Compression compression;
     quant::Method method = quant::Method::M5_AciqNoBias;
     int requant_count = 0;
+    bool requant_in_flight = false;  ///< a background build is pending/running
     std::vector<RequantEvent> requant_events;
     LatencySummary latency;
 

@@ -5,6 +5,7 @@
 #include "core/aging_aware_quantizer.hpp"
 #include "core/compression_selector.hpp"
 #include "core/lifetime.hpp"
+#include "core/requant_job.hpp"
 #include "data/synthetic_dataset.hpp"
 #include "netlist/builders.hpp"
 #include "nn/trainer.hpp"
@@ -177,6 +178,79 @@ TEST(AlgorithmOne, EndToEndOnTrainedModel) {
     // Missing inputs are rejected.
     core::AagInputs incomplete;
     EXPECT_THROW(quantizer.run(incomplete, 10.0), std::invalid_argument);
+}
+
+TEST(RequantJobTest, BuildsVersionedStatesMatchingAlgorithmOne) {
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library lib = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, lib);
+
+    data::DatasetConfig dc;
+    dc.train_size = 600;
+    dc.test_size = 200;
+    const data::SyntheticDataset ds(dc);
+    auto net = nn::make_network("alexnet-mini");
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 2;
+    nn::SgdTrainer trainer(tcfg);
+    trainer.fit(net, ds);
+    const auto graph = net.export_ir();
+
+    const auto calib_images = ds.train_batch(0, 48);
+    const std::vector<int> calib_labels(ds.train_labels().begin(),
+                                        ds.train_labels().begin() + 48);
+    const auto calib = quant::calibrate(graph, calib_images, calib_labels);
+    const auto eval_images = ds.test_batch(0, 100);
+    const std::vector<int> eval_labels(ds.test_labels().begin(),
+                                       ds.test_labels().begin() + 100);
+
+    // Fast path: compression from the selector, M5, generation stamped.
+    const core::RequantJob fast(graph, calib, selector, {});
+    const auto fresh = fast.build(0.0, 1);
+    ASSERT_TRUE(fresh.has_value());
+    EXPECT_EQ(fresh->generation, 1u);
+    EXPECT_EQ(fresh->method, quant::Method::M5_AciqNoBias);
+    EXPECT_EQ(fresh->dvth_mv, 0.0);
+    EXPECT_TRUE(fresh->compression.is_none());
+    ASSERT_NE(fresh->qgraph, nullptr);
+
+    const auto aged = fast.build(30.0, 2);
+    ASSERT_TRUE(aged.has_value());
+    EXPECT_EQ(aged->generation, 2u);
+    const auto expected = selector.select(30.0);
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_EQ(aged->compression.alpha, expected->compression.alpha);
+    EXPECT_EQ(aged->compression.beta, expected->compression.beta);
+
+    // Full Algorithm 1 without an eval set is a construction-time error,
+    // not a silent fast-path fallback.
+    core::RequantJobConfig full_cfg;
+    full_cfg.full_algorithm1 = true;
+    EXPECT_THROW(core::RequantJob(graph, calib, selector, full_cfg),
+                 std::invalid_argument);
+    const std::vector<int> short_labels(10, 0);
+    EXPECT_THROW(core::RequantJob(graph, calib, selector, full_cfg, &eval_images,
+                                  &short_labels),
+                 std::invalid_argument);
+
+    // Full path selects the same method Algorithm 1 (the one-shot
+    // reporting entry point) selects at the same aging level: the
+    // extracted search is the same code.
+    const core::RequantJob full(graph, calib, selector, full_cfg, &eval_images,
+                                &eval_labels);
+    const auto full_state = full.build(30.0, 3);
+    ASSERT_TRUE(full_state.has_value());
+
+    core::AagInputs in;
+    in.graph = &graph;
+    in.test_images = &eval_images;
+    in.test_labels = &eval_labels;
+    in.calib_images = &calib_images;
+    in.calib_labels = &calib_labels;
+    const core::AgingAwareQuantizer quantizer(selector);
+    const auto reference = quantizer.run(in, 30.0);
+    EXPECT_EQ(full_state->method, reference.selected_method);
+    EXPECT_NEAR(full.fp32_accuracy(), reference.fp32_accuracy, 1e-12);
 }
 
 }  // namespace

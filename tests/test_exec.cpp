@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "exec/engine.hpp"
+#include "exec/plan_cache.hpp"
 #include "exec/quant_backend.hpp"
 #include "ir/float_executor.hpp"
 #include "quant/calibration.hpp"
@@ -345,6 +346,74 @@ TEST(IrGraph, TopologyEqualityIgnoresWeightsOnly) {
     const ir::Graph b = chain_graph(2);  // same wiring, different weights
     EXPECT_TRUE(ir::topology_equals(a, b));
     EXPECT_FALSE(ir::topology_equals(a, branch_graph()));
+}
+
+TEST(IrGraph, TopologyFingerprintFollowsEquality) {
+    const ir::Graph a = chain_graph(1);
+    const ir::Graph b = chain_graph(2);  // same wiring, different weights
+    EXPECT_EQ(ir::topology_fingerprint(a), ir::topology_fingerprint(b));
+    EXPECT_NE(ir::topology_fingerprint(a), ir::topology_fingerprint(branch_graph()));
+}
+
+TEST(ExecPlanCache, SharesOnePlanPerTopologyAndCapacity) {
+    exec::PlanCache cache(8);
+    const ir::Graph a = chain_graph(1);
+    const ir::Graph b = chain_graph(2);  // structurally identical
+    const auto plan_a = cache.get(a, 4);
+    const auto plan_b = cache.get(b, 4);
+    EXPECT_EQ(plan_a.get(), plan_b.get());  // one compiled plan for both
+    const auto plan_a8 = cache.get(a, 8);   // capacity is part of the key
+    EXPECT_NE(plan_a.get(), plan_a8.get());
+    const auto plan_branch = cache.get(branch_graph(), 4);
+    EXPECT_NE(plan_a.get(), plan_branch.get());
+
+    const exec::PlanCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ExecPlanCache, EvictsLeastRecentlyUsed) {
+    exec::PlanCache cache(2);
+    const ir::Graph chain = chain_graph();
+    (void)cache.get(chain, 1);
+    (void)cache.get(chain, 2);
+    (void)cache.get(chain, 1);  // touch capacity-1: capacity-2 becomes LRU
+    (void)cache.get(chain, 3);  // evicts capacity-2
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    (void)cache.get(chain, 1);  // survived the eviction: still a hit
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    (void)cache.get(chain, 2);  // was evicted: recompiles
+    EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(ExecPlanCache, RepeatedRequantizationsRecompileZeroPlans) {
+    // The wrapper path (run_quantized) and every QuantRunner resolve
+    // plans through the global cache: after the first compilation of a
+    // (topology, capacity), successive re-quantizations of the same
+    // model compile nothing.
+    const ir::Graph graph = chain_graph();
+    const tensor::Tensor batch = random_batch(2, 55);
+    tensor::Tensor first;
+    const auto before = exec::PlanCache::global().stats();
+    for (int requant = 0; requant < 4; ++requant) {
+        // Fresh payload each round — what online re-quantization produces.
+        const auto qgraph = quantize(graph, quant::Method::M5_AciqNoBias, {});
+        const tensor::Tensor out = quant::run_quantized(qgraph, batch);
+        if (requant == 0)
+            first = out;
+        else
+            expect_bitwise_equal(first, out, "requant round");
+    }
+    const auto after = exec::PlanCache::global().stats();
+    // At most one compilation (zero when an earlier test already warmed
+    // this topology/capacity in the process-wide cache)...
+    EXPECT_LE(after.misses, before.misses + 1);
+    // ...and every re-quantization after the first resolves from cache.
+    EXPECT_GE(after.hits, before.hits + 3);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <map>
+#include <thread>
 #include <vector>
 
 #include "aging/aging_model.hpp"
@@ -247,6 +249,122 @@ TEST_F(Serve, FaultInjectionIsReproducibleAcrossParallelRuns) {
             EXPECT_EQ(logits_a[i][c], logits_b[i][c]) << i;
     }
     EXPECT_GT(flips_a, 0u);
+}
+
+TEST_F(Serve, FullAlgorithm1WithoutEvalSetFailsAtConstruction) {
+    serve::ServeConfig cfg;
+    cfg.device.full_algorithm1 = true;
+
+    serve::ServeContext no_eval = context();
+    no_eval.eval_images = nullptr;
+    no_eval.eval_labels = nullptr;
+    EXPECT_THROW((serve::NpuServer(no_eval, cfg)), std::invalid_argument);
+
+    // A present-but-undersized eval set is just as unusable: labels must
+    // cover every image. No silent fast-path fallback either way.
+    serve::ServeContext short_labels_ctx = context();
+    const std::vector<int> short_labels(10, 0);
+    short_labels_ctx.eval_labels = &short_labels;
+    EXPECT_THROW((serve::NpuServer(short_labels_ctx, cfg)), std::invalid_argument);
+
+    // With a usable eval set the same config constructs fine.
+    serve::ServeConfig small = cfg;
+    small.device.requant_threshold_mv = 1e9;  // no requants in this probe
+    serve::NpuServer ok(context(), small);
+    ok.shutdown();
+}
+
+TEST_F(Serve, BackgroundRequantKeepsGraphsUntornAndGenerationsMonotonic) {
+    constexpr int kRequests = 320;
+    constexpr double kThresholdMv = 2.0;
+
+    serve::ServeConfig cfg;
+    cfg.num_devices = 2;
+    cfg.num_workers = 4;  // more workers than devices: pool arbitration on
+    cfg.max_batch = 4;
+    cfg.requant_workers = 2;
+    cfg.device.requant_threshold_mv = kThresholdMv;
+
+    // Aggressive aging: each device (serving roughly half the stream)
+    // ends around 8 mV, crossing the 2 mV re-quantization threshold
+    // several times while traffic is in flight.
+    {
+        serve::NpuServer probe(context(), cfg);
+        const auto& dev = probe.device(0);
+        const double busy_hours_per_request =
+            static_cast<double>(dev.per_image_cycles()) * dev.clock_period_ps() * 1e-12 /
+            3600.0;
+        const double target_hours = aging_->years_for_dvth(8.0) * 8760.0;
+        cfg.device.age_acceleration =
+            target_hours / ((kRequests / 2) * busy_hours_per_request);
+        probe.shutdown();
+    }
+
+    serve::NpuServer server(context(), cfg);
+    // Hammer submit() from two producer threads while the workers serve
+    // and the RequantService publishes new generations underneath them.
+    std::vector<std::future<serve::InferenceResult>> futures(kRequests);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 2; ++t)
+        producers.emplace_back([&server, &futures, t] {
+            for (int i = t; i < kRequests; i += 2)
+                futures[static_cast<std::size_t>(i)] = server.submit(test_image(i % 100));
+        });
+    for (auto& p : producers) p.join();
+    std::vector<serve::InferenceResult> results;
+    results.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i)
+        results.push_back(futures[static_cast<std::size_t>(i)].get());
+    server.shutdown();
+
+    // Per device: generations must advance by exactly one per event, the
+    // deployed state must be the last event's generation, and every
+    // event must come from the background service.
+    std::map<int, std::map<std::uint64_t, quant::QuantizedGraph>> references;
+    const auto initial_choice = selector_->select(0.0);
+    ASSERT_TRUE(initial_choice.has_value());
+    int total_requants = 0;
+    for (int d = 0; d < server.num_devices(); ++d) {
+        const serve::DeviceStats stats = server.device(d).stats();
+        auto& refs = references[d];
+        refs.emplace(1, quant::quantize_graph(
+                            *graph_, quant::Method::M5_AciqNoBias,
+                            quant::QuantConfig::from_compression(initial_choice->compression),
+                            *calib_));
+        std::uint64_t prev = 1;
+        for (const serve::RequantEvent& event : stats.requant_events) {
+            EXPECT_EQ(event.generation, prev + 1) << "device " << d;
+            EXPECT_TRUE(event.background) << "device " << d;
+            EXPECT_GT(event.build_ms, 0.0) << "device " << d;
+            EXPECT_GE(event.dvth_mv, kThresholdMv) << "device " << d;
+            prev = event.generation;
+            refs.emplace(event.generation,
+                         quant::quantize_graph(
+                             *graph_, event.method,
+                             quant::QuantConfig::from_compression(event.after), *calib_));
+            total_requants += 1;
+        }
+        EXPECT_EQ(stats.generation, prev) << "device " << d;
+        EXPECT_EQ(stats.requant_count, static_cast<int>(stats.requant_events.size()));
+    }
+    EXPECT_GE(total_requants, 2);
+
+    // No torn graph: every result must be bit-identical to a serial run
+    // on the exact generation it reports — a batch that observed half a
+    // swap would match no generation.
+    for (int i = 0; i < kRequests; ++i) {
+        const serve::InferenceResult& result = results[static_cast<std::size_t>(i)];
+        ASSERT_GE(result.generation, 1u) << "request " << i;
+        const auto& refs = references.at(result.device_id);
+        const auto ref = refs.find(result.generation);
+        ASSERT_NE(ref, refs.end()) << "request " << i << " reports unknown generation "
+                                   << result.generation;
+        const tensor::Tensor serial = quant::run_quantized(ref->second, test_image(i % 100));
+        ASSERT_EQ(result.logits.size(), serial.size()) << "request " << i;
+        for (std::size_t c = 0; c < serial.size(); ++c)
+            ASSERT_EQ(result.logits[c], serial[c])
+                << "request " << i << " generation " << result.generation << " class " << c;
+    }
 }
 
 TEST(ServeQueue, BatchedPopRespectsLimitAndOrder) {
