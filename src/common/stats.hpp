@@ -15,6 +15,10 @@ double stddev(const std::vector<double>& xs);
 /// Linear-interpolated quantile, q in [0, 1]. xs need not be sorted.
 double quantile(std::vector<double> xs, double q);
 
+/// The same interpolation over an already-sorted sample — for callers
+/// reading several quantiles off one sort (serve latency summaries).
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
 /// Five-number summary used to print box plots as text.
 struct BoxStats {
     double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;

@@ -25,6 +25,11 @@ struct ModelState {
     quant::Method method = quant::Method::M5_AciqNoBias;
     double dvth_mv = 0.0;  ///< aging level this state was built for — the
                            ///< re-quantization baseline of its successor
+    /// Aged STA critical path of `compression` at `dvth_mv`: the clock
+    /// period the deployment actually sustains. Devices re-derive their
+    /// clock from this on every install, so latency/throughput track the
+    /// aged silicon instead of the fresh-forever critical path.
+    double aged_delay_ps = 0.0;
 };
 
 }  // namespace raq::core

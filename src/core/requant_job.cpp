@@ -82,7 +82,7 @@ RequantJob::RequantJob(const ir::Graph& graph, const quant::CalibrationData& cal
 
 std::optional<ModelState> RequantJob::build(double dvth_mv,
                                             std::uint64_t generation) const {
-    const auto choice = selector_->select(dvth_mv);
+    const auto choice = selector_->select(dvth_mv, config_.guardband_fraction);
     // Even full compression cannot meet timing: the caller keeps its
     // current deployment rather than serve a clock-violating graph.
     if (!choice) return std::nullopt;
@@ -101,6 +101,7 @@ std::optional<ModelState> RequantJob::build(double dvth_mv,
     state.compression = choice->compression;
     state.method = method;
     state.dvth_mv = dvth_mv;
+    state.aged_delay_ps = choice->delay_ps;
     return state;
 }
 

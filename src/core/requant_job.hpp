@@ -54,6 +54,10 @@ struct RequantJobConfig {
     /// fast path (compression selection + M5 ACIQ).
     bool full_algorithm1 = false;
     std::optional<double> accuracy_loss_threshold;  ///< Algorithm 1 line 9
+    /// Timing-constraint relaxation: compressions must meet
+    /// fresh_cp × (1 + guardband_fraction). 0 is the paper's
+    /// zero-guardband operating point.
+    double guardband_fraction = 0.0;
 };
 
 class RequantJob {

@@ -83,24 +83,16 @@ ExecPlan::ExecPlan(std::shared_ptr<const ir::Graph> graph, PlanOptions options)
     // order by construction (an op may only consume existing tensors), so
     // the schedule is the op order; levels expose the independence
     // structure (two ops on one level share no data path).
-    std::vector<int> tensor_level(num_tensors, 0);
+    const std::vector<int> levels = ir::op_levels(*graph_);
     schedule_.reserve(ops.size());
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-        int level = 0;
-        for (const int in : ops[i].inputs)
-            level = std::max(level, tensor_level[static_cast<std::size_t>(in)]);
-        tensor_level[static_cast<std::size_t>(ops[i].output)] = level + 1;
-        schedule_.push_back(OpStep{static_cast<int>(i), level});
-    }
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        schedule_.push_back(OpStep{static_cast<int>(i), levels[i]});
 
     // ---- tensor lifetimes: step producing each tensor and the step of
     // its last consumer. The graph output (and the external input) are
     // pinned for the whole run.
     constexpr int kLive = std::numeric_limits<int>::max();
-    std::vector<int> last_use(num_tensors, -1);
-    for (std::size_t i = 0; i < ops.size(); ++i)
-        for (const int in : ops[i].inputs)
-            last_use[static_cast<std::size_t>(in)] = static_cast<int>(i);
+    std::vector<int> last_use = ir::tensor_last_use(*graph_);
     last_use[static_cast<std::size_t>(graph_->output_id())] = kLive;
     last_use[static_cast<std::size_t>(graph_->input_id())] = kLive;  // external anyway
 

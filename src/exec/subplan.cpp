@@ -1,0 +1,19 @@
+#include "exec/subplan.hpp"
+
+#include <utility>
+
+#include "exec/plan_cache.hpp"
+
+namespace raq::exec {
+
+Subplan compile_subplan(const ir::Graph& full, const ir::ShardSpec& spec,
+                        int batch_capacity) {
+    ir::Subgraph sub = ir::extract_subgraph(full, spec);
+    Subplan out;
+    out.graph = std::make_shared<const ir::Graph>(std::move(sub.graph));
+    out.full_tensor_of = std::move(sub.full_tensor_of);
+    out.plan = PlanCache::global().get(out.graph, batch_capacity);
+    return out;
+}
+
+}  // namespace raq::exec

@@ -1,0 +1,32 @@
+// Sub-plan compilation for sharded execution: one partition shard of a
+// model, materialized as a self-contained sub-graph and compiled into an
+// ExecPlan through the process-wide PlanCache.
+//
+// A shard's plan reuses all of ExecPlan's machinery unchanged (schedule,
+// tensor lifetimes, arena assignment, conv geometry) because the
+// extracted sub-graph is just a Graph. The cache key is the partition's
+// own topology fingerprint, so every group sharding the same model at
+// the same cut — and every re-quantization of a shard — shares one
+// compiled plan: zero recompiles on the sharded serving path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/plan.hpp"
+#include "ir/partition.hpp"
+
+namespace raq::exec {
+
+struct Subplan {
+    std::shared_ptr<const ir::Graph> graph;  ///< the shard as its own graph
+    std::shared_ptr<const ExecPlan> plan;    ///< cache-resolved, shared
+    std::vector<int> full_tensor_of;         ///< sub tensor id -> full tensor id
+};
+
+/// Extract `spec`'s op range from `full` and resolve its ExecPlan through
+/// PlanCache::global() at `batch_capacity`.
+[[nodiscard]] Subplan compile_subplan(const ir::Graph& full, const ir::ShardSpec& spec,
+                                      int batch_capacity);
+
+}  // namespace raq::exec

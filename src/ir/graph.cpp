@@ -1,5 +1,6 @@
 #include "ir/graph.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -97,6 +98,30 @@ std::vector<tensor::Shape> infer_shapes(const Graph& graph, int batch_n) {
         shapes[static_cast<std::size_t>(op.output)] = out;
     }
     return shapes;
+}
+
+std::vector<int> op_levels(const Graph& graph) {
+    std::vector<int> tensor_level(static_cast<std::size_t>(graph.num_tensors()), 0);
+    std::vector<int> levels(graph.ops().size(), 0);
+    const auto& ops = graph.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        int level = 0;
+        for (const int in : ops[i].inputs)
+            level = std::max(level, tensor_level[static_cast<std::size_t>(in)]);
+        tensor_level[static_cast<std::size_t>(ops[i].output)] = level + 1;
+        levels[i] = level;
+    }
+    return levels;
+}
+
+std::vector<int> tensor_last_use(const Graph& graph) {
+    std::vector<int> last_use(static_cast<std::size_t>(graph.num_tensors()), -1);
+    const auto& ops = graph.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        for (const int in : ops[i].inputs)
+            last_use[static_cast<std::size_t>(in)] =
+                std::max(last_use[static_cast<std::size_t>(in)], static_cast<int>(i));
+    return last_use;
 }
 
 bool topology_equals(const Graph& a, const Graph& b) {

@@ -80,6 +80,18 @@ private:
 /// Infer per-tensor shapes for a batch with `batch_n` samples.
 [[nodiscard]] std::vector<tensor::Shape> infer_shapes(const Graph& graph, int batch_n);
 
+/// Dependency level per op: max level of its input tensors, where the
+/// graph input is level 0 and an op's output is its level + 1. Ops on
+/// one level are mutually independent. The single definition behind the
+/// exec schedule's levels and the partitioner's cut metadata.
+[[nodiscard]] std::vector<int> op_levels(const Graph& graph);
+
+/// Last-consumer op index per tensor id (-1: never consumed). No
+/// pinning: callers decide what stays live past its last consumer (the
+/// exec arena pins the graph input/output; the partitioner pins only
+/// the output).
+[[nodiscard]] std::vector<int> tensor_last_use(const Graph& graph);
+
 /// Structural equality: op kinds, tensor wiring and conv/pool attributes
 /// (weights and biases are ignored). Graphs lowered from the same
 /// architecture — e.g. successive re-quantizations of one model — compare

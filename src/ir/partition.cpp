@@ -1,0 +1,210 @@
+#include "ir/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace raq::ir {
+
+namespace {
+
+/// Per-tensor producing op index (-1 for the graph input).
+std::vector<int> compute_producer(const Graph& graph) {
+    std::vector<int> producer(static_cast<std::size_t>(graph.num_tensors()), -1);
+    const auto& ops = graph.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        producer[static_cast<std::size_t>(ops[i].output)] = static_cast<int>(i);
+    return producer;
+}
+
+std::vector<std::uint64_t> mac_costs(const Graph& graph) {
+    const auto shapes = infer_shapes(graph, 1);
+    std::vector<std::uint64_t> costs(graph.ops().size(), 0);
+    const auto& ops = graph.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind != OpKind::Conv2d) continue;
+        const tensor::Shape& out = shapes[static_cast<std::size_t>(ops[i].output)];
+        costs[i] = static_cast<std::uint64_t>(out.c) * static_cast<std::uint64_t>(out.h) *
+                   static_cast<std::uint64_t>(out.w) *
+                   static_cast<std::uint64_t>(ops[i].conv.in_c) *
+                   static_cast<std::uint64_t>(ops[i].conv.kh) *
+                   static_cast<std::uint64_t>(ops[i].conv.kw);
+    }
+    return costs;
+}
+
+}  // namespace
+
+std::vector<int> cut_candidates(const Graph& graph) {
+    if (graph.output_id() < 0) throw std::invalid_argument("cut_candidates: graph has no output");
+    const auto& ops = graph.ops();
+    // The graph output must always reach the final shard: pin it live.
+    std::vector<int> last_use = tensor_last_use(graph);
+    last_use[static_cast<std::size_t>(graph.output_id())] = std::numeric_limits<int>::max();
+    const std::vector<int> producer = compute_producer(graph);
+
+    std::vector<int> cuts;
+    // A cut after the last op is not a cut (the second side would be
+    // empty), so i ranges over [0, ops-2].
+    for (int i = 0; i + 1 < static_cast<int>(ops.size()); ++i) {
+        int crossing = 0;
+        bool only_own_output = true;
+        for (int t = 0; t < graph.num_tensors(); ++t) {
+            if (producer[static_cast<std::size_t>(t)] > i) continue;  // born downstream
+            if (last_use[static_cast<std::size_t>(t)] <= i) continue; // dead at the cut
+            ++crossing;
+            if (t != ops[static_cast<std::size_t>(i)].output) only_own_output = false;
+        }
+        if (crossing == 1 && only_own_output) cuts.push_back(i);
+    }
+    return cuts;
+}
+
+std::vector<ShardSpec> partition_graph(const Graph& graph, int num_shards,
+                                       const std::vector<std::uint64_t>& op_costs) {
+    const auto& ops = graph.ops();
+    if (num_shards < 1) throw std::invalid_argument("partition_graph: num_shards must be >= 1");
+    if (ops.empty()) throw std::invalid_argument("partition_graph: empty graph");
+    std::vector<std::uint64_t> costs = op_costs.empty() ? mac_costs(graph) : op_costs;
+    if (costs.size() != ops.size())
+        throw std::invalid_argument("partition_graph: op_costs size does not match op count");
+
+    std::vector<std::uint64_t> prefix(ops.size() + 1, 0);
+    for (std::size_t i = 0; i < ops.size(); ++i) prefix[i + 1] = prefix[i] + costs[i];
+    const auto range_cost = [&](int first, int last) {  // inclusive op range
+        return prefix[static_cast<std::size_t>(last) + 1] - prefix[static_cast<std::size_t>(first)];
+    };
+
+    const std::vector<int> cands = cut_candidates(graph);
+    const int needed = num_shards - 1;
+    if (static_cast<int>(cands.size()) < needed)
+        throw std::invalid_argument(
+            "partition_graph: graph admits only " + std::to_string(cands.size()) +
+            " single-tensor cut(s); cannot make " + std::to_string(num_shards) + " shards");
+
+    // Min-bottleneck DP over cut positions: dp[k][c] is the best possible
+    // maximum shard cost when ops [0 .. cands[c]] are split into k+1
+    // shards ending with a cut at cands[c].
+    const int nc = static_cast<int>(cands.size());
+    constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+    std::vector<int> chosen_cuts;
+    if (needed > 0) {
+        std::vector<std::vector<std::uint64_t>> dp(
+            static_cast<std::size_t>(needed), std::vector<std::uint64_t>(cands.size(), kInf));
+        std::vector<std::vector<int>> parent(
+            static_cast<std::size_t>(needed), std::vector<int>(cands.size(), -1));
+        // Zero-cost segments are rejected: every shard must carry MAC
+        // work (a conv-free shard would waste a device, and the systolic
+        // cycle model has nothing to say about it).
+        for (int c = 0; c < nc; ++c) {
+            const std::uint64_t seg = range_cost(0, cands[static_cast<std::size_t>(c)]);
+            if (seg > 0) dp[0][static_cast<std::size_t>(c)] = seg;
+        }
+        for (int k = 1; k < needed; ++k) {
+            for (int c = k; c < nc; ++c) {
+                for (int p = k - 1; p < c; ++p) {
+                    if (dp[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(p)] == kInf) continue;
+                    const std::uint64_t seg =
+                        range_cost(cands[static_cast<std::size_t>(p)] + 1, cands[static_cast<std::size_t>(c)]);
+                    if (seg == 0) continue;
+                    const std::uint64_t bottleneck =
+                        std::max(dp[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(p)], seg);
+                    if (bottleneck < dp[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)]) {
+                        dp[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)] = bottleneck;
+                        parent[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)] = p;
+                    }
+                }
+            }
+        }
+        // Close with the tail shard (last cut .. last op).
+        std::uint64_t best = kInf;
+        int best_c = -1;
+        for (int c = needed - 1; c < nc; ++c) {
+            if (dp[static_cast<std::size_t>(needed - 1)][static_cast<std::size_t>(c)] == kInf) continue;
+            const std::uint64_t tail =
+                range_cost(cands[static_cast<std::size_t>(c)] + 1, static_cast<int>(ops.size()) - 1);
+            if (tail == 0) continue;
+            const std::uint64_t bottleneck =
+                std::max(dp[static_cast<std::size_t>(needed - 1)][static_cast<std::size_t>(c)], tail);
+            if (bottleneck < best) {
+                best = bottleneck;
+                best_c = c;
+            }
+        }
+        if (best_c < 0)
+            throw std::invalid_argument(
+                "partition_graph: no cut assigns every one of the " +
+                std::to_string(num_shards) + " shards a nonzero cost");
+        chosen_cuts.resize(static_cast<std::size_t>(needed));
+        int c = best_c;
+        for (int k = needed - 1; k >= 0; --k) {
+            chosen_cuts[static_cast<std::size_t>(k)] = cands[static_cast<std::size_t>(c)];
+            c = parent[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)];
+        }
+    }
+
+    const std::vector<int> levels = op_levels(graph);
+    std::vector<ShardSpec> shards;
+    shards.reserve(static_cast<std::size_t>(num_shards));
+    int first = 0;
+    for (int k = 0; k < num_shards; ++k) {
+        const int last = k < needed ? chosen_cuts[static_cast<std::size_t>(k)]
+                                    : static_cast<int>(ops.size()) - 1;
+        ShardSpec spec;
+        spec.first_op = first;
+        spec.last_op = last;
+        spec.input_tensor = first == 0 ? graph.input_id()
+                                       : ops[static_cast<std::size_t>(first - 1)].output;
+        spec.output_tensor = ops[static_cast<std::size_t>(last)].output;
+        spec.first_level = levels[static_cast<std::size_t>(first)];
+        spec.last_level = levels[static_cast<std::size_t>(first)];
+        for (int i = first; i <= last; ++i) {
+            spec.first_level = std::min(spec.first_level, levels[static_cast<std::size_t>(i)]);
+            spec.last_level = std::max(spec.last_level, levels[static_cast<std::size_t>(i)]);
+        }
+        spec.cost = range_cost(first, last);
+        shards.push_back(spec);
+        first = last + 1;
+    }
+    return shards;
+}
+
+Subgraph extract_subgraph(const Graph& graph, const ShardSpec& spec) {
+    const auto& ops = graph.ops();
+    if (spec.first_op < 0 || spec.last_op >= static_cast<int>(ops.size()) ||
+        spec.first_op > spec.last_op)
+        throw std::invalid_argument("extract_subgraph: op range out of bounds");
+    const auto shapes = infer_shapes(graph, 1);
+
+    Subgraph out;
+    std::vector<int> sub_id(static_cast<std::size_t>(graph.num_tensors()), -1);
+    const int in_id =
+        out.graph.add_input(shapes[static_cast<std::size_t>(spec.input_tensor)]);
+    sub_id[static_cast<std::size_t>(spec.input_tensor)] = in_id;
+    out.full_tensor_of.push_back(spec.input_tensor);
+
+    for (int i = spec.first_op; i <= spec.last_op; ++i) {
+        Op op = ops[static_cast<std::size_t>(i)];  // copy incl. weights/bias
+        for (int& in : op.inputs) {
+            const int mapped = sub_id[static_cast<std::size_t>(in)];
+            if (mapped < 0)
+                throw std::logic_error(
+                    "extract_subgraph: op '" + op.name +
+                    "' consumes a tensor outside the shard — not a single-tensor cut");
+            in = mapped;
+        }
+        const int full_out = ops[static_cast<std::size_t>(i)].output;
+        const int mapped_out = out.graph.add(std::move(op));
+        sub_id[static_cast<std::size_t>(full_out)] = mapped_out;
+        out.full_tensor_of.push_back(full_out);
+    }
+
+    const int mapped_output = sub_id[static_cast<std::size_t>(spec.output_tensor)];
+    if (mapped_output < 0)
+        throw std::logic_error("extract_subgraph: shard output tensor not produced in range");
+    out.graph.set_output(mapped_output);
+    return out;
+}
+
+}  // namespace raq::ir

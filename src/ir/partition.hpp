@@ -1,0 +1,71 @@
+// Graph-cut partitioning for cross-device model sharding.
+//
+// A shard is a contiguous range of the topological op schedule whose
+// boundary with the next shard is a *single* tensor: everything the
+// downstream ops need from upstream flows through that one cut tensor,
+// so each shard is a self-contained single-input single-output Graph and
+// a pipeline of shards is semantically identical to the whole model.
+// Residual/branching regions (an Add or Concat whose operands are both
+// in flight) admit no cut inside them — cut candidates sit exactly at
+// the dependency-level frontiers where the live set collapses to one
+// tensor, which for chain-style models is every op boundary and for
+// residual models the block boundaries.
+//
+// partition_graph() picks the cuts that minimize the maximum per-shard
+// cost (the pipeline bottleneck): with per-op systolic cycle costs this
+// balances the shards so a device pipeline sustains close to the
+// replicated fleet's throughput at equal device count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace raq::ir {
+
+/// One shard of a partitioned graph: a contiguous op range of the full
+/// graph plus its boundary metadata (all ids refer to the FULL graph).
+struct ShardSpec {
+    int first_op = 0;      ///< first op index, inclusive
+    int last_op = 0;       ///< last op index, inclusive
+    int input_tensor = 0;  ///< the one tensor feeding this shard (graph input for shard 0)
+    int output_tensor = 0; ///< the one tensor this shard produces (graph output for the last)
+    int first_level = 0;   ///< smallest dependency level among the shard's ops
+    int last_level = 0;    ///< largest dependency level among the shard's ops
+    std::uint64_t cost = 0; ///< summed per-op cost (see partition_graph)
+};
+
+/// All valid cut points: op indices i such that the only tensor crossing
+/// from ops [0..i] to ops [i+1..) (or to the graph output) is
+/// ops[i].output. Cutting anywhere else would strand a second live
+/// tensor (e.g. a residual skip) on the wrong side of the boundary.
+[[nodiscard]] std::vector<int> cut_candidates(const Graph& graph);
+
+/// Partition the graph into `num_shards` contiguous op ranges at
+/// single-tensor cut boundaries, minimizing the maximum per-shard cost.
+/// `op_costs` (one entry per op index) weights the balance — pass the
+/// systolic per-layer cycle counts for pipeline-bottleneck balance;
+/// empty defaults to per-op MACs. Every shard must end up with nonzero
+/// cost (a conv-free shard would waste a device). Throws
+/// std::invalid_argument when the graph has fewer cut points than
+/// `num_shards - 1` or no zero-cost-free assignment exists.
+[[nodiscard]] std::vector<ShardSpec> partition_graph(
+    const Graph& graph, int num_shards, const std::vector<std::uint64_t>& op_costs = {});
+
+/// A shard extracted as a self-contained Graph with remapped tensor ids.
+struct Subgraph {
+    Graph graph;
+    /// Sub-graph tensor id -> full-graph tensor id (index 0 is the shard
+    /// input). Used to slice per-tensor metadata (calibration stats).
+    std::vector<int> full_tensor_of;
+};
+
+/// Materialize one shard as its own Graph: the cut tensor becomes the
+/// sub-graph input (shape from whole-graph inference at batch 1), ops
+/// are copied with inputs remapped, and the shard's boundary tensor
+/// becomes the sub-graph output. Conv weights/biases are copied so the
+/// sub-graph is self-contained (quantizable and executable on its own).
+[[nodiscard]] Subgraph extract_subgraph(const Graph& graph, const ShardSpec& spec);
+
+}  // namespace raq::ir

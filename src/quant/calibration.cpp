@@ -46,4 +46,13 @@ CalibrationData calibrate(const ir::Graph& graph, tensor::TensorView images,
     return out;
 }
 
+CalibrationData slice_calibration(const CalibrationData& full,
+                                  const std::vector<int>& full_tensor_of) {
+    CalibrationData out;
+    out.per_tensor.reserve(full_tensor_of.size());
+    for (const int full_id : full_tensor_of)
+        out.per_tensor.push_back(full.per_tensor.at(static_cast<std::size_t>(full_id)));
+    return out;
+}
+
 }  // namespace raq::quant

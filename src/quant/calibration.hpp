@@ -34,4 +34,14 @@ struct CalibrationData {
 /// Statistics over an arbitrary float span (exposed for weight stats).
 [[nodiscard]] TensorStats compute_stats(const float* data, std::size_t n);
 
+/// Calibration for a partition shard: remap the per-tensor statistics
+/// through `full_tensor_of` (sub-graph tensor id -> full-graph tensor
+/// id, as produced by ir::extract_subgraph). The calibration images and
+/// labels are whole-model inputs and are deliberately NOT carried over:
+/// the per-layer methods (M1/M2/M4/M5) never read them, and the
+/// loss-aware paths (M3/LAPQ, full Algorithm 1) need end-to-end
+/// execution and are not supported on a shard in isolation.
+[[nodiscard]] CalibrationData slice_calibration(const CalibrationData& full,
+                                                const std::vector<int>& full_tensor_of);
+
 }  // namespace raq::quant

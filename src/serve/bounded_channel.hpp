@@ -1,0 +1,100 @@
+// BoundedChannel<T>: the one bounded MPMC close-and-drain queue protocol
+// in the serving runtime. Producers block when full (backpressure
+// instead of unbounded memory growth); close() stops admission but lets
+// consumers drain what was accepted — nothing accepted is ever dropped,
+// and a producer blocked on a full channel when close() fires gets
+// `push == false` with its item intact (the caller still owns it and
+// can resolve its promise).
+//
+// RequestQueue (the server's admission point) and the ShardGroup's
+// inter-stage handoff channels are both instances; keeping one
+// implementation keeps their close/drain semantics in lockstep.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace raq::serve {
+
+template <typename T>
+class BoundedChannel {
+public:
+    explicit BoundedChannel(std::size_t capacity)
+        : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+    /// Blocks while the channel is full. Returns false — leaving `item`
+    /// untouched in the caller's hands — once the channel is closed.
+    bool push(T&& item) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Pops one item, blocking until work arrives. Returns false when
+    /// the channel is closed *and* fully drained.
+    bool pop(T& out) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return false;  // closed and drained
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return true;
+    }
+
+    /// Pops 1..max_batch items in one critical section (what makes
+    /// dynamic batching cheap: one lock acquisition per batch, not per
+    /// item). An empty result means closed *and* fully drained.
+    std::vector<T> pop_batch(std::size_t max_batch) {
+        std::vector<T> batch;
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        const std::size_t n = std::min(max_batch, items_.size());
+        batch.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            batch.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        lock.unlock();
+        if (n > 0) not_full_.notify_all();
+        return batch;
+    }
+
+    /// Stop admission; wakes all blocked producers and consumers.
+    void close() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+    [[nodiscard]] std::size_t size() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace raq::serve

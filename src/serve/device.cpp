@@ -7,7 +7,6 @@
 
 #include "common/rng.hpp"
 #include "serve/batcher.hpp"
-#include "serve/requant_service.hpp"
 
 namespace raq::serve {
 
@@ -25,6 +24,7 @@ core::RequantJobConfig job_config(const DeviceConfig& config) {
     core::RequantJobConfig jc;
     jc.full_algorithm1 = config.full_algorithm1;
     jc.accuracy_loss_threshold = config.accuracy_loss_threshold;
+    jc.guardband_fraction = config.guardband_fraction;
     return jc;
 }
 
@@ -42,8 +42,10 @@ NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config
       config_(config),
       job_(validate_context(ctx), *ctx.calib, *ctx.selector, job_config(config),
            ctx.eval_images, ctx.eval_labels),
-      requant_service_(requant_service) {
-    clock_period_ps_ = ctx.selector->fresh_critical_path_ps();
+      requant_service_(requant_service),
+      latency_(config.latency_reservoir,
+               common::stream_seed(config.base_seed, static_cast<std::uint64_t>(id),
+                                   0x1a7e9c5ULL)) {
     const npu::SystolicArrayModel array(config.systolic);
     per_image_cycles_ = array.analyze(*ctx.graph).total_cycles;
     auto initial =
@@ -51,13 +53,15 @@ NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config
     if (!initial)
         throw std::runtime_error(
             "NpuDevice: no feasible compression at the initial aging level");
+    // install() derives clock_period_ps_ from the initial state's aged
+    // delay (== the fresh critical path for an unaged, uncompressed
+    // deployment).
     install(std::make_shared<const core::ModelState>(std::move(*initial)),
             /*record_event=*/false, /*background=*/false, /*build_ms=*/0.0);
 }
 
 double NpuDevice::hours_unlocked() const {
-    const double busy_hours =
-        static_cast<double>(busy_cycles_) * clock_period_ps_ * 1e-12 / 3600.0;
+    const double busy_hours = busy_ps_ * 1e-12 / 3600.0;
     return config_.initial_age_years * 8760.0 + busy_hours * config_.age_acceleration;
 }
 
@@ -97,6 +101,15 @@ void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool reco
         if (state_) before = state_->compression;
         state_ = state;
     }
+    // The clock tracks the deployment: an aged device runs at the
+    // installed compression's aged critical path, not the fresh path
+    // cached at construction. (Fallback through the selector covers
+    // hand-built states without a stamped delay.)
+    const double aged_clock =
+        state->aged_delay_ps > 0.0
+            ? state->aged_delay_ps
+            : ctx_->selector->delay_ps(state->dvth_mv, state->compression);
+    clock_period_ps_.store(aged_clock, std::memory_order_release);
     // Re-point the planned execution state at the new deployment (the
     // owning rebind pins the graph). The topology is unchanged, so the
     // compiled plan and all scratch buffers survive the swap; only the
@@ -116,6 +129,7 @@ void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool reco
         event.before = before;
         event.after = state->compression;
         event.method = state->method;
+        event.aged_delay_ps = aged_clock;
         event.build_ms = build_ms;
         event.swap_us = swap_us;
         event.background = background;
@@ -173,63 +187,42 @@ void NpuDevice::finish_requants() {
     }
 }
 
-void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
-    if (batch.empty()) return;
-    // The deployed state cannot change mid-serve: only this thread (and
+void NpuDevice::account_batch(std::size_t requests, std::uint64_t batch_cycles,
+                              double clock_period_ps, std::uint64_t flips) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    requests_ += requests;
+    ++batches_;
+    busy_cycles_ += batch_cycles;
+    // Busy time accrues at the clock the batch actually ran at; after a
+    // re-quantization the new clock applies to subsequent batches only.
+    busy_ps_ += static_cast<double>(batch_cycles) * clock_period_ps;
+    flips_ += flips;
+    for (std::size_t i = 0; i < requests; ++i) latency_.record(batch_cycles);
+}
+
+tensor::Tensor NpuDevice::execute_batch(tensor::TensorView batch, BatchTrace* trace) {
+    // The deployed state cannot change mid-batch: only this thread (and
     // the post-join shutdown drain) installs, and the snapshot pins it.
     const std::shared_ptr<const core::ModelState> serving = deployed_state();
+    const double period = clock_period_ps();
     const std::uint64_t batch_cycles =
-        per_image_cycles_ * static_cast<std::uint64_t>(batch.size());
-    const double latency_us =
-        static_cast<double>(batch_cycles) * clock_period_ps_ * 1e-6;
-
-    std::uint64_t batch_flips = 0;
-    if (config_.flip_probability > 0.0) {
-        // Fault-injection mode executes per request with a request-id-
-        // derived seed: results are independent of batching decisions and
-        // thread scheduling, so parallel serving runs are reproducible.
-        inject::InjectionConfig inj_cfg;
-        inj_cfg.flip_probability = config_.flip_probability;
-        for (InferenceRequest& request : batch) {
-            inj_cfg.seed = common::stream_seed(config_.base_seed, request.id);
-            inject::BitFlipInjector injector(inj_cfg);
-            const tensor::Tensor logits = runner_->run(request.image, &injector);
-            InferenceResult result = make_result(request.id, logits, 0);
-            result.device_id = id_;
-            result.generation = serving->generation;
-            result.latency_cycles = batch_cycles;
-            result.latency_us = latency_us;
-            request.promise.set_value(std::move(result));
-            batch_flips += injector.flips_injected();
-        }
-    } else {
-        const tensor::Tensor stacked = stack_batch(batch);
-        const tensor::Tensor logits = runner_->run(stacked);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            InferenceResult result = make_result(batch[i].id, logits, static_cast<int>(i));
-            result.device_id = id_;
-            result.generation = serving->generation;
-            result.latency_cycles = batch_cycles;
-            result.latency_us = latency_us;
-            batch[i].promise.set_value(std::move(result));
-        }
+        per_image_cycles_ * static_cast<std::uint64_t>(batch.shape.n);
+    tensor::Tensor logits = runner_->run(batch);
+    if (trace) {
+        trace->cycles = batch_cycles;
+        trace->latency_us = static_cast<double>(batch_cycles) * period * 1e-6;
+        trace->generation = serving->generation;
     }
+    account_batch(static_cast<std::size_t>(batch.shape.n), batch_cycles, period, 0);
+    return logits;
+}
 
-    double dvth_now = 0.0;
-    {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
-        requests_ += batch.size();
-        ++batches_;
-        busy_cycles_ += batch_cycles;
-        flips_ += batch_flips;
-        for (std::size_t i = 0; i < batch.size(); ++i) latency_.record(batch_cycles);
-        dvth_now = ctx_->aging->dvth_mv(hours_unlocked() / 8760.0);
-    }
-
-    // Batch boundary: first adopt a background-built generation if one
-    // was published (so the threshold check runs against the newest
-    // baseline), then trigger on a crossing.
+void NpuDevice::requant_boundary() {
+    // First adopt a background-built generation if one was published (so
+    // the threshold check runs against the newest baseline), then
+    // trigger on a crossing.
     adopt_pending();
+    const double dvth_now = dvth_mv();
     const double dvth_deployed = deployed_state()->dvth_mv;
     if (dvth_now - dvth_deployed < config_.requant_threshold_mv) return;
     if (requant_service_ == nullptr) {
@@ -242,10 +235,54 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
     }
 }
 
+void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
+    if (batch.empty()) return;
+    if (config_.flip_probability > 0.0) {
+        // Fault-injection mode executes per request with a request-id-
+        // derived seed: results are independent of batching decisions and
+        // thread scheduling, so parallel serving runs are reproducible.
+        const std::shared_ptr<const core::ModelState> serving = deployed_state();
+        const double period = clock_period_ps();
+        const std::uint64_t batch_cycles =
+            per_image_cycles_ * static_cast<std::uint64_t>(batch.size());
+        const double latency_us = static_cast<double>(batch_cycles) * period * 1e-6;
+        inject::InjectionConfig inj_cfg;
+        inj_cfg.flip_probability = config_.flip_probability;
+        std::uint64_t batch_flips = 0;
+        for (InferenceRequest& request : batch) {
+            inj_cfg.seed = common::stream_seed(config_.base_seed, request.id);
+            inject::BitFlipInjector injector(inj_cfg);
+            const tensor::Tensor logits = runner_->run(request.image, &injector);
+            InferenceResult result = make_result(request.id, logits, 0);
+            result.device_id = id_;
+            result.generation = serving->generation;
+            result.latency_cycles = batch_cycles;
+            result.latency_us = latency_us;
+            request.promise.set_value(std::move(result));
+            batch_flips += injector.flips_injected();
+        }
+        account_batch(batch.size(), batch_cycles, period, batch_flips);
+    } else {
+        const tensor::Tensor stacked = stack_batch(batch);
+        BatchTrace trace;
+        const tensor::Tensor logits =
+            execute_batch(stacked.batch_view(0, stacked.shape().n), &trace);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            InferenceResult result = make_result(batch[i].id, logits, static_cast<int>(i));
+            result.device_id = id_;
+            result.generation = trace.generation;
+            result.latency_cycles = trace.cycles;
+            result.latency_us = trace.latency_us;
+            batch[i].promise.set_value(std::move(result));
+        }
+    }
+    requant_boundary();
+}
+
 DeviceStats NpuDevice::stats() const {
     DeviceStats s;
     s.device_id = id_;
-    s.clock_period_ps = clock_period_ps_;
+    s.clock_period_ps = clock_period_ps();
     // Deployment snapshot: a pointer copy under state_mutex_ — observers
     // never contend with a build, and a swap holds the mutex only for a
     // pointer assignment.
@@ -260,6 +297,7 @@ DeviceStats NpuDevice::stats() const {
     s.requests = requests_;
     s.batches = batches_;
     s.busy_cycles = busy_cycles_;
+    s.busy_ps = busy_ps_;
     s.flips = flips_;
     s.operating_hours = hours_unlocked();
     s.dvth_mv = ctx_->aging->dvth_mv(s.operating_hours / 8760.0);

@@ -4,9 +4,11 @@
 // (initial field age + busy time accumulated while serving, optionally
 // accelerated), the resulting ΔVth from the shared AgingModel, and the
 // versioned core::ModelState currently deployed on it. The device clock
-// is the fresh MAC critical path from STA — the paper's zero-guardband
-// operating point — and staying correct at that clock as ΔVth grows is
-// exactly what online re-quantization (Algorithm 1) provides.
+// is re-derived on every deployment from the installed compression's
+// aged critical path (plus any configured guardband): the paper's
+// premise is that ΔVth degrades the MAC critical path, so latency,
+// operating hours and throughput all track the aged clock rather than
+// the fresh-forever critical path cached at construction.
 //
 // Deployment lifecycle: crossing `requant_threshold_mv` since the
 // deployed state's build level triggers, at the next batch boundary,
@@ -23,7 +25,9 @@
 // ModelState *pointer* (a swap holds it for a pointer assignment, so
 // stats snapshots never contend with a build), `pending_mutex_` the
 // published-but-not-adopted state, and `stats_mutex_` the counters —
-// observers never block behind either deployment mutex.
+// observers never block behind either deployment mutex. The clock period
+// is an atomic double: the serve thread re-derives it at install, while
+// observers read it wait-free.
 #pragma once
 
 #include <atomic>
@@ -40,13 +44,14 @@
 #include "npu/systolic.hpp"
 #include "quant/quant_executor.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/requant_service.hpp"
 #include "serve/stats.hpp"
 
 namespace raq::serve {
 
-class RequantService;
-
-/// Read-only deployment context shared by every device in the fleet.
+/// Read-only deployment context shared by every device in the fleet (or,
+/// for a shard device, the shard-private sub-graph and sliced
+/// calibration plus the fleet-shared selector/aging model).
 struct ServeContext {
     const ir::Graph* graph = nullptr;                 ///< trained, BN-folded model
     const quant::CalibrationData* calib = nullptr;    ///< calibration statistics
@@ -65,6 +70,10 @@ struct DeviceConfig {
     double age_acceleration = 1.0;
     /// ΔVth growth since the last deployment that triggers re-quantization.
     double requant_threshold_mv = 5.0;
+    /// Timing-constraint relaxation for compression selection; the device
+    /// clock is the selected compression's aged delay either way. 0 is
+    /// the paper's zero-guardband operating point.
+    double guardband_fraction = 0.0;
     /// Full Algorithm 1 (all PTQ methods) vs. the fast path (compression
     /// selection + M5 ACIQ). Requires an eval set in the ServeContext —
     /// constructing without one throws, there is no silent fallback.
@@ -78,14 +87,27 @@ struct DeviceConfig {
     /// this to its max_batch so no plan recompile happens on the serving
     /// path; larger batches still work by growing the plan).
     int plan_batch_capacity = 1;
+    /// Latency-reservoir capacity (exact count/mean/max regardless).
+    std::size_t latency_reservoir = 4096;
 };
 
-class NpuDevice {
+/// One schedulable unit in the server's pool: a whole-model device or a
+/// sharded pipeline group. serve() must eventually fulfill every
+/// request's promise — synchronously for a device, asynchronously (at
+/// the end of the pipeline) for a ShardGroup.
+class ServeUnit {
+public:
+    virtual ~ServeUnit() = default;
+    virtual void serve(std::vector<InferenceRequest>& batch) = 0;
+};
+
+class NpuDevice : public ServeUnit, public RequantTarget {
 public:
     /// `ctx` must outlive the device (NpuServer guarantees this by
-    /// owning its own ServeContext copy). With a `requant_service`,
-    /// threshold crossings build the next generation in the background;
-    /// without one they rebuild inline at the batch boundary.
+    /// owning its own ServeContext copy; ShardGroup owns the per-shard
+    /// context). With a `requant_service`, threshold crossings build the
+    /// next generation in the background; without one they rebuild
+    /// inline at the batch boundary.
     NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config,
               RequantService* requant_service = nullptr);
 
@@ -94,10 +116,36 @@ public:
     /// adopt a background-built state if one was published, and trigger
     /// re-quantization if the threshold was crossed. Called with
     /// exclusive ownership of the device.
-    void serve(std::vector<InferenceRequest>& batch);
+    void serve(std::vector<InferenceRequest>& batch) override;
+
+    /// What one execute_batch() pass ran on and cost (in model time, at
+    /// the clock in effect for the batch).
+    struct BatchTrace {
+        std::uint64_t cycles = 0;       ///< batch residency in model cycles
+        double latency_us = 0.0;        ///< cycles × current clock period
+        std::uint64_t generation = 0;   ///< ModelState generation that served it
+    };
+
+    /// Lower-level batch execution for pipeline composition (ShardGroup
+    /// stages): run `batch` through the deployed state and account
+    /// requests/busy time/aging. Does not touch promises, does not
+    /// inject faults, and does not run the re-quantization boundary —
+    /// call requant_boundary() after forwarding the output downstream.
+    /// Called with exclusive ownership of the device.
+    [[nodiscard]] tensor::Tensor execute_batch(tensor::TensorView batch,
+                                               BatchTrace* trace = nullptr);
+
+    /// Batch boundary maintenance: adopt a background-built state if one
+    /// was published, then trigger re-quantization on a threshold
+    /// crossing (inline without a RequantService, enqueued otherwise).
+    void requant_boundary();
 
     [[nodiscard]] int id() const { return id_; }
-    [[nodiscard]] double clock_period_ps() const { return clock_period_ps_; }
+    /// Current clock period: the deployed compression's aged critical
+    /// path (× any guardband the selection allowed). Wait-free read.
+    [[nodiscard]] double clock_period_ps() const {
+        return clock_period_ps_.load(std::memory_order_acquire);
+    }
     [[nodiscard]] std::uint64_t per_image_cycles() const { return per_image_cycles_; }
     [[nodiscard]] double operating_hours() const;
     [[nodiscard]] double dvth_mv() const;
@@ -116,7 +164,7 @@ public:
     /// `dvth_mv` off the serving path and publish it into the pending
     /// slot. Touches only the immutable context and the pending slot, so
     /// it runs concurrently with serve().
-    void execute_requant(double dvth_mv, std::uint64_t generation);
+    void execute_requant(double dvth_mv, std::uint64_t generation) override;
 
     /// Adopt a published pending state, if any: swap the deployed
     /// pointer, rebind the runner's payload, record the event. Returns
@@ -136,6 +184,11 @@ private:
     void install(std::shared_ptr<const core::ModelState> state, bool record_event,
                  bool background, double build_ms);
     void requant_inline(double dvth);
+    /// Post-execution accounting under the stats mutex: requests, busy
+    /// cycles AND busy picoseconds at the clock the batch ran at, flips,
+    /// per-request latency samples.
+    void account_batch(std::size_t requests, std::uint64_t batch_cycles,
+                       double clock_period_ps, std::uint64_t flips);
     [[nodiscard]] double hours_unlocked() const;
 
     const int id_;
@@ -144,7 +197,10 @@ private:
     const core::RequantJob job_;  ///< Algorithm 1 as a reusable build job
     RequantService* requant_service_;
 
-    double clock_period_ps_ = 0.0;      ///< fresh critical path (constant)
+    /// Clock period of the deployed state — re-derived at every install
+    /// from the compression's aged delay. Written only by install(),
+    /// read by the serve thread and observers.
+    std::atomic<double> clock_period_ps_{0.0};
     std::uint64_t per_image_cycles_ = 0;
 
     /// Guards only the deployed-state pointer: held for pointer copies
@@ -172,6 +228,7 @@ private:
     std::uint64_t requests_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t busy_cycles_ = 0;
+    double busy_ps_ = 0.0;  ///< simulated busy time at the per-batch clock
     std::uint64_t flips_ = 0;
     int requant_count_ = 0;
     std::vector<RequantEvent> requant_events_;

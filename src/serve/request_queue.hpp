@@ -1,24 +1,16 @@
-// Bounded MPMC request queue with batched pops — the admission point of
-// the serving runtime. Producers (submit calls) block when the queue is
-// full (backpressure instead of unbounded memory growth); consumers
-// (workers) pop up to `max_batch` requests in one critical section, which
-// is what makes dynamic batching cheap: one lock acquisition per batch,
-// not per request.
-//
-// close() stops admission but lets consumers drain what was accepted:
-// pop_batch keeps returning work until the queue is empty, then returns
-// an empty vector — the worker-exit signal. Nothing accepted is ever
-// dropped.
+// The serving request types and the admission queue: a
+// BoundedChannel<InferenceRequest> with batched pops. Producers (submit
+// calls) block when the queue is full; consumers (workers) pop up to
+// `max_batch` requests per lock acquisition; close() stops admission but
+// drains everything accepted — pop_batch returns an empty vector only
+// once closed *and* empty, the worker-exit signal.
 #pragma once
 
-#include <algorithm>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
+#include "serve/bounded_channel.hpp"
 #include "tensor/tensor.hpp"
 
 namespace raq::serve {
@@ -40,65 +32,25 @@ struct InferenceRequest {
     std::promise<InferenceResult> promise;
 };
 
-class RequestQueue {
-public:
-    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+using RequestQueue = BoundedChannel<InferenceRequest>;
 
-    /// Blocks while the queue is full. Returns false (and drops the
-    /// request) once the queue is closed.
-    bool push(InferenceRequest&& request) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-        if (closed_) return false;
-        items_.push_back(std::move(request));
-        lock.unlock();
-        not_empty_.notify_one();
-        return true;
-    }
-
-    /// Pops 1..max_batch requests, blocking until work arrives. An empty
-    /// result means the queue is closed *and* fully drained.
-    std::vector<InferenceRequest> pop_batch(std::size_t max_batch) {
-        std::vector<InferenceRequest> batch;
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-        const std::size_t n = std::min(max_batch, items_.size());
-        batch.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            batch.push_back(std::move(items_.front()));
-            items_.pop_front();
+/// Fail every still-unfulfilled promise in `batch` with `error`,
+/// leaving promises satisfied before the throw alone. The one error
+/// fan-out both the server's worker loop and a shard pipeline's stage
+/// threads apply when a batch throws mid-serve. Returns how many
+/// promises were failed (== how many requests did NOT complete).
+inline std::size_t fail_batch(std::vector<InferenceRequest>& batch,
+                              const std::exception_ptr& error) {
+    std::size_t failed = 0;
+    for (InferenceRequest& request : batch) {
+        try {
+            request.promise.set_exception(error);
+            ++failed;
+        } catch (const std::future_error&) {
+            // already satisfied before the throw
         }
-        lock.unlock();
-        if (n > 0) not_full_.notify_all();
-        return batch;
     }
-
-    /// Stop admission; wakes all blocked producers and consumers.
-    void close() {
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            closed_ = true;
-        }
-        not_empty_.notify_all();
-        not_full_.notify_all();
-    }
-
-    [[nodiscard]] bool closed() const {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        return closed_;
-    }
-    [[nodiscard]] std::size_t size() const {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        return items_.size();
-    }
-
-private:
-    const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<InferenceRequest> items_;
-    bool closed_ = false;
-};
+    return failed;
+}
 
 }  // namespace raq::serve

@@ -11,6 +11,11 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
     : config_(config), ctx_(ctx), queue_(config.queue_capacity) {
     if (config.num_devices < 1 || config.num_workers < 1 || config.max_batch < 1)
         throw std::invalid_argument("NpuServer: devices/workers/max_batch must be >= 1");
+    if (config.num_shards < 1)
+        throw std::invalid_argument("NpuServer: num_shards must be >= 1");
+    if (config.num_shards > 1 && config.num_devices % config.num_shards != 0)
+        throw std::invalid_argument(
+            "NpuServer: num_devices must be a multiple of num_shards");
     if (config.background_requant && config.requant_workers < 1)
         throw std::invalid_argument("NpuServer: requant_workers must be >= 1");
     // full_algorithm1 without a usable eval set fails loudly below:
@@ -18,17 +23,44 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
     // fast-path fallback), and that error propagates out of here.
     if (config.background_requant)
         requant_service_ = std::make_unique<RequantService>(config.requant_workers);
-    devices_.reserve(static_cast<std::size_t>(config.num_devices));
-    for (int i = 0; i < config.num_devices; ++i) {
-        DeviceConfig dev = config.device;
-        dev.initial_age_years =
-            config.initial_age_years + static_cast<double>(i) * config.initial_age_step_years;
-        // Compile each device's execution plan for the largest batch the
-        // server will ever hand it: no plan recompile on the serving path.
-        dev.plan_batch_capacity = config.max_batch;
-        devices_.push_back(
-            std::make_unique<NpuDevice>(i, ctx_, dev, requant_service_.get()));
-        idle_devices_.push_back(devices_.back().get());
+    if (config.num_shards == 1) {
+        devices_.reserve(static_cast<std::size_t>(config.num_devices));
+        for (int i = 0; i < config.num_devices; ++i) {
+            DeviceConfig dev = config.device;
+            dev.initial_age_years = config.initial_age_years +
+                                    static_cast<double>(i) * config.initial_age_step_years;
+            // Compile each device's execution plan for the largest batch the
+            // server will ever hand it: no plan recompile on the serving path.
+            dev.plan_batch_capacity = config.max_batch;
+            devices_.push_back(
+                std::make_unique<NpuDevice>(i, ctx_, dev, requant_service_.get()));
+            idle_units_.push_back(devices_.back().get());
+        }
+    } else {
+        const int num_groups = config.num_devices / config.num_shards;
+        // One partition for the whole fleet: every group shares the same
+        // cut, sub-graphs and cached sub-plans.
+        const ShardPartition partition = make_shard_partition(
+            *ctx_.graph, config.device.systolic, config.num_shards, config.max_batch);
+        groups_.reserve(static_cast<std::size_t>(num_groups));
+        for (int g = 0; g < num_groups; ++g) {
+            ShardGroupConfig group;
+            group.num_shards = config.num_shards;
+            group.partition = &partition;
+            group.handoff_capacity = config.shard_handoff_capacity;
+            group.first_device_id = g * config.num_shards;
+            // The fleet-wide age stagger applies per underlying device:
+            // shard k of group g is device g*num_shards + k.
+            group.initial_age_step_years = config.initial_age_step_years;
+            group.device = config.device;
+            group.device.initial_age_years =
+                config.initial_age_years +
+                static_cast<double>(g * config.num_shards) * config.initial_age_step_years;
+            group.device.plan_batch_capacity = config.max_batch;
+            groups_.push_back(std::make_unique<ShardGroup>(
+                g, ctx_, group, requant_service_.get(), &completed_));
+            idle_units_.push_back(groups_.back().get());
+        }
     }
     workers_.reserve(static_cast<std::size_t>(config.num_workers));
     for (int i = 0; i < config.num_workers; ++i)
@@ -53,21 +85,39 @@ void NpuServer::worker_loop() {
         std::vector<InferenceRequest> batch =
             queue_.pop_batch(static_cast<std::size_t>(config_.max_batch));
         if (batch.empty()) return;  // closed and drained
+        const std::size_t batch_size = batch.size();
 
-        NpuDevice* device = nullptr;
+        ServeUnit* unit = nullptr;
         {
             std::unique_lock<std::mutex> lock(pool_mutex_);
-            pool_cv_.wait(lock, [&] { return !idle_devices_.empty(); });
-            device = idle_devices_.back();
-            idle_devices_.pop_back();
+            pool_cv_.wait(lock, [&] { return !idle_units_.empty(); });
+            unit = idle_units_.back();
+            idle_units_.pop_back();
         }
-        device->serve(batch);
+        std::size_t failed = 0;
+        try {
+            unit->serve(batch);
+        } catch (...) {
+            // A malformed request (e.g. a submitted image whose shape the
+            // batcher or the engine rejects) fails its own batch, not the
+            // server: every still-unfulfilled promise in the batch gets
+            // the exception, the worker and the unit keep serving. A
+            // throw from the post-fulfillment boundary work (an inline
+            // requant build) reaches here with every promise already
+            // satisfied — those requests completed; the device keeps its
+            // current deployment and retries at the next boundary.
+            failed = fail_batch(batch, std::current_exception());
+        }
         {
             const std::lock_guard<std::mutex> lock(pool_mutex_);
-            idle_devices_.push_back(device);
+            idle_units_.push_back(unit);
         }
         pool_cv_.notify_one();
-        completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+        // A device completes the batch synchronously; a shard group
+        // counts completion itself when the pipeline's last stage
+        // fulfills the promises.
+        if (!sharded())
+            completed_.fetch_add(batch_size - failed, std::memory_order_relaxed);
     }
 }
 
@@ -76,6 +126,9 @@ void NpuServer::shutdown() {
     queue_.close();
     for (std::thread& worker : workers_) worker.join();
     workers_.clear();
+    // Workers joined: every accepted batch is inside a pipeline (or
+    // done). Drain the pipelines so every promise is fulfilled.
+    for (const auto& group : groups_) group->drain();
     if (requant_service_) {
         // Drain outstanding background builds (every accepted job is
         // built and published), adopt what was published, and catch up
@@ -83,17 +136,21 @@ void NpuServer::shutdown() {
         // fleet ends on exactly the generations an inline run deploys.
         requant_service_->shutdown();
         for (const auto& device : devices_) device->finish_requants();
+        for (const auto& group : groups_) group->finish_requants();
     }
 }
 
-double NpuServer::sample_accuracy(int device_index, int samples) const {
+double NpuServer::sample_accuracy(int index, int samples) const {
     if (!ctx_.eval_images || !ctx_.eval_labels)
         throw std::logic_error("NpuServer: no eval set in the serve context");
     if (samples < 1) throw std::invalid_argument("NpuServer: samples must be >= 1");
-    const auto qgraph = devices_.at(static_cast<std::size_t>(device_index))->deployed_graph();
     samples = std::min(samples, ctx_.eval_images->shape().n);
     const std::vector<int> labels(ctx_.eval_labels->begin(),
                                   ctx_.eval_labels->begin() + samples);
+    if (sharded())
+        return groups_.at(static_cast<std::size_t>(index))
+            ->sample_accuracy(*ctx_.eval_images, labels, samples);
+    const auto qgraph = devices_.at(static_cast<std::size_t>(index))->deployed_graph();
     // Zero-copy slice of the eval set; the engine reads it in place.
     return quant::quantized_accuracy(*qgraph, ctx_.eval_images->batch_view(0, samples),
                                      labels);
@@ -105,6 +162,10 @@ FleetStats NpuServer::fleet_stats() const {
     fleet.completed = completed_.load(std::memory_order_relaxed);
     fleet.devices.reserve(devices_.size());
     for (const auto& device : devices_) fleet.devices.push_back(device->stats());
+    for (const auto& group : groups_) {
+        std::vector<DeviceStats> shard_stats = group->stats();
+        fleet.devices.insert(fleet.devices.end(), shard_stats.begin(), shard_stats.end());
+    }
     return fleet;
 }
 

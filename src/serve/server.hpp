@@ -1,8 +1,14 @@
 // NpuServer — the multi-threaded aging-aware inference serving runtime.
 //
 // Topology: submit() → bounded RequestQueue → worker threads. Each worker
-// pops a dynamic batch, checks an idle device out of the pool, serves the
-// batch on it (fulfilling the requests' futures) and returns the device.
+// pops a dynamic batch, checks an idle serving unit out of the pool,
+// serves the batch on it and returns the unit. A unit is either a
+// whole-model NpuDevice (the replicated layout: every device carries the
+// full graph) or, with `num_shards > 1`, a ShardGroup: the model is
+// partitioned across `num_shards` devices (shard = ExecPlan sub-plan)
+// and batches pipeline device-to-device, with each shard versioning its
+// own ModelState and re-quantizing independently.
+//
 // Devices age as they serve; crossing the ΔVth re-quantization threshold
 // hands Algorithm 1 to the background RequantService, which builds the
 // next ModelState generation off the serving path — the device keeps
@@ -10,10 +16,10 @@
 // ever stalls behind the PTQ method search. (Set
 // `background_requant = false` for the old inline behavior.)
 //
-// shutdown() closes admission, drains every accepted request, joins the
-// workers, then drains the RequantService and adopts any still-pending
-// generations; no accepted request — and no triggered re-quantization —
-// is ever dropped.
+// shutdown() closes admission, drains every accepted request (including
+// batches still inside shard pipelines), joins the workers, then drains
+// the RequantService and adopts any still-pending generations; no
+// accepted request — and no triggered re-quantization — is ever dropped.
 #pragma once
 
 #include <future>
@@ -24,6 +30,7 @@
 #include "serve/device.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/requant_service.hpp"
+#include "serve/shard_group.hpp"
 
 namespace raq::serve {
 
@@ -32,6 +39,13 @@ struct ServeConfig {
     int num_workers = 1;
     int max_batch = 8;          ///< dynamic batching cap per device pass
     std::size_t queue_capacity = 4096;
+    /// Model sharding: 1 replicates the full graph per device; > 1
+    /// partitions the model across that many devices per pipeline group
+    /// (num_devices must be a multiple of num_shards). Sharded serving
+    /// requires flip_probability == 0 and full_algorithm1 == false.
+    int num_shards = 1;
+    /// Bounded inter-shard handoff queue depth, in batches.
+    std::size_t shard_handoff_capacity = 4;
     /// Device i enters the fleet aged initial_age_years + i × step (real
     /// fleets are heterogeneous: devices were deployed at different times).
     double initial_age_years = 0.0;
@@ -49,7 +63,8 @@ public:
     /// The context is copied (it is a bundle of pointers); the pointed-to
     /// objects (graph, calibration, selector, aging model, eval set) must
     /// outlive the server. Throws std::invalid_argument when the config
-    /// asks for the full Algorithm 1 without a usable eval set.
+    /// asks for the full Algorithm 1 without a usable eval set, or for a
+    /// sharded layout the model or config cannot support.
     NpuServer(const ServeContext& ctx, const ServeConfig& config);
     ~NpuServer();
 
@@ -60,17 +75,23 @@ public:
     /// Throws once the server is shut down.
     std::future<InferenceResult> submit(tensor::Tensor image);
 
-    /// Close admission, drain all accepted requests, join the workers,
-    /// then drain outstanding background re-quantizations and adopt
-    /// their generations. Idempotent.
+    /// Close admission, drain all accepted requests (through any shard
+    /// pipelines), join the workers, then drain outstanding background
+    /// re-quantizations and adopt their generations. Idempotent.
     void shutdown();
 
+    /// Whole-model devices (0 in sharded mode — see num_shard_groups()).
     [[nodiscard]] int num_devices() const { return static_cast<int>(devices_.size()); }
-    [[nodiscard]] const NpuDevice& device(int i) const { return *devices_.at(i); }
+    [[nodiscard]] const NpuDevice& device(int i) const { return *devices_.at(static_cast<std::size_t>(i)); }
 
-    /// Online accuracy sampling: evaluate the device's currently deployed
-    /// graph on the first `samples` images of the context eval set.
-    [[nodiscard]] double sample_accuracy(int device_index, int samples) const;
+    [[nodiscard]] bool sharded() const { return !groups_.empty(); }
+    [[nodiscard]] int num_shard_groups() const { return static_cast<int>(groups_.size()); }
+    [[nodiscard]] const ShardGroup& shard_group(int i) const { return *groups_.at(static_cast<std::size_t>(i)); }
+
+    /// Online accuracy sampling: evaluate the unit's currently deployed
+    /// graph(s) on the first `samples` images of the context eval set.
+    /// `index` is a device index (replicated) or a group index (sharded).
+    [[nodiscard]] double sample_accuracy(int index, int samples) const;
 
     [[nodiscard]] FleetStats fleet_stats() const;
 
@@ -81,13 +102,14 @@ private:
     ServeContext ctx_;  ///< owned copy; pointed-to objects outlive the server
     RequestQueue queue_;
     std::vector<std::unique_ptr<NpuDevice>> devices_;
-    /// Declared after devices_ so it is destroyed (and its threads
-    /// joined) before any device it references.
+    std::vector<std::unique_ptr<ShardGroup>> groups_;
+    /// Declared after devices_/groups_ so it is destroyed (and its
+    /// threads joined) before any device it references.
     std::unique_ptr<RequantService> requant_service_;
 
     std::mutex pool_mutex_;
     std::condition_variable pool_cv_;
-    std::vector<NpuDevice*> idle_devices_;
+    std::vector<ServeUnit*> idle_units_;
 
     std::vector<std::thread> workers_;
     std::atomic<std::uint64_t> next_request_id_{0};

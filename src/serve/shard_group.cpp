@@ -1,0 +1,206 @@
+#include "serve/shard_group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "ir/float_executor.hpp"
+#include "npu/systolic.hpp"
+#include "quant/quant_executor.hpp"
+#include "serve/batcher.hpp"
+
+namespace raq::serve {
+
+ShardPartition make_shard_partition(const ir::Graph& graph,
+                                    const npu::SystolicConfig& systolic, int num_shards,
+                                    int batch_capacity) {
+    // Balance the cut on the systolic cycle model — the pipeline
+    // bottleneck is the slowest shard, so per-layer cycles (not MACs)
+    // are the cost that matters.
+    const npu::SystolicArrayModel array(systolic);
+    const npu::InferenceCycles cycles = array.analyze(graph);
+    std::vector<std::uint64_t> op_costs(graph.ops().size(), 0);
+    std::size_t layer = 0;
+    for (std::size_t i = 0; i < op_costs.size(); ++i)
+        if (graph.ops()[i].kind == ir::OpKind::Conv2d)
+            op_costs[i] = cycles.layers.at(layer++).cycles;
+
+    ShardPartition out;
+    out.specs = ir::partition_graph(graph, num_shards, op_costs);
+    out.subplans.reserve(out.specs.size());
+    for (const ir::ShardSpec& spec : out.specs)
+        out.subplans.push_back(
+            exec::compile_subplan(graph, spec, std::max(1, batch_capacity)));
+    return out;
+}
+
+ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupConfig& config,
+                       RequantService* requant_service,
+                       std::atomic<std::uint64_t>* completed)
+    : group_id_(group_id), completed_(completed) {
+    if (!ctx.graph || !ctx.calib || !ctx.selector || !ctx.aging)
+        throw std::invalid_argument("ShardGroup: graph/calib/selector/aging are required");
+    if (config.num_shards < 2)
+        throw std::invalid_argument("ShardGroup: num_shards must be >= 2");
+    if (config.device.flip_probability > 0.0)
+        throw std::invalid_argument(
+            "ShardGroup: fault injection is per-request on a whole-model device and is "
+            "not supported on a sharded pipeline");
+    if (config.device.full_algorithm1)
+        throw std::invalid_argument(
+            "ShardGroup: the full Algorithm 1 method search needs end-to-end evaluation; "
+            "shards re-quantize via the fast path");
+
+    // A server building several groups over one model computes the
+    // partition once and shares it; a standalone group cuts for itself.
+    ShardPartition own;
+    const ShardPartition* partition = config.partition;
+    if (partition == nullptr) {
+        own = make_shard_partition(*ctx.graph, config.device.systolic, config.num_shards,
+                                   std::max(1, config.device.plan_batch_capacity));
+        partition = &own;
+    }
+    if (static_cast<int>(partition->specs.size()) != config.num_shards ||
+        partition->subplans.size() != partition->specs.size())
+        throw std::invalid_argument(
+            "ShardGroup: the provided partition does not match num_shards");
+
+    shards_.reserve(partition->specs.size());
+    for (std::size_t k = 0; k < partition->specs.size(); ++k) {
+        const exec::Subplan& sub = partition->subplans[k];
+        auto shard = std::make_unique<ShardState>();
+        shard->spec = partition->specs[k];
+        shard->graph = sub.graph;  // shared across groups; pins the sub-plan's graph
+        shard->calib = quant::slice_calibration(*ctx.calib, sub.full_tensor_of);
+        shard->ctx.graph = shard->graph.get();
+        shard->ctx.calib = &shard->calib;
+        shard->ctx.selector = ctx.selector;
+        shard->ctx.aging = ctx.aging;
+        DeviceConfig dev = config.device;
+        dev.initial_age_years = config.device.initial_age_years +
+                                static_cast<double>(k) * config.initial_age_step_years;
+        // The ShardState owns the context the device points at; both live
+        // behind a stable unique_ptr for the group's lifetime.
+        shard->device = std::make_unique<NpuDevice>(
+            config.first_device_id + static_cast<int>(k), shard->ctx, dev, requant_service);
+        shards_.push_back(std::move(shard));
+    }
+
+    channels_.reserve(shards_.size());
+    for (std::size_t k = 0; k < shards_.size(); ++k)
+        channels_.push_back(std::make_unique<BoundedChannel<ShardBatch>>(
+            std::max<std::size_t>(1, config.handoff_capacity)));
+    stage_threads_.reserve(shards_.size());
+    for (std::size_t k = 0; k < shards_.size(); ++k)
+        stage_threads_.emplace_back([this, k] { stage_loop(k); });
+}
+
+ShardGroup::~ShardGroup() { drain(); }
+
+void ShardGroup::serve(std::vector<InferenceRequest>& batch) {
+    if (batch.empty()) return;
+    ShardBatch sb;
+    sb.activations = stack_batch(batch);  // may throw; batch stays intact
+    sb.requests = std::move(batch);
+    if (!channels_.front()->push(std::move(sb))) {
+        // A failed push leaves sb untouched: hand the requests (and
+        // their promises) back to the caller before failing, so nothing
+        // dies as a broken promise.
+        batch = std::move(sb.requests);
+        throw std::runtime_error("ShardGroup: serve after drain");
+    }
+}
+
+void ShardGroup::stage_loop(std::size_t k) {
+    NpuDevice& device = *shards_[k]->device;
+    const bool last = k + 1 == shards_.size();
+    ShardBatch batch;
+    while (channels_[k]->pop(batch)) {
+        try {
+            const int n = batch.activations.shape().n;
+            NpuDevice::BatchTrace trace;
+            tensor::Tensor out =
+                device.execute_batch(batch.activations.batch_view(0, n), &trace);
+            batch.latency_cycles += trace.cycles;
+            batch.latency_us += trace.latency_us;
+            batch.min_generation = std::min(batch.min_generation, trace.generation);
+            if (!last) {
+                batch.activations = std::move(out);
+                // Cannot fail: channel k+1 is closed only by this stage
+                // itself, after this loop exits.
+                channels_[k + 1]->push(std::move(batch));
+            } else {
+                for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+                    InferenceResult result =
+                        make_result(batch.requests[i].id, out, static_cast<int>(i));
+                    result.device_id = group_id_;
+                    result.generation = batch.min_generation;
+                    result.latency_cycles = batch.latency_cycles;
+                    result.latency_us = batch.latency_us;
+                    batch.requests[i].promise.set_value(std::move(result));
+                }
+                if (completed_)
+                    completed_->fetch_add(batch.requests.size(), std::memory_order_relaxed);
+            }
+        } catch (...) {
+            // A malformed batch (e.g. an image whose shape the engine
+            // rejects) fails its own requests, not the stage thread —
+            // the same contract worker_loop enforces on the replicated
+            // path. A batch already forwarded downstream has no
+            // requests left here.
+            fail_batch(batch.requests, std::current_exception());
+        }
+        // Boundary maintenance after the handoff: the downstream stage
+        // already works on this batch while this shard adopts/builds.
+        try {
+            device.requant_boundary();
+        } catch (...) {
+            // An inline build that throws (the batch is already
+            // resolved) must not kill the stage thread: the shard keeps
+            // serving its current deployment and retries at the next
+            // boundary.
+        }
+    }
+    // This stage is drained; cascade the close so the next one drains.
+    if (!last) channels_[k + 1]->close();
+}
+
+void ShardGroup::drain() {
+    if (drained_.exchange(true)) return;
+    channels_.front()->close();
+    for (std::thread& t : stage_threads_) t.join();
+    stage_threads_.clear();
+}
+
+void ShardGroup::finish_requants() {
+    for (const auto& shard : shards_) shard->device->finish_requants();
+}
+
+std::vector<DeviceStats> ShardGroup::stats() const {
+    std::vector<DeviceStats> out;
+    out.reserve(shards_.size());
+    for (const auto& shard : shards_) out.push_back(shard->device->stats());
+    return out;
+}
+
+double ShardGroup::sample_accuracy(const tensor::Tensor& images,
+                                   const std::vector<int>& labels, int samples) const {
+    if (samples < 1) throw std::invalid_argument("ShardGroup: samples must be >= 1");
+    samples = std::min(samples, images.shape().n);
+    if (labels.size() < static_cast<std::size_t>(samples))
+        throw std::invalid_argument("ShardGroup: fewer labels than samples");
+    tensor::Tensor acts;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        const auto qgraph = shards_[k]->device->deployed_graph();
+        acts = quant::run_quantized(*qgraph, k == 0 ? images.batch_view(0, samples)
+                                                    : acts.batch_view(0, samples));
+    }
+    const std::vector<int> predictions = ir::argmax_classes(acts);
+    int correct = 0;
+    for (int i = 0; i < samples; ++i)
+        correct += predictions[static_cast<std::size_t>(i)] ==
+                   labels[static_cast<std::size_t>(i)];
+    return static_cast<double>(correct) / static_cast<double>(samples);
+}
+
+}  // namespace raq::serve

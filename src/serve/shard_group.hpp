@@ -1,0 +1,161 @@
+// ShardGroup — cross-device model sharding (shard = sub-plan).
+//
+// Instead of replicating the whole graph on every device, a ShardGroup
+// partitions the model into contiguous single-tensor-cut op ranges
+// (ir::partition_graph, balanced on systolic per-layer cycles), compiles
+// each partition into its own ExecPlan sub-plan (exec::compile_subplan —
+// resolved through the PlanCache keyed by the partition's topology
+// fingerprint), and runs each shard on its own NpuDevice. The devices
+// form a pipeline: every shard has a stage thread and bounded handoff
+// queues carry the cut tensor (plus the riding requests) device to
+// device, so while shard 1 runs batch k, shard 0 already runs batch k+1
+// — throughput is bounded by the bottleneck shard, not the sum.
+//
+// Each shard versions its own core::ModelState: a shard device owns a
+// RequantJob over its sub-graph (with calibration statistics sliced onto
+// the shard's tensors), ages with its own busy time, re-derives its own
+// aged clock, and re-quantizes independently — inline or through the
+// shared background RequantService, exactly like a whole-model device.
+// Because every PTQ step the fast path performs is per-convolution-
+// local, a chain of shard deployments built at the same aging level is
+// bit-identical to the whole-model deployment (verified in
+// tests/test_shard.cpp, boundary tensors included).
+//
+// Restrictions (validated at construction): fault injection is
+// per-request on a whole-model device and is not supported on a
+// pipeline; the full Algorithm 1 method search needs end-to-end eval and
+// shards re-quantize via the fast path.
+//
+// Shutdown protocol (driven by NpuServer): after the serve workers have
+// joined, drain() closes the stage-0 queue — each stage drains its queue
+// and then closes the next, so every accepted batch completes — and
+// joins the stage threads; after the RequantService has drained,
+// finish_requants() lands every shard on its final generation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/subplan.hpp"
+#include "ir/partition.hpp"
+#include "serve/bounded_channel.hpp"
+#include "serve/device.hpp"
+
+namespace raq::serve {
+
+/// One model partition, precomputed for sharing: the specs plus the
+/// immutable per-shard sub-graphs/plans. Every group sharding one model
+/// at the same cut reuses it — one copy of the shard weights fleet-wide
+/// and one partitioning pass, however many groups the server builds.
+struct ShardPartition {
+    std::vector<ir::ShardSpec> specs;
+    std::vector<exec::Subplan> subplans;  ///< graph + cache-resolved plan + tensor map
+};
+
+/// Cut `graph` into `num_shards` pipeline stages balanced on the
+/// systolic per-layer cycle model and compile each as a sub-plan at
+/// `batch_capacity` (through the global PlanCache).
+[[nodiscard]] ShardPartition make_shard_partition(const ir::Graph& graph,
+                                                  const npu::SystolicConfig& systolic,
+                                                  int num_shards, int batch_capacity);
+
+struct ShardGroupConfig {
+    int num_shards = 2;
+    /// Bounded inter-shard handoff queues, in batches: the pipeline
+    /// depth per stage boundary (push blocks when full — backpressure
+    /// reaches the server's request queue through the feeding worker).
+    std::size_t handoff_capacity = 4;
+    /// Device ids for the shard devices: shard k gets first_device_id+k.
+    int first_device_id = 0;
+    /// Shard k enters the field aged device.initial_age_years + k × step
+    /// (shards live on distinct physical devices, deployed at different
+    /// times — heterogeneous aging across one pipeline).
+    double initial_age_step_years = 0.0;
+    DeviceConfig device;  ///< per-shard knobs (aging, requant, plan capacity)
+    /// Optional precomputed partition (must match num_shards and the
+    /// context graph; needed only for the constructor's duration). Null:
+    /// the group partitions the model itself.
+    const ShardPartition* partition = nullptr;
+};
+
+class ShardGroup : public ServeUnit {
+public:
+    /// `ctx` describes the WHOLE model; the group extracts per-shard
+    /// sub-graphs and sliced calibration internally (the pointed-to
+    /// objects must outlive the group). `completed` (optional) is
+    /// incremented by the final stage as promises are fulfilled.
+    ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupConfig& config,
+               RequantService* requant_service = nullptr,
+               std::atomic<std::uint64_t>* completed = nullptr);
+    ~ShardGroup() override;
+
+    ShardGroup(const ShardGroup&) = delete;
+    ShardGroup& operator=(const ShardGroup&) = delete;
+
+    /// Enqueue one batch into the pipeline and return immediately (the
+    /// final stage fulfills the promises; InferenceResult.device_id
+    /// reports the group id, generation the minimum shard generation
+    /// that served the batch, latency the accumulated pipeline latency).
+    /// Blocks only when the stage-0 handoff queue is full.
+    void serve(std::vector<InferenceRequest>& batch) override;
+
+    /// Close admission into the pipeline, drain every accepted batch and
+    /// join the stage threads. Idempotent. Must be called before the
+    /// shared RequantService shuts down (NpuServer orders this).
+    void drain();
+
+    /// After the RequantService has drained: adopt pending generations
+    /// and catch up absorbed crossings on every shard.
+    void finish_requants();
+
+    [[nodiscard]] int group_id() const { return group_id_; }
+    [[nodiscard]] int num_shards() const { return static_cast<int>(shards_.size()); }
+    [[nodiscard]] const NpuDevice& shard(int k) const { return *shards_.at(static_cast<std::size_t>(k))->device; }
+    [[nodiscard]] NpuDevice& shard(int k) { return *shards_.at(static_cast<std::size_t>(k))->device; }
+    [[nodiscard]] const ir::ShardSpec& shard_spec(int k) const { return shards_.at(static_cast<std::size_t>(k))->spec; }
+    [[nodiscard]] const ir::Graph& shard_graph(int k) const { return *shards_.at(static_cast<std::size_t>(k))->graph; }
+
+    /// Per-shard device stats, in pipeline order.
+    [[nodiscard]] std::vector<DeviceStats> stats() const;
+
+    /// Online accuracy sampling through the pipeline: chain the shards'
+    /// currently deployed graphs over the first `samples` eval images.
+    [[nodiscard]] double sample_accuracy(const tensor::Tensor& images,
+                                         const std::vector<int>& labels,
+                                         int samples) const;
+
+private:
+    /// One batch in flight between stages: the requests ride along with
+    /// the cut-tensor activations and the accumulated model-time cost.
+    struct ShardBatch {
+        std::vector<InferenceRequest> requests;
+        tensor::Tensor activations;
+        std::uint64_t latency_cycles = 0;
+        double latency_us = 0.0;
+        std::uint64_t min_generation = ~0ULL;
+    };
+
+    struct ShardState {
+        ir::ShardSpec spec;
+        std::shared_ptr<const ir::Graph> graph;  ///< shared with the sub-plan
+        quant::CalibrationData calib;            ///< sliced onto shard tensors
+        ServeContext ctx;                        ///< points at the members above
+        std::unique_ptr<NpuDevice> device;
+    };
+
+    void stage_loop(std::size_t k);
+
+    const int group_id_;
+    std::atomic<std::uint64_t>* completed_;
+    std::vector<std::unique_ptr<ShardState>> shards_;
+    /// Channel k feeds shard k (bounded, close-and-drain — the same
+    /// protocol as the server's RequestQueue).
+    std::vector<std::unique_ptr<BoundedChannel<ShardBatch>>> channels_;
+    std::vector<std::thread> stage_threads_;
+    std::atomic<bool> drained_{false};
+};
+
+}  // namespace raq::serve

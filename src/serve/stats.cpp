@@ -3,46 +3,30 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/stats.hpp"
+
 namespace raq::serve {
-
-namespace {
-
-double percentile(const std::vector<std::uint64_t>& sorted, double q) {
-    if (sorted.empty()) return 0.0;
-    const double pos = q * static_cast<double>(sorted.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return static_cast<double>(sorted[lo]) * (1.0 - frac) +
-           static_cast<double>(sorted[hi]) * frac;
-}
-
-}  // namespace
 
 LatencySummary LatencyRecorder::summary() const {
     LatencySummary s;
-    s.count = samples_.size();
+    s.count = count_;
     if (samples_.empty()) return s;
-    std::vector<std::uint64_t> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    s.p50_cycles = percentile(sorted, 0.50);
-    s.p99_cycles = percentile(sorted, 0.99);
-    s.max_cycles = sorted.back();
-    double sum = 0.0;
-    for (const std::uint64_t v : sorted) sum += static_cast<double>(v);
-    s.mean_cycles = sum / static_cast<double>(sorted.size());
+    // One quantile definition project-wide: serve percentiles and bench
+    // gates both go through common::quantile's interpolation (one sort
+    // here — summary() runs under the device's stats mutex).
+    std::vector<double> xs(samples_.begin(), samples_.end());
+    std::sort(xs.begin(), xs.end());
+    s.p50_cycles = common::quantile_sorted(xs, 0.50);
+    s.p99_cycles = common::quantile_sorted(xs, 0.99);
+    s.max_cycles = max_;
+    s.mean_cycles = sum_ / static_cast<double>(count_);
     return s;
 }
 
 double FleetStats::sim_throughput_ips() const {
     double max_busy_s = 0.0;
-    std::uint64_t served = 0;
-    for (const DeviceStats& d : devices) {
-        max_busy_s = std::max(
-            max_busy_s, static_cast<double>(d.busy_cycles) * d.clock_period_ps * 1e-12);
-        served += d.requests;
-    }
-    return max_busy_s > 0.0 ? static_cast<double>(served) / max_busy_s : 0.0;
+    for (const DeviceStats& d : devices) max_busy_s = std::max(max_busy_s, d.busy_ps * 1e-12);
+    return max_busy_s > 0.0 ? static_cast<double>(completed) / max_busy_s : 0.0;
 }
 
 int FleetStats::total_requants() const {
@@ -64,10 +48,10 @@ std::string FleetStats::to_string() const {
     for (const DeviceStats& d : devices) {
         std::snprintf(line, sizeof(line),
                       "  dev%-2d %6llu req %5llu batch  %8.1f h  dVth %5.2f mV  "
-                      "%s %s  gen %llu  p50 %.0f p99 %.0f cyc  requants %d\n",
+                      "clk %.1f ps  %s %s  gen %llu  p50 %.0f p99 %.0f cyc  requants %d\n",
                       d.device_id, static_cast<unsigned long long>(d.requests),
                       static_cast<unsigned long long>(d.batches), d.operating_hours,
-                      d.dvth_mv, d.compression.to_string().c_str(),
+                      d.dvth_mv, d.clock_period_ps, d.compression.to_string().c_str(),
                       quant::method_label(d.method),
                       static_cast<unsigned long long>(d.generation), d.latency.p50_cycles,
                       d.latency.p99_cycles, d.requant_count);

@@ -5,14 +5,21 @@
 // All simulated-time figures come from the systolic-array cycle model ×
 // the MAC clock period: the host we simulate on has nothing to do with
 // how fast the modelled NPU runs, so throughput/latency are reported in
-// model time (wall-clock is reported separately by the bench).
+// model time (wall-clock is reported separately by the bench). The clock
+// period is NOT constant — every re-quantization re-derives it from the
+// deployed compression's aged critical path — so simulated busy time is
+// accumulated in picoseconds at the clock in effect per batch
+// (`busy_ps`), not reconstructed from one cycle count afterwards.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/compression.hpp"
+#include "common/rng.hpp"
 #include "quant/methods.hpp"
 
 namespace raq::serve {
@@ -25,16 +32,47 @@ struct LatencySummary {
     std::uint64_t max_cycles = 0;
 };
 
-/// Collects per-request latencies (model cycles). Not thread-safe; each
+/// Collects per-request latencies (model cycles) into a fixed-capacity
+/// reservoir (Vitter's Algorithm R, deterministic via common::Rng): a
+/// long-lived server records millions of requests without unbounded
+/// memory growth. Count, mean and max stay exact; the percentiles are
+/// estimated from the uniform reservoir sample. Not thread-safe; each
 /// device owns one and guards it with its stats mutex.
 class LatencyRecorder {
 public:
-    void record(std::uint64_t cycles) { samples_.push_back(cycles); }
+    explicit LatencyRecorder(std::size_t capacity = 4096,
+                             std::uint64_t seed = 0x1a7e9c5ULL)
+        : capacity_(std::max<std::size_t>(1, capacity)), rng_(seed) {
+        samples_.reserve(capacity_);
+    }
+
+    void record(std::uint64_t cycles) {
+        ++count_;
+        sum_ += static_cast<double>(cycles);
+        max_ = std::max(max_, cycles);
+        if (samples_.size() < capacity_) {
+            samples_.push_back(cycles);
+            return;
+        }
+        // Algorithm R: the i-th sample replaces a reservoir slot with
+        // probability capacity / i, keeping the reservoir uniform.
+        const std::uint64_t j = rng_.next_below(count_);
+        if (j < capacity_) samples_[static_cast<std::size_t>(j)] = cycles;
+    }
+
     [[nodiscard]] LatencySummary summary() const;
-    [[nodiscard]] std::size_t count() const { return samples_.size(); }
+    /// Exact number of recorded samples (not the reservoir occupancy).
+    [[nodiscard]] std::size_t count() const { return static_cast<std::size_t>(count_); }
+    [[nodiscard]] std::size_t reservoir_size() const { return samples_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
 private:
+    const std::size_t capacity_;
+    common::Rng rng_;
     std::vector<std::uint64_t> samples_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t max_ = 0;
 };
 
 /// One online re-quantization performed by a device: which generation it
@@ -49,6 +87,7 @@ struct RequantEvent {
     common::Compression before;
     common::Compression after;
     quant::Method method = quant::Method::M5_AciqNoBias;
+    double aged_delay_ps = 0.0;     ///< aged critical path of `after` — the new clock
     double build_ms = 0.0;          ///< Algorithm 1 build latency (host wall-clock)
     double swap_us = 0.0;           ///< publish-swap latency (host wall-clock)
     bool background = false;        ///< built by the RequantService, off the serving path
@@ -59,10 +98,11 @@ struct DeviceStats {
     std::uint64_t requests = 0;
     std::uint64_t batches = 0;
     std::uint64_t busy_cycles = 0;
+    double busy_ps = 0.0;  ///< simulated busy time at the per-batch clock
     std::uint64_t flips = 0;
     double operating_hours = 0.0;
     double dvth_mv = 0.0;
-    double clock_period_ps = 0.0;
+    double clock_period_ps = 0.0;  ///< current clock (aged critical path)
     std::uint64_t generation = 0;  ///< currently deployed ModelState generation
     common::Compression compression;
     quant::Method method = quant::Method::M5_AciqNoBias;
@@ -71,9 +111,11 @@ struct DeviceStats {
     std::vector<RequantEvent> requant_events;
     LatencySummary latency;
 
-    /// Saturated simulated throughput: served requests per simulated second.
+    /// Saturated simulated throughput: served requests per simulated
+    /// busy second (clock changes across requants are already folded
+    /// into busy_ps).
     [[nodiscard]] double sim_throughput_ips() const {
-        const double busy_s = static_cast<double>(busy_cycles) * clock_period_ps * 1e-12;
+        const double busy_s = busy_ps * 1e-12;
         return busy_s > 0.0 ? static_cast<double>(requests) / busy_s : 0.0;
     }
 };
@@ -85,7 +127,10 @@ struct FleetStats {
 
     /// Fleet simulated throughput: completed requests over the busiest
     /// device's simulated busy time (devices run concurrently in model
-    /// time, so the slowest device bounds the fleet).
+    /// time, so the slowest device bounds the fleet — for a sharded
+    /// pipeline that is the bottleneck shard; `completed` rather than a
+    /// per-device sum because in sharded serving every request visits
+    /// every shard of its group).
     [[nodiscard]] double sim_throughput_ips() const;
     [[nodiscard]] int total_requants() const;
     [[nodiscard]] std::string to_string() const;

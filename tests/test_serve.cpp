@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <thread>
@@ -365,6 +367,182 @@ TEST_F(Serve, BackgroundRequantKeepsGraphsUntornAndGenerationsMonotonic) {
             ASSERT_EQ(result.logits[c], serial[c])
                 << "request " << i << " generation " << result.generation << " class " << c;
     }
+}
+
+TEST_F(Serve, AgedClockTracksInstalledCompression) {
+    constexpr int kRequests = 180;
+    constexpr double kThresholdMv = 10.0;
+
+    serve::ServeConfig cfg;
+    cfg.num_devices = 1;
+    cfg.num_workers = 1;
+    cfg.max_batch = 4;
+    cfg.background_requant = false;  // deterministic: requant at the boundary
+    cfg.device.requant_threshold_mv = kThresholdMv;
+
+    // Cross the threshold once mid-run (same scaling as the
+    // requantizes-exactly-once test).
+    {
+        serve::NpuServer probe(context(), cfg);
+        const auto& dev = probe.device(0);
+        const double busy_hours_per_request =
+            static_cast<double>(dev.per_image_cycles()) * dev.clock_period_ps() * 1e-12 /
+            3600.0;
+        const double target_hours = aging_->years_for_dvth(12.0) * 8760.0;
+        cfg.device.age_acceleration =
+            target_hours / (kRequests * busy_hours_per_request);
+        probe.shutdown();
+    }
+
+    serve::NpuServer server(context(), cfg);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(server.submit(test_image(i % 100)));
+    std::vector<serve::InferenceResult> results;
+    results.reserve(kRequests);
+    for (auto& f : futures) results.push_back(f.get());
+    server.shutdown();
+
+    const serve::DeviceStats stats = server.device(0).stats();
+    ASSERT_GE(stats.requant_count, 1);
+    const serve::RequantEvent& event = stats.requant_events.back();
+
+    // Regression for the fresh-forever clock: the device clock must be
+    // the installed compression's aged critical path, re-derived at the
+    // install — not fresh_critical_path_ps() cached at construction.
+    const double aged = selector_->delay_ps(event.dvth_mv, event.after);
+    EXPECT_DOUBLE_EQ(event.aged_delay_ps, aged);
+    EXPECT_DOUBLE_EQ(stats.clock_period_ps, aged);
+    EXPECT_NE(stats.clock_period_ps, selector_->fresh_critical_path_ps());
+
+    // latency_us changes across the requant generation: the per-request
+    // implied clock (latency_us / latency_cycles) tracks the deployment.
+    double clock_gen1 = 0.0, clock_gen2 = 0.0;
+    for (const serve::InferenceResult& r : results) {
+        ASSERT_GT(r.latency_cycles, 0u);
+        const double implied = r.latency_us * 1e6 / static_cast<double>(r.latency_cycles);
+        if (r.generation == 1)
+            clock_gen1 = implied;
+        else
+            clock_gen2 = implied;
+    }
+    ASSERT_GT(clock_gen1, 0.0);  // some requests served before the swap
+    ASSERT_GT(clock_gen2, 0.0);  // and some after
+    EXPECT_NE(clock_gen1, clock_gen2);
+    EXPECT_NEAR(clock_gen2, aged, 1e-9 * aged);
+
+    // Simulated busy time accrued at the per-batch clock, so operating
+    // hours and throughput reflect the aged clock too.
+    EXPECT_GT(stats.busy_ps, 0.0);
+    EXPECT_NE(stats.busy_ps,
+              static_cast<double>(stats.busy_cycles) * selector_->fresh_critical_path_ps());
+    EXPECT_GT(stats.sim_throughput_ips(), 0.0);
+}
+
+TEST_F(Serve, MalformedRequestFailsItsFutureWithoutKillingTheServer) {
+    serve::ServeConfig cfg;
+    cfg.num_devices = 1;
+    cfg.num_workers = 1;
+    cfg.max_batch = 1;  // the bad request fails alone, not a whole batch
+    serve::NpuServer server(context(), cfg);
+
+    // A multi-sample tensor is not a valid single request: the batcher
+    // rejects it on the worker thread, which must fail this future (not
+    // call std::terminate) and keep the device serving.
+    const tensor::Shape sample = graph_->input_shape();
+    auto bad = server.submit(tensor::Tensor({2, sample.c, sample.h, sample.w}));
+    EXPECT_THROW((void)bad.get(), std::invalid_argument);
+
+    auto good = server.submit(test_image(0));
+    EXPECT_GE(good.get().predicted_class, 0);
+    server.shutdown();
+}
+
+TEST(ServeStats, LatencyReservoirBoundedWithExactAggregates) {
+    constexpr std::size_t kCapacity = 64;
+    constexpr std::uint64_t kSamples = 10000;
+    serve::LatencyRecorder recorder(kCapacity, /*seed=*/42);
+    for (std::uint64_t i = 1; i <= kSamples; ++i) recorder.record(i);
+
+    // Memory stays bounded at the reservoir capacity...
+    EXPECT_EQ(recorder.reservoir_size(), kCapacity);
+    // ...while count/mean/max stay exact.
+    const serve::LatencySummary s = recorder.summary();
+    EXPECT_EQ(s.count, kSamples);
+    EXPECT_DOUBLE_EQ(s.mean_cycles, (1.0 + static_cast<double>(kSamples)) / 2.0);
+    EXPECT_EQ(s.max_cycles, kSamples);
+    // The percentiles are estimates from a uniform sample of 1..10000.
+    EXPECT_NEAR(s.p50_cycles, 5000.0, 2000.0);
+    EXPECT_GT(s.p99_cycles, s.p50_cycles);
+
+    // Deterministic: same seed, same stream, same reservoir.
+    serve::LatencyRecorder again(kCapacity, /*seed=*/42);
+    for (std::uint64_t i = 1; i <= kSamples; ++i) again.record(i);
+    const serve::LatencySummary s2 = again.summary();
+    EXPECT_EQ(s2.p50_cycles, s.p50_cycles);
+    EXPECT_EQ(s2.p99_cycles, s.p99_cycles);
+}
+
+TEST(ServeQueue, CloseWakesBlockedProducersWithoutLosingPromises) {
+    constexpr int kProducers = 3;
+    serve::RequestQueue queue(2);
+    for (int i = 0; i < 2; ++i) {
+        serve::InferenceRequest fill;
+        fill.id = static_cast<std::uint64_t>(i);
+        ASSERT_TRUE(queue.push(std::move(fill)));
+    }
+
+    // Three producers block on the full queue; close() must wake every
+    // one with push == false WITHOUT consuming its request, so the
+    // caller still owns the promise and can resolve it.
+    std::vector<std::future<serve::InferenceResult>> futures(kProducers);
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t)
+        producers.emplace_back([&queue, &futures, &rejected, t] {
+            serve::InferenceRequest request;
+            request.id = 100 + static_cast<std::uint64_t>(t);
+            futures[static_cast<std::size_t>(t)] = request.promise.get_future();
+            if (!queue.push(std::move(request))) {
+                rejected.fetch_add(1);
+                serve::InferenceResult result;
+                result.request_id = request.id;
+                result.predicted_class = -1;
+                request.promise.set_value(std::move(result));
+            }
+        });
+    // Let the producers reach the full-queue wait before closing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(queue.size(), 2u);
+    queue.close();
+    for (std::thread& p : producers) p.join();
+
+    EXPECT_EQ(rejected.load(), kProducers);
+    for (auto& f : futures) {
+        const serve::InferenceResult result = f.get();  // promise not lost
+        EXPECT_EQ(result.predicted_class, -1);
+    }
+    // What was accepted before the close still drains.
+    EXPECT_EQ(queue.pop_batch(10).size(), 2u);
+    EXPECT_TRUE(queue.pop_batch(10).empty());
+}
+
+TEST(ServeBatcher, RejectsMalformedBatchesAndRows) {
+    const std::vector<serve::InferenceRequest> empty;
+    EXPECT_THROW((void)serve::stack_batch(empty), std::invalid_argument);
+
+    std::vector<serve::InferenceRequest> mismatched(2);
+    mismatched[0].image = tensor::Tensor({1, 2, 2, 2});
+    mismatched[1].image = tensor::Tensor({1, 2, 3, 3});
+    EXPECT_THROW((void)serve::stack_batch(mismatched), std::invalid_argument);
+
+    std::vector<serve::InferenceRequest> multi_sample(1);
+    multi_sample[0].image = tensor::Tensor({2, 2, 2, 2});  // n != 1
+    EXPECT_THROW((void)serve::stack_batch(multi_sample), std::invalid_argument);
+
+    tensor::Tensor logits({2, 4, 1, 1});
+    EXPECT_THROW((void)serve::make_result(0, logits, -1), std::out_of_range);
+    EXPECT_THROW((void)serve::make_result(0, logits, 2), std::out_of_range);
 }
 
 TEST(ServeQueue, BatchedPopRespectsLimitAndOrder) {
