@@ -25,12 +25,24 @@
 // replicated — i.e. the systolic-cycle-balanced graph cut keeps the
 // bottleneck within 1.25× of the ideal quarter.
 //
-// Usage: serve_throughput [requests] [network]
+// Part 4 — recut: one device of a 2-shard pipeline enters the field aged
+// hard (large ΔVth), so the clock its deployment installs runs ~2× the
+// fresh period and the static fresh-silicon cut leaves it the pipeline
+// bottleneck. Served twice: once with the stale static partition and
+// once with online re-partitioning (RepartitionMonitor → heterogeneous
+// min-bottleneck re-cut → drain-and-swap). Acceptance: the aged clock is
+// ≥ 1.25× the fresh one, post-re-cut simulated throughput ≥ 1.15× the
+// stale cut's, outputs stay bit-identical to single-device execution
+// across the swap, and per-request partition ids are monotonic.
+//
+// Usage: serve_throughput [--scenario all|scaling|requant|shard|recut]
+//                         [requests] [network]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <future>
 #include <string>
 #include <thread>
@@ -42,6 +54,7 @@
 #include "common/table.hpp"
 #include "core/compression_selector.hpp"
 #include "exec/plan_cache.hpp"
+#include "quant/methods.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -123,12 +136,149 @@ StallReport run_stall_scenario(const serve::ServeContext& ctx,
     return report;
 }
 
+/// One pass of the recut scenario: a 2-shard pipeline whose stage-1
+/// device entered the field aged `aged_years`. Warm-up traffic exposes
+/// the stage imbalance; with `repartition` on, the pass then waits for
+/// the online re-cut before measuring.
+struct RecutReport {
+    double throughput_ips = 0.0;       ///< measured phase, simulated
+    double clock_ratio = 0.0;          ///< aged shard clock / fresh shard clock
+    std::uint64_t partition_generation = 1;
+    std::uint64_t recuts = 0;
+    std::uint64_t triggers = 0;
+    int requants = 0;                  ///< requant events across both shards
+    bool bit_identical = true;         ///< vs. single-device reference logits
+    bool partitions_monotonic = true;  ///< per-request partition ids, submit order
+    std::vector<std::uint64_t> shard_cycles;  ///< per-image cycles per shard, final cut
+};
+
+RecutReport run_recut_pass(const serve::ServeContext& ctx,
+                           const std::vector<tensor::Tensor>& warmup,
+                           const std::vector<tensor::Tensor>& measure,
+                           const quant::QuantizedGraph& reference, bool repartition,
+                           double aged_years, double guardband) {
+    serve::ServeConfig cfg;
+    cfg.num_devices = 2;
+    // One worker: batches enter the single pipeline group in submit
+    // order, so the reported partition ids are monotonic per submit
+    // index (two pool workers could reorder entry).
+    cfg.num_workers = 1;
+    cfg.max_batch = 8;
+    cfg.num_shards = 2;
+    cfg.initial_age_step_years = aged_years;  // stage 1 enters the field aged hard
+    cfg.device.guardband_fraction = guardband;
+    // No threshold crossings during the pass: the slow clock is already
+    // installed by the aged shard's initial deployment (what any
+    // re-quantization at that ΔVth would install), so both passes serve
+    // identical arithmetic and the comparison isolates the cut.
+    cfg.device.requant_threshold_mv = 1e9;
+    cfg.repartition.enabled = repartition;
+    cfg.repartition.imbalance_ratio = 1.4;
+    cfg.repartition.min_batches = 4;
+    cfg.repartition.poll_ms = 1;
+    serve::NpuServer server(ctx, cfg);
+
+    RecutReport report;
+    const auto wait_all = [](std::vector<std::future<serve::InferenceResult>>& futures) {
+        std::vector<serve::InferenceResult> results;
+        results.reserve(futures.size());
+        for (auto& f : futures) results.push_back(f.get());
+        return results;
+    };
+
+    // Phase 1 — warm up: enough batches per stage for the monitor's
+    // window to mature and (with repartitioning on) the re-cut to land.
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(warmup.size());
+    for (const tensor::Tensor& image : warmup) futures.push_back(server.submit(image));
+    (void)wait_all(futures);
+    if (repartition) {
+        const auto deadline = Clock::now() + std::chrono::seconds(30);
+        while (server.shard_group(0).partition_generation() < 2 &&
+               Clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // Phase 2 — measure simulated throughput over the (possibly re-cut)
+    // steady state: completed requests over the bottleneck stage's busy
+    // time, deltas so the warm-up era doesn't dilute the figure.
+    std::vector<double> busy_before;
+    for (const auto& d : server.fleet_stats().devices) busy_before.push_back(d.busy_ps);
+    futures.clear();
+    futures.reserve(measure.size());
+    for (const tensor::Tensor& image : measure) futures.push_back(server.submit(image));
+    const std::vector<serve::InferenceResult> results = wait_all(futures);
+    double bottleneck_ps = 0.0;
+    {
+        const serve::FleetStats fleet = server.fleet_stats();
+        for (std::size_t k = 0; k < fleet.devices.size(); ++k)
+            bottleneck_ps =
+                std::max(bottleneck_ps, fleet.devices[k].busy_ps - busy_before[k]);
+    }
+    report.throughput_ips = bottleneck_ps > 0.0
+                                ? static_cast<double>(measure.size()) /
+                                      (bottleneck_ps * 1e-12)
+                                : 0.0;
+
+    // Bit-identity across the swap: every measured-phase result must
+    // match the single-device reference exactly (the re-cut moves op
+    // boundaries, never arithmetic).
+    std::uint64_t last_partition = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const tensor::Tensor serial = quant::run_quantized(reference, measure[i]);
+        if (results[i].logits.size() != serial.size()) report.bit_identical = false;
+        for (std::size_t c = 0; report.bit_identical && c < serial.size(); ++c)
+            if (results[i].logits[c] != serial[c]) report.bit_identical = false;
+        if (results[i].partition < last_partition) report.partitions_monotonic = false;
+        last_partition = results[i].partition;
+    }
+
+    server.shutdown();
+    const auto& group = server.shard_group(0);
+    report.clock_ratio = group.shard(1).clock_period_ps() / group.shard(0).clock_period_ps();
+    const serve::RepartitionStats rp = group.repartition_stats();
+    report.partition_generation = rp.partition_generation;
+    report.recuts = rp.recuts;
+    report.triggers = rp.triggers;
+    for (int k = 0; k < group.num_shards(); ++k) {
+        report.requants += group.shard(k).requant_count();
+        report.shard_cycles.push_back(group.shard(k).per_image_cycles());
+    }
+    return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
     using namespace raq;
-    const int requests = argc > 1 ? std::atoi(argv[1]) : 256;
-    const std::string model = argc > 2 ? argv[2] : "alexnet-mini";
+    int argi = 1;
+    std::string scenario = "all";
+    if (argc > argi && std::strncmp(argv[argi], "--scenario", 10) == 0) {
+        if (const char* eq = std::strchr(argv[argi], '=')) {
+            scenario = eq + 1;
+            ++argi;
+        } else if (argc > argi + 1) {
+            scenario = argv[argi + 1];
+            argi += 2;
+        } else {
+            std::fprintf(stderr, "serve_throughput: --scenario needs a value\n");
+            return 1;
+        }
+    }
+    if (scenario != "all" && scenario != "scaling" && scenario != "requant" &&
+        scenario != "shard" && scenario != "recut") {
+        std::fprintf(stderr,
+                     "serve_throughput: unknown scenario '%s' (all|scaling|requant|"
+                     "shard|recut)\n",
+                     scenario.c_str());
+        return 1;
+    }
+    const bool run_scaling = scenario == "all" || scenario == "scaling";
+    const bool run_requant = scenario == "all" || scenario == "requant";
+    const bool run_shard = scenario == "all" || scenario == "shard";
+    const bool run_recut = scenario == "all" || scenario == "recut";
+    const int requests = argc > argi ? std::atoi(argv[argi]) : 256;
+    const std::string model = argc > argi + 1 ? argv[argi + 1] : "alexnet-mini";
 
     benchutil::Workbench bench;
     auto& net = bench.cache.get(model);
@@ -152,6 +302,11 @@ int main(int argc, char** argv) try {
     for (int i = 0; i < requests; ++i)
         images.push_back(bench.cache.dataset().test_batch(i % benchutil::kTestSamples, 1));
 
+    bool stall_pass = true;
+    bool shard_pass = true;
+    bool recut_pass = true;
+
+    if (run_scaling) {
     std::printf("serve_throughput: %s, %d requests per fleet size\n\n", model.c_str(),
                 requests);
     common::Table table({"devices=workers", "sim inf/s", "sim scaling", "wall inf/s",
@@ -187,8 +342,10 @@ int main(int argc, char** argv) try {
     std::printf("%s\n", table.to_string().c_str());
     std::printf("sim scaling is the acceptance metric: the modelled fleet serves\n"
                 "concurrently in model time regardless of host core count.\n\n");
+    }
 
     // ---------------------------------------------- requant-stall scenario
+    if (run_requant) {
     const int stall_requests = 900;
     const double threshold_mv = 2.5;
     const double end_dvth_mv = 6.0;  // two crossings (2.5, 5.0) per pass
@@ -257,12 +414,14 @@ int main(int argc, char** argv) try {
     std::printf("ExecPlan recompiles during the background pass: %llu  [gate: 0 — the\n"
                 "plan cache serves every re-quantization of an already-seen topology]\n",
                 static_cast<unsigned long long>(cache_after.misses - cache_before.misses));
-    const bool stall_pass = ratio <= 0.5 &&
-                            inline_run.final_generation == bg_run.final_generation &&
-                            cache_after.misses == cache_before.misses;
+    stall_pass = ratio <= 0.5 &&
+                 inline_run.final_generation == bg_run.final_generation &&
+                 cache_after.misses == cache_before.misses;
     std::printf("requant-stall gate: %s\n\n", stall_pass ? "PASS" : "FAIL");
+    }
 
     // ------------------------------------------------- sharding scenario
+    if (run_shard) {
     const int shard_devices = 4;
     const int shard_requests = requests;
     auto& shard_net = bench.cache.get("resnet20-mini");
@@ -334,9 +493,103 @@ int main(int argc, char** argv) try {
             : 0.0;
     std::printf("pipelined / replicated simulated throughput: %.3f  [gate: >= 0.8]\n",
                 shard_ratio);
-    const bool shard_pass = shard_ratio >= 0.8;
-    std::printf("sharding gate: %s\n", shard_pass ? "PASS" : "FAIL");
-    return (stall_pass && shard_pass) ? 0 : 1;
+    shard_pass = shard_ratio >= 0.8;
+    std::printf("sharding gate: %s\n\n", shard_pass ? "PASS" : "FAIL");
+    }
+
+    // --------------------------------------------------- recut scenario
+    if (run_recut) {
+        // The aged shard's clock: find the ΔVth whose aged delay on the
+        // minimum-norm (uncompressed) deployment is ~2× the fresh one,
+        // then admit it with a guardband so compression selection keeps
+        // the SAME compression on both shards — the pipeline stays
+        // bit-identical to a fresh single device while one stage's clock
+        // halves its speed.
+        const common::Compression none{};
+        const double fresh_delay = selector.delay_ps(0.0, none);
+        double dvth_aged = 0.0;
+        {
+            double lo = 0.0, hi = 300.0;
+            while (selector.delay_ps(hi, none) < 2.0 * fresh_delay) hi += 50.0;
+            for (int i = 0; i < 100; ++i) {
+                const double mid = 0.5 * (lo + hi);
+                (selector.delay_ps(mid, none) < 2.0 * fresh_delay ? lo : hi) = mid;
+            }
+            dvth_aged = hi;
+        }
+        const double aged_years = aging_model.years_for_dvth(dvth_aged);
+        const double guardband = 1.2;  // admits the 2x aged clock uncompressed
+
+        const int warmup_n = std::max(48, std::min(requests, 96));
+        const int measure_n = std::max(64, requests);
+        std::vector<tensor::Tensor> warmup, measure;
+        warmup.reserve(static_cast<std::size_t>(warmup_n));
+        measure.reserve(static_cast<std::size_t>(measure_n));
+        for (int i = 0; i < warmup_n; ++i)
+            warmup.push_back(
+                bench.cache.dataset().test_batch(i % benchutil::kTestSamples, 1));
+        for (int i = 0; i < measure_n; ++i)
+            measure.push_back(
+                bench.cache.dataset().test_batch(i % benchutil::kTestSamples, 1));
+
+        // Single-device reference at the shared compression (the
+        // selection both shards make under the guardband).
+        const auto ref_choice = selector.select(0.0, guardband);
+        const quant::QuantizedGraph reference = quant::quantize_graph(
+            graph, quant::Method::M5_AciqNoBias,
+            quant::QuantConfig::from_compression(ref_choice->compression), calib);
+
+        std::printf("recut: %s, 2-shard pipeline, stage-1 device aged to ΔVth %.1f mV\n"
+                    "(aged clock %.0f ps vs fresh %.0f ps), %d warm-up + %d measured "
+                    "requests\n\n",
+                    model.c_str(), dvth_aged, selector.delay_ps(dvth_aged, none),
+                    fresh_delay, warmup_n, measure_n);
+
+        const RecutReport stale = run_recut_pass(ctx, warmup, measure, reference,
+                                                 /*repartition=*/false, aged_years,
+                                                 guardband);
+        const RecutReport recut = run_recut_pass(ctx, warmup, measure, reference,
+                                                 /*repartition=*/true, aged_years,
+                                                 guardband);
+
+        common::Table recut_table({"partition", "sim inf/s", "partition gen", "re-cuts",
+                                   "shard cycles (s0/s1)", "bit-identical"});
+        const auto cycles_str = [](const RecutReport& r) {
+            std::string out;
+            for (std::size_t k = 0; k < r.shard_cycles.size(); ++k)
+                out += (k ? "/" : "") + std::to_string(r.shard_cycles[k]);
+            return out;
+        };
+        recut_table.add_row({"stale static", common::Table::fmt(stale.throughput_ips, 0),
+                             std::to_string(stale.partition_generation),
+                             std::to_string(stale.recuts), cycles_str(stale),
+                             stale.bit_identical ? "yes" : "NO"});
+        recut_table.add_row({"online re-cut", common::Table::fmt(recut.throughput_ips, 0),
+                             std::to_string(recut.partition_generation),
+                             std::to_string(recut.recuts), cycles_str(recut),
+                             recut.bit_identical ? "yes" : "NO"});
+        std::printf("%s\n", recut_table.to_string().c_str());
+
+        const double recovery = stale.throughput_ips > 0.0
+                                    ? recut.throughput_ips / stale.throughput_ips
+                                    : 0.0;
+        std::printf("aged / fresh shard clock: %.2f  [gate: >= 1.25]\n",
+                    recut.clock_ratio);
+        std::printf("re-cut / stale simulated throughput: %.3f  [gate: >= 1.15]\n",
+                    recovery);
+        std::printf("online re-cuts: %llu (triggers %llu), partition ids monotonic: %s,"
+                    " outputs bit-identical: %s\n",
+                    static_cast<unsigned long long>(recut.recuts),
+                    static_cast<unsigned long long>(recut.triggers),
+                    recut.partitions_monotonic ? "yes" : "NO",
+                    (stale.bit_identical && recut.bit_identical) ? "yes" : "NO");
+        recut_pass = recut.clock_ratio >= 1.25 && recovery >= 1.15 &&
+                     recut.recuts >= 1 && stale.recuts == 0 && stale.bit_identical &&
+                     recut.bit_identical && recut.partitions_monotonic;
+        std::printf("recut gate: %s\n", recut_pass ? "PASS" : "FAIL");
+    }
+
+    return (stall_pass && shard_pass && recut_pass) ? 0 : 1;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_throughput: %s\n", e.what());
     return 1;

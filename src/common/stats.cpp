@@ -37,12 +37,16 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
 }
 
 BoxStats box_stats(const std::vector<double>& xs) {
+    // One sort serves all five quantiles (quantile() would copy and
+    // re-sort the series per call).
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
     BoxStats b;
-    b.min = quantile(xs, 0.0);
-    b.q1 = quantile(xs, 0.25);
-    b.median = quantile(xs, 0.5);
-    b.q3 = quantile(xs, 0.75);
-    b.max = quantile(xs, 1.0);
+    b.min = quantile_sorted(sorted, 0.0);
+    b.q1 = quantile_sorted(sorted, 0.25);
+    b.median = quantile_sorted(sorted, 0.5);
+    b.q3 = quantile_sorted(sorted, 0.75);
+    b.max = quantile_sorted(sorted, 1.0);
     b.mean = mean(xs);
     return b;
 }

@@ -7,7 +7,11 @@
 // extracted sub-graph is just a Graph. The cache key is the partition's
 // own topology fingerprint, so every group sharding the same model at
 // the same cut — and every re-quantization of a shard — shares one
-// compiled plan: zero recompiles on the sharded serving path.
+// compiled plan: zero recompiles on the sharded serving path. An online
+// re-cut calls this from the RepartitionMonitor thread to warm-compile
+// the new partition's plans into the cache BEFORE the drain-and-swap,
+// so the swap itself only rebinds (and a re-cut back to an
+// already-seen partition is a pure cache hit).
 #pragma once
 
 #include <memory>

@@ -5,75 +5,38 @@
 #include <stdexcept>
 #include <string>
 
+#include "npu/systolic.hpp"
+
 namespace raq::ir {
 
 namespace {
 
-/// Per-tensor producing op index (-1 for the graph input).
-std::vector<int> compute_producer(const Graph& graph) {
-    std::vector<int> producer(static_cast<std::size_t>(graph.num_tensors()), -1);
+/// The shared min-bottleneck DP: `stage_costs[k]` prices stage k's
+/// segment (homogeneous callers pass the same table for every stage).
+std::vector<ShardSpec> partition_impl(
+    const Graph& graph, const std::vector<const std::vector<std::uint64_t>*>& stage_costs) {
     const auto& ops = graph.ops();
-    for (std::size_t i = 0; i < ops.size(); ++i)
-        producer[static_cast<std::size_t>(ops[i].output)] = static_cast<int>(i);
-    return producer;
-}
-
-std::vector<std::uint64_t> mac_costs(const Graph& graph) {
-    const auto shapes = infer_shapes(graph, 1);
-    std::vector<std::uint64_t> costs(graph.ops().size(), 0);
-    const auto& ops = graph.ops();
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-        if (ops[i].kind != OpKind::Conv2d) continue;
-        const tensor::Shape& out = shapes[static_cast<std::size_t>(ops[i].output)];
-        costs[i] = static_cast<std::uint64_t>(out.c) * static_cast<std::uint64_t>(out.h) *
-                   static_cast<std::uint64_t>(out.w) *
-                   static_cast<std::uint64_t>(ops[i].conv.in_c) *
-                   static_cast<std::uint64_t>(ops[i].conv.kh) *
-                   static_cast<std::uint64_t>(ops[i].conv.kw);
-    }
-    return costs;
-}
-
-}  // namespace
-
-std::vector<int> cut_candidates(const Graph& graph) {
-    if (graph.output_id() < 0) throw std::invalid_argument("cut_candidates: graph has no output");
-    const auto& ops = graph.ops();
-    // The graph output must always reach the final shard: pin it live.
-    std::vector<int> last_use = tensor_last_use(graph);
-    last_use[static_cast<std::size_t>(graph.output_id())] = std::numeric_limits<int>::max();
-    const std::vector<int> producer = compute_producer(graph);
-
-    std::vector<int> cuts;
-    // A cut after the last op is not a cut (the second side would be
-    // empty), so i ranges over [0, ops-2].
-    for (int i = 0; i + 1 < static_cast<int>(ops.size()); ++i) {
-        int crossing = 0;
-        bool only_own_output = true;
-        for (int t = 0; t < graph.num_tensors(); ++t) {
-            if (producer[static_cast<std::size_t>(t)] > i) continue;  // born downstream
-            if (last_use[static_cast<std::size_t>(t)] <= i) continue; // dead at the cut
-            ++crossing;
-            if (t != ops[static_cast<std::size_t>(i)].output) only_own_output = false;
-        }
-        if (crossing == 1 && only_own_output) cuts.push_back(i);
-    }
-    return cuts;
-}
-
-std::vector<ShardSpec> partition_graph(const Graph& graph, int num_shards,
-                                       const std::vector<std::uint64_t>& op_costs) {
-    const auto& ops = graph.ops();
+    const int num_shards = static_cast<int>(stage_costs.size());
     if (num_shards < 1) throw std::invalid_argument("partition_graph: num_shards must be >= 1");
     if (ops.empty()) throw std::invalid_argument("partition_graph: empty graph");
-    std::vector<std::uint64_t> costs = op_costs.empty() ? mac_costs(graph) : op_costs;
-    if (costs.size() != ops.size())
-        throw std::invalid_argument("partition_graph: op_costs size does not match op count");
+    for (const auto* costs : stage_costs)
+        if (costs->size() != ops.size())
+            throw std::invalid_argument(
+                "partition_graph: op_costs size does not match op count");
 
-    std::vector<std::uint64_t> prefix(ops.size() + 1, 0);
-    for (std::size_t i = 0; i < ops.size(); ++i) prefix[i + 1] = prefix[i] + costs[i];
-    const auto range_cost = [&](int first, int last) {  // inclusive op range
-        return prefix[static_cast<std::size_t>(last) + 1] - prefix[static_cast<std::size_t>(first)];
+    // One prefix-sum row per stage: segment cost depends on which
+    // device's table the stage is priced with.
+    std::vector<std::vector<std::uint64_t>> prefix(
+        static_cast<std::size_t>(num_shards), std::vector<std::uint64_t>(ops.size() + 1, 0));
+    for (int k = 0; k < num_shards; ++k) {
+        const std::vector<std::uint64_t>& costs = *stage_costs[static_cast<std::size_t>(k)];
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            prefix[static_cast<std::size_t>(k)][i + 1] =
+                prefix[static_cast<std::size_t>(k)][i] + costs[i];
+    }
+    const auto range_cost = [&](int stage, int first, int last) {  // inclusive op range
+        const auto& row = prefix[static_cast<std::size_t>(stage)];
+        return row[static_cast<std::size_t>(last) + 1] - row[static_cast<std::size_t>(first)];
     };
 
     const std::vector<int> cands = cut_candidates(graph);
@@ -85,7 +48,8 @@ std::vector<ShardSpec> partition_graph(const Graph& graph, int num_shards,
 
     // Min-bottleneck DP over cut positions: dp[k][c] is the best possible
     // maximum shard cost when ops [0 .. cands[c]] are split into k+1
-    // shards ending with a cut at cands[c].
+    // shards ending with a cut at cands[c], with shard j priced on stage
+    // j's cost table.
     const int nc = static_cast<int>(cands.size());
     constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
     std::vector<int> chosen_cuts;
@@ -98,15 +62,15 @@ std::vector<ShardSpec> partition_graph(const Graph& graph, int num_shards,
         // work (a conv-free shard would waste a device, and the systolic
         // cycle model has nothing to say about it).
         for (int c = 0; c < nc; ++c) {
-            const std::uint64_t seg = range_cost(0, cands[static_cast<std::size_t>(c)]);
+            const std::uint64_t seg = range_cost(0, 0, cands[static_cast<std::size_t>(c)]);
             if (seg > 0) dp[0][static_cast<std::size_t>(c)] = seg;
         }
         for (int k = 1; k < needed; ++k) {
             for (int c = k; c < nc; ++c) {
                 for (int p = k - 1; p < c; ++p) {
                     if (dp[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(p)] == kInf) continue;
-                    const std::uint64_t seg =
-                        range_cost(cands[static_cast<std::size_t>(p)] + 1, cands[static_cast<std::size_t>(c)]);
+                    const std::uint64_t seg = range_cost(
+                        k, cands[static_cast<std::size_t>(p)] + 1, cands[static_cast<std::size_t>(c)]);
                     if (seg == 0) continue;
                     const std::uint64_t bottleneck =
                         std::max(dp[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(p)], seg);
@@ -122,8 +86,8 @@ std::vector<ShardSpec> partition_graph(const Graph& graph, int num_shards,
         int best_c = -1;
         for (int c = needed - 1; c < nc; ++c) {
             if (dp[static_cast<std::size_t>(needed - 1)][static_cast<std::size_t>(c)] == kInf) continue;
-            const std::uint64_t tail =
-                range_cost(cands[static_cast<std::size_t>(c)] + 1, static_cast<int>(ops.size()) - 1);
+            const std::uint64_t tail = range_cost(
+                needed, cands[static_cast<std::size_t>(c)] + 1, static_cast<int>(ops.size()) - 1);
             if (tail == 0) continue;
             const std::uint64_t bottleneck =
                 std::max(dp[static_cast<std::size_t>(needed - 1)][static_cast<std::size_t>(c)], tail);
@@ -163,11 +127,73 @@ std::vector<ShardSpec> partition_graph(const Graph& graph, int num_shards,
             spec.first_level = std::min(spec.first_level, levels[static_cast<std::size_t>(i)]);
             spec.last_level = std::max(spec.last_level, levels[static_cast<std::size_t>(i)]);
         }
-        spec.cost = range_cost(first, last);
+        spec.cost = range_cost(k, first, last);
         shards.push_back(spec);
         first = last + 1;
     }
     return shards;
+}
+
+}  // namespace
+
+std::vector<int> cut_candidates(const Graph& graph) {
+    if (graph.output_id() < 0) throw std::invalid_argument("cut_candidates: graph has no output");
+    const auto& ops = graph.ops();
+    const int num_ops = static_cast<int>(ops.size());
+    // The graph output must always reach the final shard: pin it live.
+    std::vector<int> last_use = tensor_last_use(graph);
+    last_use[static_cast<std::size_t>(graph.output_id())] = std::numeric_limits<int>::max();
+
+    // Single liveness sweep, O(ops + tensors): walking the schedule, the
+    // number of tensors crossing boundary i is the running live count
+    // after op i's output is born and everything op i last-consumed has
+    // died. Tensors never consumed (and not the pinned output) are never
+    // live past their producer; the graph input (producer -1) seeds the
+    // count. Because a tensor's last use is strictly after its producer,
+    // births and deaths at one op never cancel ambiguously.
+    std::vector<int> deaths_at(ops.size(), 0);
+    for (int t = 0; t < graph.num_tensors(); ++t) {
+        const int die = last_use[static_cast<std::size_t>(t)];
+        if (die >= 0 && die < num_ops) ++deaths_at[static_cast<std::size_t>(die)];
+    }
+
+    std::vector<int> cuts;
+    int live = last_use[static_cast<std::size_t>(graph.input_id())] >= 0 ? 1 : 0;
+    // A cut after the last op is not a cut (the second side would be
+    // empty), so candidates range over [0, ops-2].
+    for (int i = 0; i < num_ops; ++i) {
+        const int out = ops[static_cast<std::size_t>(i)].output;
+        const bool own_output_live = last_use[static_cast<std::size_t>(out)] > i;
+        if (own_output_live) ++live;
+        live -= deaths_at[static_cast<std::size_t>(i)];
+        if (i + 1 < num_ops && live == 1 && own_output_live) cuts.push_back(i);
+    }
+    return cuts;
+}
+
+std::vector<ShardSpec> partition_graph(const Graph& graph, int num_shards,
+                                       const std::vector<std::uint64_t>& op_costs) {
+    if (num_shards < 1) throw std::invalid_argument("partition_graph: num_shards must be >= 1");
+    // Default cost model: systolic per-layer cycles (tiling and array
+    // utilization included) at the default array config — the quantity
+    // the pipeline actually spends per stage. Raw MACs would price a
+    // low-utilization layer (small reduction dim, pipeline-fill-bound)
+    // far below its real residency.
+    const std::vector<std::uint64_t> costs =
+        op_costs.empty() ? npu::op_cycle_costs(graph) : op_costs;
+    const std::vector<const std::vector<std::uint64_t>*> stage_costs(
+        static_cast<std::size_t>(num_shards), &costs);
+    return partition_impl(graph, stage_costs);
+}
+
+std::vector<ShardSpec> partition_graph_heterogeneous(
+    const Graph& graph, const std::vector<std::vector<std::uint64_t>>& per_stage_costs) {
+    if (per_stage_costs.empty())
+        throw std::invalid_argument("partition_graph_heterogeneous: no stage cost tables");
+    std::vector<const std::vector<std::uint64_t>*> stage_costs;
+    stage_costs.reserve(per_stage_costs.size());
+    for (const auto& costs : per_stage_costs) stage_costs.push_back(&costs);
+    return partition_impl(graph, stage_costs);
 }
 
 Subgraph extract_subgraph(const Graph& graph, const ShardSpec& spec) {

@@ -15,6 +15,11 @@
 // cost (the pipeline bottleneck): with per-op systolic cycle costs this
 // balances the shards so a device pipeline sustains close to the
 // replicated fleet's throughput at equal device count.
+// partition_graph_heterogeneous() generalizes the same min-bottleneck DP
+// to one cost table per pipeline stage: stage k's segment is priced with
+// device k's table (its systolic cycle model scaled by its aged clock
+// period), so the cut balances real per-stage pipeline time across
+// devices that age — and run — at different rates.
 #pragma once
 
 #include <cstdint>
@@ -33,25 +38,40 @@ struct ShardSpec {
     int output_tensor = 0; ///< the one tensor this shard produces (graph output for the last)
     int first_level = 0;   ///< smallest dependency level among the shard's ops
     int last_level = 0;    ///< largest dependency level among the shard's ops
-    std::uint64_t cost = 0; ///< summed per-op cost (see partition_graph)
+    std::uint64_t cost = 0; ///< summed per-op cost on the assigned stage's table
 };
 
 /// All valid cut points: op indices i such that the only tensor crossing
 /// from ops [0..i] to ops [i+1..) (or to the graph output) is
 /// ops[i].output. Cutting anywhere else would strand a second live
 /// tensor (e.g. a residual skip) on the wrong side of the boundary.
+/// Single O(ops + tensors) liveness sweep.
 [[nodiscard]] std::vector<int> cut_candidates(const Graph& graph);
 
 /// Partition the graph into `num_shards` contiguous op ranges at
 /// single-tensor cut boundaries, minimizing the maximum per-shard cost.
 /// `op_costs` (one entry per op index) weights the balance — pass the
 /// systolic per-layer cycle counts for pipeline-bottleneck balance;
-/// empty defaults to per-op MACs. Every shard must end up with nonzero
-/// cost (a conv-free shard would waste a device). Throws
-/// std::invalid_argument when the graph has fewer cut points than
-/// `num_shards - 1` or no zero-cost-free assignment exists.
+/// empty defaults to exactly that: npu::SystolicArrayModel cycles at the
+/// default array config (tiling and utilization included), which is what
+/// the serving pipeline actually executes — NOT raw MACs, which ignore
+/// array utilization and price pool/relu-only regions at zero. Every
+/// shard must end up with nonzero cost (a conv-free shard would waste a
+/// device). Throws std::invalid_argument when the graph has fewer cut
+/// points than `num_shards - 1` or no zero-cost-free assignment exists.
 [[nodiscard]] std::vector<ShardSpec> partition_graph(
     const Graph& graph, int num_shards, const std::vector<std::uint64_t>& op_costs = {});
+
+/// Heterogeneous pipeline cut: `per_stage_costs[k]` is the per-op cost
+/// table of the device that will run stage k (one entry per op index —
+/// e.g. its systolic cycle count scaled by its aged clock period, so the
+/// balance reflects per-stage pipeline *time*, not fresh cycle counts).
+/// The number of shards is `per_stage_costs.size()`; stage k's segment
+/// cost — including the rejection of zero-cost shards and the reported
+/// ShardSpec::cost — is evaluated on table k. The same min-bottleneck DP
+/// as partition_graph (which is the special case of one shared table).
+[[nodiscard]] std::vector<ShardSpec> partition_graph_heterogeneous(
+    const Graph& graph, const std::vector<std::vector<std::uint64_t>>& per_stage_costs);
 
 /// A shard extracted as a self-contained Graph with remapped tensor ids.
 struct Subgraph {

@@ -41,4 +41,16 @@ InferenceCycles SystolicArrayModel::analyze(const ir::Graph& graph) const {
     return result;
 }
 
+std::vector<std::uint64_t> op_cycle_costs(const ir::Graph& graph,
+                                          const SystolicConfig& config) {
+    const SystolicArrayModel array(config);
+    const InferenceCycles cycles = array.analyze(graph);
+    std::vector<std::uint64_t> costs(graph.ops().size(), 0);
+    std::size_t layer = 0;
+    for (std::size_t i = 0; i < costs.size(); ++i)
+        if (graph.ops()[i].kind == ir::OpKind::Conv2d)
+            costs[i] = cycles.layers.at(layer++).cycles;
+    return costs;
+}
+
 }  // namespace raq::npu

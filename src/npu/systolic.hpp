@@ -51,4 +51,12 @@ private:
     SystolicConfig config_;
 };
 
+/// Per-op cost table aligned with graph.ops(): each Conv2d op's systolic
+/// cycle count on `config`'s array (tiling and utilization included),
+/// zero for MAC-free ops. This is the cost model behind the graph
+/// partitioner's pipeline balance — one inference pass per stage costs
+/// the sum of its ops' entries.
+[[nodiscard]] std::vector<std::uint64_t> op_cycle_costs(const ir::Graph& graph,
+                                                        const SystolicConfig& config = {});
+
 }  // namespace raq::npu

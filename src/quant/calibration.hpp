@@ -40,7 +40,10 @@ struct CalibrationData {
 /// labels are whole-model inputs and are deliberately NOT carried over:
 /// the per-layer methods (M1/M2/M4/M5) never read them, and the
 /// loss-aware paths (M3/LAPQ, full Algorithm 1) need end-to-end
-/// execution and are not supported on a shard in isolation.
+/// execution and are not supported on a shard in isolation. Because the
+/// remap is a pure view of the whole-model statistics, an online re-cut
+/// re-slices from the same full CalibrationData onto the new shard
+/// tensors and quantization stays bit-identical across the swap.
 [[nodiscard]] CalibrationData slice_calibration(const CalibrationData& full,
                                                 const std::vector<int>& full_tensor_of);
 

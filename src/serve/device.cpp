@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/rng.hpp"
@@ -40,16 +41,17 @@ NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config
     : id_(id),
       ctx_(&ctx),
       config_(config),
-      job_(validate_context(ctx), *ctx.calib, *ctx.selector, job_config(config),
-           ctx.eval_images, ctx.eval_labels),
       requant_service_(requant_service),
       latency_(config.latency_reservoir,
                common::stream_seed(config.base_seed, static_cast<std::uint64_t>(id),
                                    0x1a7e9c5ULL)) {
+    job_.emplace(validate_context(ctx), *ctx.calib, *ctx.selector, job_config(config),
+                 ctx.eval_images, ctx.eval_labels);
     const npu::SystolicArrayModel array(config.systolic);
-    per_image_cycles_ = array.analyze(*ctx.graph).total_cycles;
+    per_image_cycles_.store(array.analyze(*ctx.graph).total_cycles,
+                            std::memory_order_release);
     auto initial =
-        job_.build(ctx.aging->dvth_mv(config.initial_age_years), /*generation=*/1);
+        job_->build(ctx.aging->dvth_mv(config.initial_age_years), /*generation=*/1);
     if (!initial)
         throw std::runtime_error(
             "NpuDevice: no feasible compression at the initial aging level");
@@ -93,7 +95,7 @@ std::uint64_t NpuDevice::generation() const {
 }
 
 void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool record_event,
-                        bool background, double build_ms) {
+                        bool background, double build_ms, bool recut) {
     const auto swap_start = std::chrono::steady_clock::now();
     common::Compression before;
     {
@@ -133,13 +135,14 @@ void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool reco
         event.build_ms = build_ms;
         event.swap_us = swap_us;
         event.background = background;
+        event.recut = recut;
         requant_events_.push_back(event);
     }
 }
 
 void NpuDevice::requant_inline(double dvth) {
     const auto build_start = std::chrono::steady_clock::now();
-    auto built = job_.build(dvth, generation() + 1);
+    auto built = job_->build(dvth, generation() + 1);
     // Even full compression cannot meet timing: keep the current
     // deployment rather than serve a graph that violates the clock.
     if (!built) return;
@@ -149,7 +152,7 @@ void NpuDevice::requant_inline(double dvth) {
 
 void NpuDevice::execute_requant(double dvth_mv, std::uint64_t generation) {
     const auto build_start = std::chrono::steady_clock::now();
-    auto built = job_.build(dvth_mv, generation);
+    auto built = job_->build(dvth_mv, generation);
     PendingOutcome outcome;
     if (built)
         outcome.state = std::make_shared<const core::ModelState>(std::move(*built));
@@ -173,6 +176,50 @@ bool NpuDevice::adopt_pending() {
     // starts from the adopted state's baseline.
     requant_in_flight_.store(false, std::memory_order_release);
     return swapped;
+}
+
+void NpuDevice::reshard(core::ModelState state, double build_ms) {
+    // An in-flight background build targets the OLD sub-graph through
+    // job_; let it publish (the RequantService never drops an accepted
+    // job) and discard the result — adopting a state built for a shard
+    // this device no longer serves would deploy the wrong topology.
+    // After the wait the service worker is done touching job_, so the
+    // rebuild below cannot race with it; no new build can start because
+    // the pipeline is quiesced (no serve thread reaches
+    // requant_boundary()).
+    if (requant_in_flight_.load(std::memory_order_acquire)) {
+        for (;;) {
+            {
+                const std::lock_guard<std::mutex> lock(pending_mutex_);
+                if (pending_) break;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    }
+    {
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_.reset();
+    }
+    requant_in_flight_.store(false, std::memory_order_release);
+
+    // The context now points at the new sub-graph and sliced
+    // calibration; rebuild everything derived from them.
+    job_.emplace(validate_context(*ctx_), *ctx_->calib, *ctx_->selector,
+                 job_config(config_), ctx_->eval_images, ctx_->eval_labels);
+    const npu::SystolicArrayModel array(config_.systolic);
+    per_image_cycles_.store(array.analyze(*ctx_->graph).total_cycles,
+                            std::memory_order_release);
+
+    // Adopt the pre-built deployment: the silicon (age, busy time, stats
+    // history) carries over, only the model slice changes. Topology
+    // changed, so the runner is rebuilt rather than rebound (the
+    // sub-plan was warm-compiled into the PlanCache by the re-cut path,
+    // so this resolves without a compile).
+    state.generation = generation() + 1;
+    runner_.reset();
+    install(std::make_shared<const core::ModelState>(std::move(state)),
+            /*record_event=*/true, /*background=*/true, build_ms,
+            /*recut=*/true);
 }
 
 void NpuDevice::finish_requants() {
@@ -206,7 +253,7 @@ tensor::Tensor NpuDevice::execute_batch(tensor::TensorView batch, BatchTrace* tr
     const std::shared_ptr<const core::ModelState> serving = deployed_state();
     const double period = clock_period_ps();
     const std::uint64_t batch_cycles =
-        per_image_cycles_ * static_cast<std::uint64_t>(batch.shape.n);
+        per_image_cycles() * static_cast<std::uint64_t>(batch.shape.n);
     tensor::Tensor logits = runner_->run(batch);
     if (trace) {
         trace->cycles = batch_cycles;
@@ -244,7 +291,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
         const std::shared_ptr<const core::ModelState> serving = deployed_state();
         const double period = clock_period_ps();
         const std::uint64_t batch_cycles =
-            per_image_cycles_ * static_cast<std::uint64_t>(batch.size());
+            per_image_cycles() * static_cast<std::uint64_t>(batch.size());
         const double latency_us = static_cast<double>(batch_cycles) * period * 1e-6;
         inject::InjectionConfig inj_cfg;
         inj_cfg.flip_probability = config_.flip_probability;

@@ -140,13 +140,33 @@ public:
     /// crossing (inline without a RequantService, enqueued otherwise).
     void requant_boundary();
 
+    /// Online re-cut support: remap this device onto the (changed)
+    /// sub-graph/calibration its ServeContext now points at and adopt
+    /// `state`, a deployment the re-cut path PRE-BUILT for the new shard
+    /// off the serving path (its feasibility was proven before the
+    /// pipeline was drained, so this call does not fail on an infeasible
+    /// build). Waits out and discards any in-flight background build (it
+    /// targeted the old sub-graph), rebuilds the RequantJob and the
+    /// per-image cycle count, re-stamps `state` as generation + 1 — the
+    /// version stream stays monotonic across re-cuts even if a
+    /// background generation was adopted while the pipeline drained —
+    /// and installs it with a new execution plan (`build_ms` is the
+    /// pre-build's latency, recorded on the RequantEvent). Aging state,
+    /// busy time and stats history carry over untouched: the silicon did
+    /// not change, only the slice of the model it serves. Must be called
+    /// while no thread is serving on this device (the ShardGroup calls
+    /// it between draining and restarting its stage threads).
+    void reshard(core::ModelState state, double build_ms);
+
     [[nodiscard]] int id() const { return id_; }
     /// Current clock period: the deployed compression's aged critical
     /// path (× any guardband the selection allowed). Wait-free read.
     [[nodiscard]] double clock_period_ps() const {
         return clock_period_ps_.load(std::memory_order_acquire);
     }
-    [[nodiscard]] std::uint64_t per_image_cycles() const { return per_image_cycles_; }
+    [[nodiscard]] std::uint64_t per_image_cycles() const {
+        return per_image_cycles_.load(std::memory_order_acquire);
+    }
     [[nodiscard]] double operating_hours() const;
     [[nodiscard]] double dvth_mv() const;
     [[nodiscard]] int requant_count() const;
@@ -182,7 +202,7 @@ public:
 
 private:
     void install(std::shared_ptr<const core::ModelState> state, bool record_event,
-                 bool background, double build_ms);
+                 bool background, double build_ms, bool recut = false);
     void requant_inline(double dvth);
     /// Post-execution accounting under the stats mutex: requests, busy
     /// cycles AND busy picoseconds at the clock the batch ran at, flips,
@@ -194,14 +214,20 @@ private:
     const int id_;
     const ServeContext* ctx_;
     const DeviceConfig config_;
-    const core::RequantJob job_;  ///< Algorithm 1 as a reusable build job
+    /// Algorithm 1 as a reusable build job. Rebuilt (only) by reshard()
+    /// when an online re-cut changes the context's sub-graph; always
+    /// engaged otherwise.
+    std::optional<core::RequantJob> job_;
     RequantService* requant_service_;
 
     /// Clock period of the deployed state — re-derived at every install
     /// from the compression's aged delay. Written only by install(),
     /// read by the serve thread and observers.
     std::atomic<double> clock_period_ps_{0.0};
-    std::uint64_t per_image_cycles_ = 0;
+    /// Cycles one inference spends on this device's shard; atomic so
+    /// observers may read it while reshard() re-derives it for a new cut
+    /// (the serving threads themselves are quiesced around a reshard).
+    std::atomic<std::uint64_t> per_image_cycles_{0};
 
     /// Guards only the deployed-state pointer: held for pointer copies
     /// and the swap assignment, never across a build.

@@ -1,0 +1,70 @@
+#include "serve/repartition.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace raq::serve {
+
+double stage_imbalance(const std::vector<StageWindow>& window, std::uint64_t min_batches) {
+    if (window.empty()) return 0.0;
+    double busiest = 0.0;
+    double idlest = std::numeric_limits<double>::max();
+    for (const StageWindow& stage : window) {
+        if (stage.batches < std::max<std::uint64_t>(1, min_batches)) return 0.0;
+        if (stage.busy_ps <= 0.0) return 0.0;
+        busiest = std::max(busiest, stage.busy_ps);
+        idlest = std::min(idlest, stage.busy_ps);
+    }
+    return busiest / idlest;
+}
+
+std::vector<std::vector<std::uint64_t>> aged_cost_tables(
+    const ir::Graph& graph, const std::vector<npu::SystolicConfig>& systolic,
+    const std::vector<double>& clock_period_ps) {
+    if (systolic.empty() || systolic.size() != clock_period_ps.size())
+        throw std::invalid_argument(
+            "aged_cost_tables: need one systolic config and one clock period per stage");
+    std::vector<std::vector<std::uint64_t>> tables;
+    tables.reserve(systolic.size());
+    for (std::size_t k = 0; k < systolic.size(); ++k) {
+        const double clock = clock_period_ps[k];
+        if (!(clock > 0.0))
+            throw std::invalid_argument("aged_cost_tables: clock periods must be positive");
+        std::vector<std::uint64_t> cycles = npu::op_cycle_costs(graph, systolic[k]);
+        for (std::uint64_t& cost : cycles)
+            cost = static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(cost) * clock));
+        tables.push_back(std::move(cycles));
+    }
+    return tables;
+}
+
+RepartitionMonitor::RepartitionMonitor(const RepartitionConfig& config,
+                                       std::function<void()> step)
+    : config_(config), step_(std::move(step)) {
+    if (!step_) throw std::invalid_argument("RepartitionMonitor: step is required");
+    thread_ = std::thread([this] { loop(); });
+}
+
+RepartitionMonitor::~RepartitionMonitor() { stop(); }
+
+void RepartitionMonitor::stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+}
+
+void RepartitionMonitor::loop() {
+    const auto pause = std::chrono::milliseconds(std::max(1, config_.poll_ms));
+    while (!stop_.load(std::memory_order_acquire)) {
+        step_();
+        // Sleep in one-poll slices so stop() never waits longer than a
+        // step plus one cadence.
+        std::this_thread::sleep_for(pause);
+    }
+}
+
+}  // namespace raq::serve

@@ -1,0 +1,103 @@
+// Online re-partitioning: detect when a sharded pipeline's static graph
+// cut has drifted away from the true bottleneck — because a shard's aged
+// clock slowed after a re-quantization, or because stages run on
+// heterogeneous systolic arrays — and compute a fresh cut balanced on
+// real per-stage pipeline time.
+//
+// The pieces are deliberately separable:
+//   * stage_imbalance()   — the trigger condition, a pure function over
+//                           one measurement window of per-stage busy
+//                           time (straight off DeviceStats.busy_ps,
+//                           which already folds every clock change in).
+//   * aged_cost_tables()  — the heterogeneous cost model: device k's
+//                           per-op systolic cycles × its current clock
+//                           period, the input to
+//                           ir::partition_graph_heterogeneous.
+//   * RepartitionMonitor  — a small background thread that runs a
+//                           caller-provided step on a poll cadence; the
+//                           ShardGroup's step does the snapshot →
+//                           trigger → cut → warm-compile → drain-and-swap
+//                           sequence off the serving path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "npu/systolic.hpp"
+
+namespace raq::serve {
+
+struct RepartitionConfig {
+    bool enabled = false;
+    /// Measured max/min per-stage busy-time ratio over one window that
+    /// triggers computing a new cut. 1.0 would re-cut on any noise;
+    /// values well above the balance the DP can actually reach avoid
+    /// thrashing.
+    double imbalance_ratio = 1.5;
+    /// Every stage must have served at least this many batches in the
+    /// window before the window is judged (young windows are noise).
+    std::uint64_t min_batches = 4;
+    /// Monitor poll cadence (host milliseconds).
+    int poll_ms = 2;
+};
+
+/// One stage's share of a measurement window (deltas of the cumulative
+/// device counters between two snapshots).
+struct StageWindow {
+    std::uint64_t batches = 0;
+    double busy_ps = 0.0;  ///< simulated busy time at the per-batch clock
+};
+
+/// Measured busy-time imbalance of one window: max/min per-stage busy
+/// picoseconds. Returns 0 while the window is immature — any stage below
+/// `min_batches` or without busy time — so callers can distinguish "not
+/// enough signal yet" from "balanced".
+[[nodiscard]] double stage_imbalance(const std::vector<StageWindow>& window,
+                                     std::uint64_t min_batches);
+
+/// Per-stage cost tables for ir::partition_graph_heterogeneous: device
+/// k's per-op systolic cycle count (its own array config) scaled by its
+/// clock period in picoseconds — per-op pipeline *time*, so the cut
+/// balances what each aged device actually spends. `systolic` and
+/// `clock_period_ps` must have one entry per stage.
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> aged_cost_tables(
+    const ir::Graph& graph, const std::vector<npu::SystolicConfig>& systolic,
+    const std::vector<double>& clock_period_ps);
+
+/// Counters one ShardGroup keeps about its monitor's activity.
+struct RepartitionStats {
+    std::uint64_t checks = 0;    ///< mature windows evaluated
+    std::uint64_t triggers = 0;  ///< windows whose imbalance crossed the ratio
+    std::uint64_t recuts = 0;    ///< drain-and-swaps actually performed
+    double last_imbalance = 0.0; ///< most recent mature window's ratio
+    std::uint64_t partition_generation = 1;  ///< monotonic, bumped per re-cut
+};
+
+/// Background poll thread: runs `step` every `poll_ms` until stopped.
+/// The step owns all policy; the monitor owns only the cadence and the
+/// join. stop() is idempotent and waits for an in-flight step (including
+/// a drain-and-swap) to finish.
+class RepartitionMonitor {
+public:
+    RepartitionMonitor(const RepartitionConfig& config, std::function<void()> step);
+    ~RepartitionMonitor();
+
+    RepartitionMonitor(const RepartitionMonitor&) = delete;
+    RepartitionMonitor& operator=(const RepartitionMonitor&) = delete;
+
+    void stop();
+
+private:
+    void loop();
+
+    const RepartitionConfig config_;
+    const std::function<void()> step_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+}  // namespace raq::serve

@@ -22,6 +22,10 @@ struct InferenceResult {
     std::vector<float> logits;
     int device_id = -1;
     std::uint64_t generation = 0;      ///< ModelState generation that served it
+    /// Partition generation of the shard pipeline that served it (0 on a
+    /// whole-model device). A drain-and-swap re-cut never tears a batch,
+    /// so one request is served end to end by exactly one partition.
+    std::uint64_t partition = 0;
     std::uint64_t latency_cycles = 0;  ///< batch residency in model cycles
     double latency_us = 0.0;           ///< latency_cycles × device clock
 };

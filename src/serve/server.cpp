@@ -16,6 +16,18 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
     if (config.num_shards > 1 && config.num_devices % config.num_shards != 0)
         throw std::invalid_argument(
             "NpuServer: num_devices must be a multiple of num_shards");
+    if (!config.shard_systolic.empty() &&
+        static_cast<int>(config.shard_systolic.size()) != config.num_shards)
+        throw std::invalid_argument(
+            "NpuServer: shard_systolic must have one entry per shard");
+    // Sharding-only features are refused — not silently ignored — on a
+    // replicated (num_shards == 1) layout.
+    if (config.num_shards == 1 && config.repartition.enabled)
+        throw std::invalid_argument(
+            "NpuServer: online re-partitioning requires num_shards > 1");
+    if (config.num_shards == 1 && !config.shard_systolic.empty())
+        throw std::invalid_argument(
+            "NpuServer: shard_systolic requires num_shards > 1");
     if (config.background_requant && config.requant_workers < 1)
         throw std::invalid_argument("NpuServer: requant_workers must be >= 1");
     // full_algorithm1 without a usable eval set fails loudly below:
@@ -39,15 +51,22 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
     } else {
         const int num_groups = config.num_devices / config.num_shards;
         // One partition for the whole fleet: every group shares the same
-        // cut, sub-graphs and cached sub-plans.
-        const ShardPartition partition = make_shard_partition(
-            *ctx_.graph, config.device.systolic, config.num_shards, config.max_batch);
+        // cut, sub-graphs and cached sub-plans (balanced per stage-array
+        // when the stages run heterogeneous systolic configs).
+        const ShardPartition partition =
+            config.shard_systolic.empty()
+                ? make_shard_partition(*ctx_.graph, config.device.systolic,
+                                       config.num_shards, config.max_batch)
+                : make_shard_partition(*ctx_.graph, config.shard_systolic,
+                                       config.max_batch);
         groups_.reserve(static_cast<std::size_t>(num_groups));
         for (int g = 0; g < num_groups; ++g) {
             ShardGroupConfig group;
             group.num_shards = config.num_shards;
             group.partition = &partition;
             group.handoff_capacity = config.shard_handoff_capacity;
+            group.per_shard_systolic = config.shard_systolic;
+            group.repartition = config.repartition;
             group.first_device_id = g * config.num_shards;
             // The fleet-wide age stagger applies per underlying device:
             // shard k of group g is device g*num_shards + k.

@@ -46,6 +46,17 @@ struct ServeConfig {
     int num_shards = 1;
     /// Bounded inter-shard handoff queue depth, in batches.
     std::size_t shard_handoff_capacity = 4;
+    /// Per-stage systolic array configs for sharded serving (empty:
+    /// every stage runs device.systolic). Size must equal num_shards;
+    /// the shared partition then balances each stage on its own array's
+    /// cycle model.
+    std::vector<npu::SystolicConfig> shard_systolic;
+    /// Online re-partitioning for shard groups: when a stage's measured
+    /// busy time makes it the pipeline bottleneck beyond the configured
+    /// ratio (e.g. after a re-quantization installed a slower aged
+    /// clock), the group re-cuts the graph on per-device aged costs and
+    /// drain-and-swaps onto the new partition. Off by default.
+    RepartitionConfig repartition;
     /// Device i enters the fleet aged initial_age_years + i × step (real
     /// fleets are heterogeneous: devices were deployed at different times).
     double initial_age_years = 0.0;

@@ -1,9 +1,11 @@
 #include "serve/shard_group.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "core/requant_job.hpp"
 #include "ir/float_executor.hpp"
 #include "npu/systolic.hpp"
 #include "quant/quant_executor.hpp"
@@ -17,16 +19,25 @@ ShardPartition make_shard_partition(const ir::Graph& graph,
     // Balance the cut on the systolic cycle model — the pipeline
     // bottleneck is the slowest shard, so per-layer cycles (not MACs)
     // are the cost that matters.
-    const npu::SystolicArrayModel array(systolic);
-    const npu::InferenceCycles cycles = array.analyze(graph);
-    std::vector<std::uint64_t> op_costs(graph.ops().size(), 0);
-    std::size_t layer = 0;
-    for (std::size_t i = 0; i < op_costs.size(); ++i)
-        if (graph.ops()[i].kind == ir::OpKind::Conv2d)
-            op_costs[i] = cycles.layers.at(layer++).cycles;
-
     ShardPartition out;
-    out.specs = ir::partition_graph(graph, num_shards, op_costs);
+    out.specs = ir::partition_graph(graph, num_shards, npu::op_cycle_costs(graph, systolic));
+    out.subplans.reserve(out.specs.size());
+    for (const ir::ShardSpec& spec : out.specs)
+        out.subplans.push_back(
+            exec::compile_subplan(graph, spec, std::max(1, batch_capacity)));
+    return out;
+}
+
+ShardPartition make_shard_partition(const ir::Graph& graph,
+                                    const std::vector<npu::SystolicConfig>& stage_systolic,
+                                    int batch_capacity) {
+    // Fresh-silicon heterogeneous cut: every stage priced on its own
+    // array's cycle model at a unit clock (no aging yet — re-cuts fold
+    // the aged clock periods in later).
+    const std::vector<double> unit_clocks(stage_systolic.size(), 1.0);
+    ShardPartition out;
+    out.specs = ir::partition_graph_heterogeneous(
+        graph, aged_cost_tables(graph, stage_systolic, unit_clocks));
     out.subplans.reserve(out.specs.size());
     for (const ir::ShardSpec& spec : out.specs)
         out.subplans.push_back(
@@ -37,7 +48,7 @@ ShardPartition make_shard_partition(const ir::Graph& graph,
 ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupConfig& config,
                        RequantService* requant_service,
                        std::atomic<std::uint64_t>* completed)
-    : group_id_(group_id), completed_(completed) {
+    : group_id_(group_id), completed_(completed), full_ctx_(ctx), config_(config) {
     if (!ctx.graph || !ctx.calib || !ctx.selector || !ctx.aging)
         throw std::invalid_argument("ShardGroup: graph/calib/selector/aging are required");
     if (config.num_shards < 2)
@@ -50,14 +61,31 @@ ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupCo
         throw std::invalid_argument(
             "ShardGroup: the full Algorithm 1 method search needs end-to-end evaluation; "
             "shards re-quantize via the fast path");
+    if (!config.per_shard_systolic.empty() &&
+        static_cast<int>(config.per_shard_systolic.size()) != config.num_shards)
+        throw std::invalid_argument(
+            "ShardGroup: per_shard_systolic must have one entry per shard");
+    // The config copy outlives the constructor; the partition pointer
+    // must not (the caller only guarantees it for the call).
+    config_.partition = nullptr;
+    stage_systolic_ = config.per_shard_systolic.empty()
+                          ? std::vector<npu::SystolicConfig>(
+                                static_cast<std::size_t>(config.num_shards),
+                                config.device.systolic)
+                          : config.per_shard_systolic;
 
     // A server building several groups over one model computes the
-    // partition once and shares it; a standalone group cuts for itself.
+    // partition once and shares it; a standalone group cuts for itself
+    // (on the per-stage arrays when they differ).
     ShardPartition own;
     const ShardPartition* partition = config.partition;
     if (partition == nullptr) {
-        own = make_shard_partition(*ctx.graph, config.device.systolic, config.num_shards,
-                                   std::max(1, config.device.plan_batch_capacity));
+        if (config.per_shard_systolic.empty())
+            own = make_shard_partition(*ctx.graph, config.device.systolic, config.num_shards,
+                                       std::max(1, config.device.plan_batch_capacity));
+        else
+            own = make_shard_partition(*ctx.graph, stage_systolic_,
+                                       std::max(1, config.device.plan_batch_capacity));
         partition = &own;
     }
     if (static_cast<int>(partition->specs.size()) != config.num_shards ||
@@ -77,6 +105,7 @@ ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupCo
         shard->ctx.selector = ctx.selector;
         shard->ctx.aging = ctx.aging;
         DeviceConfig dev = config.device;
+        dev.systolic = stage_systolic_[k];
         dev.initial_age_years = config.device.initial_age_years +
                                 static_cast<double>(k) * config.initial_age_step_years;
         // The ShardState owns the context the device points at; both live
@@ -90,19 +119,33 @@ ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupCo
     for (std::size_t k = 0; k < shards_.size(); ++k)
         channels_.push_back(std::make_unique<BoundedChannel<ShardBatch>>(
             std::max<std::size_t>(1, config.handoff_capacity)));
+    start_stages();
+
+    window_batches_.assign(shards_.size(), 0);
+    window_busy_ps_.assign(shards_.size(), 0.0);
+    if (config_.repartition.enabled)
+        monitor_ = std::make_unique<RepartitionMonitor>(config_.repartition,
+                                                        [this] { repartition_step(); });
+}
+
+ShardGroup::~ShardGroup() { drain(); }
+
+void ShardGroup::start_stages() {
     stage_threads_.reserve(shards_.size());
     for (std::size_t k = 0; k < shards_.size(); ++k)
         stage_threads_.emplace_back([this, k] { stage_loop(k); });
 }
-
-ShardGroup::~ShardGroup() { drain(); }
 
 void ShardGroup::serve(std::vector<InferenceRequest>& batch) {
     if (batch.empty()) return;
     ShardBatch sb;
     sb.activations = stack_batch(batch);  // may throw; batch stays intact
     sb.requests = std::move(batch);
+    // The swap mutex pends admission while a re-cut drains and remaps
+    // the pipeline: a push always lands in the current cut's channel.
+    std::unique_lock<std::mutex> lock(swap_mutex_);
     if (!channels_.front()->push(std::move(sb))) {
+        lock.unlock();
         // A failed push leaves sb untouched: hand the requests (and
         // their promises) back to the caller before failing, so nothing
         // dies as a broken promise.
@@ -130,11 +173,17 @@ void ShardGroup::stage_loop(std::size_t k) {
                 // itself, after this loop exits.
                 channels_[k + 1]->push(std::move(batch));
             } else {
+                // The whole batch ran inside one partition era (a re-cut
+                // drains every in-flight batch before remapping), so one
+                // load here labels every rider correctly.
+                const std::uint64_t partition =
+                    partition_generation_.load(std::memory_order_acquire);
                 for (std::size_t i = 0; i < batch.requests.size(); ++i) {
                     InferenceResult result =
                         make_result(batch.requests[i].id, out, static_cast<int>(i));
                     result.device_id = group_id_;
                     result.generation = batch.min_generation;
+                    result.partition = partition;
                     result.latency_cycles = batch.latency_cycles;
                     result.latency_us = batch.latency_us;
                     batch.requests[i].promise.set_value(std::move(result));
@@ -165,8 +214,155 @@ void ShardGroup::stage_loop(std::size_t k) {
     if (!last) channels_[k + 1]->close();
 }
 
+void ShardGroup::repartition_step() {
+    // Measurement window: cumulative device counters since the last
+    // mature window (or the last re-cut).
+    std::vector<StageWindow> window(shards_.size());
+    std::vector<double> clocks(shards_.size(), 0.0);
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        const DeviceStats s = shards_[k]->device->stats();
+        window[k].batches = s.batches - window_batches_[k];
+        window[k].busy_ps = s.busy_ps - window_busy_ps_[k];
+        clocks[k] = s.clock_period_ps;
+    }
+    const double imbalance =
+        stage_imbalance(window, config_.repartition.min_batches);
+    if (imbalance <= 0.0) return;  // window not mature yet
+    {
+        const std::lock_guard<std::mutex> lock(repart_mutex_);
+        ++repart_stats_.checks;
+        repart_stats_.last_imbalance = imbalance;
+    }
+    // Roll the window so the next judgement sees fresh traffic only.
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        window_batches_[k] += window[k].batches;
+        window_busy_ps_[k] += window[k].busy_ps;
+    }
+    if (imbalance < config_.repartition.imbalance_ratio) return;
+    // A persistent imbalance the last attempt could not fix (no better
+    // cut, or an infeasible shard) stays unfixable until some clock
+    // changes: skip re-deriving the same answer every window. Clocks
+    // change only at install, so exact comparison is the right test.
+    if (clocks == futile_clocks_) return;
+    {
+        const std::lock_guard<std::mutex> lock(repart_mutex_);
+        ++repart_stats_.triggers;
+    }
+
+    // Prepare the entire swap off the serving path — cut, warm-compiled
+    // sub-plans, re-sliced calibration, pre-built deployments. Anything
+    // that fails here simply aborts the round with the pipeline
+    // untouched; perform_recut itself has nothing left that can throw.
+    PreparedRecut prepared;
+    try {
+        // Price every op per device — its own array's cycles at its
+        // current aged clock — and re-run the min-bottleneck DP.
+        prepared.specs = ir::partition_graph_heterogeneous(
+            *full_ctx_.graph, aged_cost_tables(*full_ctx_.graph, stage_systolic_, clocks));
+        bool moved = false;
+        for (std::size_t k = 0; k < shards_.size(); ++k)
+            moved = moved || prepared.specs[k].last_op != shards_[k]->spec.last_op;
+        if (!moved) {
+            futile_clocks_ = clocks;  // already the best cut at these clocks
+            return;
+        }
+        // Warm-compile the new sub-plans through the shared PlanCache
+        // and pre-build every shard's deployment at its device's current
+        // aging level. A RequantJob over monitor-local inputs proves
+        // feasibility BEFORE the pipeline drains (the produced
+        // QuantizedGraph is self-contained, so the temporaries may die).
+        core::RequantJobConfig jc;
+        jc.guardband_fraction = config_.device.guardband_fraction;
+        jc.accuracy_loss_threshold = config_.device.accuracy_loss_threshold;
+        for (const ir::ShardSpec& spec : prepared.specs) {
+            const std::size_t k = prepared.subplans.size();
+            prepared.subplans.push_back(exec::compile_subplan(
+                *full_ctx_.graph, spec, std::max(1, config_.device.plan_batch_capacity)));
+            prepared.calibs.push_back(quant::slice_calibration(
+                *full_ctx_.calib, prepared.subplans[k].full_tensor_of));
+            const auto build_start = std::chrono::steady_clock::now();
+            const core::RequantJob job(*prepared.subplans[k].graph, prepared.calibs[k],
+                                       *full_ctx_.selector, jc);
+            // The generation is a placeholder: reshard() re-stamps it at
+            // adoption so the stream stays monotonic even if a
+            // background generation lands while the pipeline drains.
+            auto built = job.build(shards_[k]->device->dvth_mv(), /*generation=*/0);
+            if (!built) {
+                futile_clocks_ = clocks;  // infeasible at these clocks
+                return;
+            }
+            prepared.states.push_back(std::move(*built));
+            prepared.build_ms.push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - build_start)
+                    .count());
+        }
+    } catch (...) {
+        // Defensive: the construction-time cut succeeded, so failures
+        // here are unexpected — keep serving the current cut and keep
+        // the monitor alive rather than tearing down the process.
+        futile_clocks_ = clocks;
+        return;
+    }
+    perform_recut(std::move(prepared));
+    futile_clocks_.clear();
+}
+
+void ShardGroup::perform_recut(PreparedRecut prepared) {
+    // Admission pauses for the whole swap: no producer can observe the
+    // closed old channels or a half-remapped pipeline.
+    const std::lock_guard<std::mutex> lock(swap_mutex_);
+    if (drained_.load(std::memory_order_acquire)) return;
+
+    // Drain at a batch boundary: close stage 0, let the close cascade
+    // stage to stage, and join. Every accepted batch completes on the
+    // OLD cut — no batch ever straddles two partitions, so there are no
+    // torn boundary tensors by construction.
+    channels_.front()->close();
+    for (std::thread& t : stage_threads_) t.join();
+    stage_threads_.clear();
+
+    // Remap every device onto its new slice of the model. The ShardState
+    // owns what the device's context points at, so updating it in place
+    // re-targets the device; reshard() rebuilds what derives from it and
+    // adopts the pre-built deployment.
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        ShardState& shard = *shards_[k];
+        shard.spec = prepared.specs[k];
+        shard.graph = prepared.subplans[k].graph;
+        shard.calib = std::move(prepared.calibs[k]);
+        shard.ctx.graph = shard.graph.get();
+        shard.ctx.calib = &shard.calib;
+        shard.device->reshard(std::move(prepared.states[k]), prepared.build_ms[k]);
+    }
+
+    // Fresh channels (the old ones are closed and empty) and fresh stage
+    // threads; admission resumes when the mutex releases.
+    channels_.clear();
+    for (std::size_t k = 0; k < shards_.size(); ++k)
+        channels_.push_back(std::make_unique<BoundedChannel<ShardBatch>>(
+            std::max<std::size_t>(1, config_.handoff_capacity)));
+    start_stages();
+
+    partition_generation_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        const std::lock_guard<std::mutex> lock2(repart_mutex_);
+        ++repart_stats_.recuts;
+    }
+    // The new cut starts a fresh measurement window.
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        const DeviceStats s = shards_[k]->device->stats();
+        window_batches_[k] = s.batches;
+        window_busy_ps_[k] = s.busy_ps;
+    }
+}
+
 void ShardGroup::drain() {
     if (drained_.exchange(true)) return;
+    // Stop the monitor first: it joins an in-flight re-cut (which
+    // restores a serving pipeline), so afterwards the channel/thread
+    // vectors are stable and no new swap can start.
+    if (monitor_) monitor_->stop();
     channels_.front()->close();
     for (std::thread& t : stage_threads_) t.join();
     stage_threads_.clear();
@@ -174,6 +370,13 @@ void ShardGroup::drain() {
 
 void ShardGroup::finish_requants() {
     for (const auto& shard : shards_) shard->device->finish_requants();
+}
+
+RepartitionStats ShardGroup::repartition_stats() const {
+    const std::lock_guard<std::mutex> lock(repart_mutex_);
+    RepartitionStats out = repart_stats_;
+    out.partition_generation = partition_generation();
+    return out;
 }
 
 std::vector<DeviceStats> ShardGroup::stats() const {
@@ -189,12 +392,20 @@ double ShardGroup::sample_accuracy(const tensor::Tensor& images,
     samples = std::min(samples, images.shape().n);
     if (labels.size() < static_cast<std::size_t>(samples))
         throw std::invalid_argument("ShardGroup: fewer labels than samples");
-    tensor::Tensor acts;
-    for (std::size_t k = 0; k < shards_.size(); ++k) {
-        const auto qgraph = shards_[k]->device->deployed_graph();
-        acts = quant::run_quantized(*qgraph, k == 0 ? images.batch_view(0, samples)
-                                                    : acts.batch_view(0, samples));
+    // Snapshot one consistent cut's chain under the swap mutex, then
+    // release it before evaluating: the graphs are immutable and pinned
+    // by the shared_ptrs, and holding the mutex across `samples`
+    // inferences would stall admission for the whole evaluation.
+    std::vector<std::shared_ptr<const quant::QuantizedGraph>> chain;
+    {
+        const std::lock_guard<std::mutex> lock(swap_mutex_);
+        chain.reserve(shards_.size());
+        for (const auto& shard : shards_) chain.push_back(shard->device->deployed_graph());
     }
+    tensor::Tensor acts;
+    for (std::size_t k = 0; k < chain.size(); ++k)
+        acts = quant::run_quantized(*chain[k], k == 0 ? images.batch_view(0, samples)
+                                                      : acts.batch_view(0, samples));
     const std::vector<int> predictions = ir::argmax_classes(acts);
     int correct = 0;
     for (int i = 0; i < samples; ++i)

@@ -21,21 +21,48 @@
 // bit-identical to the whole-model deployment (verified in
 // tests/test_shard.cpp, boundary tensors included).
 //
+// Online re-partitioning (RepartitionConfig.enabled): devices age at
+// different rates (deployed at different times, different utilization),
+// so a cut balanced at fresh silicon drifts away from the true pipeline
+// bottleneck once a re-quantization installs a slower clock on one
+// shard. A RepartitionMonitor thread watches the measured per-stage busy
+// time; when one window's max/min ratio crosses the configured
+// threshold, it prices every op per device (its systolic cycles × its
+// current aged clock period), computes a fresh heterogeneous
+// min-bottleneck cut (ir::partition_graph_heterogeneous), warm-compiles
+// the new sub-plans through the shared PlanCache — all off the serving
+// path — and then performs a drain-and-swap: admission pauses, the
+// handoff channels close-and-drain at a batch boundary (every in-flight
+// batch completes on the old cut; no batch ever straddles two cuts), the
+// devices are remapped onto the new sub-graphs/calibration slices
+// (NpuDevice::reshard — aging state and stats history carry over), fresh
+// channels and stage threads resume, and the group's partition
+// generation increments. Outputs are bit-identical before and after a
+// swap whenever the per-shard compressions are (re-cutting moves op
+// boundaries, not arithmetic).
+//
+// Heterogeneous stages: per_shard_systolic gives each pipeline stage its
+// own array config; the initial cut then balances per-stage cycle
+// counts across the differing arrays, and re-cuts keep using each
+// stage's own model.
+//
 // Restrictions (validated at construction): fault injection is
 // per-request on a whole-model device and is not supported on a
 // pipeline; the full Algorithm 1 method search needs end-to-end eval and
 // shards re-quantize via the fast path.
 //
 // Shutdown protocol (driven by NpuServer): after the serve workers have
-// joined, drain() closes the stage-0 queue — each stage drains its queue
-// and then closes the next, so every accepted batch completes — and
-// joins the stage threads; after the RequantService has drained,
+// joined, drain() stops the repartition monitor (waiting out an
+// in-flight re-cut), then closes the stage-0 queue — each stage drains
+// its queue and then closes the next, so every accepted batch completes
+// — and joins the stage threads; after the RequantService has drained,
 // finish_requants() lands every shard on its final generation.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -43,6 +70,7 @@
 #include "ir/partition.hpp"
 #include "serve/bounded_channel.hpp"
 #include "serve/device.hpp"
+#include "serve/repartition.hpp"
 
 namespace raq::serve {
 
@@ -62,6 +90,13 @@ struct ShardPartition {
                                                   const npu::SystolicConfig& systolic,
                                                   int num_shards, int batch_capacity);
 
+/// Heterogeneous-stage cut: stage k is balanced on ITS array's cycle
+/// model (`stage_systolic[k]`), so a narrow array gets proportionally
+/// less of the graph. One shard per entry.
+[[nodiscard]] ShardPartition make_shard_partition(
+    const ir::Graph& graph, const std::vector<npu::SystolicConfig>& stage_systolic,
+    int batch_capacity);
+
 struct ShardGroupConfig {
     int num_shards = 2;
     /// Bounded inter-shard handoff queues, in batches: the pipeline
@@ -75,6 +110,14 @@ struct ShardGroupConfig {
     /// times — heterogeneous aging across one pipeline).
     double initial_age_step_years = 0.0;
     DeviceConfig device;  ///< per-shard knobs (aging, requant, plan capacity)
+    /// Per-stage systolic array configs (empty: every stage uses
+    /// device.systolic). Size must equal num_shards when set; the
+    /// initial cut and every re-cut then balance on each stage's own
+    /// cycle model.
+    std::vector<npu::SystolicConfig> per_shard_systolic;
+    /// Online re-partitioning (off by default): re-cut the pipeline when
+    /// the measured stage busy-time imbalance crosses the ratio.
+    RepartitionConfig repartition;
     /// Optional precomputed partition (must match num_shards and the
     /// context graph; needed only for the constructor's duration). Null:
     /// the group partitions the model itself.
@@ -98,13 +141,15 @@ public:
     /// Enqueue one batch into the pipeline and return immediately (the
     /// final stage fulfills the promises; InferenceResult.device_id
     /// reports the group id, generation the minimum shard generation
-    /// that served the batch, latency the accumulated pipeline latency).
-    /// Blocks only when the stage-0 handoff queue is full.
+    /// that served the batch, partition the partition generation it ran
+    /// under, latency the accumulated pipeline latency). Blocks while
+    /// the stage-0 handoff queue is full or a re-cut swap is in flight.
     void serve(std::vector<InferenceRequest>& batch) override;
 
-    /// Close admission into the pipeline, drain every accepted batch and
-    /// join the stage threads. Idempotent. Must be called before the
-    /// shared RequantService shuts down (NpuServer orders this).
+    /// Close admission into the pipeline, stop the repartition monitor,
+    /// drain every accepted batch and join the stage threads.
+    /// Idempotent. Must be called before the shared RequantService shuts
+    /// down (NpuServer orders this).
     void drain();
 
     /// After the RequantService has drained: adopt pending generations
@@ -115,14 +160,27 @@ public:
     [[nodiscard]] int num_shards() const { return static_cast<int>(shards_.size()); }
     [[nodiscard]] const NpuDevice& shard(int k) const { return *shards_.at(static_cast<std::size_t>(k))->device; }
     [[nodiscard]] NpuDevice& shard(int k) { return *shards_.at(static_cast<std::size_t>(k))->device; }
+    /// Current cut metadata. Stable only while no re-cut is in flight
+    /// (quiescent group, or repartitioning disabled).
     [[nodiscard]] const ir::ShardSpec& shard_spec(int k) const { return shards_.at(static_cast<std::size_t>(k))->spec; }
     [[nodiscard]] const ir::Graph& shard_graph(int k) const { return *shards_.at(static_cast<std::size_t>(k))->graph; }
+
+    /// Monotonic partition generation: 1 for the construction cut,
+    /// bumped by every completed drain-and-swap re-cut.
+    [[nodiscard]] std::uint64_t partition_generation() const {
+        return partition_generation_.load(std::memory_order_acquire);
+    }
+
+    /// Monitor activity counters (zeros when repartitioning is off).
+    [[nodiscard]] RepartitionStats repartition_stats() const;
 
     /// Per-shard device stats, in pipeline order.
     [[nodiscard]] std::vector<DeviceStats> stats() const;
 
     /// Online accuracy sampling through the pipeline: chain the shards'
     /// currently deployed graphs over the first `samples` eval images.
+    /// Excludes a concurrent re-cut (the chain is always one consistent
+    /// partition).
     [[nodiscard]] double sample_accuracy(const tensor::Tensor& images,
                                          const std::vector<int>& labels,
                                          int samples) const;
@@ -147,15 +205,61 @@ private:
     };
 
     void stage_loop(std::size_t k);
+    void start_stages();
+
+    /// Everything a drain-and-swap needs, prepared entirely off the
+    /// serving path so the swap itself cannot fail: the new cut, its
+    /// cache-resolved sub-plans, the re-sliced calibration, and one
+    /// pre-built (feasibility-proven) ModelState per shard.
+    struct PreparedRecut {
+        std::vector<ir::ShardSpec> specs;
+        std::vector<exec::Subplan> subplans;
+        std::vector<quant::CalibrationData> calibs;
+        std::vector<core::ModelState> states;
+        std::vector<double> build_ms;
+    };
+
+    /// Monitor step: snapshot the stage busy-time window, evaluate the
+    /// trigger, compute + warm-compile + pre-build a better
+    /// heterogeneous cut, and drain-and-swap onto it. Runs on the
+    /// monitor thread only; exceptions abort the round, never the swap.
+    void repartition_step();
+    void perform_recut(PreparedRecut prepared);
 
     const int group_id_;
     std::atomic<std::uint64_t>* completed_;
+    ServeContext full_ctx_;     ///< the WHOLE model's context (re-slicing source)
+    ShardGroupConfig config_;   ///< owned copy (partition pointer nulled)
+    std::vector<npu::SystolicConfig> stage_systolic_;  ///< resolved, one per stage
     std::vector<std::unique_ptr<ShardState>> shards_;
     /// Channel k feeds shard k (bounded, close-and-drain — the same
-    /// protocol as the server's RequestQueue).
+    /// protocol as the server's RequestQueue). Replaced wholesale by a
+    /// re-cut (old channels are closed and fully drained first).
     std::vector<std::unique_ptr<BoundedChannel<ShardBatch>>> channels_;
     std::vector<std::thread> stage_threads_;
     std::atomic<bool> drained_{false};
+
+    /// Serializes admission (serve) against the drain-and-swap: a push
+    /// never lands in a closed-for-re-cut channel, and sample_accuracy
+    /// always reads one consistent chain of deployments.
+    mutable std::mutex swap_mutex_;
+    std::atomic<std::uint64_t> partition_generation_{1};
+
+    mutable std::mutex repart_mutex_;
+    RepartitionStats repart_stats_;
+    /// Measurement-window baselines (cumulative counters at the last
+    /// mature window). Monitor thread only.
+    std::vector<std::uint64_t> window_batches_;
+    std::vector<double> window_busy_ps_;
+    /// Clock periods at which the last triggered re-cut attempt turned
+    /// out futile (best cut == current cut, or an infeasible shard):
+    /// while no clock has changed, a persistent imbalance skips the DP
+    /// and pre-build instead of re-deriving the same answer every
+    /// window. Monitor thread only.
+    std::vector<double> futile_clocks_;
+    /// Declared last: started after the group is fully built, stopped
+    /// first in drain().
+    std::unique_ptr<RepartitionMonitor> monitor_;
 };
 
 }  // namespace raq::serve

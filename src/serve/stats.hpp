@@ -91,6 +91,9 @@ struct RequantEvent {
     double build_ms = 0.0;          ///< Algorithm 1 build latency (host wall-clock)
     double swap_us = 0.0;           ///< publish-swap latency (host wall-clock)
     bool background = false;        ///< built by the RequantService, off the serving path
+    /// This deployment remapped the device onto a new pipeline shard
+    /// (online re-cut), rather than refreshing the same (sub-)graph.
+    bool recut = false;
 };
 
 struct DeviceStats {

@@ -124,6 +124,28 @@ TEST(Stats, BoxStatsOrdering) {
     EXPECT_DOUBLE_EQ(b.max, 9.0);
 }
 
+TEST(Stats, BoxStatsPinsAllQuartilesOnKnownSeries) {
+    // 1..9 shuffled: every quartile position lands exactly on a sample.
+    const std::vector<double> xs{9, 1, 5, 3, 7, 4, 8, 2, 6};
+    const BoxStats b = raq::common::box_stats(xs);
+    EXPECT_DOUBLE_EQ(b.min, 1.0);
+    EXPECT_DOUBLE_EQ(b.q1, 3.0);
+    EXPECT_DOUBLE_EQ(b.median, 5.0);
+    EXPECT_DOUBLE_EQ(b.q3, 7.0);
+    EXPECT_DOUBLE_EQ(b.max, 9.0);
+    EXPECT_DOUBLE_EQ(b.mean, 5.0);
+
+    // Even length: the quartiles interpolate between samples.
+    const BoxStats c = raq::common::box_stats({4, 1, 3, 2});
+    EXPECT_DOUBLE_EQ(c.min, 1.0);
+    EXPECT_DOUBLE_EQ(c.q1, 1.75);
+    EXPECT_DOUBLE_EQ(c.median, 2.5);
+    EXPECT_DOUBLE_EQ(c.q3, 3.25);
+    EXPECT_DOUBLE_EQ(c.max, 4.0);
+
+    EXPECT_THROW(raq::common::box_stats({}), std::invalid_argument);
+}
+
 TEST(Stats, PearsonPerfectCorrelation) {
     const std::vector<double> xs{1, 2, 3, 4};
     const std::vector<double> ys{2, 4, 6, 8};

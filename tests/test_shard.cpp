@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <future>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "ir/partition.hpp"
 #include "netlist/builders.hpp"
 #include "nn/trainer.hpp"
+#include "npu/systolic.hpp"
 #include "nn/zoo.hpp"
 #include "quant/methods.hpp"
 #include "quant/quant_executor.hpp"
@@ -117,6 +120,128 @@ TEST(Partition, BalancedCutsMinimizeTheBottleneck) {
     // 4 shards fit the cuts but only 3 convs carry cost: every 3-cut
     // choice strands one shard with zero MAC work, which is refused.
     EXPECT_THROW((void)ir::partition_graph(g, 4), std::invalid_argument);
+}
+
+/// Reference liveness scan (the pre-sweep O(ops × tensors) definition):
+/// boundary i is a cut iff exactly one tensor crosses it and that tensor
+/// is ops[i].output.
+std::vector<int> cut_candidates_reference(const ir::Graph& g) {
+    const auto& ops = g.ops();
+    std::vector<int> last_use = ir::tensor_last_use(g);
+    last_use[static_cast<std::size_t>(g.output_id())] = std::numeric_limits<int>::max();
+    std::vector<int> producer(static_cast<std::size_t>(g.num_tensors()), -1);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        producer[static_cast<std::size_t>(ops[i].output)] = static_cast<int>(i);
+    std::vector<int> cuts;
+    for (int i = 0; i + 1 < static_cast<int>(ops.size()); ++i) {
+        int crossing = 0;
+        bool only_own = true;
+        for (int t = 0; t < g.num_tensors(); ++t) {
+            if (producer[static_cast<std::size_t>(t)] > i) continue;
+            if (last_use[static_cast<std::size_t>(t)] <= i) continue;
+            ++crossing;
+            if (t != ops[static_cast<std::size_t>(i)].output) only_own = false;
+        }
+        if (crossing == 1 && only_own) cuts.push_back(i);
+    }
+    return cuts;
+}
+
+TEST(Partition, CutCandidateSweepMatchesTheFullLivenessScan) {
+    // The single-sweep cut_candidates must reproduce the quadratic
+    // reference exactly — on the residual graph (skip connection), on a
+    // pure chain, and on a two-block residual with a dangling-relu tail.
+    const ir::Graph residual = make_residual_graph();
+    EXPECT_EQ(ir::cut_candidates(residual), cut_candidates_reference(residual));
+    EXPECT_EQ(ir::cut_candidates(residual), (std::vector<int>{0, 1, 3, 4}));
+
+    ir::Graph chain;
+    int t = chain.add_input({1, 4, 8, 8});
+    for (int i = 0; i < 5; ++i) {
+        ir::Op op;
+        op.kind = ir::OpKind::Relu;
+        op.inputs = {t};
+        op.name = "r" + std::to_string(i);
+        t = chain.add(std::move(op));
+    }
+    chain.set_output(t);
+    EXPECT_EQ(ir::cut_candidates(chain), cut_candidates_reference(chain));
+    EXPECT_EQ(ir::cut_candidates(chain), (std::vector<int>{0, 1, 2, 3}));
+
+    // Concat whose operands are both in flight: no interior cut.
+    ir::Graph branchy;
+    const int in = branchy.add_input({1, 2, 4, 4});
+    ir::Op a;
+    a.kind = ir::OpKind::Relu;
+    a.inputs = {in};
+    const int ta = branchy.add(std::move(a));
+    ir::Op b;
+    b.kind = ir::OpKind::MaxPool2d;
+    b.pool = {1, 1};
+    b.inputs = {in};
+    const int tb = branchy.add(std::move(b));
+    ir::Op cat;
+    cat.kind = ir::OpKind::Concat;
+    cat.inputs = {ta, tb};
+    const int tc = branchy.add(std::move(cat));
+    ir::Op tail;
+    tail.kind = ir::OpKind::Relu;
+    tail.inputs = {tc};
+    const int td = branchy.add(std::move(tail));
+    branchy.set_output(td);
+    EXPECT_EQ(ir::cut_candidates(branchy), cut_candidates_reference(branchy));
+    EXPECT_EQ(ir::cut_candidates(branchy), (std::vector<int>{2}));
+}
+
+TEST(Partition, DefaultCostModelIsSystolicCyclesNotMacs) {
+    // Three convolutions whose MAC counts and systolic residency
+    // disagree hard: L is pipeline-fill/positions-bound (tiny reduction
+    // dim -> ~1.6% array utilization) while L2 and H stream wide
+    // reductions at high utilization. A MAC-balanced cut and a
+    // cycle-balanced cut land at different boundaries, and the pipeline
+    // executes cycles, not MACs.
+    common::Rng rng(0x5CA1E);
+    const auto conv = [&rng](int in_c, int out_c, int k, int stride) {
+        ir::Op op;
+        op.kind = ir::OpKind::Conv2d;
+        op.conv = {in_c, out_c, k, k, stride, 0};
+        op.weights.resize(static_cast<std::size_t>(out_c) * in_c * k * k);
+        for (float& w : op.weights) w = rng.next_float() - 0.5f;
+        op.bias.resize(static_cast<std::size_t>(out_c), 0.0f);
+        return op;
+    };
+    ir::Graph g;
+    const int in = g.add_input({1, 2, 32, 32});
+    ir::Op l = conv(2, 8, 1, 1);  // low utilization: reduce=2, 1024 positions
+    l.inputs = {in};
+    l.name = "L";
+    const int t1 = g.add(std::move(l));
+    ir::Op l2 = conv(8, 64, 4, 4);  // high utilization: reduce=128, 64 positions
+    l2.inputs = {t1};
+    l2.name = "L2";
+    const int t2 = g.add(std::move(l2));
+    ir::Op h = conv(64, 64, 1, 1);  // high utilization: reduce=64, 64 positions
+    h.inputs = {t2};
+    h.name = "H";
+    const int t3 = g.add(std::move(h));
+    g.set_output(t3);
+
+    // Systolic cycles (64x64 array, fill 128): L = 1024+128 = 1152,
+    // L2 = 2 row tiles x (64+128) = 384, H = 64+128 = 192.
+    const std::vector<std::uint64_t> cycles = npu::op_cycle_costs(g);
+    EXPECT_EQ(cycles, (std::vector<std::uint64_t>{1152, 384, 192}));
+    // Raw MACs: L = 2*8*1024 = 16384, L2 = 128*64*64 = 524288,
+    // H = 64*64*64 = 262144.
+    const std::vector<std::uint64_t> macs{16384, 524288, 262144};
+
+    // MAC balance puts L and L2 together (bottleneck 540672 beats
+    // 786432); cycle balance isolates L (bottleneck 1152 beats 1536).
+    const auto mac_cut = ir::partition_graph(g, 2, macs);
+    EXPECT_EQ(mac_cut[0].last_op, 1);
+    const auto default_cut = ir::partition_graph(g, 2);
+    EXPECT_EQ(default_cut[0].last_op, 0);
+    EXPECT_EQ(default_cut[0].cost, 1152u);
+    EXPECT_EQ(default_cut[1].cost, 384u + 192u);
 }
 
 TEST(Partition, ChainedSubgraphsReproduceFullFloatExecutionAtEveryBoundary) {
