@@ -26,6 +26,14 @@ double quantile(std::vector<double> xs, double q) {
     return quantile_sorted(xs, q);
 }
 
+std::vector<double> quantiles(std::vector<double> xs, const std::vector<double>& qs) {
+    std::sort(xs.begin(), xs.end());
+    std::vector<double> out;
+    out.reserve(qs.size());
+    for (const double q : qs) out.push_back(quantile_sorted(xs, q));
+    return out;
+}
+
 double quantile_sorted(const std::vector<double>& sorted, double q) {
     if (sorted.empty()) throw std::invalid_argument("quantile: empty input");
     if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
@@ -37,16 +45,13 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
 }
 
 BoxStats box_stats(const std::vector<double>& xs) {
-    // One sort serves all five quantiles (quantile() would copy and
-    // re-sort the series per call).
-    std::vector<double> sorted(xs);
-    std::sort(sorted.begin(), sorted.end());
+    const std::vector<double> qs = quantiles(xs, {0.0, 0.25, 0.5, 0.75, 1.0});
     BoxStats b;
-    b.min = quantile_sorted(sorted, 0.0);
-    b.q1 = quantile_sorted(sorted, 0.25);
-    b.median = quantile_sorted(sorted, 0.5);
-    b.q3 = quantile_sorted(sorted, 0.75);
-    b.max = quantile_sorted(sorted, 1.0);
+    b.min = qs[0];
+    b.q1 = qs[1];
+    b.median = qs[2];
+    b.q3 = qs[3];
+    b.max = qs[4];
     b.mean = mean(xs);
     return b;
 }

@@ -19,6 +19,12 @@ double quantile(std::vector<double> xs, double q);
 /// reading several quantiles off one sort (serve latency summaries).
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
+/// Many quantiles off ONE sort: returns quantile(xs, q) for each q in
+/// `qs`, in order. The one percentile routine every multi-quantile
+/// reader (latency summaries, bench stall percentiles, box plots) goes
+/// through, so they cannot drift onto different interpolations.
+std::vector<double> quantiles(std::vector<double> xs, const std::vector<double>& qs);
+
 /// Five-number summary used to print box plots as text.
 struct BoxStats {
     double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;

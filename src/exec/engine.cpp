@@ -1,6 +1,7 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "exec/kernels.hpp"
@@ -34,7 +35,20 @@ tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
     std::vector<const float*>& buffers = ctx.buffers;
     buffers[static_cast<std::size_t>(graph.input_id())] = batch.data;
 
+    // Per-level profiling accumulates locally and fires the hook once per
+    // level after the run; the schedule is level-ordered, so a level's
+    // ops are contiguous and a level-change boundary flushes the bucket.
+    const bool timed = options.level_hook != nullptr && *options.level_hook != nullptr;
+    std::vector<double> level_us;
+    if (timed) {
+        int max_level = 0;
+        for (const OpStep& step : plan.schedule()) max_level = std::max(max_level, step.level);
+        level_us.assign(static_cast<std::size_t>(max_level) + 1, 0.0);
+    }
+
     for (const OpStep& step : plan.schedule()) {
+        const std::chrono::steady_clock::time_point op_start =
+            timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
         const ir::Op& op = graph.ops()[static_cast<std::size_t>(step.op_index)];
         const tensor::Shape& out_shape = shapes[static_cast<std::size_t>(op.output)];
         float* out = ctx.arena.data() + plan.offset_of(op.output);
@@ -81,7 +95,15 @@ tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
             }
         }
         buffers[static_cast<std::size_t>(op.output)] = out;
+        if (timed)
+            level_us[static_cast<std::size_t>(step.level)] +=
+                std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          op_start)
+                    .count();
     }
+    if (timed)
+        for (std::size_t level = 0; level < level_us.size(); ++level)
+            (*options.level_hook)(static_cast<int>(level), level_us[level]);
 
     const int out_id = graph.output_id();
     const tensor::Shape& out_shape = shapes[static_cast<std::size_t>(out_id)];

@@ -8,14 +8,24 @@
 // output-channel ranges whose per-element arithmetic is unchanged.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "exec/backend.hpp"
 
 namespace raq::exec {
 
+/// Optional per-level timing callback: after a run completes, invoked
+/// once per dependency level of the plan's schedule with the host
+/// microseconds that level's ops took. Zero cost when unset (the engine
+/// neither reads the clock nor allocates). Levels are the plan's
+/// dependency levels (ops sharing a level have no data path between
+/// them), so the profile maps directly onto the schedule structure.
+using LevelTimingHook = std::function<void(int level, double host_us)>;
+
 struct RunOptions {
     ThreadPool* pool = nullptr;  ///< optional intra-plan parallelism (off by default)
+    const LevelTimingHook* level_hook = nullptr;  ///< optional per-level profiling
 };
 
 /// Execute `plan` with `backend` on `batch` (1 ≤ n ≤ plan capacity).

@@ -1,0 +1,25 @@
+// The one monotonic clock for telemetry timestamps: microseconds on
+// std::chrono::steady_clock since a process-wide epoch (latched on first
+// use — in practice, server construction). Every span, reliability event
+// and RequantEvent timestamp comes from here, so orderings reconstructed
+// across devices, groups and background threads are consistent.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace raq::obs {
+
+inline std::int64_t monotonic_us() noexcept {
+    // Magic-static epoch: initialized exactly once, thread-safe. Latched
+    // 1 µs in the past so the very first caller still reads > 0 — a
+    // zero timestamp always means "never stamped", never "stamped at
+    // the epoch".
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now() - std::chrono::microseconds(1);
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+}  // namespace raq::obs

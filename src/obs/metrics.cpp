@@ -1,0 +1,283 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace raq::obs {
+
+std::size_t metric_shard_index() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return slot;
+}
+
+// ------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+    stride_ = bounds_.size() + 1;  // +Inf bucket
+    cells_ = std::vector<Cell>(kMetricShards * stride_);
+    sums_ = std::vector<PaddedGauge>(kMetricShards);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+    HistogramSnapshot s;
+    s.bounds = bounds_;
+    s.buckets.assign(stride_, 0);
+    for (std::size_t shard = 0; shard < kMetricShards; ++shard) {
+        for (std::size_t b = 0; b < stride_; ++b)
+            s.buckets[b] += cells_[shard * stride_ + b].v.load(std::memory_order_relaxed);
+        s.sum += sums_[shard].v.load(std::memory_order_relaxed);
+    }
+    for (const std::uint64_t c : s.buckets) s.count += c;
+    return s;
+}
+
+double Histogram::quantile(double q) const {
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram: q outside [0,1]");
+    const HistogramSnapshot s = snapshot();
+    if (s.count == 0) return 0.0;
+    const double target = q * static_cast<double>(s.count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        const std::uint64_t next = seen + s.buckets[b];
+        if (static_cast<double>(next) >= target && s.buckets[b] > 0) {
+            const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+            if (b == bounds_.size()) return lo;  // +Inf bucket: report its floor
+            const double frac =
+                (target - static_cast<double>(seen)) / static_cast<double>(s.buckets[b]);
+            return lo + frac * (bounds_[b] - lo);
+        }
+        seen = next;
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> default_ms_buckets() {
+    return {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000};
+}
+std::vector<double> default_us_buckets() {
+    return {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000};
+}
+std::vector<double> default_size_buckets() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+// -------------------------------------------------------------- Registry
+
+namespace {
+
+/// Series key: name plus the serialized (already-sorted) label pairs.
+std::string series_key(const std::string& name, const Labels& labels) {
+    std::string key = name;
+    for (const auto& [k, v] : labels) {
+        key += '\x1f';  // unit separator: cannot appear in sane label text
+        key += k;
+        key += '\x1e';
+        key += v;
+    }
+    return key;
+}
+
+Labels sorted_labels(Labels labels) {
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+std::string label_block(const Labels& labels) {
+    if (labels.empty()) return "";
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i) out += ",";
+        out += labels[i].first + "=\"" + labels[i].second + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::string json_labels(const Labels& labels) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i) out += ",";
+        out += "\"" + labels[i].first + "\":\"" + labels[i].second + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::string fmt_double(double v) {
+    char buf[64];
+    // %g keeps integers clean ("42" not "42.000000") while preserving
+    // enough precision for ps-scale gauges.
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               const Labels& labels, Kind kind,
+                                               std::vector<double>* bounds) {
+    const Labels sorted = sorted_labels(labels);
+    const std::string key = series_key(name, sorted);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        if (it->second.kind != kind)
+            throw std::invalid_argument("MetricsRegistry: '" + name +
+                                        "' already registered as a different kind");
+        return it->second;
+    }
+    Entry e;
+    e.name = name;
+    e.labels = sorted;
+    e.kind = kind;
+    switch (kind) {
+        case Kind::Counter: e.counter = std::make_unique<Counter>(); break;
+        case Kind::Gauge: e.gauge = std::make_unique<Gauge>(); break;
+        case Kind::Histogram:
+            e.histogram = std::make_unique<Histogram>(
+                bounds && !bounds->empty() ? std::move(*bounds) : default_us_buckets());
+            break;
+    }
+    return entries_.emplace(key, std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+    return *entry(name, labels, Kind::Counter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+    return *entry(name, labels, Kind::Gauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
+                                      std::vector<double> bounds) {
+    return *entry(name, labels, Kind::Histogram, &bounds).histogram;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
+                                                    const Labels& labels,
+                                                    Kind kind) const {
+    const std::string key = series_key(name, sorted_labels(labels));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.kind != kind) return nullptr;
+    return &it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const Labels& labels) const {
+    const Entry* e = find(name, labels, Kind::Counter);
+    return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const Labels& labels) const {
+    const Entry* e = find(name, labels, Kind::Gauge);
+    return e ? e->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+    const Entry* e = find(name, labels, Kind::Histogram);
+    return e ? e->histogram.get() : nullptr;
+}
+
+std::uint64_t MetricsRegistry::counter_sum(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t sum = 0;
+    for (const auto& [key, e] : entries_)
+        if (e.kind == Kind::Counter && e.name == name) sum += e.counter->value();
+    return sum;
+}
+
+std::string MetricsRegistry::expose() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    std::string last_typed;  // TYPE line emitted once per metric name
+    char line[256];
+    // std::map iterates in key order == (name, labels) order: the series
+    // of one metric are contiguous and the output is deterministic.
+    for (const auto& [key, e] : entries_) {
+        if (e.name != last_typed) {
+            const char* type = e.kind == Kind::Counter ? "counter"
+                               : e.kind == Kind::Gauge ? "gauge"
+                                                       : "histogram";
+            out += "# TYPE " + e.name + " " + type + "\n";
+            last_typed = e.name;
+        }
+        const std::string labels = label_block(e.labels);
+        switch (e.kind) {
+            case Kind::Counter:
+                std::snprintf(line, sizeof(line), "%s%s %" PRIu64 "\n", e.name.c_str(),
+                              labels.c_str(), e.counter->value());
+                out += line;
+                break;
+            case Kind::Gauge:
+                out += e.name + labels + " " + fmt_double(e.gauge->value()) + "\n";
+                break;
+            case Kind::Histogram: {
+                const HistogramSnapshot s = e.histogram->snapshot();
+                std::uint64_t cumulative = 0;
+                for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+                    cumulative += s.buckets[b];
+                    Labels le = e.labels;
+                    le.emplace_back("le", b < s.bounds.size()
+                                              ? fmt_double(s.bounds[b])
+                                              : std::string("+Inf"));
+                    std::snprintf(line, sizeof(line), "%s_bucket%s %" PRIu64 "\n",
+                                  e.name.c_str(), label_block(le).c_str(), cumulative);
+                    out += line;
+                }
+                out += e.name + "_sum" + labels + " " + fmt_double(s.sum) + "\n";
+                std::snprintf(line, sizeof(line), "%s_count%s %" PRIu64 "\n",
+                              e.name.c_str(), labels.c_str(), s.count);
+                out += line;
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::string MetricsRegistry::jsonl() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    char buf[128];
+    for (const auto& [key, e] : entries_) {
+        out += "{\"name\":\"" + e.name + "\",\"labels\":" + json_labels(e.labels);
+        switch (e.kind) {
+            case Kind::Counter:
+                std::snprintf(buf, sizeof(buf), ",\"type\":\"counter\",\"value\":%" PRIu64,
+                              e.counter->value());
+                out += buf;
+                break;
+            case Kind::Gauge:
+                out += ",\"type\":\"gauge\",\"value\":" + fmt_double(e.gauge->value());
+                break;
+            case Kind::Histogram: {
+                const HistogramSnapshot s = e.histogram->snapshot();
+                out += ",\"type\":\"histogram\",\"bounds\":[";
+                for (std::size_t b = 0; b < s.bounds.size(); ++b)
+                    out += (b ? "," : "") + fmt_double(s.bounds[b]);
+                out += "],\"buckets\":[";
+                for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+                    std::snprintf(buf, sizeof(buf), "%s%" PRIu64, b ? "," : "",
+                                  s.buckets[b]);
+                    out += buf;
+                }
+                std::snprintf(buf, sizeof(buf), "],\"count\":%" PRIu64, s.count);
+                out += buf;
+                out += ",\"sum\":" + fmt_double(s.sum);
+                break;
+            }
+        }
+        out += "}\n";
+    }
+    return out;
+}
+
+}  // namespace raq::obs

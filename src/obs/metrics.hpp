@@ -1,0 +1,212 @@
+// Lock-light metrics registry for the serving runtime.
+//
+// The serving hot path (account a batch, bump a queue gauge, observe a
+// build latency) must never serialize behind a scrape: every instrument
+// is a fixed set of cache-line-padded atomic shards — a writer picks its
+// shard once per thread (a thread-local index) and does one relaxed
+// fetch_add, so concurrent workers on different cores touch different
+// cache lines. A scrape sums the shards; it is allowed to race with
+// writers (each shard read is atomic, so a scrape sees a value that was
+// true at some instant per shard — counters only ever under-report
+// in-flight increments, never tear).
+//
+// Instruments are registered once by (name, labels) and the returned
+// reference is stable for the registry's lifetime: callers cache the
+// pointer at construction time and the hot path never touches the
+// registry map or its mutex again.
+//
+// Exposition: Prometheus-style text (`expose()`) and JSONL (`jsonl()`),
+// both safe to call concurrently with writers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace raq::obs {
+
+/// Sorted key=value pairs identifying one series of a metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Shards per instrument. Serving fleets run a handful of workers plus a
+/// few background threads; 8 padded slots keep same-instrument writers
+/// on distinct cache lines without bloating every instrument.
+inline constexpr std::size_t kMetricShards = 8;
+
+/// This thread's shard slot (stable for the thread's lifetime; threads
+/// are striped round-robin over the slots).
+std::size_t metric_shard_index() noexcept;
+
+/// Monotonically increasing event count. add() is wait-free (one relaxed
+/// fetch_add on this thread's shard).
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        shards_[metric_shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Shard shards_[kMetricShards];
+};
+
+/// Last-written instantaneous value (clock period, ΔVth, queue depth).
+/// One atomic double: gauges are written by one logical owner (a device,
+/// the admission path) and read by scrapes.
+class Gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    /// Monotonic high-water mark (e.g. peak queue depth): lock-free CAS.
+    void set_max(double v) noexcept {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    void add(double delta) noexcept {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Aggregated histogram state at one scrape.
+struct HistogramSnapshot {
+    std::vector<double> bounds;           ///< inclusive upper bounds, ascending
+    std::vector<std::uint64_t> buckets;   ///< per-bound counts (NOT cumulative)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// observations above the last bound land in the implicit +Inf bucket.
+/// observe() is one relaxed fetch_add on this thread's shard row plus a
+/// CAS-add on the shard's sum.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v) noexcept {
+        const std::size_t b = bucket_of(v);
+        const std::size_t shard = metric_shard_index();
+        cells_[shard * stride_ + b].v.fetch_add(1, std::memory_order_relaxed);
+        sums_[shard].add(v);
+    }
+
+    [[nodiscard]] HistogramSnapshot snapshot() const;
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    /// Percentile estimate from the bucket counts (linear interpolation
+    /// inside the bucket; the +Inf bucket reports its lower bound).
+    [[nodiscard]] double quantile(double q) const;
+
+private:
+    [[nodiscard]] std::size_t bucket_of(double v) const noexcept {
+        // Bucket counts are small (tens); a linear scan beats binary
+        // search at this size and is branch-predictable.
+        std::size_t b = 0;
+        while (b < bounds_.size() && v > bounds_[b]) ++b;
+        return b;  // == bounds_.size() → +Inf bucket
+    }
+
+    struct alignas(64) Cell {
+        std::atomic<std::uint64_t> v{0};
+    };
+    struct alignas(64) PaddedGauge {
+        void add(double d) noexcept {
+            double cur = v.load(std::memory_order_relaxed);
+            while (!v.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+            }
+        }
+        std::atomic<double> v{0.0};
+    };
+
+    std::vector<double> bounds_;
+    std::size_t stride_ = 0;  ///< bounds + 1 (the +Inf bucket)
+    std::vector<Cell> cells_;     ///< kMetricShards rows of stride_ cells
+    std::vector<PaddedGauge> sums_;  ///< per-shard observation sums
+};
+
+/// Default bucket ladders for the serving runtime's common units.
+[[nodiscard]] std::vector<double> default_ms_buckets();   ///< 0.5 .. 5000 ms
+[[nodiscard]] std::vector<double> default_us_buckets();   ///< 1 .. 100000 µs
+[[nodiscard]] std::vector<double> default_size_buckets(); ///< 1 .. 64
+
+/// Name + labels → stable instrument references. Registration takes the
+/// registry mutex (slow path, construction time); the instruments
+/// themselves never do.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Idempotent per (name, labels): re-registration returns the same
+    /// instrument. Registering an existing series as a different kind
+    /// throws std::invalid_argument.
+    Counter& counter(const std::string& name, const Labels& labels = {});
+    Gauge& gauge(const std::string& name, const Labels& labels = {});
+    /// `bounds` applies on first registration only (later calls must
+    /// agree or pass empty to accept the existing ladder).
+    Histogram& histogram(const std::string& name, const Labels& labels,
+                         std::vector<double> bounds);
+
+    /// Prometheus-style text exposition: one `# TYPE` line per metric
+    /// name, one `name{labels} value` line per series, sorted by name
+    /// then labels (deterministic golden-testable output).
+    [[nodiscard]] std::string expose() const;
+    /// One JSON object per line per series.
+    [[nodiscard]] std::string jsonl() const;
+
+    /// Scrape a single series (nullptr-safe lookups for tests/benches).
+    [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                              const Labels& labels = {}) const;
+    [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                          const Labels& labels = {}) const;
+    [[nodiscard]] const Histogram* find_histogram(const std::string& name,
+                                                  const Labels& labels = {}) const;
+    /// Sum of every series of counter `name` across label sets (what a
+    /// dashboard's `sum(rate(...))` would read).
+    [[nodiscard]] std::uint64_t counter_sum(const std::string& name) const;
+
+private:
+    enum class Kind { Counter, Gauge, Histogram };
+    struct Entry {
+        std::string name;
+        Labels labels;
+        Kind kind = Kind::Counter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry& entry(const std::string& name, const Labels& labels, Kind kind,
+                 std::vector<double>* bounds);
+    [[nodiscard]] const Entry* find(const std::string& name, const Labels& labels,
+                                    Kind kind) const;
+
+    mutable std::mutex mutex_;
+    /// Keyed by name + serialized labels: std::map nodes are stable, so
+    /// instrument references survive any number of later registrations.
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace raq::obs

@@ -1,0 +1,58 @@
+// The telemetry bundle a serving fleet owns: one metrics registry, one
+// trace collector, one reliability-event timeline. NpuServer constructs
+// it from TelemetryConfig and hands a raw pointer down to devices and
+// shard groups; a null pointer (or metrics=false) means telemetry is
+// compiled in but disabled, and the instrumented code paths reduce to a
+// null-check branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace raq::obs {
+
+struct TelemetryConfig {
+    /// Master switch: false = no Telemetry object is built at all.
+    bool metrics = false;
+    /// Fraction of requests traced ([0,1]); 0 disables tracing. Only
+    /// meaningful when metrics is true.
+    double trace_sample_rate = 0.0;
+    /// Finished-trace reservoir capacity (Algorithm R over the stream).
+    std::size_t trace_reservoir = 256;
+    /// Seed for the deterministic sampling decisions and the reservoir;
+    /// servers typically pass their stream seed so traces reproduce.
+    std::uint64_t seed = 0x0b5ecafeULL;
+    /// Bounded reliability-event log length.
+    std::size_t timeline_capacity = 1024;
+};
+
+class Telemetry {
+public:
+    explicit Telemetry(const TelemetryConfig& config)
+        : config_(config),
+          traces_(config.trace_sample_rate, config.trace_reservoir, config.seed),
+          timeline_(config.timeline_capacity) {}
+
+    Telemetry(const Telemetry&) = delete;
+    Telemetry& operator=(const Telemetry&) = delete;
+
+    [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+    [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+    [[nodiscard]] TraceCollector& traces() { return traces_; }
+    [[nodiscard]] const TraceCollector& traces() const { return traces_; }
+    [[nodiscard]] EventTimeline& timeline() { return timeline_; }
+    [[nodiscard]] const EventTimeline& timeline() const { return timeline_; }
+    [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+
+private:
+    const TelemetryConfig config_;
+    MetricsRegistry metrics_;
+    TraceCollector traces_;
+    EventTimeline timeline_;
+};
+
+}  // namespace raq::obs

@@ -1,0 +1,83 @@
+#include "obs/timeline.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace raq::obs {
+
+const char* event_kind_name(EventKind kind) noexcept {
+    switch (kind) {
+        case EventKind::RequantBuild: return "requant-build";
+        case EventKind::RequantSwap: return "requant-swap";
+        case EventKind::RecutTrigger: return "recut-trigger";
+        case EventKind::Recut: return "recut";
+        case EventKind::RecutFutile: return "recut-futile";
+    }
+    return "?";
+}
+
+std::string ReliabilityEvent::to_string() const {
+    char buf[192];
+    std::string out;
+    std::snprintf(buf, sizeof(buf), "[%10" PRId64 "us] %-13s", t_us,
+                  event_kind_name(kind));
+    out += buf;
+    if (group_id >= 0) {
+        std::snprintf(buf, sizeof(buf), " group=%d", group_id);
+        out += buf;
+    }
+    if (device_id >= 0) {
+        std::snprintf(buf, sizeof(buf), " dev=%d", device_id);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " gen=%" PRIu64, generation);
+    out += buf;
+    if (value != 0.0) {
+        std::snprintf(buf, sizeof(buf), " value=%.3g", value);
+        out += buf;
+    }
+    if (!detail.empty()) {
+        out += "  ";
+        out += detail;
+    }
+    return out;
+}
+
+void EventTimeline::record(ReliabilityEvent event) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++total_;
+    ++counts_[static_cast<std::size_t>(event.kind)];
+    events_.push_back(std::move(event));
+    while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::size_t EventTimeline::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::uint64_t EventTimeline::total_recorded() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::uint64_t EventTimeline::count(EventKind kind) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<ReliabilityEvent> EventTimeline::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {events_.begin(), events_.end()};
+}
+
+std::string EventTimeline::render() const {
+    std::string out;
+    for (const ReliabilityEvent& e : snapshot()) {
+        out += e.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace raq::obs

@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace raq::obs {
+
+const char* span_kind_name(SpanKind kind) noexcept {
+    switch (kind) {
+        case SpanKind::Queue: return "queue";
+        case SpanKind::Batch: return "batch";
+        case SpanKind::Handoff: return "handoff";
+        case SpanKind::Execute: return "execute";
+        case SpanKind::Complete: return "complete";
+    }
+    return "?";
+}
+
+std::string TraceContext::to_string() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "req %" PRIu64 " @%" PRId64 "us:", request_id,
+                  start_us);
+    std::string out = buf;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const TraceSpan& s = spans[i];
+        out += i ? " -> " : " ";
+        out += span_kind_name(s.kind);
+        if (s.kind == SpanKind::Execute) {
+            std::snprintf(buf, sizeof(buf), "[dev=%d", s.device_id);
+            out += buf;
+            if (s.stage >= 0) {
+                std::snprintf(buf, sizeof(buf), ",stage=%d", s.stage);
+                out += buf;
+            }
+            std::snprintf(buf, sizeof(buf), ",gen=%" PRIu64 "]", s.generation);
+            out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "us", s.end_us - s.start_us);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " [total %" PRId64 "us]", total_us());
+    out += buf;
+    return out;
+}
+
+TraceCollector::TraceCollector(double sample_rate, std::size_t capacity,
+                               std::uint64_t seed)
+    : rate_(sample_rate),
+      capacity_(capacity),
+      seed_(seed),
+      // A distinct stream from the per-request sampling decisions: the
+      // reservoir's replacement choices must not correlate with which
+      // requests were sampled.
+      reservoir_rng_(common::stream_seed(seed, 0x0b5e77a1ull)) {}
+
+std::shared_ptr<TraceContext> TraceCollector::maybe_start(std::uint64_t request_id,
+                                                          std::int64_t now_us) {
+    if (!sampled(request_id)) return nullptr;
+    auto trace = std::make_shared<TraceContext>();
+    trace->request_id = request_id;
+    trace->start_us = now_us;
+    trace->last_us = now_us;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++started_;
+    }
+    return trace;
+}
+
+void TraceCollector::finish(std::shared_ptr<TraceContext> trace) {
+    if (!trace) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++finished_;
+    if (reservoir_.size() < capacity_) {
+        reservoir_.push_back(std::move(trace));
+        return;
+    }
+    if (capacity_ == 0) return;
+    // Algorithm R: the i-th finished trace replaces a random slot with
+    // probability capacity/i, keeping the reservoir a uniform sample.
+    const std::uint64_t slot = reservoir_rng_.next_below(finished_);
+    if (slot < capacity_) reservoir_[static_cast<std::size_t>(slot)] = std::move(trace);
+}
+
+std::uint64_t TraceCollector::started() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return started_;
+}
+
+std::uint64_t TraceCollector::finished() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return finished_;
+}
+
+std::vector<TraceContext> TraceCollector::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceContext> out;
+    out.reserve(reservoir_.size());
+    for (const auto& t : reservoir_) out.push_back(*t);
+    return out;
+}
+
+std::string TraceCollector::render() const {
+    std::string out;
+    for (const TraceContext& t : snapshot()) {
+        out += t.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace raq::obs

@@ -1,0 +1,123 @@
+// Per-request tracing: a TraceContext rides on a sampled request and
+// records one span per hop of its life — admission queue, batcher,
+// shard-stage handoff channels, device execution, completion — all
+// stamped with obs::monotonic_us().
+//
+// Sampling is deterministic: whether request id r is traced depends only
+// on (trace_seed, r) via common::stream_seed, never on thread timing —
+// two runs over the same id stream sample the same requests, so traces
+// are reproducible evidence, not lucky catches. Finished traces land in
+// a fixed-capacity reservoir (Vitter's Algorithm R over the finish
+// stream, common::Rng), so a long-lived server keeps a bounded, uniform
+// sample of its history.
+//
+// Concurrency contract: a TraceContext is owned by exactly one thread at
+// a time — the request (and its trace pointer) moves worker → stage →
+// stage through BoundedChannel handoffs, whose mutexes provide the
+// happens-before edges — so mark() needs no lock. Only the collector's
+// finish()/snapshot() take a mutex, and only for sampled requests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/clock.hpp"
+
+namespace raq::obs {
+
+/// What a span's time interval was spent on.
+enum class SpanKind : std::uint8_t {
+    Queue,    ///< admission queue: submit → worker pop
+    Batch,    ///< batching + unit checkout: pop → execution start
+    Handoff,  ///< shard-stage handoff channel: prior stage done → stage pop
+    Execute,  ///< device/shard execution (device_id + generation set)
+    Complete, ///< promise fulfilled (zero-length marker span)
+};
+
+[[nodiscard]] const char* span_kind_name(SpanKind kind) noexcept;
+
+struct TraceSpan {
+    SpanKind kind = SpanKind::Queue;
+    int device_id = -1;             ///< executing device (Execute), else -1
+    int stage = -1;                 ///< pipeline stage (sharded), else -1
+    std::uint64_t generation = 0;   ///< ModelState generation (Execute)
+    std::int64_t start_us = 0;
+    std::int64_t end_us = 0;
+};
+
+/// The spans of one request's journey. mark() closes the interval since
+/// the previous mark as a span of `kind`.
+struct TraceContext {
+    std::uint64_t request_id = 0;
+    std::int64_t start_us = 0;  ///< admission timestamp
+    std::int64_t last_us = 0;
+    std::vector<TraceSpan> spans;
+
+    void mark(SpanKind kind, std::int64_t now_us, int device_id = -1, int stage = -1,
+              std::uint64_t generation = 0) {
+        TraceSpan span;
+        span.kind = kind;
+        span.device_id = device_id;
+        span.stage = stage;
+        span.generation = generation;
+        span.start_us = last_us;
+        span.end_us = now_us;
+        spans.push_back(span);
+        last_us = now_us;
+    }
+
+    [[nodiscard]] std::int64_t total_us() const {
+        return spans.empty() ? 0 : spans.back().end_us - start_us;
+    }
+    /// One-line text rendering: "req 42 @1200µs: queue 110µs → ... [total 300µs]".
+    [[nodiscard]] std::string to_string() const;
+};
+
+class TraceCollector {
+public:
+    /// `sample_rate` in [0,1]; 0 disables tracing entirely. `capacity`
+    /// bounds the reservoir of finished traces.
+    TraceCollector(double sample_rate, std::size_t capacity, std::uint64_t seed);
+
+    /// Pure sampling predicate: depends only on (seed, request_id).
+    [[nodiscard]] bool sampled(std::uint64_t request_id) const noexcept {
+        if (rate_ <= 0.0) return false;
+        if (rate_ >= 1.0) return true;
+        common::Rng rng(common::stream_seed(seed_, request_id));
+        return rng.next_double() < rate_;
+    }
+
+    /// Start a trace for this request if it is sampled (null otherwise).
+    [[nodiscard]] std::shared_ptr<TraceContext> maybe_start(std::uint64_t request_id,
+                                                            std::int64_t now_us);
+
+    /// File a finished trace into the reservoir. Accepts null (no-op) so
+    /// callers can pass request.trace unconditionally after moving it.
+    void finish(std::shared_ptr<TraceContext> trace);
+
+    [[nodiscard]] std::uint64_t started() const;
+    [[nodiscard]] std::uint64_t finished() const;
+    /// Deep copies of the reservoir's traces, in finish order.
+    [[nodiscard]] std::vector<TraceContext> snapshot() const;
+    /// Text exposition of every reservoir trace, one line per trace.
+    [[nodiscard]] std::string render() const;
+
+    [[nodiscard]] double sample_rate() const noexcept { return rate_; }
+
+private:
+    const double rate_;
+    const std::size_t capacity_;
+    const std::uint64_t seed_;
+
+    mutable std::mutex mutex_;
+    common::Rng reservoir_rng_;
+    std::vector<std::shared_ptr<TraceContext>> reservoir_;
+    std::uint64_t started_ = 0;
+    std::uint64_t finished_ = 0;
+};
+
+}  // namespace raq::obs

@@ -66,6 +66,7 @@ tensor::Tensor QuantRunner::run(tensor::TensorView batch, inject::BitFlipInjecto
     const FaultHookGuard guard(backend_, injector, stats);
     exec::RunOptions options;
     options.pool = pool_;
+    if (level_hook_) options.level_hook = &level_hook_;
     return exec::run(*plan_, backend_, ctx_, batch, options);
 }
 

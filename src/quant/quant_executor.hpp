@@ -56,6 +56,12 @@ public:
                                      inject::BitFlipInjector* injector = nullptr,
                                      QuantExecStats* stats = nullptr);
 
+    /// Optional per-level timing profile: after each run, `hook` fires
+    /// once per dependency level with that level's host microseconds.
+    /// Pass an empty function to disable (the default; disabled runs
+    /// never read the clock).
+    void set_level_hook(exec::LevelTimingHook hook) { level_hook_ = std::move(hook); }
+
     [[nodiscard]] const exec::ExecPlan& plan() const { return *plan_; }
 
 private:
@@ -63,6 +69,7 @@ private:
     exec::QuantBackend backend_;
     exec::ExecContext ctx_;
     exec::ThreadPool* pool_;
+    exec::LevelTimingHook level_hook_;  ///< empty = profiling off
     std::shared_ptr<const QuantizedGraph> pinned_;  ///< set by the owning forms
 };
 

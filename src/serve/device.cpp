@@ -37,14 +37,35 @@ double ms_since(const std::chrono::steady_clock::time_point& t0) {
 }  // namespace
 
 NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config,
-                     RequantService* requant_service)
+                     RequantService* requant_service, obs::Telemetry* telemetry, int stage)
     : id_(id),
+      stage_(stage),
       ctx_(&ctx),
       config_(config),
+      telemetry_(telemetry),
       requant_service_(requant_service),
       latency_(config.latency_reservoir,
                common::stream_seed(config.base_seed, static_cast<std::uint64_t>(id),
                                    0x1a7e9c5ULL)) {
+    if (telemetry_) {
+        obs::Labels labels{{"device", std::to_string(id)}};
+        if (stage >= 0) labels.emplace_back("stage", std::to_string(stage));
+        obs::MetricsRegistry& reg = telemetry_->metrics();
+        metrics_.requests = &reg.counter("raq_device_requests_total", labels);
+        metrics_.batches = &reg.counter("raq_device_batches_total", labels);
+        metrics_.busy_ps = &reg.gauge("raq_device_busy_ps", labels);
+        metrics_.clock_ps = &reg.gauge("raq_device_clock_period_ps", labels);
+        metrics_.dvth_mv = &reg.gauge("raq_device_dvth_mv", labels);
+        metrics_.generation = &reg.gauge("raq_device_generation", labels);
+        metrics_.batch_size =
+            &reg.histogram("raq_batch_size", labels, obs::default_size_buckets());
+        metrics_.requants = &reg.counter("raq_requants_total", labels);
+        metrics_.recuts = &reg.counter("raq_recuts_total", labels);
+        metrics_.build_ms =
+            &reg.histogram("raq_requant_build_ms", labels, obs::default_ms_buckets());
+        metrics_.swap_us =
+            &reg.histogram("raq_requant_swap_us", labels, obs::default_us_buckets());
+    }
     job_.emplace(validate_context(ctx), *ctx.calib, *ctx.selector, job_config(config),
                  ctx.eval_images, ctx.eval_labels);
     const npu::SystolicArrayModel array(config.systolic);
@@ -121,12 +142,14 @@ void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool reco
     else
         runner_->rebind(state->qgraph);
     const double swap_us = 1e3 * ms_since(swap_start);
+    if (telemetry_) {
+        metrics_.clock_ps->set(aged_clock);
+        metrics_.generation->set(static_cast<double>(state->generation));
+    }
     if (record_event) {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++requant_count_;
         RequantEvent event;
+        event.t_us = obs::monotonic_us();
         event.generation = state->generation;
-        event.at_hours = hours_unlocked();
         event.dvth_mv = state->dvth_mv;
         event.before = before;
         event.after = state->compression;
@@ -136,7 +159,26 @@ void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool reco
         event.swap_us = swap_us;
         event.background = background;
         event.recut = recut;
-        requant_events_.push_back(event);
+        {
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++requant_count_;
+            event.at_hours = hours_unlocked();
+            requant_events_.push_back(event);
+        }
+        if (telemetry_) {
+            (recut ? metrics_.recuts : metrics_.requants)->add(1);
+            metrics_.build_ms->observe(build_ms);
+            metrics_.swap_us->observe(swap_us);
+            obs::ReliabilityEvent re;
+            re.t_us = event.t_us;
+            re.kind = recut ? obs::EventKind::Recut : obs::EventKind::RequantSwap;
+            re.device_id = id_;
+            re.generation = state->generation;
+            re.value = build_ms;
+            re.detail = event.before.to_string() + " -> " + event.after.to_string() +
+                        (background ? " (background)" : " (inline)");
+            telemetry_->timeline().record(std::move(re));
+        }
     }
 }
 
@@ -157,6 +199,19 @@ void NpuDevice::execute_requant(double dvth_mv, std::uint64_t generation) {
     if (built)
         outcome.state = std::make_shared<const core::ModelState>(std::move(*built));
     outcome.build_ms = ms_since(build_start);
+    if (telemetry_) {
+        // Build completion is its own timeline event (on the service
+        // worker's clock); the swap records separately at adoption, so
+        // the build→swap gap is visible in the rendered timeline.
+        obs::ReliabilityEvent re;
+        re.t_us = obs::monotonic_us();
+        re.kind = obs::EventKind::RequantBuild;
+        re.device_id = id_;
+        re.generation = generation;
+        re.value = outcome.build_ms;
+        re.detail = outcome.state ? "feasible" : "infeasible";
+        telemetry_->timeline().record(std::move(re));
+    }
     const std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_ = std::move(outcome);
 }
@@ -236,15 +291,28 @@ void NpuDevice::finish_requants() {
 
 void NpuDevice::account_batch(std::size_t requests, std::uint64_t batch_cycles,
                               double clock_period_ps, std::uint64_t flips) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    requests_ += requests;
-    ++batches_;
-    busy_cycles_ += batch_cycles;
-    // Busy time accrues at the clock the batch actually ran at; after a
-    // re-quantization the new clock applies to subsequent batches only.
-    busy_ps_ += static_cast<double>(batch_cycles) * clock_period_ps;
-    flips_ += flips;
-    for (std::size_t i = 0; i < requests; ++i) latency_.record(batch_cycles);
+    double busy_ps_now = 0.0;
+    double hours_now = 0.0;
+    {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        requests_ += requests;
+        ++batches_;
+        busy_cycles_ += batch_cycles;
+        // Busy time accrues at the clock the batch actually ran at; after a
+        // re-quantization the new clock applies to subsequent batches only.
+        busy_ps_ += static_cast<double>(batch_cycles) * clock_period_ps;
+        flips_ += flips;
+        for (std::size_t i = 0; i < requests; ++i) latency_.record(batch_cycles);
+        busy_ps_now = busy_ps_;
+        hours_now = hours_unlocked();
+    }
+    if (telemetry_) {
+        metrics_.requests->add(requests);
+        metrics_.batches->add(1);
+        metrics_.batch_size->observe(static_cast<double>(requests));
+        metrics_.busy_ps->set(busy_ps_now);
+        metrics_.dvth_mv->set(ctx_->aging->dvth_mv(hours_now / 8760.0));
+    }
 }
 
 tensor::Tensor NpuDevice::execute_batch(tensor::TensorView batch, BatchTrace* trace) {
@@ -307,13 +375,34 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
             result.latency_us = latency_us;
             request.promise.set_value(std::move(result));
             batch_flips += injector.flips_injected();
+            if (request.trace && telemetry_) {
+                const std::int64_t now = obs::monotonic_us();
+                request.trace->mark(obs::SpanKind::Execute, now, id_, stage_,
+                                    serving->generation);
+                request.trace->mark(obs::SpanKind::Complete, now);
+                telemetry_->traces().finish(std::move(request.trace));
+            }
         }
         account_batch(batch.size(), batch_cycles, period, batch_flips);
     } else {
+        bool any_trace = false;
+        for (const InferenceRequest& request : batch) any_trace |= request.trace != nullptr;
+        if (any_trace) {
+            const std::int64_t now = obs::monotonic_us();
+            for (InferenceRequest& request : batch)
+                if (request.trace) request.trace->mark(obs::SpanKind::Batch, now);
+        }
         const tensor::Tensor stacked = stack_batch(batch);
         BatchTrace trace;
         const tensor::Tensor logits =
             execute_batch(stacked.batch_view(0, stacked.shape().n), &trace);
+        if (any_trace) {
+            const std::int64_t now = obs::monotonic_us();
+            for (InferenceRequest& request : batch)
+                if (request.trace)
+                    request.trace->mark(obs::SpanKind::Execute, now, id_, stage_,
+                                        trace.generation);
+        }
         for (std::size_t i = 0; i < batch.size(); ++i) {
             InferenceResult result = make_result(batch[i].id, logits, static_cast<int>(i));
             result.device_id = id_;
@@ -321,6 +410,14 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
             result.latency_cycles = trace.cycles;
             result.latency_us = trace.latency_us;
             batch[i].promise.set_value(std::move(result));
+        }
+        if (any_trace && telemetry_) {
+            const std::int64_t now = obs::monotonic_us();
+            for (InferenceRequest& request : batch)
+                if (request.trace) {
+                    request.trace->mark(obs::SpanKind::Complete, now);
+                    telemetry_->traces().finish(std::move(request.trace));
+                }
         }
     }
     requant_boundary();

@@ -42,6 +42,7 @@
 #include "core/requant_job.hpp"
 #include "inject/bitflip.hpp"
 #include "npu/systolic.hpp"
+#include "obs/telemetry.hpp"
 #include "quant/quant_executor.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/requant_service.hpp"
@@ -107,9 +108,15 @@ public:
     /// owning its own ServeContext copy; ShardGroup owns the per-shard
     /// context). With a `requant_service`, threshold crossings build the
     /// next generation in the background; without one they rebuild
-    /// inline at the batch boundary.
+    /// inline at the batch boundary. With `telemetry`, the device
+    /// registers its metric series at construction (labels: device id,
+    /// plus the pipeline stage when `stage >= 0`) and caches the
+    /// instrument pointers — the serving path never touches the registry
+    /// again; null telemetry reduces every instrumented site to one
+    /// pointer test.
     NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config,
-              RequantService* requant_service = nullptr);
+              RequantService* requant_service = nullptr,
+              obs::Telemetry* telemetry = nullptr, int stage = -1);
 
     /// Serve one batch: execute every request on the deployed state,
     /// fulfill its promise, account busy time, then age the device,
@@ -212,8 +219,28 @@ private:
     [[nodiscard]] double hours_unlocked() const;
 
     const int id_;
+    const int stage_;  ///< pipeline stage index (-1 on a whole-model device)
     const ServeContext* ctx_;
     const DeviceConfig config_;
+    obs::Telemetry* telemetry_;  ///< null = telemetry disabled
+
+    /// Instrument handles registered at construction (all null without
+    /// telemetry). Stable for the registry's lifetime — the hot path
+    /// does relaxed atomic ops on them, never a registry lookup.
+    struct MetricHandles {
+        obs::Counter* requests = nullptr;
+        obs::Counter* batches = nullptr;
+        obs::Gauge* busy_ps = nullptr;
+        obs::Gauge* clock_ps = nullptr;
+        obs::Gauge* dvth_mv = nullptr;
+        obs::Gauge* generation = nullptr;
+        obs::Histogram* batch_size = nullptr;
+        obs::Counter* requants = nullptr;
+        obs::Counter* recuts = nullptr;
+        obs::Histogram* build_ms = nullptr;
+        obs::Histogram* swap_us = nullptr;
+    };
+    MetricHandles metrics_;
     /// Algorithm 1 as a reusable build job. Rebuilt (only) by reshard()
     /// when an online re-cut changes the context's sub-graph; always
     /// engaged otherwise.

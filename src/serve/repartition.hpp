@@ -73,6 +73,9 @@ struct RepartitionStats {
     std::uint64_t checks = 0;    ///< mature windows evaluated
     std::uint64_t triggers = 0;  ///< windows whose imbalance crossed the ratio
     std::uint64_t recuts = 0;    ///< drain-and-swaps actually performed
+    /// Triggered attempts that could not improve the cut (the DP returned
+    /// the current cut, or a shard was infeasible at its aging level).
+    std::uint64_t futile = 0;
     double last_imbalance = 0.0; ///< most recent mature window's ratio
     std::uint64_t partition_generation = 1;  ///< monotonic, bumped per re-cut
 };

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/bounded_channel.hpp"
 #include "tensor/tensor.hpp"
 
@@ -34,6 +36,13 @@ struct InferenceRequest {
     std::uint64_t id = 0;
     tensor::Tensor image;  ///< one sample, shape (1, c, h, w)
     std::promise<InferenceResult> promise;
+    /// Admission timestamp (obs::monotonic_us), stamped by submit() when
+    /// telemetry is enabled (0 otherwise) — feeds the queue-wait metric.
+    std::int64_t submit_us = 0;
+    /// Per-request trace, present only on sampled requests. Travels with
+    /// the request through every channel handoff; exactly one thread
+    /// touches it at a time (see obs/trace.hpp).
+    std::shared_ptr<obs::TraceContext> trace;
 };
 
 using RequestQueue = BoundedChannel<InferenceRequest>;

@@ -30,6 +30,19 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
             "NpuServer: shard_systolic requires num_shards > 1");
     if (config.background_requant && config.requant_workers < 1)
         throw std::invalid_argument("NpuServer: requant_workers must be >= 1");
+    if (config.telemetry.trace_sample_rate < 0.0 || config.telemetry.trace_sample_rate > 1.0)
+        throw std::invalid_argument(
+            "NpuServer: telemetry.trace_sample_rate must be in [0,1]");
+    if (config.telemetry.metrics) {
+        telemetry_ = std::make_unique<obs::Telemetry>(config.telemetry);
+        obs::MetricsRegistry& reg = telemetry_->metrics();
+        submitted_counter_ = &reg.counter("raq_requests_submitted_total");
+        completed_counter_ = &reg.counter("raq_requests_completed_total");
+        queue_depth_ = &reg.gauge("raq_queue_depth");
+        queue_depth_peak_ = &reg.gauge("raq_queue_depth_peak");
+        queue_wait_us_ =
+            &reg.histogram("raq_queue_wait_us", {}, obs::default_us_buckets());
+    }
     // full_algorithm1 without a usable eval set fails loudly below:
     // every device's RequantJob validates it at construction (no silent
     // fast-path fallback), and that error propagates out of here.
@@ -44,8 +57,9 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
             // Compile each device's execution plan for the largest batch the
             // server will ever hand it: no plan recompile on the serving path.
             dev.plan_batch_capacity = config.max_batch;
-            devices_.push_back(
-                std::make_unique<NpuDevice>(i, ctx_, dev, requant_service_.get()));
+            devices_.push_back(std::make_unique<NpuDevice>(i, ctx_, dev,
+                                                           requant_service_.get(),
+                                                           telemetry_.get()));
             idle_units_.push_back(devices_.back().get());
         }
     } else {
@@ -76,6 +90,7 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
                 config.initial_age_years +
                 static_cast<double>(g * config.num_shards) * config.initial_age_step_years;
             group.device.plan_batch_capacity = config.max_batch;
+            group.telemetry = telemetry_.get();
             groups_.push_back(std::make_unique<ShardGroup>(
                 g, ctx_, group, requant_service_.get(), &completed_));
             idle_units_.push_back(groups_.back().get());
@@ -92,10 +107,22 @@ std::future<InferenceResult> NpuServer::submit(tensor::Tensor image) {
     InferenceRequest request;
     request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     request.image = std::move(image);
+    if (telemetry_) {
+        request.submit_us = obs::monotonic_us();
+        // Deterministic sampling: whether THIS id is traced depends only
+        // on (seed, id), so replayed id streams sample identically.
+        request.trace = telemetry_->traces().maybe_start(request.id, request.submit_us);
+    }
     std::future<InferenceResult> future = request.promise.get_future();
     if (!queue_.push(std::move(request)))
         throw std::runtime_error("NpuServer: submit after shutdown");
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_) {
+        submitted_counter_->add(1);
+        const double depth = static_cast<double>(queue_.size());
+        queue_depth_->set(depth);
+        queue_depth_peak_->set_max(depth);
+    }
     return future;
 }
 
@@ -105,6 +132,16 @@ void NpuServer::worker_loop() {
             queue_.pop_batch(static_cast<std::size_t>(config_.max_batch));
         if (batch.empty()) return;  // closed and drained
         const std::size_t batch_size = batch.size();
+        if (telemetry_) {
+            // Queue span closes here: submit → worker pop. The wait
+            // histogram sees every request; the trace only sampled ones.
+            const std::int64_t now = obs::monotonic_us();
+            for (InferenceRequest& request : batch) {
+                queue_wait_us_->observe(static_cast<double>(now - request.submit_us));
+                if (request.trace) request.trace->mark(obs::SpanKind::Queue, now);
+            }
+            queue_depth_->set(static_cast<double>(queue_.size()));
+        }
 
         ServeUnit* unit = nullptr;
         {
@@ -135,8 +172,10 @@ void NpuServer::worker_loop() {
         // A device completes the batch synchronously; a shard group
         // counts completion itself when the pipeline's last stage
         // fulfills the promises.
-        if (!sharded())
+        if (!sharded()) {
             completed_.fetch_add(batch_size - failed, std::memory_order_relaxed);
+            if (telemetry_) completed_counter_->add(batch_size - failed);
+        }
     }
 }
 
@@ -173,6 +212,22 @@ double NpuServer::sample_accuracy(int index, int samples) const {
     // Zero-copy slice of the eval set; the engine reads it in place.
     return quant::quantized_accuracy(*qgraph, ctx_.eval_images->batch_view(0, samples),
                                      labels);
+}
+
+std::string NpuServer::export_metrics() const {
+    return telemetry_ ? telemetry_->metrics().expose() : std::string();
+}
+
+std::string NpuServer::export_metrics_jsonl() const {
+    return telemetry_ ? telemetry_->metrics().jsonl() : std::string();
+}
+
+std::string NpuServer::export_traces() const {
+    return telemetry_ ? telemetry_->traces().render() : std::string();
+}
+
+std::string NpuServer::export_timeline() const {
+    return telemetry_ ? telemetry_->timeline().render() : std::string();
 }
 
 FleetStats NpuServer::fleet_stats() const {

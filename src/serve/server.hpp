@@ -24,9 +24,11 @@
 
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "serve/device.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/requant_service.hpp"
@@ -66,6 +68,9 @@ struct ServeConfig {
     /// behavior: the device stalls at the batch boundary for the build.
     bool background_requant = true;
     int requant_workers = 1;  ///< RequantService pool size
+    /// Fleet telemetry (off by default): metrics registry + per-request
+    /// tracing + reliability-event timeline. See src/obs/README.md.
+    obs::TelemetryConfig telemetry;
     DeviceConfig device;  ///< per-device knobs (aging, requant, injection)
 };
 
@@ -106,11 +111,34 @@ public:
 
     [[nodiscard]] FleetStats fleet_stats() const;
 
+    /// Telemetry bundle (null when ServeConfig::telemetry.metrics is
+    /// false). Exposed for scrapes, tests and benches.
+    [[nodiscard]] obs::Telemetry* telemetry() { return telemetry_.get(); }
+    [[nodiscard]] const obs::Telemetry* telemetry() const { return telemetry_.get(); }
+
+    /// Prometheus-style text exposition of every registered series
+    /// (empty string with telemetry disabled).
+    [[nodiscard]] std::string export_metrics() const;
+    /// One JSON object per metric series, one per line.
+    [[nodiscard]] std::string export_metrics_jsonl() const;
+    /// Text rendering of the sampled-trace reservoir, one trace per line.
+    [[nodiscard]] std::string export_traces() const;
+    /// Text rendering of the reliability-event timeline, oldest first.
+    [[nodiscard]] std::string export_timeline() const;
+
 private:
     void worker_loop();
 
     ServeConfig config_;
     ServeContext ctx_;  ///< owned copy; pointed-to objects outlive the server
+    /// Declared before devices_/groups_ (and destroyed after them):
+    /// devices cache instrument pointers into the registry.
+    std::unique_ptr<obs::Telemetry> telemetry_;
+    obs::Counter* submitted_counter_ = nullptr;
+    obs::Counter* completed_counter_ = nullptr;
+    obs::Gauge* queue_depth_ = nullptr;
+    obs::Gauge* queue_depth_peak_ = nullptr;
+    obs::Histogram* queue_wait_us_ = nullptr;
     RequestQueue queue_;
     std::vector<std::unique_ptr<NpuDevice>> devices_;
     std::vector<std::unique_ptr<ShardGroup>> groups_;

@@ -48,7 +48,23 @@ ShardPartition make_shard_partition(const ir::Graph& graph,
 ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupConfig& config,
                        RequantService* requant_service,
                        std::atomic<std::uint64_t>* completed)
-    : group_id_(group_id), completed_(completed), full_ctx_(ctx), config_(config) {
+    : group_id_(group_id),
+      completed_(completed),
+      telemetry_(config.telemetry),
+      full_ctx_(ctx),
+      config_(config) {
+    if (telemetry_) {
+        const obs::Labels labels{{"group", std::to_string(group_id)}};
+        obs::MetricsRegistry& reg = telemetry_->metrics();
+        metrics_.checks = &reg.counter("raq_repartition_checks_total", labels);
+        metrics_.triggers = &reg.counter("raq_repartition_triggers_total", labels);
+        metrics_.futile = &reg.counter("raq_repartition_futile_total", labels);
+        metrics_.recuts = &reg.counter("raq_repartition_recuts_total", labels);
+        metrics_.imbalance = &reg.gauge("raq_repartition_imbalance", labels);
+        metrics_.partition_generation = &reg.gauge("raq_partition_generation", labels);
+        metrics_.partition_generation->set(1.0);
+        metrics_.completed = &reg.counter("raq_requests_completed_total");
+    }
     if (!ctx.graph || !ctx.calib || !ctx.selector || !ctx.aging)
         throw std::invalid_argument("ShardGroup: graph/calib/selector/aging are required");
     if (config.num_shards < 2)
@@ -111,7 +127,8 @@ ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupCo
         // The ShardState owns the context the device points at; both live
         // behind a stable unique_ptr for the group's lifetime.
         shard->device = std::make_unique<NpuDevice>(
-            config.first_device_id + static_cast<int>(k), shard->ctx, dev, requant_service);
+            config.first_device_id + static_cast<int>(k), shard->ctx, dev, requant_service,
+            telemetry_, static_cast<int>(k));
         shards_.push_back(std::move(shard));
     }
 
@@ -141,6 +158,11 @@ void ShardGroup::serve(std::vector<InferenceRequest>& batch) {
     ShardBatch sb;
     sb.activations = stack_batch(batch);  // may throw; batch stays intact
     sb.requests = std::move(batch);
+    // Close the Batch span (worker pop → pipeline admission) before the
+    // push moves the requests into the channel; the first stage's pop
+    // then opens the Handoff span.
+    for (InferenceRequest& request : sb.requests)
+        if (request.trace) request.trace->mark(obs::SpanKind::Batch, obs::monotonic_us());
     // The swap mutex pends admission while a re-cut drains and remaps
     // the pipeline: a push always lands in the current cut's channel.
     std::unique_lock<std::mutex> lock(swap_mutex_);
@@ -160,6 +182,16 @@ void ShardGroup::stage_loop(std::size_t k) {
     ShardBatch batch;
     while (channels_[k]->pop(batch)) {
         try {
+            bool any_trace = false;
+            for (const InferenceRequest& request : batch.requests)
+                any_trace |= request.trace != nullptr;
+            if (any_trace) {
+                // Handoff span: time spent in this stage's channel (and,
+                // for k > 0, since the previous stage finished).
+                const std::int64_t now = obs::monotonic_us();
+                for (InferenceRequest& request : batch.requests)
+                    if (request.trace) request.trace->mark(obs::SpanKind::Handoff, now);
+            }
             const int n = batch.activations.shape().n;
             NpuDevice::BatchTrace trace;
             tensor::Tensor out =
@@ -167,6 +199,13 @@ void ShardGroup::stage_loop(std::size_t k) {
             batch.latency_cycles += trace.cycles;
             batch.latency_us += trace.latency_us;
             batch.min_generation = std::min(batch.min_generation, trace.generation);
+            if (any_trace) {
+                const std::int64_t now = obs::monotonic_us();
+                for (InferenceRequest& request : batch.requests)
+                    if (request.trace)
+                        request.trace->mark(obs::SpanKind::Execute, now, device.id(),
+                                            static_cast<int>(k), trace.generation);
+            }
             if (!last) {
                 batch.activations = std::move(out);
                 // Cannot fail: channel k+1 is closed only by this stage
@@ -178,6 +217,12 @@ void ShardGroup::stage_loop(std::size_t k) {
                 // load here labels every rider correctly.
                 const std::uint64_t partition =
                     partition_generation_.load(std::memory_order_acquire);
+                // Count completion BEFORE fulfilling the promises: a
+                // client that has observed its result then always finds
+                // these counters covering it on the next scrape.
+                if (completed_)
+                    completed_->fetch_add(batch.requests.size(), std::memory_order_relaxed);
+                if (telemetry_) metrics_.completed->add(batch.requests.size());
                 for (std::size_t i = 0; i < batch.requests.size(); ++i) {
                     InferenceResult result =
                         make_result(batch.requests[i].id, out, static_cast<int>(i));
@@ -188,8 +233,14 @@ void ShardGroup::stage_loop(std::size_t k) {
                     result.latency_us = batch.latency_us;
                     batch.requests[i].promise.set_value(std::move(result));
                 }
-                if (completed_)
-                    completed_->fetch_add(batch.requests.size(), std::memory_order_relaxed);
+                if (any_trace && telemetry_) {
+                    const std::int64_t now = obs::monotonic_us();
+                    for (InferenceRequest& request : batch.requests)
+                        if (request.trace) {
+                            request.trace->mark(obs::SpanKind::Complete, now);
+                            telemetry_->traces().finish(std::move(request.trace));
+                        }
+                }
             }
         } catch (...) {
             // A malformed batch (e.g. an image whose shape the engine
@@ -233,6 +284,10 @@ void ShardGroup::repartition_step() {
         ++repart_stats_.checks;
         repart_stats_.last_imbalance = imbalance;
     }
+    if (telemetry_) {
+        metrics_.checks->add(1);
+        metrics_.imbalance->set(imbalance);
+    }
     // Roll the window so the next judgement sees fresh traffic only.
     for (std::size_t k = 0; k < shards_.size(); ++k) {
         window_batches_[k] += window[k].batches;
@@ -248,6 +303,37 @@ void ShardGroup::repartition_step() {
         const std::lock_guard<std::mutex> lock(repart_mutex_);
         ++repart_stats_.triggers;
     }
+    if (telemetry_) {
+        metrics_.triggers->add(1);
+        obs::ReliabilityEvent re;
+        re.t_us = obs::monotonic_us();
+        re.kind = obs::EventKind::RecutTrigger;
+        re.group_id = group_id_;
+        re.generation = partition_generation();
+        re.value = imbalance;
+        telemetry_->timeline().record(std::move(re));
+    }
+    // A triggered attempt that cannot improve the cut counts as futile —
+    // in the stats, the metric AND the timeline, so a dashboard can tell
+    // "the monitor is stuck" from "the monitor is idle".
+    const auto note_futile = [&](const char* reason) {
+        futile_clocks_ = clocks;
+        {
+            const std::lock_guard<std::mutex> lock(repart_mutex_);
+            ++repart_stats_.futile;
+        }
+        if (telemetry_) {
+            metrics_.futile->add(1);
+            obs::ReliabilityEvent re;
+            re.t_us = obs::monotonic_us();
+            re.kind = obs::EventKind::RecutFutile;
+            re.group_id = group_id_;
+            re.generation = partition_generation();
+            re.value = imbalance;
+            re.detail = reason;
+            telemetry_->timeline().record(std::move(re));
+        }
+    };
 
     // Prepare the entire swap off the serving path — cut, warm-compiled
     // sub-plans, re-sliced calibration, pre-built deployments. Anything
@@ -263,7 +349,7 @@ void ShardGroup::repartition_step() {
         for (std::size_t k = 0; k < shards_.size(); ++k)
             moved = moved || prepared.specs[k].last_op != shards_[k]->spec.last_op;
         if (!moved) {
-            futile_clocks_ = clocks;  // already the best cut at these clocks
+            note_futile("best cut unchanged at these clocks");
             return;
         }
         // Warm-compile the new sub-plans through the shared PlanCache
@@ -288,7 +374,7 @@ void ShardGroup::repartition_step() {
             // background generation lands while the pipeline drains.
             auto built = job.build(shards_[k]->device->dvth_mv(), /*generation=*/0);
             if (!built) {
-                futile_clocks_ = clocks;  // infeasible at these clocks
+                note_futile("shard infeasible at its aging level");
                 return;
             }
             prepared.states.push_back(std::move(*built));
@@ -301,7 +387,7 @@ void ShardGroup::repartition_step() {
         // Defensive: the construction-time cut succeeded, so failures
         // here are unexpected — keep serving the current cut and keep
         // the monitor alive rather than tearing down the process.
-        futile_clocks_ = clocks;
+        note_futile("recut preparation threw");
         return;
     }
     perform_recut(std::move(prepared));
@@ -348,6 +434,18 @@ void ShardGroup::perform_recut(PreparedRecut prepared) {
     {
         const std::lock_guard<std::mutex> lock2(repart_mutex_);
         ++repart_stats_.recuts;
+    }
+    if (telemetry_) {
+        metrics_.recuts->add(1);
+        metrics_.partition_generation->set(
+            static_cast<double>(partition_generation()));
+        obs::ReliabilityEvent re;
+        re.t_us = obs::monotonic_us();
+        re.kind = obs::EventKind::Recut;
+        re.group_id = group_id_;
+        re.generation = partition_generation();
+        re.detail = "drain-and-swap complete";
+        telemetry_->timeline().record(std::move(re));
     }
     // The new cut starts a fresh measurement window.
     for (std::size_t k = 0; k < shards_.size(); ++k) {

@@ -122,6 +122,11 @@ struct ShardGroupConfig {
     /// context graph; needed only for the constructor's duration). Null:
     /// the group partitions the model itself.
     const ShardPartition* partition = nullptr;
+    /// Optional telemetry bundle (owned by the server, must outlive the
+    /// group): shard devices register per-stage metric series, stage
+    /// threads stamp Handoff/Execute/Complete trace spans, and the
+    /// repartition monitor records its trigger/futile/re-cut activity.
+    obs::Telemetry* telemetry = nullptr;
 };
 
 class ShardGroup : public ServeUnit {
@@ -228,6 +233,24 @@ private:
 
     const int group_id_;
     std::atomic<std::uint64_t>* completed_;
+    obs::Telemetry* telemetry_;  ///< null = telemetry disabled
+
+    /// Repartition-monitor instrument handles (all null without
+    /// telemetry), registered once at construction under group=<id>.
+    struct MonitorMetrics {
+        obs::Counter* checks = nullptr;
+        obs::Counter* triggers = nullptr;
+        obs::Counter* futile = nullptr;
+        obs::Counter* recuts = nullptr;
+        obs::Gauge* imbalance = nullptr;
+        obs::Gauge* partition_generation = nullptr;
+        /// The server-wide completion counter (same unlabeled series the
+        /// replicated path bumps); the pipeline's last stage owns
+        /// completion here.
+        obs::Counter* completed = nullptr;
+    };
+    MonitorMetrics metrics_;
+
     ServeContext full_ctx_;     ///< the WHOLE model's context (re-slicing source)
     ShardGroupConfig config_;   ///< owned copy (partition pointer nulled)
     std::vector<npu::SystolicConfig> stage_systolic_;  ///< resolved, one per stage

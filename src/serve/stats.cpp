@@ -12,12 +12,12 @@ LatencySummary LatencyRecorder::summary() const {
     s.count = count_;
     if (samples_.empty()) return s;
     // One quantile definition project-wide: serve percentiles and bench
-    // gates both go through common::quantile's interpolation (one sort
-    // here — summary() runs under the device's stats mutex).
-    std::vector<double> xs(samples_.begin(), samples_.end());
-    std::sort(xs.begin(), xs.end());
-    s.p50_cycles = common::quantile_sorted(xs, 0.50);
-    s.p99_cycles = common::quantile_sorted(xs, 0.99);
+    // gates both go through common::quantiles (one sort — summary() runs
+    // under the device's stats mutex).
+    const std::vector<double> qs = common::quantiles(
+        std::vector<double>(samples_.begin(), samples_.end()), {0.50, 0.99});
+    s.p50_cycles = qs[0];
+    s.p99_cycles = qs[1];
     s.max_cycles = max_;
     s.mean_cycles = sum_ / static_cast<double>(count_);
     return s;

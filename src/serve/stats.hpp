@@ -81,6 +81,11 @@ private:
 /// so swap_us stays microseconds even when build_ms is a full
 /// Algorithm 1 method search).
 struct RequantEvent {
+    /// Monotonic host timestamp of the swap (obs::monotonic_us — µs on
+    /// steady_clock since a process-wide epoch): event ordering is
+    /// reconstructable ACROSS devices, which per-device `at_hours`
+    /// (simulated, per-device-rate) cannot give.
+    std::int64_t t_us = 0;
     std::uint64_t generation = 0;   ///< generation this event deployed
     double at_hours = 0.0;          ///< simulated operating hours at the swap
     double dvth_mv = 0.0;           ///< trigger ΔVth the new state was built for

@@ -1,0 +1,320 @@
+// Tests for the fleet telemetry subsystem (src/obs): lock-light metric
+// instruments under concurrency, histogram bucket boundaries, the
+// Prometheus-style exposition format (golden), deterministic trace
+// sampling under a fixed seed, and the reliability-event timeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using raq::obs::Counter;
+using raq::obs::EventKind;
+using raq::obs::EventTimeline;
+using raq::obs::Gauge;
+using raq::obs::Histogram;
+using raq::obs::HistogramSnapshot;
+using raq::obs::Labels;
+using raq::obs::MetricsRegistry;
+using raq::obs::ReliabilityEvent;
+using raq::obs::SpanKind;
+using raq::obs::TraceCollector;
+using raq::obs::TraceContext;
+
+// ---------------------------------------------------------------- Counter
+
+TEST(Metrics, CounterConcurrentIncrementsAreExact) {
+    // Sharded relaxed fetch_adds never lose increments: the final sum
+    // must be exact however the threads interleave (and data-race-free
+    // under TSan, which runs this test in CI).
+    Counter counter;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kPerThread; ++i) counter.add(1);
+        });
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, CounterScrapeRacesBenignlyWithWriters) {
+    Counter counter;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        while (!stop.load(std::memory_order_relaxed)) counter.add(1);
+    });
+    // Concurrent scrapes must be monotonically non-decreasing.
+    std::uint64_t last = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = counter.value();
+        EXPECT_GE(v, last);
+        last = v;
+    }
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+}
+
+TEST(Metrics, GaugeSetMaxIsMonotoneUnderThreads) {
+    Gauge gauge;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&gauge, t] {
+            for (int i = 0; i < 10000; ++i)
+                gauge.set_max(static_cast<double>(t * 10000 + i));
+        });
+    for (std::thread& t : threads) t.join();
+    EXPECT_DOUBLE_EQ(gauge.value(), 39999.0);
+}
+
+TEST(Metrics, GaugeAddAccumulatesConcurrently) {
+    Gauge gauge;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&gauge] {
+            for (int i = 0; i < 10000; ++i) gauge.add(1.0);
+        });
+    for (std::thread& t : threads) t.join();
+    EXPECT_DOUBLE_EQ(gauge.value(), 40000.0);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpper) {
+    Histogram h({1.0, 2.0, 4.0});
+    h.observe(0.5);  // <= 1      -> bucket 0
+    h.observe(1.0);  // == bound  -> bucket 0 (inclusive upper)
+    h.observe(1.5);  //           -> bucket 1
+    h.observe(2.0);  // == bound  -> bucket 1
+    h.observe(4.0);  // == last   -> bucket 2
+    h.observe(9.0);  // above all -> +Inf bucket
+    const HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.buckets.size(), 4u);  // 3 bounds + the +Inf bucket
+    EXPECT_EQ(s.buckets[0], 2u);
+    EXPECT_EQ(s.buckets[1], 2u);
+    EXPECT_EQ(s.buckets[2], 1u);
+    EXPECT_EQ(s.buckets[3], 1u);
+    EXPECT_EQ(s.count, 6u);
+    EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramQuantileInterpolatesWithinBucket) {
+    Histogram h({10.0, 20.0});
+    for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket (0, 10]
+    for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket (10, 20]
+    // Median sits exactly at the first bucket's upper bound.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    // q=0.25 is halfway into the first bucket's count: 0..10 interpolated.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+    EXPECT_EQ(h.snapshot().count, 20u);
+    EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramConcurrentObservesKeepExactCount) {
+    Histogram h({1.0, 10.0, 100.0});
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(static_cast<double>(i % 200));
+        });
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(Metrics, RegistryIsIdempotentPerNameAndLabels) {
+    MetricsRegistry reg;
+    Counter& a = reg.counter("hits", {{"device", "0"}});
+    Counter& b = reg.counter("hits", {{"device", "0"}});
+    Counter& c = reg.counter("hits", {{"device", "1"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+    a.add(2);
+    c.add(3);
+    EXPECT_EQ(reg.counter_sum("hits"), 5u);
+    // Label order must not matter: registration sorts them.
+    Counter& d = reg.counter("multi", {{"b", "2"}, {"a", "1"}});
+    Counter& e = reg.counter("multi", {{"a", "1"}, {"b", "2"}});
+    EXPECT_EQ(&d, &e);
+}
+
+TEST(Metrics, RegistryRejectsKindMismatch) {
+    MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("x", {}, {1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, RegistryFindLocatesRegisteredSeries) {
+    MetricsRegistry reg;
+    reg.counter("c", {{"k", "v"}}).add(7);
+    EXPECT_EQ(reg.find_counter("c", {{"k", "v"}})->value(), 7u);
+    EXPECT_EQ(reg.find_counter("c"), nullptr);
+    EXPECT_EQ(reg.find_gauge("c", {{"k", "v"}}), nullptr);  // wrong kind
+}
+
+TEST(Metrics, ExpositionGolden) {
+    // The format is deterministic (map-ordered, fixed float formatting),
+    // so the full scrape text is golden-testable.
+    MetricsRegistry reg;
+    reg.counter("raq_requests_total", {{"device", "0"}}).add(3);
+    reg.counter("raq_requests_total", {{"device", "1"}}).add(4);
+    reg.gauge("raq_clock_ps").set(812.5);
+    Histogram& h = reg.histogram("raq_wait_us", {}, {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(50.0);
+    const std::string expected =
+        "# TYPE raq_clock_ps gauge\n"
+        "raq_clock_ps 812.5\n"
+        "# TYPE raq_requests_total counter\n"
+        "raq_requests_total{device=\"0\"} 3\n"
+        "raq_requests_total{device=\"1\"} 4\n"
+        "# TYPE raq_wait_us histogram\n"
+        "raq_wait_us_bucket{le=\"1\"} 1\n"
+        "raq_wait_us_bucket{le=\"10\"} 2\n"
+        "raq_wait_us_bucket{le=\"+Inf\"} 3\n"
+        "raq_wait_us_sum 55.5\n"
+        "raq_wait_us_count 3\n";
+    EXPECT_EQ(reg.expose(), expected);
+}
+
+TEST(Metrics, JsonlEmitsOneObjectPerSeries) {
+    MetricsRegistry reg;
+    reg.counter("c", {{"device", "0"}}).add(1);
+    reg.gauge("g").set(2.5);
+    const std::string out = reg.jsonl();
+    EXPECT_NE(out.find("{\"name\":\"c\",\"labels\":{\"device\":\"0\"},"
+                       "\"type\":\"counter\",\"value\":1}"),
+              std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"g\",\"labels\":{},\"type\":\"gauge\",\"value\":2.5}"),
+              std::string::npos);
+}
+
+// ----------------------------------------------------------------- Traces
+
+TEST(Trace, SamplingIsDeterministicUnderFixedSeed) {
+    // The sampling decision is a pure function of (seed, request_id):
+    // two collectors with the same seed sample exactly the same ids,
+    // regardless of construction order or thread timing.
+    const TraceCollector a(0.01, 64, 12345);
+    const TraceCollector b(0.01, 64, 12345);
+    const TraceCollector c(0.01, 64, 54321);
+    std::set<std::uint64_t> sa, sc;
+    for (std::uint64_t id = 0; id < 20000; ++id) {
+        EXPECT_EQ(a.sampled(id), b.sampled(id));
+        if (a.sampled(id)) sa.insert(id);
+        if (c.sampled(id)) sc.insert(id);
+    }
+    // ~1% of 20000: the exact count is seed-dependent but must be near
+    // the rate and differ between seeds.
+    EXPECT_GT(sa.size(), 100u);
+    EXPECT_LT(sa.size(), 400u);
+    EXPECT_NE(sa, sc);
+}
+
+TEST(Trace, RateZeroAndOneAreTotal) {
+    const TraceCollector none(0.0, 8, 1);
+    const TraceCollector all(1.0, 8, 1);
+    for (std::uint64_t id = 0; id < 100; ++id) {
+        EXPECT_FALSE(none.sampled(id));
+        EXPECT_TRUE(all.sampled(id));
+    }
+}
+
+TEST(Trace, MarksCloseConsecutiveSpans) {
+    TraceCollector collector(1.0, 8, 7);
+    auto trace = collector.maybe_start(42, 1000);
+    ASSERT_NE(trace, nullptr);
+    trace->mark(SpanKind::Queue, 1100);
+    trace->mark(SpanKind::Batch, 1150);
+    trace->mark(SpanKind::Execute, 1950, /*device_id=*/3, /*stage=*/1, /*generation=*/2);
+    trace->mark(SpanKind::Complete, 1960);
+    ASSERT_EQ(trace->spans.size(), 4u);
+    EXPECT_EQ(trace->spans[0].start_us, 1000);
+    EXPECT_EQ(trace->spans[0].end_us, 1100);
+    EXPECT_EQ(trace->spans[1].start_us, 1100);  // spans tile the timeline
+    EXPECT_EQ(trace->spans[2].device_id, 3);
+    EXPECT_EQ(trace->spans[2].stage, 1);
+    EXPECT_EQ(trace->spans[2].generation, 2u);
+    EXPECT_EQ(trace->total_us(), 960);
+    const std::string text = trace->to_string();
+    EXPECT_NE(text.find("req 42"), std::string::npos);
+    EXPECT_NE(text.find("execute[dev=3,stage=1,gen=2] 800us"), std::string::npos);
+}
+
+TEST(Trace, ReservoirStaysBounded) {
+    TraceCollector collector(1.0, 16, 99);
+    for (std::uint64_t id = 0; id < 1000; ++id) {
+        auto trace = collector.maybe_start(id, static_cast<std::int64_t>(id));
+        trace->mark(SpanKind::Complete, static_cast<std::int64_t>(id + 1));
+        collector.finish(std::move(trace));
+    }
+    EXPECT_EQ(collector.started(), 1000u);
+    EXPECT_EQ(collector.finished(), 1000u);
+    EXPECT_EQ(collector.snapshot().size(), 16u);
+    collector.finish(nullptr);  // null is a no-op, not a crash
+    EXPECT_EQ(collector.finished(), 1000u);
+}
+
+// --------------------------------------------------------------- Timeline
+
+TEST(Timeline, RecordsEventsInOrderAndBounded) {
+    EventTimeline timeline(4);
+    for (int i = 0; i < 10; ++i) {
+        ReliabilityEvent e;
+        e.t_us = i;
+        e.kind = i % 2 ? EventKind::RequantSwap : EventKind::RequantBuild;
+        e.device_id = i;
+        timeline.record(std::move(e));
+    }
+    EXPECT_EQ(timeline.total_recorded(), 10u);
+    EXPECT_EQ(timeline.size(), 4u);  // oldest dropped past capacity
+    EXPECT_EQ(timeline.count(EventKind::RequantSwap), 5u);
+    EXPECT_EQ(timeline.count(EventKind::Recut), 0u);
+    const auto events = timeline.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().t_us, 6);  // 6,7,8,9 survive
+    EXPECT_EQ(events.back().t_us, 9);
+    const std::string text = timeline.render();
+    EXPECT_NE(text.find("requant-swap"), std::string::npos);
+    EXPECT_NE(text.find("dev=9"), std::string::npos);
+}
+
+TEST(Timeline, RenderIncludesGroupAndDetail) {
+    EventTimeline timeline;
+    ReliabilityEvent e;
+    e.t_us = 1234;
+    e.kind = EventKind::RecutTrigger;
+    e.group_id = 2;
+    e.generation = 3;
+    e.value = 1.75;
+    e.detail = "imbalance past ratio";
+    timeline.record(std::move(e));
+    const std::string text = timeline.render();
+    EXPECT_NE(text.find("recut-trigger"), std::string::npos);
+    EXPECT_NE(text.find("group=2"), std::string::npos);
+    EXPECT_NE(text.find("gen=3"), std::string::npos);
+    EXPECT_NE(text.find("imbalance past ratio"), std::string::npos);
+}
+
+}  // namespace

@@ -179,6 +179,9 @@ TEST_F(Serve, AgingDeviceRequantizesExactlyOnce) {
     EXPECT_GE(stats.requant_events[0].dvth_mv, kThresholdMv);
     EXPECT_TRUE(stats.requant_events[0].before.is_none());
     EXPECT_FALSE(stats.requant_events[0].after.is_none());
+    // The event carries a monotonic host timestamp (µs since the
+    // process-wide telemetry epoch) so cross-device ordering holds.
+    EXPECT_GT(stats.requant_events[0].t_us, 0);
     EXPECT_GT(stats.dvth_mv, kThresholdMv);
 
     // The re-deployed graph still serves sensible accuracy.
@@ -334,11 +337,17 @@ TEST_F(Serve, BackgroundRequantKeepsGraphsUntornAndGenerationsMonotonic) {
                             quant::QuantConfig::from_compression(initial_choice->compression),
                             *calib_));
         std::uint64_t prev = 1;
+        std::int64_t prev_t_us = 0;
         for (const serve::RequantEvent& event : stats.requant_events) {
             EXPECT_EQ(event.generation, prev + 1) << "device " << d;
             EXPECT_TRUE(event.background) << "device " << d;
             EXPECT_GT(event.build_ms, 0.0) << "device " << d;
             EXPECT_GE(event.dvth_mv, kThresholdMv) << "device " << d;
+            // Swap timestamps are monotonic per device: generation k+1
+            // cannot deploy before generation k on one steady clock.
+            EXPECT_GT(event.t_us, 0) << "device " << d;
+            EXPECT_GE(event.t_us, prev_t_us) << "device " << d;
+            prev_t_us = event.t_us;
             prev = event.generation;
             refs.emplace(event.generation,
                          quant::quantize_graph(
