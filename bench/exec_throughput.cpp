@@ -1,10 +1,12 @@
 // Planned-vs-legacy execution throughput: the Algorithm 1 inner loop
 // (repeated quantized evaluation of one model over the test set) timed
 // against the pre-refactor tree-walking interpreter — the verbatim seed
-// copy shared with the engine tests (tests/seed_interpreter_ref.hpp).
-// Reports MACs/s for both paths, asserts the logits agree bit for bit,
-// and fails (exit 1) when the planned engine does not deliver the
-// acceptance speedup.
+// copy shared with the engine tests (tests/seed_interpreter_ref.hpp) —
+// and against the planned engine pinned to the scalar reference kernels.
+// Reports MACs/s for every path, asserts all logits agree bit for bit,
+// and fails (exit 1) when the planned engine misses the 1.5x acceptance
+// speedup over the legacy interpreter or the SIMD dispatch tier misses
+// the 2.0x speedup over the scalar-pinned engine.
 //
 // Usage: exec_throughput [repetitions] [network] [batch]
 #include <chrono>
@@ -15,6 +17,7 @@
 
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
+#include "exec/kernels_simd.hpp"
 #include "ir/float_executor.hpp"
 #include "quant/evaluate.hpp"
 #include "quant/methods.hpp"
@@ -44,22 +47,37 @@ int main(int argc, char** argv) try {
                                      static_cast<std::uint64_t>(samples) *
                                      static_cast<std::uint64_t>(reps);
     std::printf(
-        "exec_throughput: %s, %d samples x %d reps, batch %d (%llu MMACs per pass)\n\n",
+        "exec_throughput: %s, %d samples x %d reps, batch %d (%llu MMACs per pass)\n",
         model.c_str(), samples, reps, batch_size,
         static_cast<unsigned long long>(total_macs / 1000000ull));
+    const auto active_tier = exec::kernels_simd::active_tier();
+    {
+        std::string avail;
+        for (const auto tier : exec::kernels_simd::available_tiers()) {
+            if (!avail.empty()) avail += ' ';
+            avail += exec::kernels_simd::tier_name(tier);
+        }
+        std::printf("kernel dispatch tier: %s (available: %s)\n\n",
+                    exec::kernels_simd::tier_name(active_tier), avail.c_str());
+    }
 
-    // The two paths alternate per repetition and each is scored by its
-    // best pass: on a noisy shared core, min-of-N is robust to drift that
-    // a single back-to-back measurement is not.
+    // The paths alternate per repetition and each is scored by its best
+    // pass: on a noisy shared core, min-of-N is robust to drift that a
+    // single back-to-back measurement is not.
     //
     // Legacy pass: the seed interpreter, re-walking the graph and
     // reallocating every workspace per batch — what Algorithm 1 paid
     // before the planned engine. Planned pass: one QuantRunner — plan,
     // arena and scratch compiled once, zero-copy batch views, cache-tiled
-    // int32 GEMM.
-    std::vector<float> legacy_logit_sink, planned_logit_sink;
+    // int32 GEMM on the active SIMD dispatch tier. Scalar-pinned pass:
+    // the same engine forced onto the scalar reference kernels, isolating
+    // the SIMD microkernel contribution from the planning one.
+    const bool simd_active = active_tier != exec::kernels_simd::KernelTier::Scalar;
+    std::vector<float> legacy_logit_sink, planned_logit_sink, scalar_logit_sink;
     quant::QuantRunner runner(qgraph, std::min(batch_size, samples));
-    double legacy_s = 1e300, planned_s = 1e300;
+    quant::QuantRunner scalar_runner(qgraph, std::min(batch_size, samples));
+    scalar_runner.set_kernel_tier(exec::kernels_simd::KernelTier::Scalar);
+    double legacy_s = 1e300, planned_s = 1e300, scalar_s = 1e300;
     for (int rep = 0; rep < reps; ++rep) {
         const auto t0 = Clock::now();
         for (int start = 0; start < samples; start += batch_size) {
@@ -86,24 +104,49 @@ int main(int argc, char** argv) try {
         }
         planned_s =
             std::min(planned_s, std::chrono::duration<double>(Clock::now() - t1).count());
+
+        const auto t2 = Clock::now();
+        for (int start = 0; start < samples; start += batch_size) {
+            const int count = std::min(batch_size, samples - start);
+            const tensor::Tensor logits =
+                scalar_runner.run(bench.test_images.batch_view(start, count));
+            if (rep == 0)
+                scalar_logit_sink.insert(scalar_logit_sink.end(), logits.data(),
+                                         logits.data() + logits.size());
+        }
+        scalar_s =
+            std::min(scalar_s, std::chrono::duration<double>(Clock::now() - t2).count());
     }
 
     if (legacy_logit_sink != planned_logit_sink) {
         std::fprintf(stderr, "exec_throughput: FAIL — logits diverge from the seed interpreter\n");
         return 1;
     }
+    if (scalar_logit_sink != planned_logit_sink) {
+        std::fprintf(stderr,
+                     "exec_throughput: FAIL — %s-tier logits diverge from the scalar tier\n",
+                     exec::kernels_simd::tier_name(active_tier));
+        return 1;
+    }
 
     const std::uint64_t pass_macs = total_macs / static_cast<std::uint64_t>(reps);
     const double speedup = legacy_s / planned_s;
+    const double simd_speedup = scalar_s / planned_s;
     common::Table table({"path", "best pass [s]", "GMACs/s", "speedup"});
     table.add_row({"legacy interpreter", common::Table::fmt(legacy_s, 3),
                    common::Table::fmt(static_cast<double>(pass_macs) / legacy_s / 1e9, 2),
                    "1.00"});
-    table.add_row({"planned engine", common::Table::fmt(planned_s, 3),
+    table.add_row({"planned engine (scalar)", common::Table::fmt(scalar_s, 3),
+                   common::Table::fmt(static_cast<double>(pass_macs) / scalar_s / 1e9, 2),
+                   common::Table::fmt(legacy_s / scalar_s, 2)});
+    table.add_row({std::string("planned engine (") +
+                       exec::kernels_simd::tier_name(active_tier) + ")",
+                   common::Table::fmt(planned_s, 3),
                    common::Table::fmt(static_cast<double>(pass_macs) / planned_s / 1e9, 2),
                    common::Table::fmt(speedup, 2)});
     std::printf("%s\n", table.to_string().c_str());
-    std::printf("logits bit-identical across %zu values\n", planned_logit_sink.size());
+    std::printf("logits bit-identical across %zu values (all paths)\n",
+                planned_logit_sink.size());
 
     if (speedup < 1.5) {
         std::fprintf(stderr,
@@ -111,7 +154,18 @@ int main(int argc, char** argv) try {
                      speedup);
         return 1;
     }
-    std::printf("PASS: %.2fx >= 1.5x acceptance threshold\n", speedup);
+    std::printf("PASS: %.2fx >= 1.5x acceptance threshold (vs legacy)\n", speedup);
+    if (simd_active) {
+        if (simd_speedup < 2.0) {
+            std::fprintf(stderr,
+                         "exec_throughput: FAIL — %s tier %.2fx below the 2.0x "
+                         "threshold over the scalar-pinned engine\n",
+                         exec::kernels_simd::tier_name(active_tier), simd_speedup);
+            return 1;
+        }
+        std::printf("PASS: %.2fx >= 2.0x SIMD threshold (%s vs scalar-pinned)\n",
+                    simd_speedup, exec::kernels_simd::tier_name(active_tier));
+    }
     return 0;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "exec_throughput: %s\n", e.what());

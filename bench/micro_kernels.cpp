@@ -1,9 +1,18 @@
 // google-benchmark microbenchmarks of the library's hot kernels: STA
-// analysis, event-driven simulation, float and quantized inference.
+// analysis, event-driven simulation, the integer-GEMM microkernel family
+// (every available SIMD dispatch tier, unpacked and packed), im2col,
+// float GEMM variants, and end-to-end float/quantized inference.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "cell/library.hpp"
+#include "common/rng.hpp"
 #include "data/synthetic_dataset.hpp"
+#include "exec/kernels.hpp"
+#include "exec/kernels_simd.hpp"
 #include "ir/float_executor.hpp"
 #include "netlist/builders.hpp"
 #include "nn/zoo.hpp"
@@ -12,6 +21,7 @@
 #include "quant/methods.hpp"
 #include "sim/event_sim.hpp"
 #include "sta/sta.hpp"
+#include "tensor/gemm.hpp"
 
 namespace {
 
@@ -71,6 +81,130 @@ void BM_NetlistFunctionalEval64(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_NetlistFunctionalEval64);
+
+// ---- integer-GEMM microkernel family -------------------------------------
+//
+// One representative mid-network conv tile: 64 output channels over a
+// kdim = 64·3·3 reduction and a 1024-column (batch·hw) panel — the shape
+// class the packed pipeline was tuned on. Registered once per available
+// dispatch tier so a single run shows the scalar → sse41 → avx2 ladder.
+
+constexpr std::size_t kGemmRows = 64;
+constexpr std::size_t kGemmKdim = 64 * 3 * 3;
+constexpr std::size_t kGemmCols = 1024;
+
+struct GemmU8Fixture {
+    std::vector<std::uint8_t> w;     // [rows, kdim]
+    std::vector<std::uint8_t> cols;  // [kdim, cols]
+    std::vector<std::int32_t> acc;   // [rows, cols]
+
+    GemmU8Fixture() : w(kGemmRows * kGemmKdim), cols(kGemmKdim * kGemmCols),
+                      acc(kGemmRows * kGemmCols) {
+        common::Rng rng(7);
+        for (auto& v : w) v = static_cast<std::uint8_t>(rng.next_u64());
+        for (auto& v : cols) v = static_cast<std::uint8_t>(rng.next_u64());
+    }
+};
+
+void gemm_counters(benchmark::State& state) {
+    const std::int64_t macs = static_cast<std::int64_t>(kGemmRows * kGemmKdim * kGemmCols);
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(kGemmRows * kGemmKdim + kGemmKdim * kGemmCols +
+                                  kGemmRows * kGemmCols * sizeof(std::int32_t));
+    state.SetItemsProcessed(state.iterations() * macs);    // items = MAC products
+    state.SetBytesProcessed(state.iterations() * bytes);   // one full operand sweep
+}
+
+void BM_GemmU8Unpacked(benchmark::State& state, exec::kernels_simd::KernelTier tier) {
+    static GemmU8Fixture fx;
+    const auto kernel = exec::kernels_simd::gemm_u8_kernel(tier);
+    for (auto _ : state) {
+        kernel(fx.w.data(), kGemmKdim, kGemmRows, fx.cols.data(), kGemmCols, kGemmKdim,
+               kGemmCols, fx.acc.data(), kGemmCols);
+        benchmark::DoNotOptimize(fx.acc.data());
+    }
+    gemm_counters(state);
+}
+
+void BM_GemmU8Packed(benchmark::State& state, exec::kernels_simd::KernelTier tier) {
+    static GemmU8Fixture fx;
+    const auto pk = exec::kernels_simd::packed_kernels(tier);
+    if (pk.gemm == nullptr) {
+        state.SkipWithError("tier has no packed pipeline");
+        return;
+    }
+    // Weights are widened once per conv call in QuantBackend (amortized
+    // over every column tile), so the widening stays outside the loop;
+    // the per-tile pack is what each iteration pays, so it stays inside.
+    const std::size_t wstride = kGemmKdim + (kGemmKdim & 1);
+    std::vector<std::int16_t> w16(kGemmRows * wstride);
+    exec::kernels_simd::widen_weights_u8(fx.w.data(), kGemmRows, kGemmKdim, w16.data());
+    std::vector<std::int16_t> packed(
+        exec::kernels_simd::packed_panel_elems(kGemmKdim, kGemmCols, pk.col_group));
+    for (auto _ : state) {
+        pk.pack(fx.cols.data(), kGemmCols, kGemmKdim, kGemmCols, packed.data());
+        pk.gemm(w16.data(), wstride, kGemmRows, packed.data(), kGemmKdim, kGemmCols,
+                fx.acc.data(), kGemmCols);
+        benchmark::DoNotOptimize(fx.acc.data());
+    }
+    gemm_counters(state);
+}
+
+void BM_Im2colU8(benchmark::State& state) {
+    // conv2 of the mini networks: 32×32 input, 64 channels, 3×3, pad 1.
+    const tensor::Shape s{8, 64, 32, 32};
+    const std::size_t rows = 64 * 3 * 3;
+    const std::size_t cols = static_cast<std::size_t>(s.n) * 32 * 32;
+    std::vector<std::uint8_t> qx(s.size());
+    std::vector<std::uint8_t> columns(rows * cols);
+    common::Rng rng(11);
+    for (auto& v : qx) v = static_cast<std::uint8_t>(rng.next_u64());
+    for (auto _ : state) {
+        exec::kernels::im2col_u8(qx.data(), s, 3, 3, 1, 1, columns.data(), 32, 32, true);
+        benchmark::DoNotOptimize(columns.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows * cols));
+    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(rows * cols));
+}
+
+template <void (*Gemm)(const float*, const float*, float*, std::size_t, std::size_t,
+                       std::size_t, bool)>
+void BM_FloatGemm(benchmark::State& state) {
+    static GemmU8Fixture fx;  // reuse the integer shapes for the operand data
+    std::vector<float> a(kGemmRows * kGemmKdim), b(kGemmKdim * kGemmCols);
+    std::vector<float> c(kGemmRows * kGemmCols);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(fx.w[i]) / 255.0f;
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(fx.cols[i]) / 255.0f;
+    for (auto _ : state) {
+        Gemm(a.data(), b.data(), c.data(), kGemmRows, kGemmKdim, kGemmCols, false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kGemmRows * kGemmKdim * kGemmCols));
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>((a.size() + b.size() + c.size()) * sizeof(float)));
+}
+
+// Per-tier registration has to happen at runtime (the available set is a
+// CPUID question), so it rides a static initializer instead of the
+// BENCHMARK macro.
+const int kRegisterTierBenches = [] {
+    for (const auto tier : exec::kernels_simd::available_tiers()) {
+        const std::string name = exec::kernels_simd::tier_name(tier);
+        benchmark::RegisterBenchmark(("BM_GemmU8Unpacked/" + name).c_str(),
+                                     BM_GemmU8Unpacked, tier);
+        if (exec::kernels_simd::packed_kernels(tier).gemm != nullptr)
+            benchmark::RegisterBenchmark(("BM_GemmU8Packed/" + name).c_str(),
+                                         BM_GemmU8Packed, tier);
+    }
+    return 0;
+}();
+
+BENCHMARK(BM_Im2colU8);
+BENCHMARK_TEMPLATE(BM_FloatGemm, tensor::gemm)->Name("BM_FloatGemm/nn");
+BENCHMARK_TEMPLATE(BM_FloatGemm, tensor::gemm_at)->Name("BM_FloatGemm/at");
+BENCHMARK_TEMPLATE(BM_FloatGemm, tensor::gemm_bt)->Name("BM_FloatGemm/bt");
 
 struct InferenceFixtures {
     data::SyntheticDataset dataset;

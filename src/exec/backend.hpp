@@ -23,6 +23,10 @@ struct ConvCall {
     float* out = nullptr;
     tensor::Shape out_shape;
     ThreadPool* pool = nullptr;  ///< null ⇒ serial execution
+    /// Workspace this invocation owns exclusively: the context's scratch
+    /// in serial execution, a lane-private one under level-parallel
+    /// fan-out. Always set by the engine.
+    ConvScratch* scratch = nullptr;
 };
 
 class Backend {
@@ -36,6 +40,11 @@ public:
     /// Execute one convolution. Must fully overwrite `call.out` and, when
     /// `call.pool` is set, stay bit-identical to serial execution.
     virtual void conv(const ConvCall& call, ExecContext& ctx) = 0;
+
+    /// True when runs must execute ops strictly in schedule (op-index)
+    /// order — e.g. an ordered fault-injection stream is attached. The
+    /// engine then never fans a dependency level out over the pool.
+    [[nodiscard]] virtual bool serial_only() const { return false; }
 };
 
 /// FP32 reference datapath: im2col + float GEMM + bias, numerically

@@ -1,12 +1,25 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
 #include "exec/kernels.hpp"
 
 namespace raq::exec {
+
+namespace {
+std::atomic<std::uint64_t> g_level_parallel_runs{0};
+std::atomic<std::uint64_t> g_level_parallel_levels{0};
+}  // namespace
+
+std::uint64_t level_parallel_runs() {
+    return g_level_parallel_runs.load(std::memory_order_relaxed);
+}
+std::uint64_t level_parallel_levels() {
+    return g_level_parallel_levels.load(std::memory_order_relaxed);
+}
 
 tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
                    tensor::TensorView batch, const RunOptions& options) {
@@ -36,8 +49,8 @@ tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
     buffers[static_cast<std::size_t>(graph.input_id())] = batch.data;
 
     // Per-level profiling accumulates locally and fires the hook once per
-    // level after the run; the schedule is level-ordered, so a level's
-    // ops are contiguous and a level-change boundary flushes the bucket.
+    // level after the run (serial: summed per-op; fanned: the level's
+    // wall time, which is what the level actually cost the run).
     const bool timed = options.level_hook != nullptr && *options.level_hook != nullptr;
     std::vector<double> level_us;
     if (timed) {
@@ -46,10 +59,12 @@ tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
         level_us.assign(static_cast<std::size_t>(max_level) + 1, 0.0);
     }
 
-    for (const OpStep& step : plan.schedule()) {
-        const std::chrono::steady_clock::time_point op_start =
-            timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
-        const ir::Op& op = graph.ops()[static_cast<std::size_t>(step.op_index)];
+    // One op, executed with an exclusively owned conv workspace. Writing
+    // buffers[output] from concurrent lanes is safe: ops of one level have
+    // distinct outputs (distinct vector elements), and the pool barrier
+    // publishes them to the next level.
+    const auto exec_op = [&](int op_index, ThreadPool* pool, ConvScratch& scratch) {
+        const ir::Op& op = graph.ops()[static_cast<std::size_t>(op_index)];
         const tensor::Shape& out_shape = shapes[static_cast<std::size_t>(op.output)];
         float* out = ctx.arena.data() + plan.offset_of(op.output);
         const float* in0 = buffers[static_cast<std::size_t>(op.inputs.at(0))];
@@ -58,14 +73,15 @@ tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
         switch (op.kind) {
             case ir::OpKind::Conv2d: {
                 ConvCall call;
-                call.op_index = step.op_index;
+                call.op_index = op_index;
                 call.op = &op;
-                call.geom = plan.conv_geom(step.op_index);
+                call.geom = plan.conv_geom(op_index);
                 call.in = in0;
                 call.in_shape = in0_shape;
                 call.out = out;
                 call.out_shape = out_shape;
-                call.pool = options.pool;
+                call.pool = pool;
+                call.scratch = &scratch;
                 backend.conv(call, ctx);
                 break;
             }
@@ -95,11 +111,59 @@ tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
             }
         }
         buffers[static_cast<std::size_t>(op.output)] = out;
-        if (timed)
-            level_us[static_cast<std::size_t>(step.level)] +=
-                std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
-                                                          op_start)
-                    .count();
+    };
+
+    // Level-parallel mode: fan the mutually independent ops of each level
+    // out over the pool (each fanned op runs its conv serially on a
+    // lane-private workspace — the pool is not reentrant); single-op
+    // levels keep the conv-internal channel split instead. The arena's
+    // level floors guarantee no two same-level tensors share bytes.
+    // Backends with ordered hooks (serial_only) take the schedule path.
+    const bool fan_levels = options.pool != nullptr && plan.has_parallel_levels() &&
+                            !backend.serial_only();
+    if (fan_levels) {
+        const std::vector<int>& order = plan.level_order();
+        const std::vector<std::size_t>& bounds = plan.level_bounds();
+        std::uint64_t fanned = 0;
+        for (std::size_t level = 0; level + 1 < bounds.size(); ++level) {
+            const std::chrono::steady_clock::time_point level_start =
+                timed ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+            const std::size_t begin = bounds[level];
+            const std::size_t count = bounds[level + 1] - begin;
+            if (count <= 1) {
+                if (count == 1) exec_op(order[begin], options.pool, ctx.scratch);
+            } else {
+                const std::size_t lanes = static_cast<std::size_t>(options.pool->size());
+                if (ctx.level_lanes.size() < lanes) ctx.level_lanes.resize(lanes);
+                ++fanned;
+                options.pool->parallel_for(
+                    count, [&](std::size_t lane, std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i)
+                            exec_op(order[begin + i], nullptr, ctx.level_lanes[lane]);
+                    });
+            }
+            if (timed)
+                level_us[level] += std::chrono::duration<double, std::micro>(
+                                       std::chrono::steady_clock::now() - level_start)
+                                       .count();
+        }
+        if (fanned > 0) {
+            g_level_parallel_runs.fetch_add(1, std::memory_order_relaxed);
+            g_level_parallel_levels.fetch_add(fanned, std::memory_order_relaxed);
+        }
+    } else {
+        for (const OpStep& step : plan.schedule()) {
+            const std::chrono::steady_clock::time_point op_start =
+                timed ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+            exec_op(step.op_index, options.pool, ctx.scratch);
+            if (timed)
+                level_us[static_cast<std::size_t>(step.level)] +=
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - op_start)
+                        .count();
+        }
     }
     if (timed)
         for (std::size_t level = 0; level < level_us.size(); ++level)

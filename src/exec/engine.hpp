@@ -4,10 +4,15 @@
 // (and backend instance, when the backend carries per-run hooks).
 //
 // Determinism guarantee: with or without a thread pool, outputs are bit-
-// identical — parallelism only ever splits convolutions over disjoint
-// output-channel ranges whose per-element arithmetic is unchanged.
+// identical — parallelism only ever (a) splits a convolution over
+// disjoint output-channel ranges, or (b) fans the mutually independent
+// ops of one dependency level out over the pool; per-element arithmetic
+// and each op's reduction order are unchanged either way. Backends that
+// carry an ordered per-product hook (bit-flip injection) report
+// serial_only() and always run in exact schedule order.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -33,6 +38,13 @@ struct RunOptions {
 /// for Tensor::batch_view slices).
 [[nodiscard]] tensor::Tensor run(const ExecPlan& plan, Backend& backend, ExecContext& ctx,
                                  tensor::TensorView batch, const RunOptions& options = {});
+
+/// Process-wide level-parallel execution counters (relaxed atomics): runs
+/// that fanned at least one dependency level over the pool, and the total
+/// number of fanned levels. Observability scrapes diff these to show
+/// which code path production batches actually take.
+[[nodiscard]] std::uint64_t level_parallel_runs();
+[[nodiscard]] std::uint64_t level_parallel_levels();
 
 /// Reusable FP32 execution state: plan + context + FloatBackend, growing
 /// its batch capacity on demand. One per thread. Compiles a private plan

@@ -8,22 +8,24 @@
 namespace raq::exec {
 
 void FloatBackend::prepare(const ExecPlan& plan, ExecContext& ctx) const {
-    ExecContext::reserve(ctx.columns, plan.max_columns());
-    ExecContext::reserve(ctx.product, plan.max_product_floats());
+    ExecContext::reserve(ctx.scratch.columns, plan.max_columns());
+    ExecContext::reserve(ctx.scratch.product, plan.max_product_floats());
 }
 
 void FloatBackend::conv(const ConvCall& call, ExecContext& ctx) {
+    (void)ctx;
     const ir::Op& op = *call.op;
     const ConvGeom& g = *call.geom;
+    ConvScratch& scr = *call.scratch;
     const tensor::Shape& s = call.in_shape;
     const std::size_t cols = static_cast<std::size_t>(s.n) * g.hw;
 
-    ExecContext::reserve(ctx.columns, g.kdim * cols);
+    ExecContext::reserve(scr.columns, g.kdim * cols);
     kernels::im2col(call.in, s, op.conv.kh, op.conv.kw, op.conv.stride, op.conv.pad,
-                    ctx.columns.data(), g.oh, g.ow, g.zero_columns);
+                    scr.columns.data(), g.oh, g.ow, g.zero_columns);
 
     const auto gemm_rows = [&](float* c, std::size_t oc_begin, std::size_t oc_end) {
-        tensor::gemm(op.weights.data() + oc_begin * g.kdim, ctx.columns.data(),
+        tensor::gemm(op.weights.data() + oc_begin * g.kdim, scr.columns.data(),
                      c + oc_begin * cols, oc_end - oc_begin, g.kdim, cols);
     };
 
@@ -49,15 +51,15 @@ void FloatBackend::conv(const ConvCall& call, ExecContext& ctx) {
         return;
     }
 
-    ExecContext::reserve(ctx.product, static_cast<std::size_t>(op.conv.out_c) * cols);
+    ExecContext::reserve(scr.product, static_cast<std::size_t>(op.conv.out_c) * cols);
     // product is [oc, n*oh*ow]; output layout is [n, oc, oh, ow].
     const auto run = [&](std::size_t oc_begin, std::size_t oc_end) {
-        gemm_rows(ctx.product.data(), oc_begin, oc_end);
+        gemm_rows(scr.product.data(), oc_begin, oc_end);
         for (int n = 0; n < s.n; ++n)
             for (std::size_t oc = oc_begin; oc < oc_end; ++oc) {
                 const float b = op.bias[oc];
                 const float* src =
-                    ctx.product.data() + oc * cols + static_cast<std::size_t>(n) * g.hw;
+                    scr.product.data() + oc * cols + static_cast<std::size_t>(n) * g.hw;
                 float* dst = call.out +
                              (static_cast<std::size_t>(n) *
                                   static_cast<std::size_t>(op.conv.out_c) +

@@ -23,22 +23,36 @@ void maxpool(const float* in, const tensor::Shape& s, int kernel, int stride, fl
             float* dst = out + (static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
                                 static_cast<std::size_t>(c)) *
                                    out_hw;
-            for (int oy = 0; oy < oh; ++oy)
-                for (int ox = 0; ox < ow; ++ox) {
-                    float best = -std::numeric_limits<float>::infinity();
-                    for (int ky = 0; ky < kernel; ++ky)
-                        for (int kx = 0; kx < kernel; ++kx) {
-                            const int iy = oy * stride + ky;
-                            const int ix = ox * stride + kx;
-                            if (iy < s.h && ix < s.w)
-                                best = std::max(
-                                    best, plane[static_cast<std::size_t>(iy) *
-                                                    static_cast<std::size_t>(s.w) +
-                                                static_cast<std::size_t>(ix)]);
-                        }
-                    dst[static_cast<std::size_t>(oy) * static_cast<std::size_t>(ow) +
-                        static_cast<std::size_t>(ox)] = best;
+            // Window-bound hoisting: for fixed kx the in-bounds ox are a
+            // prefix (ox·stride + kx < w), so the inner loops are
+            // branch-free strided max-accumulations over the output row —
+            // same elements folded in the same ky-major, kx-minor order
+            // per output as the naive window walk, so identical results
+            // (including the −inf seed for fully out-of-bounds windows).
+            for (int oy = 0; oy < oh; ++oy) {
+                float* row_out = dst + static_cast<std::size_t>(oy) *
+                                           static_cast<std::size_t>(ow);
+                for (int ox = 0; ox < ow; ++ox)
+                    row_out[ox] = -std::numeric_limits<float>::infinity();
+                const int ky_hi = std::min(kernel, s.h - oy * stride);
+                for (int ky = 0; ky < ky_hi; ++ky) {
+                    const float* row_in =
+                        plane + (static_cast<std::size_t>(oy) *
+                                     static_cast<std::size_t>(stride) +
+                                 static_cast<std::size_t>(ky)) *
+                                    static_cast<std::size_t>(s.w);
+                    for (int kx = 0; kx < kernel; ++kx) {
+                        const int ox_hi =
+                            std::min(ow, kx >= s.w ? 0 : (s.w - 1 - kx) / stride + 1);
+                        for (int ox = 0; ox < ox_hi; ++ox)
+                            row_out[ox] = std::max(
+                                row_out[ox],
+                                row_in[static_cast<std::size_t>(ox) *
+                                           static_cast<std::size_t>(stride) +
+                                       static_cast<std::size_t>(kx)]);
+                    }
                 }
+            }
         }
 }
 
@@ -100,6 +114,18 @@ void im2col_impl(const T* in, const tensor::Shape& s, int kh, int kw, int stride
                          static_cast<std::size_t>(ky)) *
                             static_cast<std::size_t>(kw) +
                         static_cast<std::size_t>(kx);
+                    // The in-bounds ox values form one contiguous run:
+                    // ix = ox·stride − pad + kx ∈ [0, w) ⇔ ox ∈ [lo, hi).
+                    // Hoisting the bounds out of the inner loop turns the
+                    // stride-1 case into a straight memcpy per row and the
+                    // strided case into a branch-free gather — the same
+                    // elements are written either way.
+                    const int over = s.w + pad - kx;  // exclusive ix bound, ox domain
+                    const int ox_lo =
+                        std::min(ow, std::max(0, (pad - kx + stride - 1) / stride));
+                    const int ox_hi = std::max(
+                        ox_lo, std::min(ow, over > 0 ? (over + stride - 1) / stride : 0));
+                    if (ox_lo >= ox_hi) continue;
                     for (int oy = 0; oy < oh; ++oy) {
                         const int iy = oy * stride - pad + ky;
                         if (iy < 0 || iy >= s.h) continue;
@@ -107,17 +133,22 @@ void im2col_impl(const T* in, const tensor::Shape& s, int kh, int kw, int stride
                             (static_cast<std::size_t>(n) * static_cast<std::size_t>(oh) +
                              static_cast<std::size_t>(oy)) *
                             static_cast<std::size_t>(ow);
+                        T* dst = columns + row * cols + col_base;
                         const std::size_t in_base =
                             ((static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) +
                               static_cast<std::size_t>(c)) *
                                  static_cast<std::size_t>(s.h) +
                              static_cast<std::size_t>(iy)) *
                             static_cast<std::size_t>(s.w);
-                        for (int ox = 0; ox < ow; ++ox) {
-                            const int ix = ox * stride - pad + kx;
-                            if (ix < 0 || ix >= s.w) continue;
-                            columns[row * cols + col_base + static_cast<std::size_t>(ox)] =
-                                in[in_base + static_cast<std::size_t>(ix)];
+                        const T* src = in + in_base;
+                        const int ix_lo = ox_lo * stride - pad + kx;  // ≥ 0 by ox_lo
+                        if (stride == 1) {
+                            std::memcpy(dst + ox_lo, src + ix_lo,
+                                        static_cast<std::size_t>(ox_hi - ox_lo) * sizeof(T));
+                        } else {
+                            int ix = ix_lo;
+                            for (int ox = ox_lo; ox < ox_hi; ++ox, ix += stride)
+                                dst[ox] = src[ix];
                         }
                     }
                 }

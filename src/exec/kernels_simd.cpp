@@ -1,0 +1,720 @@
+#include "exec/kernels_simd.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RAQ_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#define RAQ_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace raq::exec::kernels_simd {
+
+namespace {
+
+/// Scalar reference: the same i32 dot products every SIMD tier computes.
+/// Also used by the vector kernels for row/column/k remainders, where it
+/// is exact by the same argument (integer adds reassociate freely).
+void gemm_u8_block_scalar(const std::uint8_t* w, std::size_t w_stride, std::size_t r0,
+                          std::size_t rows, const std::uint8_t* cols,
+                          std::size_t col_stride, std::size_t kdim, std::size_t j0,
+                          std::size_t n, std::int32_t* acc, std::size_t acc_stride) {
+    for (std::size_t r = r0; r < r0 + rows; ++r) {
+        const std::uint8_t* wrow = w + r * w_stride;
+        std::int32_t* arow = acc + r * acc_stride;
+        for (std::size_t j = j0; j < n; ++j) {
+            std::int32_t sum = 0;
+            for (std::size_t k = 0; k < kdim; ++k)
+                sum += static_cast<std::int32_t>(wrow[k]) *
+                       static_cast<std::int32_t>(cols[k * col_stride + j]);
+            arow[j] = sum;
+        }
+    }
+}
+
+void gemm_u8_scalar(const std::uint8_t* w, std::size_t w_stride, std::size_t rows,
+                    const std::uint8_t* cols, std::size_t col_stride, std::size_t kdim,
+                    std::size_t n, std::int32_t* acc, std::size_t acc_stride) {
+    gemm_u8_block_scalar(w, w_stride, 0, rows, cols, col_stride, kdim, 0, n, acc,
+                         acc_stride);
+}
+
+/// Scalar remainder of the vector quantize loops: the same expression as
+/// quant::QuantParams::quantize, with the activation mask applied.
+[[maybe_unused]] void quantize_u8_tail(const float* in, std::size_t begin, std::size_t n, float scale,
+                      std::int32_t zero_point, std::int32_t qmax, std::uint8_t mask,
+                      std::uint8_t* out) {
+    for (std::size_t i = begin; i < n; ++i) {
+        const float q = std::nearbyint(in[i] / scale) + static_cast<float>(zero_point);
+        const float clamped = std::min(std::max(q, 0.0f), static_cast<float>(qmax));
+        out[i] = static_cast<std::uint8_t>(static_cast<std::int32_t>(clamped)) & mask;
+    }
+}
+
+#if RAQ_SIMD_X86
+
+/// Weight k-pair broadcast for pmaddwd: lanes hold the i16 pair [w_k, w_k+1],
+/// multiplying the interleaved activation pair [a_k, a_k+1] per column.
+/// Max pair sum 2·255·255 = 130050 — far inside i32, so no saturation.
+inline int weight_pair(const std::uint8_t* wrow, std::size_t k) {
+    const std::uint32_t w0 = wrow[k];
+    const std::uint32_t w1 = wrow[k + 1];
+    return static_cast<int>(w0 | (w1 << 16));
+}
+
+__attribute__((target("sse4.1"))) void gemm_u8_sse41(
+    const std::uint8_t* w, std::size_t w_stride, std::size_t rows,
+    const std::uint8_t* cols, std::size_t col_stride, std::size_t kdim, std::size_t n,
+    std::int32_t* acc, std::size_t acc_stride) {
+    for (std::size_t r0 = 0; r0 < rows; r0 += kGemmU8RowBlock) {
+        const std::size_t mr = std::min(kGemmU8RowBlock, rows - r0);
+        std::size_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+            __m128i acc_lo[kGemmU8RowBlock];  // columns j+0..3
+            __m128i acc_hi[kGemmU8RowBlock];  // columns j+4..7
+            for (std::size_t r = 0; r < mr; ++r) {
+                acc_lo[r] = _mm_setzero_si128();
+                acc_hi[r] = _mm_setzero_si128();
+            }
+            std::size_t k = 0;
+            for (; k + 2 <= kdim; k += 2) {
+                const std::uint8_t* c0 = cols + k * col_stride + j;
+                const std::uint8_t* c1 = c0 + col_stride;
+                const __m128i a0 = _mm_cvtepu8_epi16(
+                    _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c0)));
+                const __m128i a1 = _mm_cvtepu8_epi16(
+                    _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c1)));
+                const __m128i lo = _mm_unpacklo_epi16(a0, a1);
+                const __m128i hi = _mm_unpackhi_epi16(a0, a1);
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const __m128i wp = _mm_set1_epi32(weight_pair(w + (r0 + r) * w_stride, k));
+                    acc_lo[r] = _mm_add_epi32(acc_lo[r], _mm_madd_epi16(lo, wp));
+                    acc_hi[r] = _mm_add_epi32(acc_hi[r], _mm_madd_epi16(hi, wp));
+                }
+            }
+            if (k < kdim) {  // odd kdim: pair the last row with zeros
+                const std::uint8_t* c0 = cols + k * col_stride + j;
+                const __m128i a0 = _mm_cvtepu8_epi16(
+                    _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c0)));
+                const __m128i zero = _mm_setzero_si128();
+                const __m128i lo = _mm_unpacklo_epi16(a0, zero);
+                const __m128i hi = _mm_unpackhi_epi16(a0, zero);
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const __m128i wp =
+                        _mm_set1_epi32(static_cast<int>(w[(r0 + r) * w_stride + k]));
+                    acc_lo[r] = _mm_add_epi32(acc_lo[r], _mm_madd_epi16(lo, wp));
+                    acc_hi[r] = _mm_add_epi32(acc_hi[r], _mm_madd_epi16(hi, wp));
+                }
+            }
+            for (std::size_t r = 0; r < mr; ++r) {
+                std::int32_t* out = acc + (r0 + r) * acc_stride + j;
+                _mm_storeu_si128(reinterpret_cast<__m128i*>(out), acc_lo[r]);
+                _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4), acc_hi[r]);
+            }
+        }
+        if (j < n)
+            gemm_u8_block_scalar(w, w_stride, r0, mr, cols, col_stride, kdim, j, n, acc,
+                                 acc_stride);
+    }
+}
+
+__attribute__((target("avx2"))) void gemm_u8_avx2(
+    const std::uint8_t* w, std::size_t w_stride, std::size_t rows,
+    const std::uint8_t* cols, std::size_t col_stride, std::size_t kdim, std::size_t n,
+    std::int32_t* acc, std::size_t acc_stride) {
+    for (std::size_t r0 = 0; r0 < rows; r0 += kGemmU8RowBlock) {
+        const std::size_t mr = std::min(kGemmU8RowBlock, rows - r0);
+        std::size_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+            // 256-bit unpack interleaves within 128-bit lanes, so acc_lo
+            // holds columns {0..3, 8..11} and acc_hi {4..7, 12..15}; the
+            // permutation is constant across k and undone once at store.
+            __m256i acc_lo[kGemmU8RowBlock];
+            __m256i acc_hi[kGemmU8RowBlock];
+            for (std::size_t r = 0; r < mr; ++r) {
+                acc_lo[r] = _mm256_setzero_si256();
+                acc_hi[r] = _mm256_setzero_si256();
+            }
+            std::size_t k = 0;
+            for (; k + 2 <= kdim; k += 2) {
+                const std::uint8_t* c0 = cols + k * col_stride + j;
+                const std::uint8_t* c1 = c0 + col_stride;
+                const __m256i a0 = _mm256_cvtepu8_epi16(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(c0)));
+                const __m256i a1 = _mm256_cvtepu8_epi16(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(c1)));
+                const __m256i lo = _mm256_unpacklo_epi16(a0, a1);
+                const __m256i hi = _mm256_unpackhi_epi16(a0, a1);
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const __m256i wp =
+                        _mm256_set1_epi32(weight_pair(w + (r0 + r) * w_stride, k));
+                    acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(lo, wp));
+                    acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(hi, wp));
+                }
+            }
+            if (k < kdim) {
+                const std::uint8_t* c0 = cols + k * col_stride + j;
+                const __m256i a0 = _mm256_cvtepu8_epi16(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(c0)));
+                const __m256i zero = _mm256_setzero_si256();
+                const __m256i lo = _mm256_unpacklo_epi16(a0, zero);
+                const __m256i hi = _mm256_unpackhi_epi16(a0, zero);
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const __m256i wp =
+                        _mm256_set1_epi32(static_cast<int>(w[(r0 + r) * w_stride + k]));
+                    acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(lo, wp));
+                    acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(hi, wp));
+                }
+            }
+            for (std::size_t r = 0; r < mr; ++r) {
+                std::int32_t* out = acc + (r0 + r) * acc_stride + j;
+                _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                                    _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x20));
+                _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8),
+                                    _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x31));
+            }
+        }
+        if (j < n)
+            gemm_u8_block_scalar(w, w_stride, r0, mr, cols, col_stride, kdim, j, n, acc,
+                                 acc_stride);
+    }
+}
+
+__attribute__((target("sse4.1"))) void pack_cols_sse41(const std::uint8_t* cols,
+                                                       std::size_t col_stride,
+                                                       std::size_t kdim, std::size_t n,
+                                                       std::int16_t* packed) {
+    const std::size_t groups = n / 8;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::uint8_t* base = cols + g * 8;
+        std::int16_t* dst = packed;
+        packed += ((kdim + 1) / 2) * 16;
+        std::size_t k = 0;
+        for (; k + 2 <= kdim; k += 2, dst += 16) {
+            const __m128i a0 = _mm_cvtepu8_epi16(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(base + k * col_stride)));
+            const __m128i a1 = _mm_cvtepu8_epi16(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i*>(base + (k + 1) * col_stride)));
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), _mm_unpacklo_epi16(a0, a1));
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 8), _mm_unpackhi_epi16(a0, a1));
+        }
+        if (k < kdim) {  // odd kdim: the pair's second element is zero
+            const __m128i a0 = _mm_cvtepu8_epi16(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(base + k * col_stride)));
+            const __m128i zero = _mm_setzero_si128();
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), _mm_unpacklo_epi16(a0, zero));
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 8),
+                             _mm_unpackhi_epi16(a0, zero));
+        }
+    }
+}
+
+__attribute__((target("sse4.1"))) void gemm_packed_sse41(
+    const std::int16_t* w16, std::size_t w_stride, std::size_t rows,
+    const std::int16_t* packed, std::size_t kdim, std::size_t n, std::int32_t* acc,
+    std::size_t acc_stride) {
+    const std::size_t groups = n / 8;
+    const std::size_t kp = (kdim + 1) / 2;
+    for (std::size_t r0 = 0; r0 < rows; r0 += kGemmU8RowBlock) {
+        const std::size_t mr = std::min(kGemmU8RowBlock, rows - r0);
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::int16_t* src = packed + g * kp * 16;
+            __m128i acc_lo[kGemmU8RowBlock];  // columns j+0..3
+            __m128i acc_hi[kGemmU8RowBlock];  // columns j+4..7
+            for (std::size_t r = 0; r < mr; ++r) {
+                acc_lo[r] = _mm_setzero_si128();
+                acc_hi[r] = _mm_setzero_si128();
+            }
+            for (std::size_t p = 0; p < kp; ++p, src += 16) {
+                const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+                const __m128i hi =
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 8));
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const __m128i wp = _mm_set1_epi32(*reinterpret_cast<const int*>(
+                        w16 + (r0 + r) * w_stride + 2 * p));
+                    acc_lo[r] = _mm_add_epi32(acc_lo[r], _mm_madd_epi16(lo, wp));
+                    acc_hi[r] = _mm_add_epi32(acc_hi[r], _mm_madd_epi16(hi, wp));
+                }
+            }
+            for (std::size_t r = 0; r < mr; ++r) {
+                std::int32_t* out = acc + (r0 + r) * acc_stride + g * 8;
+                _mm_storeu_si128(reinterpret_cast<__m128i*>(out), acc_lo[r]);
+                _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4), acc_hi[r]);
+            }
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void pack_cols_avx2(const std::uint8_t* cols,
+                                                    std::size_t col_stride,
+                                                    std::size_t kdim, std::size_t n,
+                                                    std::int16_t* packed) {
+    const std::size_t groups = n / 16;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::uint8_t* base = cols + g * 16;
+        std::int16_t* dst = packed;
+        packed += ((kdim + 1) / 2) * 32;
+        std::size_t k = 0;
+        for (; k + 2 <= kdim; k += 2, dst += 32) {
+            const __m256i a0 = _mm256_cvtepu8_epi16(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + k * col_stride)));
+            const __m256i a1 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(base + (k + 1) * col_stride)));
+            // Same lane-local interleave as the unpacked kernel: groups
+            // carry columns {0..3, 8..11} then {4..7, 12..15}; the GEMM
+            // un-permutes once at its store, so the layout cancels out.
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                                _mm256_unpacklo_epi16(a0, a1));
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 16),
+                                _mm256_unpackhi_epi16(a0, a1));
+        }
+        if (k < kdim) {  // odd kdim: the pair's second element is zero
+            const __m256i a0 = _mm256_cvtepu8_epi16(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + k * col_stride)));
+            const __m256i zero = _mm256_setzero_si256();
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                                _mm256_unpacklo_epi16(a0, zero));
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 16),
+                                _mm256_unpackhi_epi16(a0, zero));
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void gemm_packed_avx2(
+    const std::int16_t* w16, std::size_t w_stride, std::size_t rows,
+    const std::int16_t* packed, std::size_t kdim, std::size_t n, std::int32_t* acc,
+    std::size_t acc_stride) {
+    const std::size_t groups = n / 16;
+    const std::size_t kp = (kdim + 1) / 2;
+    for (std::size_t r0 = 0; r0 < rows; r0 += kGemmU8RowBlock) {
+        const std::size_t mr = std::min(kGemmU8RowBlock, rows - r0);
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::int16_t* src = packed + g * kp * 32;
+            __m256i acc_lo[kGemmU8RowBlock];
+            __m256i acc_hi[kGemmU8RowBlock];
+            for (std::size_t r = 0; r < mr; ++r) {
+                acc_lo[r] = _mm256_setzero_si256();
+                acc_hi[r] = _mm256_setzero_si256();
+            }
+            for (std::size_t p = 0; p < kp; ++p, src += 32) {
+                const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+                const __m256i hi =
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 16));
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const __m256i wp = _mm256_set1_epi32(*reinterpret_cast<const int*>(
+                        w16 + (r0 + r) * w_stride + 2 * p));
+                    acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(lo, wp));
+                    acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(hi, wp));
+                }
+            }
+            for (std::size_t r = 0; r < mr; ++r) {
+                std::int32_t* out = acc + (r0 + r) * acc_stride + g * 16;
+                _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                                    _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x20));
+                _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8),
+                                    _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x31));
+            }
+        }
+    }
+}
+
+/// f64 epilogue (see EpilogueFn): every operand is an exact integer in
+/// f64, so mul/sub/add are exact and cvtpd→ps is the one rounding the
+/// scalar i64→f32 cast performs.
+__attribute__((target("sse4.1"))) void epilogue_sse41(const std::int32_t* acc,
+                                                      const std::int32_t* colsum,
+                                                      std::size_t n, std::int32_t zw,
+                                                      std::int64_t qb, float scale,
+                                                      float* out) {
+    const __m128d vzw = _mm_set1_pd(static_cast<double>(zw));
+    const __m128d vqb = _mm_set1_pd(static_cast<double>(qb));
+    const __m128 vscale = _mm_set1_ps(scale);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m128i ai = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j));
+        const __m128i ci = _mm_loadu_si128(reinterpret_cast<const __m128i*>(colsum + j));
+        const __m128d a01 = _mm_cvtepi32_pd(ai);
+        const __m128d a23 = _mm_cvtepi32_pd(_mm_srli_si128(ai, 8));
+        const __m128d c01 = _mm_cvtepi32_pd(ci);
+        const __m128d c23 = _mm_cvtepi32_pd(_mm_srli_si128(ci, 8));
+        const __m128d r01 = _mm_add_pd(_mm_sub_pd(a01, _mm_mul_pd(vzw, c01)), vqb);
+        const __m128d r23 = _mm_add_pd(_mm_sub_pd(a23, _mm_mul_pd(vzw, c23)), vqb);
+        const __m128 f = _mm_movelh_ps(_mm_cvtpd_ps(r01), _mm_cvtpd_ps(r23));
+        _mm_storeu_ps(out + j, _mm_mul_ps(f, vscale));
+    }
+    for (; j < n; ++j) {
+        const std::int64_t corrected =
+            static_cast<std::int64_t>(acc[j]) - static_cast<std::int64_t>(zw) * colsum[j] + qb;
+        out[j] = static_cast<float>(corrected) * scale;
+    }
+}
+
+__attribute__((target("avx2"))) void epilogue_avx2(const std::int32_t* acc,
+                                                   const std::int32_t* colsum,
+                                                   std::size_t n, std::int32_t zw,
+                                                   std::int64_t qb, float scale,
+                                                   float* out) {
+    const __m256d vzw = _mm256_set1_pd(static_cast<double>(zw));
+    const __m256d vqb = _mm256_set1_pd(static_cast<double>(qb));
+    const __m256 vscale = _mm256_set1_ps(scale);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m128i a_lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j));
+        const __m128i a_hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j + 4));
+        const __m128i c_lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(colsum + j));
+        const __m128i c_hi =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(colsum + j + 4));
+        const __m256d r_lo = _mm256_add_pd(
+            _mm256_sub_pd(_mm256_cvtepi32_pd(a_lo),
+                          _mm256_mul_pd(vzw, _mm256_cvtepi32_pd(c_lo))),
+            vqb);
+        const __m256d r_hi = _mm256_add_pd(
+            _mm256_sub_pd(_mm256_cvtepi32_pd(a_hi),
+                          _mm256_mul_pd(vzw, _mm256_cvtepi32_pd(c_hi))),
+            vqb);
+        const __m256 f = _mm256_set_m128(_mm256_cvtpd_ps(r_hi), _mm256_cvtpd_ps(r_lo));
+        _mm256_storeu_ps(out + j, _mm256_mul_ps(f, vscale));
+    }
+    for (; j < n; ++j) {
+        const std::int64_t corrected =
+            static_cast<std::int64_t>(acc[j]) - static_cast<std::int64_t>(zw) * colsum[j] + qb;
+        out[j] = static_cast<float>(corrected) * scale;
+    }
+}
+
+__attribute__((target("sse4.1"))) void colsum_sse41(const std::uint8_t* cols,
+                                                    std::size_t kdim, std::size_t n,
+                                                    std::int32_t* colsum) {
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        __m128i s[4];
+        for (int b = 0; b < 4; ++b) s[b] = _mm_setzero_si128();
+        for (std::size_t k = 0; k < kdim; ++k) {
+            const __m128i row =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + k * n + j));
+            s[0] = _mm_add_epi32(s[0], _mm_cvtepu8_epi32(row));
+            s[1] = _mm_add_epi32(s[1], _mm_cvtepu8_epi32(_mm_srli_si128(row, 4)));
+            s[2] = _mm_add_epi32(s[2], _mm_cvtepu8_epi32(_mm_srli_si128(row, 8)));
+            s[3] = _mm_add_epi32(s[3], _mm_cvtepu8_epi32(_mm_srli_si128(row, 12)));
+        }
+        for (int b = 0; b < 4; ++b)
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(colsum + j + 4 * b), s[b]);
+    }
+    for (; j < n; ++j) {
+        std::int32_t s = 0;
+        for (std::size_t k = 0; k < kdim; ++k) s += cols[k * n + j];
+        colsum[j] = s;
+    }
+}
+
+__attribute__((target("avx2"))) void colsum_avx2(const std::uint8_t* cols,
+                                                 std::size_t kdim, std::size_t n,
+                                                 std::int32_t* colsum) {
+    std::size_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+        __m256i s[4];
+        for (int b = 0; b < 4; ++b) s[b] = _mm256_setzero_si256();
+        for (std::size_t k = 0; k < kdim; ++k) {
+            const std::uint8_t* row = cols + k * n + j;
+            for (int b = 0; b < 4; ++b) {
+                const __m128i bytes =
+                    _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + 8 * b));
+                s[b] = _mm256_add_epi32(s[b], _mm256_cvtepu8_epi32(bytes));
+            }
+        }
+        for (int b = 0; b < 4; ++b)
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + j + 8 * b), s[b]);
+    }
+    for (; j < n; ++j) {
+        std::int32_t s = 0;
+        for (std::size_t k = 0; k < kdim; ++k) s += cols[k * n + j];
+        colsum[j] = s;
+    }
+}
+
+/// One 4-float quantize step (lambdas cannot carry target attributes, so
+/// these helpers are standalone and force-inlined into their callers).
+__attribute__((target("sse4.1"), always_inline)) inline __m128i quant4_sse41(
+    const float* in, __m128 vscale, __m128 vzp, __m128 vzero, __m128 vqmax) {
+    __m128 q = _mm_div_ps(_mm_loadu_ps(in), vscale);
+    q = _mm_round_ps(q, _MM_FROUND_CUR_DIRECTION);  // == nearbyint
+    q = _mm_min_ps(_mm_max_ps(_mm_add_ps(q, vzp), vzero), vqmax);
+    return _mm_cvtps_epi32(q);  // integral-valued: conversion is exact
+}
+
+__attribute__((target("sse4.1"))) void quantize_u8_sse41(
+    const float* in, std::size_t n, float scale, std::int32_t zero_point,
+    std::int32_t qmax, std::uint8_t mask, std::uint8_t* out) {
+    const __m128 vscale = _mm_set1_ps(scale);
+    const __m128 vzp = _mm_set1_ps(static_cast<float>(zero_point));
+    const __m128 vzero = _mm_setzero_ps();
+    const __m128 vqmax = _mm_set1_ps(static_cast<float>(qmax));
+    const __m128i vmask = _mm_set1_epi8(static_cast<char>(mask));
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i p01 = _mm_packus_epi32(quant4_sse41(in + i, vscale, vzp, vzero, vqmax),
+                                             quant4_sse41(in + i + 4, vscale, vzp, vzero, vqmax));
+        const __m128i p23 = _mm_packus_epi32(quant4_sse41(in + i + 8, vscale, vzp, vzero, vqmax),
+                                             quant4_sse41(in + i + 12, vscale, vzp, vzero, vqmax));
+        const __m128i bytes = _mm_and_si128(_mm_packus_epi16(p01, p23), vmask);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), bytes);
+    }
+    quantize_u8_tail(in, i, n, scale, zero_point, qmax, mask, out);
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i quant8_avx2(
+    const float* in, __m256 vscale, __m256 vzp, __m256 vzero, __m256 vqmax) {
+    __m256 q = _mm256_div_ps(_mm256_loadu_ps(in), vscale);
+    q = _mm256_round_ps(q, _MM_FROUND_CUR_DIRECTION);  // == nearbyint
+    q = _mm256_min_ps(_mm256_max_ps(_mm256_add_ps(q, vzp), vzero), vqmax);
+    return _mm256_cvtps_epi32(q);  // integral-valued: conversion is exact
+}
+
+__attribute__((target("avx2"))) void quantize_u8_avx2(
+    const float* in, std::size_t n, float scale, std::int32_t zero_point,
+    std::int32_t qmax, std::uint8_t mask, std::uint8_t* out) {
+    const __m256 vscale = _mm256_set1_ps(scale);
+    const __m256 vzp = _mm256_set1_ps(static_cast<float>(zero_point));
+    const __m256 vzero = _mm256_setzero_ps();
+    const __m256 vqmax = _mm256_set1_ps(static_cast<float>(qmax));
+    const __m256i vmask = _mm256_set1_epi8(static_cast<char>(mask));
+    // packus interleaves 128-bit lanes; this permutation restores byte
+    // order after the two packing steps.
+    const __m256i unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i p01 = _mm256_packus_epi32(quant8_avx2(in + i, vscale, vzp, vzero, vqmax),
+                                                quant8_avx2(in + i + 8, vscale, vzp, vzero, vqmax));
+        const __m256i p23 = _mm256_packus_epi32(quant8_avx2(in + i + 16, vscale, vzp, vzero, vqmax),
+                                                quant8_avx2(in + i + 24, vscale, vzp, vzero, vqmax));
+        const __m256i packed = _mm256_packus_epi16(p01, p23);
+        const __m256i bytes =
+            _mm256_and_si256(_mm256_permutevar8x32_epi32(packed, unshuffle), vmask);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), bytes);
+    }
+    quantize_u8_tail(in, i, n, scale, zero_point, qmax, mask, out);
+}
+
+#endif  // RAQ_SIMD_X86
+
+#if RAQ_SIMD_NEON
+
+void gemm_u8_neon(const std::uint8_t* w, std::size_t w_stride, std::size_t rows,
+                  const std::uint8_t* cols, std::size_t col_stride, std::size_t kdim,
+                  std::size_t n, std::int32_t* acc, std::size_t acc_stride) {
+    for (std::size_t r0 = 0; r0 < rows; r0 += kGemmU8RowBlock) {
+        const std::size_t mr = std::min(kGemmU8RowBlock, rows - r0);
+        std::size_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+            uint32x4_t acc_lo[kGemmU8RowBlock];
+            uint32x4_t acc_hi[kGemmU8RowBlock];
+            for (std::size_t r = 0; r < mr; ++r) {
+                acc_lo[r] = vdupq_n_u32(0);
+                acc_hi[r] = vdupq_n_u32(0);
+            }
+            for (std::size_t k = 0; k < kdim; ++k) {
+                const uint16x8_t a = vmovl_u8(vld1_u8(cols + k * col_stride + j));
+                const uint16x4_t a_lo = vget_low_u16(a);
+                const uint16x4_t a_hi = vget_high_u16(a);
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const uint16x4_t wv =
+                        vdup_n_u16(static_cast<std::uint16_t>(w[(r0 + r) * w_stride + k]));
+                    acc_lo[r] = vmlal_u16(acc_lo[r], a_lo, wv);
+                    acc_hi[r] = vmlal_u16(acc_hi[r], a_hi, wv);
+                }
+            }
+            for (std::size_t r = 0; r < mr; ++r) {
+                // Sums are ≤ kdim·255² ≤ INT32_MAX (acc32_safe), so the
+                // unsigned accumulators reinterpret exactly to i32.
+                std::int32_t* out = acc + (r0 + r) * acc_stride + j;
+                vst1q_s32(out, vreinterpretq_s32_u32(acc_lo[r]));
+                vst1q_s32(out + 4, vreinterpretq_s32_u32(acc_hi[r]));
+            }
+        }
+        if (j < n)
+            gemm_u8_block_scalar(w, w_stride, r0, mr, cols, col_stride, kdim, j, n, acc,
+                                 acc_stride);
+    }
+}
+
+#if defined(__aarch64__)
+
+void quantize_u8_neon(const float* in, std::size_t n, float scale,
+                      std::int32_t zero_point, std::int32_t qmax, std::uint8_t mask,
+                      std::uint8_t* out) {
+    const float32x4_t vscale = vdupq_n_f32(scale);
+    const float32x4_t vzp = vdupq_n_f32(static_cast<float>(zero_point));
+    const float32x4_t vzero = vdupq_n_f32(0.0f);
+    const float32x4_t vqmax = vdupq_n_f32(static_cast<float>(qmax));
+    const uint8x8_t vmask = vdup_n_u8(mask);
+    const auto quant4 = [&](std::size_t i) {
+        float32x4_t q = vrndiq_f32(vdivq_f32(vld1q_f32(in + i), vscale));  // frinti == nearbyint
+        q = vminq_f32(vmaxq_f32(vaddq_f32(q, vzp), vzero), vqmax);
+        return vreinterpretq_u32_s32(vcvtq_s32_f32(q));  // integral-valued: exact
+    };
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const uint16x4_t lo = vmovn_u32(quant4(i));
+        const uint16x4_t hi = vmovn_u32(quant4(i + 4));
+        const uint8x8_t bytes = vand_u8(vmovn_u16(vcombine_u16(lo, hi)), vmask);
+        vst1_u8(out + i, bytes);
+    }
+    quantize_u8_tail(in, i, n, scale, zero_point, qmax, mask, out);
+}
+
+#endif  // __aarch64__
+
+#endif  // RAQ_SIMD_NEON
+
+std::vector<KernelTier> detect_tiers() {
+    std::vector<KernelTier> tiers{KernelTier::Scalar};
+#if RAQ_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("sse4.1")) tiers.push_back(KernelTier::Sse41);
+    if (__builtin_cpu_supports("avx2")) tiers.push_back(KernelTier::Avx2);
+#endif
+#if RAQ_SIMD_NEON
+    tiers.push_back(KernelTier::Neon);
+#endif
+    return tiers;
+}
+
+KernelTier select_tier() {
+    const std::vector<KernelTier>& tiers = available_tiers();
+    if (const char* env = std::getenv("RAQ_KERNEL_TIER")) {
+        std::string want(env);
+        std::transform(want.begin(), want.end(), want.begin(),
+                       [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+        for (const KernelTier t : tiers)
+            if (want == tier_name(t)) return t;
+        // Unknown or unavailable name: fall through to the detected best.
+    }
+    return tiers.back();
+}
+
+}  // namespace
+
+const char* tier_name(KernelTier tier) {
+    switch (tier) {
+        case KernelTier::Scalar: return "scalar";
+        case KernelTier::Sse41: return "sse41";
+        case KernelTier::Avx2: return "avx2";
+        case KernelTier::Neon: return "neon";
+    }
+    return "scalar";
+}
+
+const std::vector<KernelTier>& available_tiers() {
+    static const std::vector<KernelTier> tiers = detect_tiers();
+    return tiers;
+}
+
+KernelTier active_tier() {
+    static const KernelTier tier = select_tier();
+    return tier;
+}
+
+QuantizeU8Fn quantize_u8_kernel(KernelTier tier) {
+    const std::vector<KernelTier>& tiers = available_tiers();
+    if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end()) return nullptr;
+    switch (tier) {
+#if RAQ_SIMD_X86
+        case KernelTier::Sse41:
+            return &quantize_u8_sse41;
+        case KernelTier::Avx2:
+            return &quantize_u8_avx2;
+#endif
+#if defined(__aarch64__)
+        case KernelTier::Neon:
+            return &quantize_u8_neon;
+#endif
+        default:
+            return nullptr;
+    }
+}
+
+void widen_weights_u8(const std::uint8_t* w, std::size_t rows, std::size_t kdim,
+                      std::int16_t* w16) {
+    const std::size_t stride = kdim + (kdim & 1);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::int16_t* dst = w16 + r * stride;
+        for (std::size_t k = 0; k < kdim; ++k)
+            dst[k] = static_cast<std::int16_t>(w[r * kdim + k]);
+        if (kdim & 1) dst[kdim] = 0;
+    }
+}
+
+PackedKernels packed_kernels(KernelTier tier) {
+    const std::vector<KernelTier>& tiers = available_tiers();
+    if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end()) return {};
+    switch (tier) {
+#if RAQ_SIMD_X86
+        case KernelTier::Sse41:
+            return {&pack_cols_sse41, &gemm_packed_sse41, 8};
+        case KernelTier::Avx2:
+            return {&pack_cols_avx2, &gemm_packed_avx2, 16};
+#endif
+        default:
+            return {};
+    }
+}
+
+EpilogueFn epilogue_kernel(KernelTier tier) {
+    const std::vector<KernelTier>& tiers = available_tiers();
+    if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end()) return nullptr;
+    switch (tier) {
+#if RAQ_SIMD_X86
+        case KernelTier::Sse41:
+            return &epilogue_sse41;
+        case KernelTier::Avx2:
+            return &epilogue_avx2;
+#endif
+        default:
+            return nullptr;
+    }
+}
+
+ColSumFn colsum_kernel(KernelTier tier) {
+    const std::vector<KernelTier>& tiers = available_tiers();
+    if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end()) return nullptr;
+    switch (tier) {
+#if RAQ_SIMD_X86
+        case KernelTier::Sse41:
+            return &colsum_sse41;
+        case KernelTier::Avx2:
+            return &colsum_avx2;
+#endif
+        default:
+            return nullptr;
+    }
+}
+
+GemmU8Fn gemm_u8_kernel(KernelTier tier) {
+    const std::vector<KernelTier>& tiers = available_tiers();
+    if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end())
+        return &gemm_u8_scalar;
+    switch (tier) {
+        case KernelTier::Scalar:
+            return &gemm_u8_scalar;
+#if RAQ_SIMD_X86
+        case KernelTier::Sse41:
+            return &gemm_u8_sse41;
+        case KernelTier::Avx2:
+            return &gemm_u8_avx2;
+#endif
+#if RAQ_SIMD_NEON
+        case KernelTier::Neon:
+            return &gemm_u8_neon;
+#endif
+        default:
+            return &gemm_u8_scalar;
+    }
+}
+
+}  // namespace raq::exec::kernels_simd

@@ -48,6 +48,7 @@ struct ConvGeom {
     std::size_t hw = 0;        ///< oh * ow
     std::size_t cols_cap = 0;  ///< batch_capacity * oh * ow (GEMM columns)
     std::size_t in_floats_cap = 0;  ///< input tensor size at capacity
+    std::size_t tile_cols = 0; ///< column-tile length of the integer GEMM
     bool zero_columns = false; ///< pad > 0: padded column slots must be zeroed
     bool acc32_safe = false;   ///< kdim * 255 * 255 fits an int32 accumulator
 };
@@ -80,6 +81,20 @@ public:
 
     [[nodiscard]] const std::vector<OpStep>& schedule() const { return schedule_; }
 
+    /// Op indices grouped by dependency level, ascending level, op order
+    /// preserved inside each level: level L is level_order()[level_bounds()[L]
+    /// .. level_bounds()[L+1]). Ops of one level share no data path, and the
+    /// arena gives their tensors level-granular lifetimes (a freed region is
+    /// only ever handed to a strictly later level), so the engine may run a
+    /// whole level concurrently — or keep the op-index schedule — on the
+    /// same arena layout.
+    [[nodiscard]] const std::vector<int>& level_order() const { return level_order_; }
+    [[nodiscard]] const std::vector<std::size_t>& level_bounds() const {
+        return level_bounds_;
+    }
+    /// True when any level holds more than one op (fan-out can help).
+    [[nodiscard]] bool has_parallel_levels() const { return has_parallel_levels_; }
+
     /// Arena offset (in floats) of a tensor, or kExternal for the graph
     /// input (which is read in place from the caller's batch view).
     static constexpr std::size_t kExternal = static_cast<std::size_t>(-1);
@@ -106,6 +121,9 @@ public:
     [[nodiscard]] std::size_t max_product_floats() const { return max_product_floats_; }
     [[nodiscard]] std::size_t max_conv_in_floats() const { return max_conv_in_floats_; }
     [[nodiscard]] std::size_t max_cols() const { return max_cols_; }
+    /// Largest ConvGeom::tile_cols of any conv — accumulator tiles sized
+    /// here once mean zero per-call sizing work in the hot loop.
+    [[nodiscard]] std::size_t max_tile_cols() const { return max_tile_cols_; }
 
     /// Per-tensor shapes for a concrete batch size n ≤ batch_capacity.
     [[nodiscard]] std::vector<tensor::Shape> shapes_for(int batch_n) const;
@@ -115,6 +133,9 @@ private:
     PlanOptions options_;
     std::uint64_t serial_ = 0;
     std::vector<OpStep> schedule_;
+    std::vector<int> level_order_;          ///< op indices, level-major
+    std::vector<std::size_t> level_bounds_; ///< per level, offsets into level_order_
+    bool has_parallel_levels_ = false;
     std::vector<std::size_t> offsets_;   ///< per tensor id; kExternal for the input
     std::vector<ConvGeom> conv_geom_;    ///< per op index; kdim == 0 for non-conv
     std::size_t arena_floats_ = 0;
@@ -123,6 +144,7 @@ private:
     std::size_t max_product_floats_ = 0;
     std::size_t max_conv_in_floats_ = 0;
     std::size_t max_cols_ = 0;
+    std::size_t max_tile_cols_ = 0;
 };
 
 }  // namespace raq::exec

@@ -2,36 +2,49 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 
 #include "exec/kernels.hpp"
+#include "exec/kernels_simd.hpp"
 
 namespace raq::exec {
 
 namespace {
 
-/// Column-tile length: keep one [kdim, tile] u8 column block resident in
-/// L2 while every output channel of the range streams over it. This cuts
-/// main-memory traffic by ~out_c versus the seed's whole-matrix sweep per
-/// channel — the integer GEMM is memory-bound for real batch sizes.
-constexpr std::size_t kTileBytes = 256 * 1024;
-
-std::size_t tile_length(std::size_t kdim, std::size_t cols) {
-    const std::size_t tile = std::max<std::size_t>(512, kTileBytes / std::max<std::size_t>(1, kdim));
-    return std::min(cols, tile);
-}
-
 /// Shared zero-point/bias/stats epilogue: turn raw accumulators for
 /// columns [j0, j0 + jn) of channel `oc` into output activations in NCHW
 /// (identical for the tiled fast path and the seed-order injection path).
+/// With a vector epilogue kernel and no stats attached, the i32 fast path
+/// runs it over each contiguous NCHW segment — same bits, see EpilogueFn.
 template <typename AccT>
 void epilogue_rows(const quant::QConv& qc, std::size_t oc, const AccT* acc,
                    const std::int32_t* colsum, std::size_t j0, std::size_t jn,
                    std::size_t hw, std::size_t out_c, float* out, int shift,
-                   QuantExecStats* stats) {
+                   QuantExecStats* stats, kernels_simd::EpilogueFn epi = nullptr) {
     const quant::QuantParams& wq = qc.wq(static_cast<int>(oc));
     const float scale = qc.act.scale * wq.scale;
     const std::int32_t zw = wq.zero_point;
     const std::int64_t qb = qc.qbias[oc];
+    if constexpr (std::is_same_v<AccT, std::int32_t>) {
+        // |acc − zw·colsum| < 2^33 on the acc32-safe path, so the f64
+        // kernel is exact whenever |qb| stays below 2^52 − 2^33 (every
+        // real quantized bias; the guard keeps pathological graphs on the
+        // scalar loop rather than silently off-by-one).
+        constexpr std::int64_t kQbExactBound = (std::int64_t{1} << 52) - (std::int64_t{1} << 33);
+        if (epi != nullptr && stats == nullptr && qb < kQbExactBound && qb > -kQbExactBound) {
+            std::size_t j = 0;
+            while (j < jn) {
+                const std::size_t jj = j0 + j;
+                const std::size_t n = jj / hw;
+                const std::size_t pos = jj % hw;
+                const std::size_t seg = std::min(jn - j, hw - pos);
+                epi(acc + j, colsum + jj, seg, zw, qb, scale,
+                    out + (n * out_c + oc) * hw + pos);
+                j += seg;
+            }
+            return;
+        }
+    }
     for (std::size_t j = 0; j < jn; ++j) {
         const std::size_t jj = j0 + j;
         const std::int64_t corrected = static_cast<std::int64_t>(acc[j]) -
@@ -51,18 +64,20 @@ void epilogue_rows(const quant::QConv& qc, std::size_t oc, const AccT* acc,
     }
 }
 
-/// Tiled integer GEMM + epilogue for output channels [oc_begin, oc_end).
+/// Tiled integer GEMM + epilogue for output channels [oc_begin, oc_end) —
+/// the scalar reference datapath, kept verbatim from the seed-matching
+/// implementation (the injection path shares its arithmetic exactly).
 /// AccT is int32 when the plan proved the row sum cannot overflow
 /// (kdim * 255^2 bound), int64 otherwise; both produce the same exact
-/// integers, so the narrow fast path stays bit-identical.
+/// integers, so the narrow fast path stays bit-identical. The tile
+/// length comes precomputed from the plan's ConvGeom.
 template <typename AccT>
 void conv_rows(const ir::Op& op, const quant::QConv& qc, const ConvGeom& g,
                const std::uint8_t* columns, const std::int32_t* colsum, std::size_t cols,
                float* out, int shift, QuantExecStats* stats, std::vector<AccT>& acc,
-               std::size_t oc_begin, std::size_t oc_end) {
+               std::size_t tile, std::size_t oc_begin, std::size_t oc_end) {
     const std::size_t kdim = g.kdim;
     const std::size_t out_c = static_cast<std::size_t>(op.conv.out_c);
-    const std::size_t tile = tile_length(kdim, cols);
     ExecContext::reserve(acc, tile);
 
     for (std::size_t j0 = 0; j0 < cols; j0 += tile) {
@@ -84,18 +99,102 @@ void conv_rows(const ir::Op& op, const quant::QConv& qc, const ConvGeom& g,
     if (stats) stats->mac_count += kdim * cols * (oc_end - oc_begin);
 }
 
+/// SIMD fast path: the dispatch-selected microkernel computes the same
+/// exact i32 accumulators as conv_rows (integer adds reassociate freely),
+/// in kGemmU8RowBlock-channel register tiles; the shared epilogue then
+/// applies the identical zero-point/bias/stats transform row by row.
+void conv_rows_simd(const ir::Op& op, const quant::QConv& qc, const ConvGeom& g,
+                    const std::uint8_t* columns, const std::int32_t* colsum,
+                    std::size_t cols, float* out, int shift, QuantExecStats* stats,
+                    std::vector<std::int32_t>& acc, std::size_t tile,
+                    kernels_simd::GemmU8Fn kernel, kernels_simd::EpilogueFn epi,
+                    std::size_t oc_begin, std::size_t oc_end) {
+    constexpr std::size_t kMr = kernels_simd::kGemmU8RowBlock;
+    const std::size_t kdim = g.kdim;
+    const std::size_t out_c = static_cast<std::size_t>(op.conv.out_c);
+    ExecContext::reserve(acc, kMr * tile);
+
+    for (std::size_t j0 = 0; j0 < cols; j0 += tile) {
+        const std::size_t jn = std::min(tile, cols - j0);
+        for (std::size_t oc = oc_begin; oc < oc_end; oc += kMr) {
+            const std::size_t mr = std::min(kMr, oc_end - oc);
+            kernel(qc.qweights.data() + oc * kdim, kdim, mr, columns + j0, cols, kdim,
+                   jn, acc.data(), tile);
+            for (std::size_t r = 0; r < mr; ++r)
+                epilogue_rows(qc, oc + r, acc.data() + r * tile, colsum, j0, jn, g.hw,
+                              out_c, out, shift, stats, epi);
+        }
+    }
+    if (stats) stats->mac_count += kdim * cols * (oc_end - oc_begin);
+}
+
+/// Packed SIMD pipeline (the preferred datapath on x86 tiers): widen and
+/// interleave each column tile once, then sweep it with the packed GEMM —
+/// the per-row-block re-prep that dominates conv_rows_simd on shallow
+/// convolutions disappears. Bit-identical by the same exact-integer
+/// argument; the (< col_group)-column tail of each tile runs the scalar
+/// reference against the raw tile.
+void conv_rows_packed(const ir::Op& op, const quant::QConv& qc, const ConvGeom& g,
+                      const std::uint8_t* columns, const std::int16_t* w16,
+                      const std::int32_t* colsum, std::size_t cols, float* out,
+                      int shift, QuantExecStats* stats, std::vector<std::int32_t>& acc,
+                      std::vector<std::int16_t>& packed, std::size_t tile,
+                      const kernels_simd::PackedKernels& pk, kernels_simd::EpilogueFn epi,
+                      std::size_t oc_begin, std::size_t oc_end) {
+    constexpr std::size_t kMr = kernels_simd::kGemmU8RowBlock;
+    const std::size_t kdim = g.kdim;
+    const std::size_t wstride = kdim + (kdim & 1);
+    const std::size_t out_c = static_cast<std::size_t>(op.conv.out_c);
+    ExecContext::reserve(acc, kMr * tile);
+
+    for (std::size_t j0 = 0; j0 < cols; j0 += tile) {
+        const std::size_t jn = std::min(tile, cols - j0);
+        const std::size_t jv = jn - jn % pk.col_group;  // full column groups
+        if (jv != 0) {
+            ExecContext::reserve(packed,
+                                 kernels_simd::packed_panel_elems(kdim, jv, pk.col_group));
+            pk.pack(columns + j0, cols, kdim, jv, packed.data());
+        }
+        for (std::size_t oc = oc_begin; oc < oc_end; oc += kMr) {
+            const std::size_t mr = std::min(kMr, oc_end - oc);
+            if (jv != 0)
+                pk.gemm(w16 + oc * wstride, wstride, mr, packed.data(), kdim, jv,
+                        acc.data(), tile);
+            for (std::size_t r = 0; r < mr; ++r) {
+                const std::uint8_t* wrow = qc.qweights.data() + (oc + r) * kdim;
+                for (std::size_t j = jv; j < jn; ++j) {
+                    std::int32_t sum = 0;
+                    for (std::size_t k = 0; k < kdim; ++k)
+                        sum += static_cast<std::int32_t>(wrow[k]) *
+                               static_cast<std::int32_t>(columns[k * cols + j0 + j]);
+                    acc[r * tile + j] = sum;
+                }
+                epilogue_rows(qc, oc + r, acc.data() + r * tile, colsum, j0, jn, g.hw,
+                              out_c, out, shift, stats, epi);
+            }
+        }
+    }
+    if (stats) stats->mac_count += kdim * cols * (oc_end - oc_begin);
+}
+
 }  // namespace
 
 void QuantBackend::prepare(const ExecPlan& plan, ExecContext& ctx) const {
-    ExecContext::reserve(ctx.qx, plan.max_conv_in_floats());
-    ExecContext::reserve(ctx.u8_columns, plan.max_columns());
-    ExecContext::reserve(ctx.colsum, plan.max_cols());
-    ExecContext::reserve(ctx.acc64, plan.max_cols());
+    ConvScratch& scr = ctx.scratch;
+    ExecContext::reserve(scr.qx, plan.max_conv_in_floats());
+    ExecContext::reserve(scr.u8_columns, plan.max_columns());
+    ExecContext::reserve(scr.colsum, plan.max_cols());
+    ExecContext::reserve(scr.acc64, plan.max_cols());
+    // Sized for the SIMD row block up front, so the per-call reserve in
+    // the hot loop is a no-op comparison.
+    ExecContext::reserve(scr.acc32, kernels_simd::kGemmU8RowBlock * plan.max_tile_cols());
 }
 
 void QuantBackend::conv(const ConvCall& call, ExecContext& ctx) {
+    (void)ctx;
     const ir::Op& op = *call.op;
     const ConvGeom& g = *call.geom;
+    ConvScratch& scr = *call.scratch;
     const quant::QConv& qc = qgraph_->conv(static_cast<std::size_t>(call.op_index));
     if (qc.act.zero_point != 0)
         throw std::logic_error("QuantBackend: activation zero-point must be 0");
@@ -105,23 +204,35 @@ void QuantBackend::conv(const ConvCall& call, ExecContext& ctx) {
     const std::size_t cols = static_cast<std::size_t>(s.n) * g.hw;
 
     // Quantize the input activations (optionally truncating LSBs for the
-    // precision-scaling ablation).
+    // precision-scaling ablation). The vector kernel computes the exact
+    // QuantParams::quantize expression (hardware round-current-mode ==
+    // nearbyint, IEEE division), so codes match the scalar loop bit for bit.
     const std::uint8_t act_mask = static_cast<std::uint8_t>(0xFFu << (qc.act_mask_bits & 7));
-    ExecContext::reserve(ctx.qx, in_size);
-    for (std::size_t i = 0; i < in_size; ++i)
-        ctx.qx[i] = static_cast<std::uint8_t>(qc.act.quantize(call.in[i])) & act_mask;
+    ExecContext::reserve(scr.qx, in_size);
+    if (quantize_kernel_ != nullptr)
+        quantize_kernel_(call.in, in_size, qc.act.scale, qc.act.zero_point, qc.act.qmax(),
+                         act_mask, scr.qx.data());
+    else
+        for (std::size_t i = 0; i < in_size; ++i)
+            scr.qx[i] = static_cast<std::uint8_t>(qc.act.quantize(call.in[i])) & act_mask;
 
-    ExecContext::reserve(ctx.u8_columns, g.kdim * cols);
-    kernels::im2col_u8(ctx.qx.data(), s, op.conv.kh, op.conv.kw, op.conv.stride, op.conv.pad,
-                       ctx.u8_columns.data(), g.oh, g.ow, g.zero_columns);
-    const std::uint8_t* columns = ctx.u8_columns.data();
+    ExecContext::reserve(scr.u8_columns, g.kdim * cols);
+    kernels::im2col_u8(scr.qx.data(), s, op.conv.kh, op.conv.kw, op.conv.stride, op.conv.pad,
+                       scr.u8_columns.data(), g.oh, g.ow, g.zero_columns);
+    const std::uint8_t* columns = scr.u8_columns.data();
 
-    // Per-column activation code sums for the zero-point correction.
-    ExecContext::reserve(ctx.colsum, cols);
-    std::fill(ctx.colsum.begin(), ctx.colsum.begin() + static_cast<std::ptrdiff_t>(cols), 0);
-    for (std::size_t k = 0; k < g.kdim; ++k) {
-        const std::uint8_t* row = columns + k * cols;
-        for (std::size_t j = 0; j < cols; ++j) ctx.colsum[j] += row[j];
+    // Per-column activation code sums for the zero-point correction
+    // (exact integer reduction — the vector kernel is bit-identical).
+    ExecContext::reserve(scr.colsum, cols);
+    if (colsum_kernel_ != nullptr) {
+        colsum_kernel_(columns, g.kdim, cols, scr.colsum.data());
+    } else {
+        std::fill(scr.colsum.begin(), scr.colsum.begin() + static_cast<std::ptrdiff_t>(cols),
+                  0);
+        for (std::size_t k = 0; k < g.kdim; ++k) {
+            const std::uint8_t* row = columns + k * cols;
+            for (std::size_t j = 0; j < cols; ++j) scr.colsum[j] += row[j];
+        }
     }
 
     // With LSB padding the hardware product register holds p << (α+β); a
@@ -135,10 +246,12 @@ void QuantBackend::conv(const ConvCall& call, ExecContext& ctx) {
     if (injector_ != nullptr) {
         // Injection path: the seed interpreter's exact loop, one ordered
         // hook call per MAC product (including zero-weight products).
-        ExecContext::reserve(ctx.acc64, cols);
+        // Never touches the SIMD kernels — bit-identical to the seed by
+        // construction, whatever the dispatch tier.
+        ExecContext::reserve(scr.acc64, cols);
         for (std::size_t oc = 0; oc < out_c; ++oc) {
             const std::uint8_t* wrow = qc.qweights.data() + oc * g.kdim;
-            std::fill(ctx.acc64.begin(), ctx.acc64.begin() + static_cast<std::ptrdiff_t>(cols),
+            std::fill(scr.acc64.begin(), scr.acc64.begin() + static_cast<std::ptrdiff_t>(cols),
                       std::int64_t{0});
             for (std::size_t k = 0; k < g.kdim; ++k) {
                 const std::int32_t w = wrow[k];
@@ -146,42 +259,63 @@ void QuantBackend::conv(const ConvCall& call, ExecContext& ctx) {
                 for (std::size_t j = 0; j < cols; ++j) {
                     std::int64_t product = static_cast<std::int64_t>(w) * crow[j];
                     product = injector_->apply(product);
-                    ctx.acc64[j] += product;
+                    scr.acc64[j] += product;
                 }
             }
             if (stats_) stats_->mac_count += g.kdim * cols;
-            epilogue_rows(qc, oc, ctx.acc64.data(), ctx.colsum.data(), 0, cols, g.hw,
+            epilogue_rows(qc, oc, scr.acc64.data(), scr.colsum.data(), 0, cols, g.hw,
                           out_c, call.out, shift, stats_);
         }
         if (stats_) stats_->flips = injector_->flips_injected();
         return;
     }
 
-    // Fast path: tiled integer GEMM. Parallel only without stats (the
+    // Fast path: tiled integer GEMM through the dispatch-selected kernel
+    // (SIMD needs the overflow-safe i32 bound the plan proved; wider
+    // convs keep the scalar int64 loop). The packed pipeline pre-widens
+    // the weight matrix once per call — read-only after this, so shared
+    // across channel-split lanes. Parallel only without stats (the
     // struct is unsynchronized); each lane owns a disjoint channel range
-    // and a private accumulator tile, so results match serial bit for bit.
+    // and private accumulator/pack tiles, so results match serial bit
+    // for bit (lanes re-pack the same tile — redundant work, never a race).
+    const std::size_t tile = std::min(g.tile_cols, cols);
+    const bool use_packed = g.acc32_safe && packed_.gemm != nullptr;
+    if (use_packed) {
+        ExecContext::reserve(scr.w16, out_c * (g.kdim + (g.kdim & 1)));
+        kernels_simd::widen_weights_u8(qc.qweights.data(), out_c, g.kdim, scr.w16.data());
+    }
     const auto run_range = [&](std::vector<std::int32_t>& acc32,
-                               std::vector<std::int64_t>& acc64, std::size_t b,
+                               std::vector<std::int64_t>& acc64,
+                               std::vector<std::int16_t>& packed, std::size_t b,
                                std::size_t e) {
-        if (g.acc32_safe)
-            conv_rows<std::int32_t>(op, qc, g, columns, ctx.colsum.data(), cols, call.out,
-                                    shift, stats_, acc32, b, e);
+        if (use_packed)
+            conv_rows_packed(op, qc, g, columns, scr.w16.data(), scr.colsum.data(), cols,
+                             call.out, shift, stats_, acc32, packed, tile, packed_,
+                             epilogue_kernel_, b, e);
+        else if (g.acc32_safe && simd_kernel_ != nullptr)
+            conv_rows_simd(op, qc, g, columns, scr.colsum.data(), cols, call.out, shift,
+                           stats_, acc32, tile, simd_kernel_, epilogue_kernel_, b, e);
+        else if (g.acc32_safe)
+            conv_rows<std::int32_t>(op, qc, g, columns, scr.colsum.data(), cols, call.out,
+                                    shift, stats_, acc32, tile, b, e);
         else
-            conv_rows<std::int64_t>(op, qc, g, columns, ctx.colsum.data(), cols, call.out,
-                                    shift, stats_, acc64, b, e);
+            conv_rows<std::int64_t>(op, qc, g, columns, scr.colsum.data(), cols, call.out,
+                                    shift, stats_, acc64, tile, b, e);
     };
     if (call.pool != nullptr && stats_ == nullptr && out_c > 1) {
-        // Lane-private accumulator tiles live in the context and persist
-        // across convs/runs: pooled steady state allocates nothing.
+        // Lane-private accumulator/pack tiles live in the scratch and
+        // persist across convs/runs: pooled steady state allocates nothing.
         const std::size_t lanes = static_cast<std::size_t>(call.pool->size());
-        if (ctx.lane_acc32.size() < lanes) ctx.lane_acc32.resize(lanes);
-        if (ctx.lane_acc64.size() < lanes) ctx.lane_acc64.resize(lanes);
+        if (scr.lane_acc32.size() < lanes) scr.lane_acc32.resize(lanes);
+        if (scr.lane_acc64.size() < lanes) scr.lane_acc64.resize(lanes);
+        if (scr.lane_packed.size() < lanes) scr.lane_packed.resize(lanes);
         call.pool->parallel_for(out_c, [&](std::size_t lane, std::size_t b, std::size_t e) {
-            run_range(ctx.lane_acc32[lane], ctx.lane_acc64[lane], b, e);
+            run_range(scr.lane_acc32[lane], scr.lane_acc64[lane], scr.lane_packed[lane], b,
+                      e);
         });
     } else {
-        // Serial: reuse context scratch, no per-conv allocation.
-        run_range(ctx.acc32, ctx.acc64, 0, out_c);
+        // Serial: reuse scratch accumulators, no per-conv allocation.
+        run_range(scr.acc32, scr.acc64, scr.packed, 0, out_c);
     }
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "exec/backend.hpp"
+#include "exec/kernels_simd.hpp"
 #include "inject/bitflip.hpp"
 #include "quant/quantized_graph.hpp"
 
@@ -29,7 +30,9 @@ struct QuantExecStats {
 
 class QuantBackend final : public Backend {
 public:
-    explicit QuantBackend(const quant::QuantizedGraph& qgraph) : qgraph_(&qgraph) {}
+    explicit QuantBackend(const quant::QuantizedGraph& qgraph) : qgraph_(&qgraph) {
+        set_kernel_tier(kernels_simd::active_tier());
+    }
 
     /// Swap the executed graph (same topology: re-quantization replaces
     /// the payload, not the structure). The caller keeps `qgraph` alive
@@ -46,6 +49,27 @@ public:
         stats_ = stats;
     }
 
+    /// Override the GEMM dispatch tier (defaults to the process-wide
+    /// kernels_simd::active_tier()). Tests and benches use this to pin
+    /// the scalar reference or compare tiers; every tier is bit-identical
+    /// because the integer reduction is exact.
+    void set_kernel_tier(kernels_simd::KernelTier tier) {
+        tier_ = tier;
+        const bool scalar = tier == kernels_simd::KernelTier::Scalar;
+        simd_kernel_ = scalar ? nullptr : kernels_simd::gemm_u8_kernel(tier);
+        packed_ = scalar ? kernels_simd::PackedKernels{} : kernels_simd::packed_kernels(tier);
+        quantize_kernel_ = scalar ? nullptr : kernels_simd::quantize_u8_kernel(tier);
+        epilogue_kernel_ = scalar ? nullptr : kernels_simd::epilogue_kernel(tier);
+        colsum_kernel_ = scalar ? nullptr : kernels_simd::colsum_kernel(tier);
+    }
+    [[nodiscard]] kernels_simd::KernelTier kernel_tier() const { return tier_; }
+
+    /// The injector stream is ordered and the stats struct unsynchronized:
+    /// with either attached, the engine must keep exact schedule order.
+    [[nodiscard]] bool serial_only() const override {
+        return injector_ != nullptr || stats_ != nullptr;
+    }
+
     void prepare(const ExecPlan& plan, ExecContext& ctx) const override;
     void conv(const ConvCall& call, ExecContext& ctx) override;
 
@@ -53,6 +77,12 @@ private:
     const quant::QuantizedGraph* qgraph_;
     inject::BitFlipInjector* injector_ = nullptr;
     QuantExecStats* stats_ = nullptr;
+    kernels_simd::KernelTier tier_ = kernels_simd::KernelTier::Scalar;
+    kernels_simd::GemmU8Fn simd_kernel_ = nullptr;          ///< null ⇔ scalar tier
+    kernels_simd::PackedKernels packed_{};                  ///< preferred GEMM pipeline
+    kernels_simd::QuantizeU8Fn quantize_kernel_ = nullptr;  ///< null ⇒ scalar loop
+    kernels_simd::EpilogueFn epilogue_kernel_ = nullptr;    ///< null ⇒ scalar epilogue
+    kernels_simd::ColSumFn colsum_kernel_ = nullptr;        ///< null ⇒ scalar colsum
 };
 
 }  // namespace raq::exec

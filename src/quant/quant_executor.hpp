@@ -62,6 +62,17 @@ public:
     /// never read the clock).
     void set_level_hook(exec::LevelTimingHook hook) { level_hook_ = std::move(hook); }
 
+    /// Pin the SIMD dispatch tier of the integer-GEMM backend (defaults
+    /// to the process-wide exec::kernels_simd::active_tier()). Every tier
+    /// computes bit-identical logits; benches and tests pin the scalar
+    /// reference or sweep tiers for comparison.
+    void set_kernel_tier(exec::kernels_simd::KernelTier tier) {
+        backend_.set_kernel_tier(tier);
+    }
+    [[nodiscard]] exec::kernels_simd::KernelTier kernel_tier() const {
+        return backend_.kernel_tier();
+    }
+
     [[nodiscard]] const exec::ExecPlan& plan() const { return *plan_; }
 
 private:

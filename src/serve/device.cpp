@@ -137,10 +137,14 @@ void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool reco
     // owning rebind pins the graph). The topology is unchanged, so the
     // compiled plan and all scratch buffers survive the swap; only the
     // thread holding the device exclusively runs the runner.
-    if (!runner_)
-        runner_.emplace(state->qgraph, std::max(1, config_.plan_batch_capacity));
-    else
+    if (!runner_) {
+        if (config_.exec_threads > 0 && !exec_pool_)
+            exec_pool_ = std::make_unique<exec::ThreadPool>(config_.exec_threads);
+        runner_.emplace(state->qgraph, std::max(1, config_.plan_batch_capacity),
+                        exec_pool_.get());
+    } else {
         runner_->rebind(state->qgraph);
+    }
     const double swap_us = 1e3 * ms_since(swap_start);
     if (telemetry_) {
         metrics_.clock_ps->set(aged_clock);

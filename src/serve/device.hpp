@@ -88,6 +88,12 @@ struct DeviceConfig {
     /// this to its max_batch so no plan recompile happens on the serving
     /// path; larger batches still work by growing the plan).
     int plan_batch_capacity = 1;
+    /// Intra-plan execution worker threads: > 0 gives the device a
+    /// private exec::ThreadPool so its runner splits convolutions over
+    /// output-channel ranges and fans independent dependency levels out
+    /// in parallel (bit-identical outputs either way — see
+    /// src/exec/engine.hpp). 0 (the default) executes serially.
+    int exec_threads = 0;
     /// Latency-reservoir capacity (exact count/mean/max regardless).
     std::size_t latency_reservoir = 4096;
 };
@@ -265,6 +271,10 @@ private:
     /// exec::PlanCache), arena and conv scratch survive across batches
     /// AND across re-quantizations (adoption rebinds the payload; the
     /// topology never changes). Only the serve thread touches it.
+    /// The pool (created with the runner when config.exec_threads > 0)
+    /// is device-private, so intra-plan parallelism never crosses the
+    /// device's exclusive-ownership boundary.
+    std::unique_ptr<exec::ThreadPool> exec_pool_;
     std::optional<quant::QuantRunner> runner_;
 
     /// Background double-buffer: the built-but-not-yet-adopted state.

@@ -128,6 +128,11 @@ public:
 
 private:
     void worker_loop();
+    /// Fold the process-wide level-parallel run count into the registry
+    /// counter as a delta since this server's construction baseline, so
+    /// scrapes show which execution path production batches actually
+    /// took. Called by the export paths; cheap and scrape-concurrent.
+    void sync_exec_metrics() const;
 
     ServeConfig config_;
     ServeContext ctx_;  ///< owned copy; pointed-to objects outlive the server
@@ -139,6 +144,11 @@ private:
     obs::Gauge* queue_depth_ = nullptr;
     obs::Gauge* queue_depth_peak_ = nullptr;
     obs::Histogram* queue_wait_us_ = nullptr;
+    /// Level-parallel execution counter, synced at scrape time from the
+    /// process-wide exec counters (delta since this server's baseline —
+    /// see sync_exec_metrics()).
+    obs::Counter* exec_parallel_counter_ = nullptr;
+    mutable std::atomic<std::uint64_t> exec_parallel_exported_{0};
     RequestQueue queue_;
     std::vector<std::unique_ptr<NpuDevice>> devices_;
     std::vector<std::unique_ptr<ShardGroup>> groups_;

@@ -1,19 +1,42 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace raq::tensor {
 
+namespace {
+
+/// Register/cache blocking of the float GEMM family. Correctness
+/// constraint: the per-element accumulation order must stay exactly
+/// p-ascending (and the aip == 0 skip must stay per (i, p)), because the
+/// trainer, the model cache and the float reference path all depend on
+/// bit-identical float results. Blocking only changes *which* C elements
+/// are being swept between those adds, never the order of adds into any
+/// single element — so outputs are unchanged bit for bit.
+constexpr std::size_t kRowBlock = 4;   ///< A rows sharing one B-row sweep
+constexpr std::size_t kColTile = 512;  ///< C/B columns resident per sweep
+
+}  // namespace
+
 void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
           std::size_t n, bool accumulate) {
     if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t p = 0; p < k; ++p) {
-            const float aip = a[i * k + p];
-            if (aip == 0.0f) continue;
-            const float* brow = b + p * n;
-            float* crow = c + i * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+        const std::size_t im = std::min(kRowBlock, m - i0);
+        for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+            const std::size_t jn = std::min(kColTile, n - j0);
+            // Each loaded B row feeds `im` C rows; the C tile stays hot
+            // across the whole p sweep.
+            for (std::size_t p = 0; p < k; ++p) {
+                const float* brow = b + p * n + j0;
+                for (std::size_t r = 0; r < im; ++r) {
+                    const float aip = a[(i0 + r) * k + p];
+                    if (aip == 0.0f) continue;
+                    float* crow = c + (i0 + r) * n + j0;
+                    for (std::size_t j = 0; j < jn; ++j) crow[j] += aip * brow[j];
+                }
+            }
         }
     }
 }
@@ -21,14 +44,20 @@ void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k
 void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
              std::size_t n, bool accumulate) {
     if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-    for (std::size_t p = 0; p < k; ++p) {
-        const float* arow = a + p * m;
-        const float* brow = b + p * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float aip = arow[i];
-            if (aip == 0.0f) continue;
-            float* crow = c + i * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+        const std::size_t im = std::min(kRowBlock, m - i0);
+        for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+            const std::size_t jn = std::min(kColTile, n - j0);
+            for (std::size_t p = 0; p < k; ++p) {
+                const float* arow = a + p * m;
+                const float* brow = b + p * n + j0;
+                for (std::size_t r = 0; r < im; ++r) {
+                    const float aip = arow[i0 + r];
+                    if (aip == 0.0f) continue;
+                    float* crow = c + (i0 + r) * n + j0;
+                    for (std::size_t j = 0; j < jn; ++j) crow[j] += aip * brow[j];
+                }
+            }
         }
     }
 }
@@ -39,11 +68,18 @@ void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_
     for (std::size_t i = 0; i < m; ++i) {
         const float* arow = a + i * k;
         float* crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = b + j * k;
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-            crow[j] += acc;
+        // Four dot products share each arow load; each element's local
+        // accumulator still sums strictly p-ascending, then lands on C
+        // with one add — exactly the unblocked arithmetic.
+        for (std::size_t j0 = 0; j0 < n; j0 += kRowBlock) {
+            const std::size_t jn = std::min(kRowBlock, n - j0);
+            float acc[kRowBlock] = {0.0f, 0.0f, 0.0f, 0.0f};
+            for (std::size_t p = 0; p < k; ++p) {
+                const float av = arow[p];
+                for (std::size_t jj = 0; jj < jn; ++jj)
+                    acc[jj] += av * b[(j0 + jj) * k + p];
+            }
+            for (std::size_t jj = 0; jj < jn; ++jj) crow[j0 + jj] += acc[jj];
         }
     }
 }

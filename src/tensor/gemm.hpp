@@ -1,7 +1,9 @@
-// Row-major float GEMM used by the float conv/linear paths. The ikj loop
-// order keeps the inner loop contiguous for auto-vectorization; this is
-// the whole performance story the project needs (training the scaled
-// model zoo in minutes).
+// Row-major float GEMM used by the float conv/linear paths. Contiguous
+// inner loops for auto-vectorization plus row/column blocking for cache
+// reuse (each loaded B row feeds a block of A rows, C tiles stay hot).
+// The per-element accumulation order is strictly p-ascending in every
+// variant — blocking must never change it, because trainer checkpoints
+// and the float reference path depend on bit-identical results.
 #pragma once
 
 #include <cstddef>

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "exec/engine.hpp"
+#include "exec/kernels_simd.hpp"
 #include "exec/plan_cache.hpp"
 #include "exec/quant_backend.hpp"
 #include "ir/float_executor.hpp"
@@ -311,6 +312,155 @@ TEST(ExecThreading, ConcurrentContextReuseMatchesSerial) {
     for (int i = 0; i < images.shape().n; ++i)
         expect_bitwise_equal(parallel[static_cast<std::size_t>(i)],
                              serial[static_cast<std::size_t>(i)], "concurrent");
+}
+
+/// Odd-everything graph: odd spatial dims (cols = n·oh·ow never a
+/// multiple of any SIMD column group), odd channel counts (row-block
+/// remainders) and odd kdim (k-pair padding in the packed pipeline) —
+/// every remainder path of every microkernel runs.
+ir::Graph odd_graph(unsigned seed = 17) {
+    std::mt19937 rng(seed);
+    ir::Graph g;
+    const int in = g.add_input({1, 3, 7, 7});
+    const int c1 = g.add(conv_op(in, 3, 5, 3, 1, 1, rng));   // kdim 27, cols n·49
+    const int r1 = g.add(relu_op(c1));
+    const int c2 = g.add(conv_op(r1, 5, 7, 3, 2, 0, rng));   // kdim 45, cols n·9
+    const int r2 = g.add(relu_op(c2));
+    const int gp = g.add(gap_op(r2));
+    g.set_output(g.add(conv_op(gp, 7, 3, 1, 1, 0, rng)));    // kdim 7, cols n
+    return g;
+}
+
+TEST(ExecSimd, EveryDispatchTierMatchesScalarBitForBit) {
+    // The whole SIMD contract in one sweep: every available tier (plain
+    // and packed pipelines, vectorized quantize/colsum/epilogue) against
+    // the scalar reference, across zero-point-heavy asymmetric quant,
+    // per-channel ACIQ, an LSB-padded low-bit config with an act_mask,
+    // and graphs with odd remainders in every GEMM dimension.
+    const auto lsb_cfg = quant::QuantConfig::from_compression({2, 3, common::Padding::Lsb});
+    const struct {
+        quant::Method method;
+        quant::QuantConfig config;
+    } cases[] = {
+        {quant::Method::M2_MinMaxAsymmetric, quant::QuantConfig{}},
+        {quant::Method::M4_Aciq, quant::QuantConfig{}},
+        {quant::Method::M5_AciqNoBias, lsb_cfg},
+    };
+    const auto shaped_batch = [](const ir::Graph& g, int n, unsigned seed) {
+        std::mt19937 rng(seed);
+        std::uniform_real_distribution<float> dist(-1.0f, 2.0f);
+        tensor::Tensor batch(
+            {n, g.input_shape().c, g.input_shape().h, g.input_shape().w});
+        for (auto& v : batch.vec()) v = dist(rng);
+        return batch;
+    };
+    for (const auto& graph : {chain_graph(), branch_graph(), odd_graph()}) {
+        for (const auto& c : cases) {
+            const tensor::Tensor calib_images = shaped_batch(graph, 12, 5);
+            const std::vector<int> labels(12, 0);
+            auto qgraph = quant::quantize_graph(
+                graph, c.method, c.config,
+                quant::calibrate(graph, calib_images, labels));
+            for (std::size_t op = 0; op < qgraph.graph().ops().size(); ++op) {
+                if (qgraph.graph().ops()[op].kind != ir::OpKind::Conv2d) continue;
+                qgraph.conv(op).act_mask_bits = 2;
+                break;
+            }
+            const tensor::Tensor batch = shaped_batch(graph, 3, 131);
+            quant::QuantRunner scalar_runner(qgraph, 3);
+            scalar_runner.set_kernel_tier(exec::kernels_simd::KernelTier::Scalar);
+            const tensor::Tensor reference = scalar_runner.run(batch);
+            for (const auto tier : exec::kernels_simd::available_tiers()) {
+                if (tier == exec::kernels_simd::KernelTier::Scalar) continue;
+                quant::QuantRunner runner(qgraph, 3);
+                runner.set_kernel_tier(tier);
+                EXPECT_EQ(runner.kernel_tier(), tier);
+                expect_bitwise_equal(runner.run(batch), reference,
+                                     exec::kernels_simd::tier_name(tier));
+            }
+        }
+    }
+}
+
+TEST(ExecSimd, KernelFamiliesMatchScalarOnOddShapes) {
+    // Direct microkernel-level check, below the conv plumbing: unpacked
+    // and packed GEMMs of every tier against the scalar kernel on shapes
+    // with remainders in rows (row-block), kdim (k-pair pad) and n
+    // (column-group tail).
+    const struct {
+        std::size_t rows, kdim, n;
+    } shapes[] = {{5, 7, 33}, {7, 27, 100}, {13, 61, 257}, {4, 64, 96}};
+    std::mt19937 rng(271);
+    std::uniform_int_distribution<int> byte(0, 255);
+    const auto scalar = exec::kernels_simd::gemm_u8_kernel(
+        exec::kernels_simd::KernelTier::Scalar);
+    for (const auto& s : shapes) {
+        std::vector<std::uint8_t> w(s.rows * s.kdim), cols(s.kdim * s.n);
+        for (auto& v : w) v = static_cast<std::uint8_t>(byte(rng));
+        for (auto& v : cols) v = static_cast<std::uint8_t>(byte(rng));
+        std::vector<std::int32_t> ref(s.rows * s.n), acc(s.rows * s.n);
+        scalar(w.data(), s.kdim, s.rows, cols.data(), s.n, s.kdim, s.n, ref.data(), s.n);
+        for (const auto tier : exec::kernels_simd::available_tiers()) {
+            if (tier == exec::kernels_simd::KernelTier::Scalar) continue;
+            const auto kernel = exec::kernels_simd::gemm_u8_kernel(tier);
+            std::fill(acc.begin(), acc.end(), -1);
+            kernel(w.data(), s.kdim, s.rows, cols.data(), s.n, s.kdim, s.n, acc.data(),
+                   s.n);
+            EXPECT_EQ(acc, ref) << "unpacked " << exec::kernels_simd::tier_name(tier);
+
+            const auto pk = exec::kernels_simd::packed_kernels(tier);
+            if (pk.gemm == nullptr) continue;
+            const std::size_t jv = s.n - s.n % pk.col_group;  // full column groups
+            if (jv == 0) continue;
+            const std::size_t wstride = s.kdim + (s.kdim & 1);
+            std::vector<std::int16_t> w16(s.rows * wstride);
+            exec::kernels_simd::widen_weights_u8(w.data(), s.rows, s.kdim, w16.data());
+            std::vector<std::int16_t> packed(
+                exec::kernels_simd::packed_panel_elems(s.kdim, jv, pk.col_group));
+            pk.pack(cols.data(), s.n, s.kdim, jv, packed.data());
+            std::fill(acc.begin(), acc.end(), -1);
+            pk.gemm(w16.data(), wstride, s.rows, packed.data(), s.kdim, jv, acc.data(),
+                    s.n);
+            for (std::size_t r = 0; r < s.rows; ++r)
+                for (std::size_t j = 0; j < jv; ++j)
+                    ASSERT_EQ(acc[r * s.n + j], ref[r * s.n + j])
+                        << "packed " << exec::kernels_simd::tier_name(tier) << " r=" << r
+                        << " j=" << j;
+        }
+    }
+}
+
+TEST(ExecThreading, LevelParallelRunsAreCountedAndBitIdentical) {
+    // The serve-fleet pattern under TSan: several threads, each with a
+    // device-private pool and its own runner, executing the same branch
+    // graph (which has multi-op dependency levels) level-parallel and
+    // concurrently. Outputs must match serial execution bit for bit and
+    // the process-wide level-parallel counters must advance.
+    const ir::Graph graph = branch_graph();
+    const auto qgraph = quantize(graph, quant::Method::M4_Aciq, {});
+    const tensor::Tensor batch = random_batch(4, 163);
+    quant::QuantRunner serial(qgraph, 4);
+    const tensor::Tensor reference = serial.run(batch);
+
+    const std::uint64_t runs_before = exec::level_parallel_runs();
+    const std::uint64_t levels_before = exec::level_parallel_levels();
+    constexpr int kThreads = 3;
+    std::vector<tensor::Tensor> outputs(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            exec::ThreadPool pool(2);  // device-private, like NpuDevice
+            quant::QuantRunner runner(qgraph, 4, &pool);
+            for (int r = 0; r < 4; ++r) outputs[static_cast<std::size_t>(t)] =
+                runner.run(batch);
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        expect_bitwise_equal(outputs[static_cast<std::size_t>(t)], reference,
+                             "level-parallel");
+    EXPECT_GE(exec::level_parallel_runs(), runs_before + kThreads * 4);
+    EXPECT_GT(exec::level_parallel_levels(), levels_before);
 }
 
 TEST(ExecWalker, EagerFreeVisitsEveryTensorWithReferenceValues) {

@@ -275,6 +275,9 @@ TEST_F(Recut, DrainAndSwapKeepsBitIdentityUnderContinuousTraffic) {
     cfg.initial_age_step_years = aged_years;
     cfg.device.guardband_fraction = kGuardband;
     cfg.device.requant_threshold_mv = 1e9;  // isolate the re-cut from requants
+    // Re-cuts rebuild runners on devices that own execution pools; the
+    // drained-and-swapped pipeline must stay bit-identical regardless.
+    cfg.device.exec_threads = 2;
     cfg.repartition.enabled = true;
     cfg.repartition.imbalance_ratio = 1.4;
     cfg.repartition.min_batches = 2;

@@ -11,6 +11,7 @@
 #include "cell/library.hpp"
 #include "core/compression_selector.hpp"
 #include "data/synthetic_dataset.hpp"
+#include "exec/kernels_simd.hpp"
 #include "netlist/builders.hpp"
 #include "nn/trainer.hpp"
 #include "nn/zoo.hpp"
@@ -119,6 +120,10 @@ TEST_F(Serve, ConcurrentBatchedExecutionIsBitIdenticalToSerial) {
     cfg.num_devices = 4;
     cfg.num_workers = 4;
     cfg.max_batch = 8;
+    // Device-private execution pools: intra-plan level-parallelism runs
+    // UNDER the worker concurrency and must stay bit-identical.
+    cfg.device.exec_threads = 2;
+    cfg.telemetry.metrics = true;
     serve::NpuServer server(context(), cfg);
 
     std::vector<std::future<serve::InferenceResult>> futures;
@@ -139,6 +144,15 @@ TEST_F(Serve, ConcurrentBatchedExecutionIsBitIdenticalToSerial) {
     const serve::FleetStats fleet = server.fleet_stats();
     EXPECT_EQ(fleet.completed, static_cast<std::uint64_t>(kRequests));
     EXPECT_EQ(fleet.total_requants(), 0);  // nothing aged in this run
+
+    // Execution-engine observability: the dispatch-tier gauge is always
+    // exported; the level-parallel counter must have counted these runs
+    // (every model here has concat/add levels that fan out).
+    const std::string expo = server.export_metrics();
+    EXPECT_NE(expo.find("raq_exec_dispatch_tier"), std::string::npos);
+    EXPECT_NE(expo.find(exec::kernels_simd::tier_name(exec::kernels_simd::active_tier())),
+              std::string::npos);
+    EXPECT_NE(expo.find("raq_exec_level_parallel_runs_total"), std::string::npos);
 }
 
 TEST_F(Serve, AgingDeviceRequantizesExactlyOnce) {
