@@ -45,8 +45,19 @@
 // least one sampled trace reconstructing the full queue → batch →
 // (handoff → execute) × stages → complete journey.
 //
+// Part 6 — net: the epoll socket front-end against in-process serving.
+// Pass 1 serves a closed-loop stream (8 concurrent submitters) straight
+// through NpuServer::submit — the no-network baseline. Pass 2 serves
+// the same stream over localhost TCP through net::Server + net::LoadGen
+// (8 connections). Pass 3 offers an open-loop Poisson stream at ~2× the
+// measured socket capacity against a small admission queue. Acceptance:
+// socket QPS ≥ 0.7× in-process and socket p99 ≤ 2× in-process (the
+// front-end adds syscalls, not stalls); under overload the excess is
+// shed with BUSY, nothing is lost or blackholed, and every accepted
+// response stays bit-identical to in-process execution.
+//
 // Usage: serve_throughput [--scenario all|scaling|requant|shard|recut|
-//                          obs-overhead] [requests] [network]
+//                          obs-overhead|net] [requests] [network]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -64,6 +75,8 @@
 #include "common/table.hpp"
 #include "core/compression_selector.hpp"
 #include "exec/plan_cache.hpp"
+#include "net/load_gen.hpp"
+#include "net/server.hpp"
 #include "obs/telemetry.hpp"
 #include "quant/methods.hpp"
 #include "serve/server.hpp"
@@ -424,10 +437,11 @@ int main(int argc, char** argv) try {
         }
     }
     if (scenario != "all" && scenario != "scaling" && scenario != "requant" &&
-        scenario != "shard" && scenario != "recut" && scenario != "obs-overhead") {
+        scenario != "shard" && scenario != "recut" && scenario != "obs-overhead" &&
+        scenario != "net") {
         std::fprintf(stderr,
                      "serve_throughput: unknown scenario '%s' (all|scaling|requant|"
-                     "shard|recut|obs-overhead)\n",
+                     "shard|recut|obs-overhead|net)\n",
                      scenario.c_str());
         return 1;
     }
@@ -436,6 +450,7 @@ int main(int argc, char** argv) try {
     const bool run_shard = scenario == "all" || scenario == "shard";
     const bool run_recut = scenario == "all" || scenario == "recut";
     const bool run_obs = scenario == "all" || scenario == "obs-overhead";
+    const bool run_net = scenario == "all" || scenario == "net";
     const int requests = argc > argi ? std::atoi(argv[argi]) : 256;
     const std::string model = argc > argi + 1 ? argv[argi + 1] : "alexnet-mini";
 
@@ -465,6 +480,7 @@ int main(int argc, char** argv) try {
     bool shard_pass = true;
     bool recut_pass = true;
     bool obs_pass = true;
+    bool net_pass = true;
 
     if (run_scaling) {
     std::printf("serve_throughput: %s, %d requests per fleet size\n\n", model.c_str(),
@@ -814,7 +830,155 @@ int main(int argc, char** argv) try {
         std::printf("obs-overhead gate: %s\n", obs_pass ? "PASS" : "FAIL");
     }
 
-    return (stall_pass && shard_pass && recut_pass && obs_pass) ? 0 : 1;
+    // ---------------------------------------------------- net scenario
+    if (run_net) {
+        const int kConns = 8;
+        const int net_requests = std::max(128, requests);
+
+        // The wire-ready sample set: each carries both the u8 payload and
+        // the reconstructed reference tensor, so the in-process baseline
+        // serves EXACTLY what the socket path will (same dequant output).
+        std::vector<net::EncodedSample> samples;
+        samples.reserve(32);
+        for (int i = 0; i < 32; ++i)
+            samples.push_back(net::encode_sample(
+                bench.cache.dataset().test_batch(i % benchutil::kTestSamples, 1), 1));
+
+        // Bit-identity reference: the graph a fresh device deploys.
+        const auto net_choice = selector.select(0.0);
+        const quant::QuantizedGraph net_reference = quant::quantize_graph(
+            graph, quant::Method::M5_AciqNoBias,
+            quant::QuantConfig::from_compression(net_choice->compression), calib);
+
+        serve::ServeConfig cfg;
+        cfg.num_devices = 2;
+        cfg.num_workers = 2;
+        cfg.max_batch = 8;
+
+        std::printf("net: %s, %d closed-loop requests x %d concurrent clients,\n"
+                    "in-process submit() vs localhost TCP through the epoll front-end\n\n",
+                    model.c_str(), net_requests, kConns);
+
+        // Pass 1 — in-process closed loop: kConns submitter threads, one
+        // outstanding request each, straight into NpuServer::submit.
+        double base_qps = 0.0, base_p50 = 0.0, base_p99 = 0.0;
+        {
+            serve::NpuServer server(ctx, cfg);
+            std::vector<double> latency_ms;
+            latency_ms.reserve(static_cast<std::size_t>(net_requests));
+            std::mutex lat_mutex;
+            const auto t0 = Clock::now();
+            std::vector<std::thread> clients;
+            clients.reserve(kConns);
+            for (int c = 0; c < kConns; ++c)
+                clients.emplace_back([&, c] {
+                    const int quota = net_requests / kConns +
+                                      (c < net_requests % kConns ? 1 : 0);
+                    for (int i = 0; i < quota; ++i) {
+                        const net::EncodedSample& sample =
+                            samples[static_cast<std::size_t>(c + i * kConns) %
+                                    samples.size()];
+                        const auto s0 = Clock::now();
+                        (void)server.submit(sample.reference).get();
+                        const double ms = std::chrono::duration<double, std::milli>(
+                                              Clock::now() - s0)
+                                              .count();
+                        const std::lock_guard<std::mutex> lock(lat_mutex);
+                        latency_ms.push_back(ms);
+                    }
+                });
+            for (std::thread& t : clients) t.join();
+            const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+            server.shutdown();
+            std::sort(latency_ms.begin(), latency_ms.end());
+            base_qps = net_requests / wall_s;
+            base_p50 = common::quantile_sorted(latency_ms, 0.50);
+            base_p99 = common::quantile_sorted(latency_ms, 0.99);
+        }
+
+        // Pass 2 — the same closed-loop stream over localhost TCP.
+        double sock_qps = 0.0, sock_p50 = 0.0, sock_p99 = 0.0;
+        bool sock_lossless = false;
+        {
+            serve::NpuServer server(ctx, cfg);
+            net::NetConfig ncfg;
+            ncfg.num_loops = 2;
+            net::Server front(server, ncfg);
+            net::LoadGenConfig lcfg;
+            lcfg.port = front.port();
+            lcfg.connections = kConns;
+            lcfg.model = net::TrafficModel::ClosedLoop;
+            lcfg.total_requests = static_cast<std::uint64_t>(net_requests);
+            const net::LoadReport report = net::run_load(lcfg, samples);
+            front.stop();
+            server.shutdown();
+            sock_qps = report.qps();
+            sock_p50 = report.p50_ms;
+            sock_p99 = report.p99_ms;
+            sock_lossless = report.lossless() &&
+                            report.ok == static_cast<std::uint64_t>(net_requests);
+        }
+
+        common::Table net_table({"path", "qps", "p50 [ms]", "p99 [ms]"});
+        net_table.add_row({"in-process", common::Table::fmt(base_qps, 0),
+                           common::Table::fmt(base_p50, 3),
+                           common::Table::fmt(base_p99, 3)});
+        net_table.add_row({"socket", common::Table::fmt(sock_qps, 0),
+                           common::Table::fmt(sock_p50, 3),
+                           common::Table::fmt(sock_p99, 3)});
+        std::printf("%s\n", net_table.to_string().c_str());
+
+        // Pass 3 — overload: an open-loop Poisson stream at ~2× the
+        // socket capacity against a deliberately small admission queue.
+        // Offered load is a property of the trace, so the excess MUST
+        // surface as BUSY sheds — never as lost requests.
+        serve::ServeConfig small = cfg;
+        small.queue_capacity = 32;
+        serve::NpuServer server(ctx, small);
+        net::NetConfig ncfg;
+        ncfg.num_loops = 2;
+        net::Server front(server, ncfg);
+        net::LoadGenConfig over;
+        over.port = front.port();
+        over.connections = kConns;
+        over.model = net::TrafficModel::Poisson;
+        over.rate_rps = std::max(200.0, 2.0 * sock_qps);
+        over.duration_s = 2.0;
+        over.capture = true;
+        const net::LoadReport storm = net::run_load(over, samples);
+        front.stop();
+        server.shutdown();
+
+        // Every accepted (OK) response must match serial in-process
+        // execution of the same reconstructed tensor bit for bit.
+        bool identical = true;
+        std::size_t checked = 0;
+        for (const net::CapturedResult& cap : storm.captured) {
+            if (checked >= 64) break;  // spot-check a bounded prefix
+            ++checked;
+            const tensor::Tensor serial =
+                quant::run_quantized(net_reference, samples[cap.sample_index].reference);
+            if (cap.logits.size() != serial.size()) identical = false;
+            for (std::size_t k = 0; identical && k < serial.size(); ++k)
+                if (cap.logits[k] != serial[k]) identical = false;
+        }
+
+        std::printf("overload: %s\n", storm.to_string().c_str());
+        const double qps_ratio = base_qps > 0.0 ? sock_qps / base_qps : 0.0;
+        const double p99_ratio = base_p99 > 0.0 ? sock_p99 / base_p99 : 0.0;
+        std::printf("socket / in-process qps: %.3f  [gate: >= 0.7]\n", qps_ratio);
+        std::printf("socket / in-process p99: %.3f  [gate: <= 2.0]\n", p99_ratio);
+        std::printf("overload sheds BUSY: %llu, lossless: %s, accepted bit-identical:"
+                    " %s (%zu checked)  [gates: > 0 / yes / yes]\n",
+                    static_cast<unsigned long long>(storm.busy),
+                    storm.lossless() ? "yes" : "NO", identical ? "yes" : "NO", checked);
+        net_pass = sock_lossless && qps_ratio >= 0.7 && p99_ratio <= 2.0 &&
+                   storm.busy > 0 && storm.lossless() && storm.errors == 0 &&
+                   identical && checked > 0;
+        std::printf("net gate: %s\n", net_pass ? "PASS" : "FAIL");
+    }
+
+    return (stall_pass && shard_pass && recut_pass && obs_pass && net_pass) ? 0 : 1;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_throughput: %s\n", e.what());
     return 1;

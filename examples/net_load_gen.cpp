@@ -1,0 +1,83 @@
+// Standalone load-generator CLI for the net front-end: drive any running
+// raq socket endpoint (e.g. examples/serve_edge) with one of the
+// production traffic shapes and print the LoadReport.
+//
+// The sample stream is u8-quantized from the synthetic dataset — the
+// same encoding the tests use for bit-identity, so an `ok` here is a
+// fully served inference, not a ping.
+//
+// Usage: net_load_gen <host> <port> [traffic] [rate_rps] [duration_s]
+//                     [connections] [network]
+//   traffic: closed-loop | constant | poisson | diurnal | bursty
+//   rate_rps: open-loop offered load across all connections (peak for
+//             diurnal); ignored by closed-loop
+//   duration_s: open-loop run length; closed-loop sends
+//               rate_rps x duration_s requests instead
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/load_gen.hpp"
+#include "nn/model_cache.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace raq;
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: net_load_gen <host> <port> [traffic] [rate_rps] "
+                     "[duration_s] [connections] [network]\n");
+        return 1;
+    }
+    net::LoadGenConfig cfg;
+    cfg.host = argv[1];
+    cfg.port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+    const std::string traffic = argc > 3 ? argv[3] : "closed-loop";
+    cfg.rate_rps = argc > 4 ? std::atof(argv[4]) : 100.0;
+    const double duration_s = argc > 5 ? std::atof(argv[5]) : 10.0;
+    cfg.connections = argc > 6 ? std::atoi(argv[6]) : 8;
+    const std::string model = argc > 7 ? argv[7] : "alexnet-mini";
+
+    if (traffic == "closed-loop") {
+        cfg.model = net::TrafficModel::ClosedLoop;
+        cfg.total_requests =
+            static_cast<std::uint64_t>(std::max(1.0, cfg.rate_rps * duration_s));
+    } else if (traffic == "constant") {
+        cfg.model = net::TrafficModel::Constant;
+    } else if (traffic == "poisson") {
+        cfg.model = net::TrafficModel::Poisson;
+    } else if (traffic == "diurnal") {
+        cfg.model = net::TrafficModel::Diurnal;
+    } else if (traffic == "bursty") {
+        cfg.model = net::TrafficModel::Bursty;
+    } else {
+        std::fprintf(stderr,
+                     "net_load_gen: unknown traffic '%s' (closed-loop|constant|"
+                     "poisson|diurnal|bursty)\n",
+                     traffic.c_str());
+        return 1;
+    }
+    cfg.duration_s = duration_s;
+
+    // The dataset shape must match what the server deployed — both sides
+    // default to the synthetic dataset's (3, 16, 16) samples.
+    nn::ModelCache cache;
+    (void)model;  // the wire carries tensors, not weights; any sample set works
+    std::vector<net::EncodedSample> samples;
+    samples.reserve(64);
+    for (int i = 0; i < 64; ++i)
+        samples.push_back(net::encode_sample(cache.dataset().test_batch(i % 200, 1), 1));
+
+    std::printf("net_load_gen: %s traffic -> %s:%u, %d connection(s), "
+                "%.0f rps offered, %.1f s\n",
+                net::traffic_model_name(cfg.model), cfg.host.c_str(), cfg.port,
+                cfg.connections, cfg.rate_rps, duration_s);
+
+    const net::LoadReport report = net::run_load(cfg, samples);
+    std::printf("%s\n", report.to_string().c_str());
+    return report.lossless() ? 0 : 1;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "net_load_gen: %s\n", e.what());
+    return 1;
+}

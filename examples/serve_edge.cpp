@@ -1,0 +1,164 @@
+// Edge deployment demo: an aging NPU fleet behind the epoll socket
+// front-end, under diurnal traffic, with live metric scrapes.
+//
+// Starts an NpuServer with traffic-driven aging enabled (devices measure
+// their own utilization and age at the duty-scaled rate), puts the
+// net::Server front-end on a localhost port, and drives it with a
+// diurnal load trace — a raised-cosine "day" compressed into a few
+// seconds. While the run serves, the main thread scrapes the wire
+// METRICS endpoint once per simulated half-day and prints the live
+// `raq_net_*` counters and each device's duty-cycle gauge: the quiet
+// trough and the busy peak show up both in the traffic counters and in
+// the duty fraction the aging integral consumes.
+//
+// Usage: serve_edge [days] [day_s] [peak_rps] [connections] [network]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "cell/library.hpp"
+#include "core/compression_selector.hpp"
+#include "net/load_gen.hpp"
+#include "net/server.hpp"
+#include "netlist/builders.hpp"
+#include "nn/model_cache.hpp"
+#include "quant/calibration.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+/// Print the scrape lines whose series name starts with one of the
+/// given prefixes (Prometheus text: `name{labels} value`).
+void print_series(const std::string& scrape, const std::vector<std::string>& prefixes) {
+    std::istringstream lines(scrape);
+    std::string line;
+    while (std::getline(lines, line))
+        for (const std::string& prefix : prefixes)
+            if (line.compare(0, prefix.size(), prefix) == 0) {
+                std::printf("    %s\n", line.c_str());
+                break;
+            }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    using namespace raq;
+    const int days = argc > 1 ? std::atoi(argv[1]) : 2;
+    const double day_s = argc > 2 ? std::atof(argv[2]) : 4.0;
+    const double peak_rps = argc > 3 ? std::atof(argv[3]) : 300.0;
+    const int connections = argc > 4 ? std::atoi(argv[4]) : 8;
+    const std::string model = argc > 5 ? argv[5] : "alexnet-mini";
+
+    nn::ModelCache cache;
+    auto& net_model = cache.get(model);
+    auto graph = net_model.export_ir();
+    const auto& ds = cache.dataset();
+    const auto calib_images = ds.train_batch(0, 64);
+    const std::vector<int> calib_labels(ds.train_labels().begin(),
+                                        ds.train_labels().begin() + 64);
+    const auto calib = quant::calibrate(graph, calib_images, calib_labels);
+
+    const netlist::Netlist mac = netlist::build_mac_circuit();
+    const cell::Library fresh = cell::Library::finfet14();
+    const core::CompressionSelector selector(mac, fresh);
+    const aging::AgingModel aging_model;
+
+    serve::ServeContext ctx;
+    ctx.graph = &graph;
+    ctx.calib = &calib;
+    ctx.selector = &selector;
+    ctx.aging = &aging_model;
+
+    serve::ServeConfig cfg;
+    cfg.num_devices = 2;
+    cfg.num_workers = 2;
+    cfg.max_batch = 8;
+    cfg.telemetry.metrics = true;
+    // Devices measure their own utilization: the trough of the diurnal
+    // trace ages them measurably slower than the peak.
+    cfg.device.traffic_aging.enabled = true;
+    cfg.device.traffic_aging.window_us =
+        static_cast<std::int64_t>(0.25 * day_s * 1e6);  // quarter-day window
+
+    // Accelerate aging so the run's served traffic adds visible ΔVth.
+    {
+        serve::NpuServer probe(ctx, cfg);
+        const double busy_hours_per_request =
+            static_cast<double>(probe.device(0).per_image_cycles()) *
+            probe.device(0).clock_period_ps() * 1e-12 / 3600.0;
+        probe.shutdown();
+        const double expected_requests = 0.5 * peak_rps * days * day_s;
+        cfg.device.age_acceleration = aging_model.years_for_dvth(6.0) * 8760.0 /
+                                      std::max(1.0, expected_requests *
+                                                        busy_hours_per_request / 2.0);
+    }
+
+    serve::NpuServer npu(ctx, cfg);
+    net::NetConfig ncfg;
+    ncfg.num_loops = 2;
+    net::Server front(npu, ncfg);
+    std::printf("serve_edge: %s fleet of %d behind 127.0.0.1:%u — %d day(s) of "
+                "diurnal traffic (%.1f s/day, peak %.0f rps, %d conns)\n\n",
+                model.c_str(), cfg.num_devices, front.port(), days, day_s, peak_rps,
+                connections);
+
+    // Drive the diurnal trace from a background thread; the main thread
+    // is a monitoring sidecar scraping the same socket endpoint.
+    net::LoadGenConfig lcfg;
+    lcfg.port = front.port();
+    lcfg.connections = connections;
+    lcfg.model = net::TrafficModel::Diurnal;
+    lcfg.rate_rps = peak_rps;
+    lcfg.diurnal_period_s = day_s;
+    lcfg.diurnal_trough = 0.05;
+    lcfg.duration_s = days * day_s;
+    std::vector<net::EncodedSample> samples;
+    for (int i = 0; i < 32; ++i)
+        samples.push_back(net::encode_sample(ds.test_batch(i % 200, 1), 1));
+
+    net::LoadReport report;
+    std::thread driver([&] { report = net::run_load(lcfg, samples); });
+
+    const int scrapes = 2 * days;  // one per simulated half-day
+    for (int s = 0; s < scrapes; ++s) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<int>(500.0 * day_s)));
+        const std::string scrape = net::fetch_metrics("127.0.0.1", front.port());
+        std::printf("  scrape %d/%d (t = %.1f s):\n", s + 1, scrapes,
+                    (s + 1) * 0.5 * day_s);
+        print_series(scrape, {"raq_net_requests_total", "raq_net_shed_total",
+                              "raq_net_connections_active", "raq_device_duty_fraction",
+                              "raq_device_dvth_mv"});
+    }
+
+    driver.join();
+    front.stop();
+    npu.shutdown();
+
+    std::printf("\nload: %s\n", report.to_string().c_str());
+    const net::NetStats stats = front.stats();
+    std::printf("front-end: %llu conns, %llu requests, %llu responses, %llu shed\n\n",
+                static_cast<unsigned long long>(stats.connections),
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.responses),
+                static_cast<unsigned long long>(stats.shed));
+    for (int d = 0; d < npu.num_devices(); ++d) {
+        const serve::DeviceStats s = npu.device(d).stats();
+        std::printf("device %d: %llu requests, duty %.2f, effective stress %.0f h, "
+                    "dVth %.2f mV, %d requant(s)\n",
+                    d, static_cast<unsigned long long>(s.requests), s.duty_fraction,
+                    s.operating_hours, s.dvth_mv, s.requant_count);
+    }
+    std::printf("\nreliability timeline:\n%s", npu.export_timeline().c_str());
+    return report.lossless() ? 0 : 1;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_edge: %s\n", e.what());
+    return 1;
+}

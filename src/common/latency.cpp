@@ -1,0 +1,12 @@
+#include "common/latency.hpp"
+
+#include "common/stats.hpp"
+
+namespace raq::common {
+
+std::vector<double> ReservoirSampler::quantiles(const std::vector<double>& qs) const {
+    if (samples_.empty()) return std::vector<double>(qs.size(), 0.0);
+    return common::quantiles(samples_, qs);
+}
+
+}  // namespace raq::common

@@ -1,0 +1,66 @@
+// The one reservoir-sampling latency summary in the project.
+//
+// serve's per-device LatencyRecorder (model-cycle latencies) and
+// net::LoadGen's client-side report (host-millisecond round trips) both
+// need the same thing: exact count/mean/max over an unbounded stream
+// plus percentile estimates from a bounded, uniform sample. Keeping one
+// implementation here (Vitter's Algorithm R over common::Rng, quantiles
+// through common::quantiles) keeps every latency figure in the repo on
+// one sampling scheme and one percentile interpolation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace raq::common {
+
+class ReservoirSampler {
+public:
+    explicit ReservoirSampler(std::size_t capacity = 4096,
+                              std::uint64_t seed = 0x1a7e9c5ULL)
+        : capacity_(std::max<std::size_t>(1, capacity)), rng_(seed) {
+        samples_.reserve(capacity_);
+    }
+
+    void record(double v) {
+        ++count_;
+        sum_ += v;
+        max_ = std::max(max_, v);
+        if (samples_.size() < capacity_) {
+            samples_.push_back(v);
+            return;
+        }
+        // Algorithm R: the i-th sample replaces a reservoir slot with
+        // probability capacity / i, keeping the reservoir uniform.
+        const std::uint64_t j = rng_.next_below(count_);
+        if (j < capacity_) samples_[static_cast<std::size_t>(j)] = v;
+    }
+
+    /// Exact number of recorded samples (not the reservoir occupancy).
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+    [[nodiscard]] double mean() const {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    [[nodiscard]] std::size_t reservoir_size() const { return samples_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Percentile estimates off the uniform reservoir — one sort, the
+    /// shared common::quantiles interpolation. Returns one value per q.
+    [[nodiscard]] std::vector<double> quantiles(const std::vector<double>& qs) const;
+
+private:
+    const std::size_t capacity_;
+    Rng rng_;
+    std::vector<double> samples_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace raq::common

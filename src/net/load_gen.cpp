@@ -1,0 +1,493 @@
+#include "net/load_gen.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "obs/clock.hpp"
+
+namespace raq::net {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Blocking client connection with framed send/recv helpers.
+class ClientConn {
+public:
+    bool connect_to(const std::string& host, std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) return false;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+            ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+            close();
+            return false;
+        }
+        const int nodelay = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+        return true;
+    }
+
+    ~ClientConn() { close(); }
+    void close() {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+    [[nodiscard]] bool ok() const { return fd_ >= 0; }
+    [[nodiscard]] int fd() const { return fd_; }
+
+    bool send_all(const std::uint8_t* data, std::size_t size) {
+        std::size_t off = 0;
+        while (off < size) {
+            const ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR) continue;
+                return false;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool recv_all(std::uint8_t* data, std::size_t size) {
+        std::size_t off = 0;
+        while (off < size) {
+            const ssize_t n = ::recv(fd_, data + off, size - off, 0);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR) continue;
+                return false;  // EOF, timeout or error
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /// Read one length-prefixed frame into `payload`.
+    bool recv_frame(std::vector<std::uint8_t>& payload) {
+        std::uint8_t len_bytes[4];
+        if (!recv_all(len_bytes, 4)) return false;
+        std::uint32_t len = 0;
+        std::memcpy(&len, len_bytes, 4);
+        if (len == 0 || len > kMaxFrameBytes) return false;
+        payload.resize(len);
+        return recv_all(payload.data(), len);
+    }
+
+    /// Wait for readable data: 1 = ready, 0 = timeout, -1 = error. Used
+    /// instead of SO_RCVTIMEO so a timeout can never strike mid-frame
+    /// and desynchronize the stream.
+    int wait_readable(int timeout_ms) const {
+        pollfd pfd{fd_, POLLIN, 0};
+        return ::poll(&pfd, 1, timeout_ms);
+    }
+
+private:
+    int fd_ = -1;
+};
+
+/// Shared tally all connection threads fold into under one mutex (the
+/// per-request cost is one lock at response time — negligible next to a
+/// socket round trip).
+struct Tally {
+    std::mutex mutex;
+    LoadReport report;
+    common::ReservoirSampler latency_ms;
+
+    explicit Tally(const LoadGenConfig& cfg)
+        : latency_ms(cfg.latency_reservoir, common::stream_seed(cfg.seed, 0x7A11ULL)) {}
+};
+
+/// Inter-arrival schedule for the open-loop models. Deterministic per
+/// connection (seeded from config.seed + connection index).
+class ArrivalProcess {
+public:
+    ArrivalProcess(const LoadGenConfig& cfg, int conn_index)
+        : cfg_(cfg),
+          rate_(std::max(1e-9, cfg.rate_rps / std::max(1, cfg.connections))),
+          rng_(common::stream_seed(cfg.seed, static_cast<std::uint64_t>(conn_index))) {}
+
+    /// Seconds from run start at which the next request fires. Advances
+    /// internal time; call once per request.
+    double next_arrival_s() {
+        switch (cfg_.model) {
+            case TrafficModel::Constant:
+                t_ += 1.0 / rate_;
+                return t_;
+            case TrafficModel::Poisson:
+                t_ += exp_sample(rate_);
+                return t_;
+            case TrafficModel::Diurnal: {
+                // Nonhomogeneous Poisson by thinning against the peak.
+                for (;;) {
+                    t_ += exp_sample(rate_);
+                    const double phase = kTwoPi * t_ / cfg_.diurnal_period_s;
+                    const double level =
+                        cfg_.diurnal_trough +
+                        (1.0 - cfg_.diurnal_trough) * 0.5 * (1.0 - std::cos(phase));
+                    if (rng_.next_double() < level) return t_;
+                }
+            }
+            case TrafficModel::Bursty: {
+                if (burst_left_ == 0) {
+                    // Pareto(α) burst size with mean burst_mean:
+                    // xm = mean(α−1)/α, X = xm / U^(1/α).
+                    const double alpha = std::max(1.01, cfg_.pareto_alpha);
+                    const double xm = cfg_.burst_mean * (alpha - 1.0) / alpha;
+                    double u = rng_.next_double();
+                    while (u <= 1e-12) u = rng_.next_double();
+                    const double x = xm / std::pow(u, 1.0 / alpha);
+                    burst_left_ = std::max<std::uint64_t>(
+                        1, static_cast<std::uint64_t>(std::llround(x)));
+                    // Gap sized so the long-run rate still averages rate_:
+                    // a burst of K requests "costs" K/rate seconds of trace.
+                    t_ += exp_sample(rate_ / static_cast<double>(burst_left_));
+                }
+                --burst_left_;
+                return t_;  // requests within a burst are back-to-back
+            }
+            case TrafficModel::ClosedLoop:
+                return t_;  // unused: the closed loop self-clocks
+        }
+        return t_;
+    }
+
+private:
+    double exp_sample(double rate) {
+        double u = rng_.next_double();
+        while (u <= 1e-300) u = rng_.next_double();
+        return -std::log(u) / rate;
+    }
+
+    const LoadGenConfig& cfg_;
+    const double rate_;
+    common::Rng rng_;
+    double t_ = 0.0;
+    std::uint64_t burst_left_ = 0;
+};
+
+void tally_response(Tally& tally, const LoadGenConfig& cfg, const Response& resp,
+                    std::size_t sample_index, double rtt_ms) {
+    const std::lock_guard<std::mutex> lock(tally.mutex);
+    switch (resp.status) {
+        case Status::Ok: {
+            ++tally.report.ok;
+            tally.latency_ms.record(rtt_ms);
+            if (cfg.capture) {
+                CapturedResult cap;
+                cap.sample_index = sample_index;
+                cap.predicted_class = resp.infer.predicted_class;
+                cap.logits = resp.infer.logits;
+                tally.report.captured.push_back(std::move(cap));
+            }
+            break;
+        }
+        case Status::Busy: ++tally.report.busy; break;
+        case Status::ShuttingDown: ++tally.report.shutdown; break;
+        case Status::BadRequest: ++tally.report.bad; break;
+        case Status::Error: ++tally.report.errors; break;
+    }
+}
+
+void count_error(Tally& tally, std::uint64_t n = 1) {
+    const std::lock_guard<std::mutex> lock(tally.mutex);
+    tally.report.errors += n;
+}
+
+/// Closed loop: one outstanding request per connection; self-clocked.
+void closed_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>& samples,
+                      int conn_index, std::uint64_t quota, Tally& tally) {
+    ClientConn conn;
+    if (!conn.connect_to(cfg.host, cfg.port)) {
+        count_error(tally, quota);
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        tally.report.sent += quota;  // offered but never delivered
+        return;
+    }
+    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> in;
+    for (std::uint64_t i = 0; i < quota; ++i) {
+        const std::size_t sample_index =
+            (static_cast<std::size_t>(conn_index) + i * cfg.connections) % samples.size();
+        const EncodedSample& sample = samples[sample_index];
+        const std::uint64_t tag =
+            (static_cast<std::uint64_t>(conn_index) << 32) | i;
+        out.clear();
+        encode_infer_request(out, tag, sample.header, sample.payload);
+        {
+            const std::lock_guard<std::mutex> lock(tally.mutex);
+            ++tally.report.sent;
+        }
+        const std::int64_t t0 = obs::monotonic_us();
+        Response resp;
+        if (!conn.send_all(out.data(), out.size()) || !conn.recv_frame(in) ||
+            !decode_response(in.data(), in.size(), Op::Infer, resp)) {
+            count_error(tally);
+            return;  // connection is broken; stop this worker
+        }
+        const double rtt_ms = static_cast<double>(obs::monotonic_us() - t0) * 1e-3;
+        tally_response(tally, cfg, resp, sample_index, rtt_ms);
+    }
+}
+
+/// Open loop: a sender thread paces the arrival process regardless of
+/// service speed; a reader thread matches responses by tag.
+void open_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>& samples,
+                    int conn_index, std::uint64_t quota, Tally& tally) {
+    ClientConn conn;
+    if (!conn.connect_to(cfg.host, cfg.port)) {
+        count_error(tally, quota);
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        tally.report.sent += quota;
+        return;
+    }
+    struct Outstanding {
+        std::int64_t sent_us = 0;
+        std::size_t sample_index = 0;
+    };
+    std::mutex pending_mutex;
+    std::unordered_map<std::uint64_t, Outstanding> pending;
+    std::atomic<bool> sender_done{false};
+    std::atomic<bool> conn_broken{false};
+
+    std::thread reader([&] {
+        std::vector<std::uint8_t> in;
+        for (;;) {
+            if (conn_broken.load(std::memory_order_acquire)) return;
+            {
+                const std::lock_guard<std::mutex> lock(pending_mutex);
+                if (sender_done.load(std::memory_order_acquire) && pending.empty())
+                    return;
+            }
+            const int ready = conn.wait_readable(200);
+            if (ready == 0) continue;  // timeout tick; re-check exit conditions
+            if (ready < 0) {
+                conn_broken.store(true, std::memory_order_release);
+                return;
+            }
+            Response resp;
+            if (!conn.recv_frame(in)) {
+                conn_broken.store(true, std::memory_order_release);
+                return;
+            }
+            if (!decode_response(in.data(), in.size(), Op::Infer, resp)) {
+                conn_broken.store(true, std::memory_order_release);
+                return;
+            }
+            Outstanding meta;
+            bool known = false;
+            {
+                const std::lock_guard<std::mutex> lock(pending_mutex);
+                const auto it = pending.find(resp.tag);
+                if (it != pending.end()) {
+                    meta = it->second;
+                    pending.erase(it);
+                    known = true;
+                }
+            }
+            if (!known) continue;  // duplicate/unknown tag; ignore
+            const double rtt_ms =
+                static_cast<double>(obs::monotonic_us() - meta.sent_us) * 1e-3;
+            tally_response(tally, cfg, resp, meta.sample_index, rtt_ms);
+        }
+    });
+
+    ArrivalProcess arrivals(cfg, conn_index);
+    const std::int64_t start_us = obs::monotonic_us();
+    const std::int64_t end_us =
+        cfg.duration_s > 0.0
+            ? start_us + static_cast<std::int64_t>(cfg.duration_s * 1e6)
+            : std::numeric_limits<std::int64_t>::max();
+    std::vector<std::uint8_t> out;
+    for (std::uint64_t i = 0; quota == 0 || i < quota; ++i) {
+        const std::int64_t due_us =
+            start_us + static_cast<std::int64_t>(arrivals.next_arrival_s() * 1e6);
+        if (due_us > end_us) break;
+        const std::int64_t now = obs::monotonic_us();
+        if (due_us > now)
+            std::this_thread::sleep_for(std::chrono::microseconds(due_us - now));
+        if (conn_broken.load(std::memory_order_acquire)) break;
+        const std::size_t sample_index =
+            (static_cast<std::size_t>(conn_index) + i * cfg.connections) % samples.size();
+        const EncodedSample& sample = samples[sample_index];
+        const std::uint64_t tag = (static_cast<std::uint64_t>(conn_index) << 32) | i;
+        out.clear();
+        encode_infer_request(out, tag, sample.header, sample.payload);
+        {
+            const std::lock_guard<std::mutex> lock(pending_mutex);
+            pending.emplace(tag, Outstanding{obs::monotonic_us(), sample_index});
+        }
+        {
+            const std::lock_guard<std::mutex> lock(tally.mutex);
+            ++tally.report.sent;
+        }
+        if (!conn.send_all(out.data(), out.size())) {
+            conn_broken.store(true, std::memory_order_release);
+            // The request never reached the server; answer it locally.
+            {
+                const std::lock_guard<std::mutex> lock(pending_mutex);
+                pending.erase(tag);
+            }
+            count_error(tally);
+            break;
+        }
+    }
+    sender_done.store(true, std::memory_order_release);
+    // Give stragglers a bounded window, then count what never came back
+    // as errors so the report still balances.
+    const std::int64_t drain_deadline =
+        obs::monotonic_us() + 1000ll * cfg.drain_timeout_ms;
+    while (obs::monotonic_us() < drain_deadline) {
+        {
+            const std::lock_guard<std::mutex> lock(pending_mutex);
+            if (pending.empty()) break;
+        }
+        if (conn_broken.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    conn_broken.store(true, std::memory_order_release);
+    reader.join();
+    std::size_t unanswered = 0;
+    {
+        const std::lock_guard<std::mutex> lock(pending_mutex);
+        unanswered = pending.size();
+        pending.clear();
+    }
+    if (unanswered > 0) count_error(tally, unanswered);
+}
+
+}  // namespace
+
+const char* traffic_model_name(TrafficModel model) noexcept {
+    switch (model) {
+        case TrafficModel::ClosedLoop: return "closed-loop";
+        case TrafficModel::Constant: return "constant";
+        case TrafficModel::Poisson: return "poisson";
+        case TrafficModel::Diurnal: return "diurnal";
+        case TrafficModel::Bursty: return "bursty";
+    }
+    return "?";
+}
+
+EncodedSample encode_sample(tensor::TensorView sample, std::uint32_t model_id) {
+    EncodedSample out;
+    out.header.model_id = model_id;
+    out.header.c = static_cast<std::uint16_t>(sample.shape.c);
+    out.header.h = static_cast<std::uint16_t>(sample.shape.h);
+    out.header.w = static_cast<std::uint16_t>(sample.shape.w);
+    const std::size_t pixels = sample.size();
+    float lo = sample.data[0], hi = sample.data[0];
+    for (std::size_t i = 1; i < pixels; ++i) {
+        lo = std::min(lo, sample.data[i]);
+        hi = std::max(hi, sample.data[i]);
+    }
+    const float scale = (hi - lo) > 0.0f ? (hi - lo) / 255.0f : 1.0f;
+    const float zero_point = -lo / scale;
+    out.header.scale = scale;
+    out.header.zero_point = zero_point;
+    out.payload.resize(pixels);
+    out.reference = tensor::Tensor(tensor::Shape{1, sample.shape.c, sample.shape.h,
+                                                 sample.shape.w});
+    float* ref = out.reference.data();
+    for (std::size_t i = 0; i < pixels; ++i) {
+        const float q = std::round(sample.data[i] / scale + zero_point);
+        const std::uint8_t byte =
+            static_cast<std::uint8_t>(std::clamp(q, 0.0f, 255.0f));
+        out.payload[i] = byte;
+        // The reference is what the SERVER will reconstruct — identical
+        // arithmetic through the shared dequant().
+        ref[i] = dequant(byte, scale, zero_point);
+    }
+    return out;
+}
+
+LoadReport run_load(const LoadGenConfig& config, const std::vector<EncodedSample>& samples) {
+    if (samples.empty() || config.connections < 1) return {};
+    Tally tally(config);
+    const int conns = config.connections;
+    // Split a total-request quota across connections (first conns get
+    // the remainder). 0 stays 0 = unbounded (duration-governed).
+    std::vector<std::uint64_t> quota(static_cast<std::size_t>(conns), 0);
+    if (config.total_requests > 0) {
+        for (int i = 0; i < conns; ++i) {
+            quota[static_cast<std::size_t>(i)] =
+                config.total_requests / conns +
+                (static_cast<std::uint64_t>(i) < config.total_requests % conns ? 1 : 0);
+        }
+    }
+    const std::int64_t t0 = obs::monotonic_us();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(conns));
+    for (int i = 0; i < conns; ++i) {
+        const std::uint64_t q = quota[static_cast<std::size_t>(i)];
+        threads.emplace_back([&, i, q] {
+            if (config.model == TrafficModel::ClosedLoop)
+                closed_loop_conn(config, samples, i, q, tally);
+            else
+                open_loop_conn(config, samples, i, q, tally);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    LoadReport report;
+    {
+        const std::lock_guard<std::mutex> lock(tally.mutex);
+        report = std::move(tally.report);
+        report.wall_s = static_cast<double>(obs::monotonic_us() - t0) * 1e-6;
+        if (tally.latency_ms.count() > 0) {
+            const std::vector<double> qs = tally.latency_ms.quantiles({0.50, 0.99});
+            report.p50_ms = qs[0];
+            report.p99_ms = qs[1];
+            report.mean_ms = tally.latency_ms.mean();
+            report.max_ms = tally.latency_ms.max();
+        }
+    }
+    return report;
+}
+
+std::string fetch_metrics(const std::string& host, std::uint16_t port) {
+    ClientConn conn;
+    if (!conn.connect_to(host, port)) return {};
+    std::vector<std::uint8_t> out;
+    encode_metrics_request(out, /*tag=*/0);
+    if (!conn.send_all(out.data(), out.size())) return {};
+    std::vector<std::uint8_t> in;
+    Response resp;
+    if (!conn.recv_frame(in) || !decode_response(in.data(), in.size(), Op::Metrics, resp) ||
+        resp.status != Status::Ok)
+        return {};
+    return resp.blob;
+}
+
+std::string LoadReport::to_string() const {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "load: %llu sent | %llu ok %llu busy %llu shutdown %llu bad %llu err | "
+                  "%.2fs wall, %.0f qps | p50 %.2fms p99 %.2fms mean %.2fms max %.2fms%s",
+                  static_cast<unsigned long long>(sent), static_cast<unsigned long long>(ok),
+                  static_cast<unsigned long long>(busy),
+                  static_cast<unsigned long long>(shutdown),
+                  static_cast<unsigned long long>(bad),
+                  static_cast<unsigned long long>(errors), wall_s, qps(), p50_ms, p99_ms,
+                  mean_ms, max_ms, lossless() ? "" : "  [LOSSY!]");
+    return buf;
+}
+
+}  // namespace raq::net

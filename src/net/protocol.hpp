@@ -1,0 +1,230 @@
+// Wire protocol of the net front-end: a length-prefixed binary RPC,
+// little-endian, no external dependencies. See src/net/README.md for
+// the byte-level layout and backpressure semantics.
+//
+// Framing: every message is `u32 length | payload` where `length` is
+// the payload byte count (the prefix excludes itself). Requests open
+// with `u8 op | u64 tag`; the tag is opaque to the server and echoed
+// verbatim on the response, so clients may pipeline many requests per
+// connection and match completions out of order.
+//
+// The INFER payload carries the image as u8 quantized samples plus an
+// affine (scale, zero_point) pair; both ends reconstruct floats through
+// the ONE shared dequant() below, which is what makes socket-served
+// results bit-identical to in-process submission of the same
+// reconstructed tensor. On the server this dequantization writes
+// straight into the `tensor::Tensor` the batcher consumes — the
+// zero-copy hand-off: payload bytes → tensor storage, no intermediate
+// image buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace raq::net {
+
+/// Request opcodes.
+enum class Op : std::uint8_t {
+    Infer = 1,    ///< one sample → logits + serving metadata
+    Metrics = 2,  ///< Prometheus-style scrape of the server's registry
+};
+
+/// Response status. Busy and ShuttingDown are the admission-control
+/// outcomes: the request was *answered*, not buffered — nothing is ever
+/// silently dropped or blackholed.
+enum class Status : std::uint8_t {
+    Ok = 0,
+    Busy = 1,          ///< queue saturated; retry with backoff
+    ShuttingDown = 2,  ///< drain in progress; connection closes after the flush
+    BadRequest = 3,    ///< malformed frame / unknown op / wrong model id
+    Error = 4,         ///< accepted but failed while serving (detail in payload)
+};
+
+/// Hard ceiling on one frame's payload: a 256×128×128 u8 image is
+/// ~4 MB; anything larger is a protocol error, not an allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
+
+/// Fixed-size INFER request header that follows `op | tag`.
+struct InferHeader {
+    std::uint32_t model_id = 0;
+    std::uint16_t c = 0, h = 0, w = 0;
+    float scale = 1.0f;
+    float zero_point = 0.0f;
+};
+
+/// The one u8→float reconstruction both ends share. The server parses
+/// payload bytes through this straight into the tensor it submits; a
+/// client that wants the bit-identical in-process reference applies the
+/// same function to the same bytes.
+[[nodiscard]] inline float dequant(std::uint8_t byte, float scale, float zero_point) {
+    return (static_cast<float>(byte) - zero_point) * scale;
+}
+
+// ---- little-endian scalar packing over a byte vector -----------------
+// memcpy-based: safe on any alignment, compiles to plain loads/stores
+// on the little-endian targets this runs on.
+
+inline void put_u8(std::vector<std::uint8_t>& buf, std::uint8_t v) { buf.push_back(v); }
+
+template <typename T>
+inline void put_scalar(std::vector<std::uint8_t>& buf, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = buf.size();
+    buf.resize(at + sizeof(T));
+    std::memcpy(buf.data() + at, &v, sizeof(T));
+}
+
+inline void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) { put_scalar(buf, v); }
+inline void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) { put_scalar(buf, v); }
+inline void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) { put_scalar(buf, v); }
+inline void put_i32(std::vector<std::uint8_t>& buf, std::int32_t v) { put_scalar(buf, v); }
+inline void put_f32(std::vector<std::uint8_t>& buf, float v) { put_scalar(buf, v); }
+inline void put_f64(std::vector<std::uint8_t>& buf, double v) { put_scalar(buf, v); }
+
+/// Bounds-checked little-endian reader over a received payload. All
+/// reads return false past the end instead of touching out-of-range
+/// bytes; the caller maps that to Status::BadRequest.
+class Reader {
+public:
+    Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+    template <typename T>
+    bool read(T& out) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (size_ - pos_ < sizeof(T)) return false;
+        std::memcpy(&out, data_ + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return true;
+    }
+
+    /// Borrow `n` raw bytes (no copy); valid while the payload lives.
+    bool bytes(std::size_t n, const std::uint8_t*& out) {
+        if (size_ - pos_ < n) return false;
+        out = data_ + pos_;
+        pos_ += n;
+        return true;
+    }
+
+    [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+private:
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// ---- request encoding (client side) ----------------------------------
+
+/// Append one framed INFER request for a u8-quantized sample.
+inline void encode_infer_request(std::vector<std::uint8_t>& out, std::uint64_t tag,
+                                 const InferHeader& hdr,
+                                 const std::vector<std::uint8_t>& payload) {
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        1 + 8 + 4 + 3 * 2 + 2 * 4 + payload.size());
+    put_u32(out, len);
+    put_u8(out, static_cast<std::uint8_t>(Op::Infer));
+    put_u64(out, tag);
+    put_u32(out, hdr.model_id);
+    put_u16(out, hdr.c);
+    put_u16(out, hdr.h);
+    put_u16(out, hdr.w);
+    put_f32(out, hdr.scale);
+    put_f32(out, hdr.zero_point);
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+/// Append one framed METRICS request.
+inline void encode_metrics_request(std::vector<std::uint8_t>& out, std::uint64_t tag) {
+    put_u32(out, 1 + 8);
+    put_u8(out, static_cast<std::uint8_t>(Op::Metrics));
+    put_u64(out, tag);
+}
+
+// ---- response encoding (server side) ---------------------------------
+
+/// Serving metadata echoed with OK infer responses.
+struct InferReply {
+    std::int32_t predicted_class = -1;
+    std::uint32_t device_id = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t partition = 0;
+    double latency_us = 0.0;
+    std::vector<float> logits;
+};
+
+inline void encode_infer_response(std::vector<std::uint8_t>& out, std::uint64_t tag,
+                                  const InferReply& r) {
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        1 + 8 + 4 + 4 + 8 + 8 + 8 + 4 + 4 * r.logits.size());
+    put_u32(out, len);
+    put_u8(out, static_cast<std::uint8_t>(Status::Ok));
+    put_u64(out, tag);
+    put_i32(out, r.predicted_class);
+    put_u32(out, r.device_id);
+    put_u64(out, r.generation);
+    put_u64(out, r.partition);
+    put_f64(out, r.latency_us);
+    put_u32(out, static_cast<std::uint32_t>(r.logits.size()));
+    for (const float v : r.logits) put_f32(out, v);
+}
+
+/// Non-OK responses and the METRICS scrape share one shape: status, tag,
+/// and a length-prefixed byte blob (error detail / exposition text).
+inline void encode_blob_response(std::vector<std::uint8_t>& out, Status status,
+                                 std::uint64_t tag, const std::string& blob) {
+    const std::uint32_t len = static_cast<std::uint32_t>(1 + 8 + 4 + blob.size());
+    put_u32(out, len);
+    put_u8(out, static_cast<std::uint8_t>(status));
+    put_u64(out, tag);
+    put_u32(out, static_cast<std::uint32_t>(blob.size()));
+    out.insert(out.end(), blob.begin(), blob.end());
+}
+
+// ---- response decoding (client side) ---------------------------------
+// An OK response's body shape depends on the op of the request it
+// answers (INFER → reply fields + logits, METRICS → byte blob), and the
+// client knows which op each tag carried — so decoding is explicit per
+// expected shape rather than guessed from byte counts.
+
+/// One decoded response frame.
+struct Response {
+    Status status = Status::Error;
+    std::uint64_t tag = 0;
+    InferReply infer;   ///< populated when status == Ok on an INFER tag
+    std::string blob;   ///< error detail or METRICS exposition text
+};
+
+/// Decode one response payload (the bytes after the u32 length prefix)
+/// for a tag the client sent as `op`. Returns false on a malformed
+/// frame. Non-OK statuses always carry the blob shape regardless of op.
+inline bool decode_response(const std::uint8_t* data, std::size_t size, Op op,
+                            Response& out) {
+    Reader r(data, size);
+    std::uint8_t status_byte = 0;
+    if (!r.read(status_byte) || !r.read(out.tag)) return false;
+    if (status_byte > static_cast<std::uint8_t>(Status::Error)) return false;
+    out.status = static_cast<Status>(status_byte);
+    if (out.status == Status::Ok && op == Op::Infer) {
+        std::uint32_t n_logits = 0;
+        if (!r.read(out.infer.predicted_class) || !r.read(out.infer.device_id) ||
+            !r.read(out.infer.generation) || !r.read(out.infer.partition) ||
+            !r.read(out.infer.latency_us) || !r.read(n_logits) ||
+            r.remaining() != 4u * n_logits)
+            return false;
+        out.infer.logits.resize(n_logits);
+        for (std::uint32_t i = 0; i < n_logits; ++i)
+            if (!r.read(out.infer.logits[i])) return false;
+        return true;
+    }
+    std::uint32_t blob_len = 0;
+    if (!r.read(blob_len) || r.remaining() != blob_len) return false;
+    const std::uint8_t* bytes = nullptr;
+    if (!r.bytes(blob_len, bytes)) return false;
+    out.blob.assign(reinterpret_cast<const char*>(bytes), blob_len);
+    return true;
+}
+
+}  // namespace raq::net

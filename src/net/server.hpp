@@ -1,0 +1,133 @@
+// net::Server — the epoll network front-end over NpuServer.
+//
+// Topology: one acceptor thread (poll on the listening socket, 100 ms
+// tick to observe the stop flag) hands accepted connections round-robin
+// to `num_loops` event-loop threads. Each loop owns an epoll instance,
+// an eventfd for cross-thread wakes, and the full lifecycle of its
+// connections: non-blocking reads feed a per-connection reassembly
+// buffer, complete frames are parsed **directly into the tensor the
+// batcher will consume** (the zero-copy hand-off — payload bytes are
+// dequantized straight into `tensor::Tensor` storage, no intermediate
+// image buffer), and `NpuServer::try_submit` admits or sheds them.
+//
+// Admission control rides the BoundedChannel close-and-drain protocol:
+//   try_submit == Saturated  → immediate BUSY response (shed, counted)
+//   try_submit == Closed / draining → SHUTTING_DOWN response
+//   accepted → the request's on_done hook posts a completion to the
+//     owning loop and writes its eventfd; the loop serializes the
+//     response when the future is ready. No loop thread ever blocks on
+//     a future, a lock held across a build, or a full socket (writes
+//     spill to a per-connection buffer flushed on EPOLLOUT).
+//
+// Shutdown cascade (stop()): close the listener (no new connections) →
+// mark draining (new INFERs answered SHUTTING_DOWN, in-flight requests
+// keep their promises) → loops run until every in-flight request has
+// resolved and every response buffer has flushed (bounded by
+// `drain_deadline_ms`) → join. The NpuServer must stay alive until
+// stop() returns — it is what resolves the in-flight futures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace raq::net {
+
+struct NetConfig {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral: the kernel picks a free port, readable via port().
+    std::uint16_t port = 0;
+    int num_loops = 2;        ///< event-loop worker threads
+    std::uint32_t model_id = 1;  ///< the single model this front-end serves
+    std::uint32_t max_frame_bytes = kMaxFrameBytes;
+    int backlog = 128;
+    /// Upper bound on the post-stop drain (in-flight futures + response
+    /// flush); connections still open past it are closed hard.
+    int drain_deadline_ms = 5000;
+};
+
+/// Front-end counters, readable any time (atomics — works with server
+/// telemetry off; with telemetry on the same figures export as
+/// `raq_net_*` series).
+struct NetStats {
+    std::uint64_t connections = 0;       ///< accepted since start
+    std::uint64_t requests = 0;          ///< frames parsed (INFER + METRICS)
+    std::uint64_t responses = 0;         ///< responses fully serialized
+    std::uint64_t shed = 0;              ///< BUSY responses (queue saturated)
+    std::uint64_t shutdown_rejects = 0;  ///< SHUTTING_DOWN responses
+    std::uint64_t protocol_errors = 0;   ///< malformed frames (connection closed)
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+};
+
+class Server {
+public:
+    /// Binds, listens and starts the acceptor + event-loop threads.
+    /// `npu` must outlive stop()/destruction. Throws std::runtime_error
+    /// when the socket cannot be bound.
+    Server(serve::NpuServer& npu, const NetConfig& config);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bound port (== config.port unless ephemeral).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Run the shutdown cascade and join all threads. Idempotent. The
+    /// NpuServer keeps running — callers shut it down afterwards.
+    void stop();
+
+    [[nodiscard]] NetStats stats() const;
+
+private:
+    struct EventLoop;
+    friend struct EventLoop;
+
+    void acceptor_loop();
+    void register_metrics();
+
+    serve::NpuServer& npu_;
+    const NetConfig config_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    /// Draining: admission answers SHUTTING_DOWN. Set before the loops
+    /// begin their in-flight drain.
+    std::atomic<bool> draining_{false};
+
+    std::vector<std::unique_ptr<EventLoop>> loops_;
+    std::thread acceptor_;
+    std::atomic<std::size_t> next_loop_{0};
+
+    // Atomic front-end counters (see NetStats).
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> responses_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> shutdown_rejects_{0};
+    std::atomic<std::uint64_t> protocol_errors_{0};
+    std::atomic<std::uint64_t> bytes_read_{0};
+    std::atomic<std::uint64_t> bytes_written_{0};
+
+    /// Mirrored registry instruments (null with telemetry off).
+    obs::Counter* m_connections_ = nullptr;
+    obs::Gauge* m_active_ = nullptr;
+    obs::Counter* m_requests_ = nullptr;
+    obs::Counter* m_responses_ = nullptr;
+    obs::Counter* m_shed_ = nullptr;
+    obs::Counter* m_protocol_errors_ = nullptr;
+    obs::Counter* m_bytes_read_ = nullptr;
+    obs::Counter* m_bytes_written_ = nullptr;
+    obs::Histogram* m_socket_wait_us_ = nullptr;
+    /// Rate limit for NetOverload timeline events (µs of last record).
+    std::atomic<std::int64_t> last_overload_event_us_{-1'000'000};
+};
+
+}  // namespace raq::net

@@ -12,6 +12,9 @@ const char* event_kind_name(EventKind kind) noexcept {
         case EventKind::RecutTrigger: return "recut-trigger";
         case EventKind::Recut: return "recut";
         case EventKind::RecutFutile: return "recut-futile";
+        case EventKind::NetListen: return "net-listen";
+        case EventKind::NetOverload: return "net-overload";
+        case EventKind::NetDrain: return "net-drain";
     }
     return "?";
 }

@@ -24,6 +24,9 @@ enum class EventKind : std::uint8_t {
     RecutTrigger,   ///< RepartitionMonitor saw imbalance past threshold
     Recut,          ///< drain-and-swap re-cut installed a new partition
     RecutFutile,    ///< trigger fired but the optimal cut was unchanged
+    NetListen,      ///< net front-end began accepting connections (value = port)
+    NetOverload,    ///< admission queue saturated, BUSY shed began (rate-limited)
+    NetDrain,       ///< net front-end shutdown cascade completed (value = drained)
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
@@ -59,7 +62,7 @@ private:
     mutable std::mutex mutex_;
     std::deque<ReliabilityEvent> events_;  ///< oldest dropped past capacity_
     std::uint64_t total_ = 0;
-    std::uint64_t counts_[5] = {0, 0, 0, 0, 0};
+    std::uint64_t counts_[8] = {};  ///< one slot per EventKind
 };
 
 }  // namespace raq::obs

@@ -6,8 +6,9 @@
 // `push == false` with its item intact (the caller still owns it and
 // can resolve its promise).
 //
-// RequestQueue (the server's admission point) and the ShardGroup's
-// inter-stage handoff channels are both instances; keeping one
+// RequestQueue (the server's admission point), the ShardGroup's
+// inter-stage handoff channels and the net front-end's admission path
+// (try_push: shed instead of block) are all instances; keeping one
 // implementation keeps their close/drain semantics in lockstep.
 #pragma once
 
@@ -19,6 +20,12 @@
 #include <vector>
 
 namespace raq::serve {
+
+/// Outcome of a non-blocking push attempt. `Full` leaves the item with
+/// the caller — an event loop must not block its thread on admission,
+/// so it turns Full into an explicit BUSY response (load shedding)
+/// rather than buffering without bound.
+enum class ChannelPush { Ok, Full, Closed };
 
 template <typename T>
 class BoundedChannel {
@@ -36,6 +43,20 @@ public:
         lock.unlock();
         not_empty_.notify_one();
         return true;
+    }
+
+    /// Non-blocking push for callers that must not stall (the net event
+    /// loops). On Full or Closed, `item` is untouched and still owned by
+    /// the caller.
+    ChannelPush try_push(T&& item) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) return ChannelPush::Closed;
+            if (items_.size() >= capacity_) return ChannelPush::Full;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return ChannelPush::Ok;
     }
 
     /// Pops one item, blocking until work arrives. Returns false when

@@ -46,7 +46,8 @@ NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config
       requant_service_(requant_service),
       latency_(config.latency_reservoir,
                common::stream_seed(config.base_seed, static_cast<std::uint64_t>(id),
-                                   0x1a7e9c5ULL)) {
+                                   0x1a7e9c5ULL)),
+      duty_monitor_(config.traffic_aging.window_us) {
     if (telemetry_) {
         obs::Labels labels{{"device", std::to_string(id)}};
         if (stage >= 0) labels.emplace_back("stage", std::to_string(stage));
@@ -65,6 +66,8 @@ NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config
             &reg.histogram("raq_requant_build_ms", labels, obs::default_ms_buckets());
         metrics_.swap_us =
             &reg.histogram("raq_requant_swap_us", labels, obs::default_us_buckets());
+        if (config.traffic_aging.enabled)
+            metrics_.duty_fraction = &reg.gauge("raq_device_duty_fraction", labels);
     }
     job_.emplace(validate_context(ctx), *ctx.calib, *ctx.selector, job_config(config),
                  ctx.eval_images, ctx.eval_labels);
@@ -84,6 +87,11 @@ NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config
 }
 
 double NpuDevice::hours_unlocked() const {
+    // Traffic-driven aging replaces raw accelerated busy hours with the
+    // duty-scaled stress integral account_batch() accrues per batch; at
+    // a sustained busy fraction of 1 the two are identical.
+    if (config_.traffic_aging.enabled)
+        return config_.initial_age_years * 8760.0 + effective_stress_hours_;
     const double busy_hours = busy_ps_ * 1e-12 / 3600.0;
     return config_.initial_age_years * 8760.0 + busy_hours * config_.age_acceleration;
 }
@@ -294,9 +302,11 @@ void NpuDevice::finish_requants() {
 }
 
 void NpuDevice::account_batch(std::size_t requests, std::uint64_t batch_cycles,
-                              double clock_period_ps, std::uint64_t flips) {
+                              double clock_period_ps, std::uint64_t flips,
+                              std::int64_t host_t0_us, std::int64_t host_t1_us) {
     double busy_ps_now = 0.0;
     double hours_now = 0.0;
+    double duty_now = 1.0;
     {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         requests_ += requests;
@@ -307,6 +317,21 @@ void NpuDevice::account_batch(std::size_t requests, std::uint64_t batch_cycles,
         busy_ps_ += static_cast<double>(batch_cycles) * clock_period_ps;
         flips_ += flips;
         for (std::size_t i = 0; i < requests; ++i) latency_.record(batch_cycles);
+        if (config_.traffic_aging.enabled) {
+            // Measure utilization in host time (that is what the sliding
+            // window sees between batches), but accrue stress in model
+            // time: the batch's simulated busy hours scaled by the self-
+            // heating factor at the current busy fraction.
+            duty_monitor_.record_busy(host_t0_us, host_t1_us);
+            duty_fraction_ = duty_monitor_.busy_fraction(host_t1_us);
+            duty_now = duty_fraction_;
+            const double busy_h =
+                static_cast<double>(batch_cycles) * clock_period_ps * 1e-12 / 3600.0;
+            effective_stress_hours_ +=
+                busy_h * config_.age_acceleration *
+                sim::duty_aging_factor(duty_fraction_, config_.traffic_aging.self_heat_c,
+                                       ctx_->aging->params().temperature_activation);
+        }
         busy_ps_now = busy_ps_;
         hours_now = hours_unlocked();
     }
@@ -316,6 +341,7 @@ void NpuDevice::account_batch(std::size_t requests, std::uint64_t batch_cycles,
         metrics_.batch_size->observe(static_cast<double>(requests));
         metrics_.busy_ps->set(busy_ps_now);
         metrics_.dvth_mv->set(ctx_->aging->dvth_mv(hours_now / 8760.0));
+        if (metrics_.duty_fraction) metrics_.duty_fraction->set(duty_now);
     }
 }
 
@@ -326,13 +352,17 @@ tensor::Tensor NpuDevice::execute_batch(tensor::TensorView batch, BatchTrace* tr
     const double period = clock_period_ps();
     const std::uint64_t batch_cycles =
         per_image_cycles() * static_cast<std::uint64_t>(batch.shape.n);
+    const bool duty = config_.traffic_aging.enabled;
+    const std::int64_t host_t0 = duty ? obs::monotonic_us() : 0;
     tensor::Tensor logits = runner_->run(batch);
+    const std::int64_t host_t1 = duty ? obs::monotonic_us() : 0;
     if (trace) {
         trace->cycles = batch_cycles;
         trace->latency_us = static_cast<double>(batch_cycles) * period * 1e-6;
         trace->generation = serving->generation;
     }
-    account_batch(static_cast<std::size_t>(batch.shape.n), batch_cycles, period, 0);
+    account_batch(static_cast<std::size_t>(batch.shape.n), batch_cycles, period, 0,
+                  host_t0, host_t1);
     return logits;
 }
 
@@ -368,6 +398,8 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
         inject::InjectionConfig inj_cfg;
         inj_cfg.flip_probability = config_.flip_probability;
         std::uint64_t batch_flips = 0;
+        const bool duty = config_.traffic_aging.enabled;
+        const std::int64_t host_t0 = duty ? obs::monotonic_us() : 0;
         for (InferenceRequest& request : batch) {
             inj_cfg.seed = common::stream_seed(config_.base_seed, request.id);
             inject::BitFlipInjector injector(inj_cfg);
@@ -377,7 +409,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
             result.generation = serving->generation;
             result.latency_cycles = batch_cycles;
             result.latency_us = latency_us;
-            request.promise.set_value(std::move(result));
+            request.resolve(std::move(result));
             batch_flips += injector.flips_injected();
             if (request.trace && telemetry_) {
                 const std::int64_t now = obs::monotonic_us();
@@ -387,7 +419,8 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
                 telemetry_->traces().finish(std::move(request.trace));
             }
         }
-        account_batch(batch.size(), batch_cycles, period, batch_flips);
+        account_batch(batch.size(), batch_cycles, period, batch_flips, host_t0,
+                      duty ? obs::monotonic_us() : 0);
     } else {
         bool any_trace = false;
         for (const InferenceRequest& request : batch) any_trace |= request.trace != nullptr;
@@ -413,7 +446,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
             result.generation = trace.generation;
             result.latency_cycles = trace.cycles;
             result.latency_us = trace.latency_us;
-            batch[i].promise.set_value(std::move(result));
+            batch[i].resolve(std::move(result));
         }
         if (any_trace && telemetry_) {
             const std::int64_t now = obs::monotonic_us();
@@ -449,6 +482,7 @@ DeviceStats NpuDevice::stats() const {
     s.flips = flips_;
     s.operating_hours = hours_unlocked();
     s.dvth_mv = ctx_->aging->dvth_mv(s.operating_hours / 8760.0);
+    s.duty_fraction = config_.traffic_aging.enabled ? duty_fraction_ : 1.0;
     s.requant_count = requant_count_;
     s.requant_events = requant_events_;
     s.latency = latency_.summary();

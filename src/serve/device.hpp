@@ -47,6 +47,7 @@
 #include "serve/request_queue.hpp"
 #include "serve/requant_service.hpp"
 #include "serve/stats.hpp"
+#include "sim/traffic.hpp"
 
 namespace raq::serve {
 
@@ -96,6 +97,12 @@ struct DeviceConfig {
     int exec_threads = 0;
     /// Latency-reservoir capacity (exact count/mean/max regardless).
     std::size_t latency_reservoir = 4096;
+    /// Traffic-driven aging (off by default): measure the device's host-
+    /// time busy fraction over a sliding window and scale aging accrual
+    /// by the self-heating Arrhenius factor — an idle device stays cool
+    /// and ages slower; a saturated one ages exactly like before. See
+    /// src/sim/traffic.hpp.
+    sim::TrafficAgingConfig traffic_aging;
 };
 
 /// One schedulable unit in the server's pool: a whole-model device or a
@@ -219,9 +226,13 @@ private:
     void requant_inline(double dvth);
     /// Post-execution accounting under the stats mutex: requests, busy
     /// cycles AND busy picoseconds at the clock the batch ran at, flips,
-    /// per-request latency samples.
+    /// per-request latency samples. With traffic aging enabled the
+    /// caller also passes the batch's host execution span
+    /// [host_t0_us, host_t1_us] (obs::monotonic_us) so the duty monitor
+    /// sees real wall-time utilization; both 0 otherwise.
     void account_batch(std::size_t requests, std::uint64_t batch_cycles,
-                       double clock_period_ps, std::uint64_t flips);
+                       double clock_period_ps, std::uint64_t flips,
+                       std::int64_t host_t0_us = 0, std::int64_t host_t1_us = 0);
     [[nodiscard]] double hours_unlocked() const;
 
     const int id_;
@@ -245,6 +256,7 @@ private:
         obs::Counter* recuts = nullptr;
         obs::Histogram* build_ms = nullptr;
         obs::Histogram* swap_us = nullptr;
+        obs::Gauge* duty_fraction = nullptr;  ///< traffic-aging mode only
     };
     MetricHandles metrics_;
     /// Algorithm 1 as a reusable build job. Rebuilt (only) by reshard()
@@ -296,6 +308,14 @@ private:
     int requant_count_ = 0;
     std::vector<RequantEvent> requant_events_;
     LatencyRecorder latency_;
+    /// Traffic-driven aging state (all under stats_mutex_): the sliding
+    /// utilization window, the last measured busy fraction, and the
+    /// duty-scaled stress-hour integral that replaces raw busy hours in
+    /// hours_unlocked() when the feature is on. Accrued incrementally
+    /// per batch (monotone — a later idle spell never un-ages the past).
+    sim::DutyCycleMonitor duty_monitor_;
+    double duty_fraction_ = 1.0;
+    double effective_stress_hours_ = 0.0;
 };
 
 }  // namespace raq::serve

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <vector>
@@ -43,6 +44,25 @@ struct InferenceRequest {
     /// the request through every channel handoff; exactly one thread
     /// touches it at a time (see obs/trace.hpp).
     std::shared_ptr<obs::TraceContext> trace;
+    /// Completion hook, fired exactly once after the promise is
+    /// satisfied (value or exception). The net front-end hangs an
+    /// eventfd wake here so its event loop learns of completions without
+    /// parking a thread on every future. Empty for in-process callers.
+    std::function<void()> on_done;
+
+    /// Satisfy the promise with a result, then fire the completion hook.
+    /// All fulfilment sites go through resolve()/reject() so the hook
+    /// cannot be missed by a new code path.
+    void resolve(InferenceResult&& result) {
+        promise.set_value(std::move(result));
+        if (on_done) on_done();
+    }
+
+    /// Satisfy the promise with an error, then fire the completion hook.
+    void reject(const std::exception_ptr& error) {
+        promise.set_exception(error);
+        if (on_done) on_done();
+    }
 };
 
 using RequestQueue = BoundedChannel<InferenceRequest>;
@@ -57,7 +77,7 @@ inline std::size_t fail_batch(std::vector<InferenceRequest>& batch,
     std::size_t failed = 0;
     for (InferenceRequest& request : batch) {
         try {
-            request.promise.set_exception(error);
+            request.reject(error);
             ++failed;
         } catch (const std::future_error&) {
             // already satisfied before the throw

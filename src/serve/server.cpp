@@ -139,6 +139,39 @@ std::future<InferenceResult> NpuServer::submit(tensor::Tensor image) {
     return future;
 }
 
+NpuServer::TrySubmit NpuServer::try_submit(tensor::Tensor image,
+                                           std::function<void()> on_done) {
+    InferenceRequest request;
+    request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    request.image = std::move(image);
+    request.on_done = std::move(on_done);
+    if (telemetry_) {
+        request.submit_us = obs::monotonic_us();
+        request.trace = telemetry_->traces().maybe_start(request.id, request.submit_us);
+    }
+    TrySubmit out;
+    out.future = request.promise.get_future();
+    switch (queue_.try_push(std::move(request))) {
+        case ChannelPush::Ok:
+            out.status = TrySubmit::Status::Accepted;
+            break;
+        case ChannelPush::Full:
+            out.status = TrySubmit::Status::Saturated;
+            return out;
+        case ChannelPush::Closed:
+            out.status = TrySubmit::Status::Closed;
+            return out;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_) {
+        submitted_counter_->add(1);
+        const double depth = static_cast<double>(queue_.size());
+        queue_depth_->set(depth);
+        queue_depth_peak_->set_max(depth);
+    }
+    return out;
+}
+
 void NpuServer::worker_loop() {
     for (;;) {
         std::vector<InferenceRequest> batch =

@@ -91,6 +91,22 @@ public:
     /// Throws once the server is shut down.
     std::future<InferenceResult> submit(tensor::Tensor image);
 
+    /// Outcome of a non-blocking submission attempt (the net front-end's
+    /// admission path). `future` is valid only when status == Accepted.
+    struct TrySubmit {
+        enum class Status { Accepted, Saturated, Closed };
+        Status status = Status::Closed;
+        std::future<InferenceResult> future;
+    };
+
+    /// Non-blocking submit: Saturated (queue full — shed the request
+    /// with BUSY) or Closed (shutting down) instead of blocking or
+    /// throwing. `on_done` fires exactly once after the request's
+    /// promise is satisfied, from whichever serving thread fulfils it —
+    /// the net event loop hangs an eventfd wake here so no thread ever
+    /// parks on a future.
+    TrySubmit try_submit(tensor::Tensor image, std::function<void()> on_done = {});
+
     /// Close admission, drain all accepted requests (through any shard
     /// pipelines), join the workers, then drain outstanding background
     /// re-quantizations and adopt their generations. Idempotent.

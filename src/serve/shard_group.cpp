@@ -231,7 +231,7 @@ void ShardGroup::stage_loop(std::size_t k) {
                     result.partition = partition;
                     result.latency_cycles = batch.latency_cycles;
                     result.latency_us = batch.latency_us;
-                    batch.requests[i].promise.set_value(std::move(result));
+                    batch.requests[i].resolve(std::move(result));
                 }
                 if (any_trace && telemetry_) {
                     const std::int64_t now = obs::monotonic_us();

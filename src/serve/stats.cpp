@@ -9,17 +9,17 @@ namespace raq::serve {
 
 LatencySummary LatencyRecorder::summary() const {
     LatencySummary s;
-    s.count = count_;
-    if (samples_.empty()) return s;
-    // One quantile definition project-wide: serve percentiles and bench
-    // gates both go through common::quantiles (one sort — summary() runs
-    // under the device's stats mutex).
-    const std::vector<double> qs = common::quantiles(
-        std::vector<double>(samples_.begin(), samples_.end()), {0.50, 0.99});
+    s.count = sampler_.count();
+    if (sampler_.reservoir_size() == 0) return s;
+    // One quantile definition project-wide: serve percentiles, the load
+    // generator's client-side report and bench gates all go through
+    // common::ReservoirSampler::quantiles → common::quantiles (one sort —
+    // summary() runs under the device's stats mutex).
+    const std::vector<double> qs = sampler_.quantiles({0.50, 0.99});
     s.p50_cycles = qs[0];
     s.p99_cycles = qs[1];
-    s.max_cycles = max_;
-    s.mean_cycles = sum_ / static_cast<double>(count_);
+    s.max_cycles = max_cycles_;
+    s.mean_cycles = sampler_.mean();
     return s;
 }
 

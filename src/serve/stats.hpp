@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "common/compression.hpp"
-#include "common/rng.hpp"
+#include "common/latency.hpp"
 #include "quant/methods.hpp"
 
 namespace raq::serve {
@@ -32,47 +32,33 @@ struct LatencySummary {
     std::uint64_t max_cycles = 0;
 };
 
-/// Collects per-request latencies (model cycles) into a fixed-capacity
-/// reservoir (Vitter's Algorithm R, deterministic via common::Rng): a
-/// long-lived server records millions of requests without unbounded
-/// memory growth. Count, mean and max stay exact; the percentiles are
-/// estimated from the uniform reservoir sample. Not thread-safe; each
-/// device owns one and guards it with its stats mutex.
+/// Collects per-request latencies (model cycles) through the project's
+/// one reservoir sampler (common::ReservoirSampler — Vitter's
+/// Algorithm R, deterministic via common::Rng): a long-lived server
+/// records millions of requests without unbounded memory growth. Count,
+/// mean and max stay exact (max as an integer cycle count here); the
+/// percentiles are estimated from the uniform reservoir sample. Not
+/// thread-safe; each device owns one and guards it with its stats mutex.
 class LatencyRecorder {
 public:
     explicit LatencyRecorder(std::size_t capacity = 4096,
                              std::uint64_t seed = 0x1a7e9c5ULL)
-        : capacity_(std::max<std::size_t>(1, capacity)), rng_(seed) {
-        samples_.reserve(capacity_);
-    }
+        : sampler_(capacity, seed) {}
 
     void record(std::uint64_t cycles) {
-        ++count_;
-        sum_ += static_cast<double>(cycles);
-        max_ = std::max(max_, cycles);
-        if (samples_.size() < capacity_) {
-            samples_.push_back(cycles);
-            return;
-        }
-        // Algorithm R: the i-th sample replaces a reservoir slot with
-        // probability capacity / i, keeping the reservoir uniform.
-        const std::uint64_t j = rng_.next_below(count_);
-        if (j < capacity_) samples_[static_cast<std::size_t>(j)] = cycles;
+        max_cycles_ = std::max(max_cycles_, cycles);
+        sampler_.record(static_cast<double>(cycles));
     }
 
     [[nodiscard]] LatencySummary summary() const;
     /// Exact number of recorded samples (not the reservoir occupancy).
-    [[nodiscard]] std::size_t count() const { return static_cast<std::size_t>(count_); }
-    [[nodiscard]] std::size_t reservoir_size() const { return samples_.size(); }
-    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t count() const { return static_cast<std::size_t>(sampler_.count()); }
+    [[nodiscard]] std::size_t reservoir_size() const { return sampler_.reservoir_size(); }
+    [[nodiscard]] std::size_t capacity() const { return sampler_.capacity(); }
 
 private:
-    const std::size_t capacity_;
-    common::Rng rng_;
-    std::vector<std::uint64_t> samples_;
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    std::uint64_t max_ = 0;
+    common::ReservoirSampler sampler_;
+    std::uint64_t max_cycles_ = 0;  ///< exact integer max (sampler's is a double)
 };
 
 /// One online re-quantization performed by a device: which generation it
@@ -110,6 +96,9 @@ struct DeviceStats {
     std::uint64_t flips = 0;
     double operating_hours = 0.0;
     double dvth_mv = 0.0;
+    /// Sliding-window host-time busy fraction (1.0 when traffic-driven
+    /// aging is off: the legacy model assumes a saturated device).
+    double duty_fraction = 1.0;
     double clock_period_ps = 0.0;  ///< current clock (aged critical path)
     std::uint64_t generation = 0;  ///< currently deployed ModelState generation
     common::Compression compression;

@@ -1,0 +1,50 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace raq::sim {
+
+DutyCycleMonitor::DutyCycleMonitor(std::int64_t window_us)
+    : window_us_(std::max<std::int64_t>(1, window_us)) {}
+
+void DutyCycleMonitor::record_busy(std::int64_t start_us, std::int64_t end_us) {
+    if (end_us < start_us) std::swap(start_us, end_us);
+    if (first_seen_us_ < 0) first_seen_us_ = start_us;
+    spans_.push_back({start_us, end_us});
+}
+
+double DutyCycleMonitor::busy_fraction(std::int64_t now_us) {
+    if (first_seen_us_ < 0) return 0.0;
+    const std::int64_t window_start = now_us - window_us_;
+    while (!spans_.empty() && spans_.front().end_us <= window_start) spans_.pop_front();
+    double busy_us = 0.0;
+    for (const Span& s : spans_) {
+        const std::int64_t lo = std::max(s.start_us, window_start);
+        const std::int64_t hi = std::min(s.end_us, now_us);
+        if (hi > lo) busy_us += static_cast<double>(hi - lo);
+    }
+    // Clip the denominator to the monitor's lifetime: a device that has
+    // been executing since its very first span reads ~1 even before a
+    // full window has elapsed.
+    const std::int64_t lifetime = now_us - first_seen_us_;
+    const double denom =
+        static_cast<double>(std::max<std::int64_t>(1, std::min(window_us_, lifetime)));
+    return std::min(1.0, busy_us / denom);
+}
+
+double duty_aging_factor(double busy_fraction, double self_heat_c,
+                         double temperature_activation) {
+    const double f = std::clamp(busy_fraction, 0.0, 1.0);
+    return std::exp(temperature_activation * self_heat_c * (f - 1.0));
+}
+
+double self_heat_c_from_activity(const ActivityStats& stats, double period_ps,
+                                 double theta_c_per_w, std::int64_t num_macs) {
+    if (period_ps <= 0.0 || theta_c_per_w <= 0.0 || num_macs <= 0) return 0.0;
+    // fJ per cycle / ps per cycle = (1e-15 J) / (1e-12 s) = 1e-3 W.
+    const double watts_per_mac = stats.avg_dynamic_energy_fj / period_ps * 1e-3;
+    return watts_per_mac * static_cast<double>(num_macs) * theta_c_per_w;
+}
+
+}  // namespace raq::sim

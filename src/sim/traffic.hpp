@@ -1,0 +1,92 @@
+// Traffic-driven duty cycle: close the loop between *served* load and
+// the aging model.
+//
+// The paper's aging trajectories assume a duty cycle — how much of wall
+// time the MAC array actually switches — but PRs 1–7 aged devices on
+// simulated busy time alone, which is equivalent to assuming every
+// deployed NPU runs saturated around the clock. With a network
+// front-end in place the serving runtime finally observes real traffic,
+// so a device can measure its own utilization and age accordingly: a
+// quiet fleet stays cooler and accumulates ΔVth slower than one pinned
+// at 100% by a diurnal peak.
+//
+// Mechanism (BTI self-heating, same Arrhenius form as
+// aging::AgingParams::temperature_activation): a device busy for
+// fraction f of host time sits at roughly T_sat − (1 − f) × self_heat_c
+// degrees, where self_heat_c is the busy-vs-idle die temperature delta.
+// The aging accrual for a batch is scaled by
+//   duty_aging_factor(f) = exp(temperature_activation × self_heat_c × (f − 1))
+// which is exactly the AgingModel's own temperature acceleration applied
+// to the utilization-dependent die temperature. At f == 1 the factor is
+// 1 — a saturated device ages exactly like the pre-traffic-aware
+// runtime, so enabling the feature never *adds* stress, it only relieves
+// devices that measured idle time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/activity.hpp"
+
+namespace raq::sim {
+
+/// Per-device traffic-driven aging knobs (DeviceConfig::traffic_aging).
+struct TrafficAgingConfig {
+    bool enabled = false;
+    /// Sliding utilization window (host µs). Short enough to track a
+    /// diurnal trace through an accelerated simulation, long enough to
+    /// average over batch granularity.
+    std::int64_t window_us = 250'000;
+    /// Busy-vs-idle die temperature delta in °C (self-heating under full
+    /// MAC switching activity). Derive from measured activity energy via
+    /// self_heat_c_from_activity(), or take the default — 15 °C is a
+    /// typical inference-accelerator package delta.
+    double self_heat_c = 15.0;
+};
+
+/// Sliding-window busy-fraction monitor over host-time execution spans.
+/// Not thread-safe: the owning device records under its stats mutex.
+class DutyCycleMonitor {
+public:
+    explicit DutyCycleMonitor(std::int64_t window_us = 250'000);
+
+    /// Record one execution span [start_us, end_us] (obs::monotonic_us).
+    /// Spans arrive in order: the device is held exclusively per batch.
+    void record_busy(std::int64_t start_us, std::int64_t end_us);
+
+    /// Fraction of the trailing window spent executing, in [0, 1]. The
+    /// denominator is clipped to the monitor's observed lifetime so a
+    /// device busy since startup reads ~1 before a full window elapsed;
+    /// with nothing recorded yet the device is idle → 0.
+    [[nodiscard]] double busy_fraction(std::int64_t now_us);
+
+    [[nodiscard]] std::int64_t window_us() const { return window_us_; }
+
+private:
+    struct Span {
+        std::int64_t start_us = 0;
+        std::int64_t end_us = 0;
+    };
+    const std::int64_t window_us_;
+    std::deque<Span> spans_;
+    std::int64_t first_seen_us_ = -1;  ///< start of the first recorded span
+};
+
+/// Aging-rate multiplier for a device busy for fraction `f` of host
+/// time: exp(temperature_activation × self_heat_c × (f − 1)). Equals 1
+/// at saturation (f == 1) and decays toward the idle-temperature rate as
+/// the device cools — the same per-°C Arrhenius slope the AgingModel
+/// applies to its configured operating temperature.
+[[nodiscard]] double duty_aging_factor(double busy_fraction, double self_heat_c,
+                                       double temperature_activation);
+
+/// Derive the busy-vs-idle die temperature delta from measured MAC
+/// switching activity: per-cycle dynamic energy → array power at the
+/// operating clock → ΔT through the package thermal resistance
+/// (`theta_c_per_w`, °C per watt). Leakage burns at idle too, so only
+/// the dynamic share contributes to the busy-idle delta.
+[[nodiscard]] double self_heat_c_from_activity(const ActivityStats& stats,
+                                               double period_ps, double theta_c_per_w,
+                                               std::int64_t num_macs);
+
+}  // namespace raq::sim
