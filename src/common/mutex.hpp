@@ -1,0 +1,105 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// std::mutex and std::lock_guard carry no thread-safety attributes, so
+// Clang's analysis cannot see through them. These thin wrappers add the
+// attributes and nothing else: common::Mutex is a std::mutex declared
+// as a capability, common::MutexLock is the canonical scoped-capability
+// locker (with manual unlock()/lock() for unlock-before-notify
+// patterns), and common::CondVar waits on a Mutex the caller is
+// required — statically — to hold.
+//
+// Condition waits deliberately take no predicate lambda: the analysis
+// treats lambda bodies as separate un-annotated functions, so guarded
+// reads inside a predicate would escape checking. Callers write the
+// explicit loop instead:
+//
+//     common::MutexLock lock(mutex_);
+//     while (!ready_) cv_.wait(mutex_);   // ready_ is RAQ_GUARDED_BY(mutex_)
+//
+// which keeps every guarded access inside the annotated scope.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace raq::common {
+
+/// std::mutex as a Clang TSA capability.
+class RAQ_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() RAQ_ACQUIRE() { mu_.lock(); }
+    void unlock() RAQ_RELEASE() { mu_.unlock(); }
+    [[nodiscard]] bool try_lock() RAQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /// The wrapped std::mutex, for CondVar's adopt-lock bridge. Locking
+    /// through it bypasses the analysis — only CondVar should need it.
+    [[nodiscard]] std::mutex& native() { return mu_; }
+
+private:
+    std::mutex mu_;
+};
+
+/// RAII locker over common::Mutex (scoped capability). Supports the
+/// unlock-before-notify idiom via unlock(); the destructor releases
+/// only if still held.
+class RAQ_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) RAQ_ACQUIRE(mu) : mu_(mu), held_(true) {
+        mu_.lock();
+    }
+    ~MutexLock() RAQ_RELEASE() {
+        if (held_) mu_.unlock();
+    }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /// Early release (then e.g. notify a CondVar without the lock held).
+    void unlock() RAQ_RELEASE() {
+        mu_.unlock();
+        held_ = false;
+    }
+
+    /// Re-acquire after an early unlock().
+    void lock() RAQ_ACQUIRE() {
+        mu_.lock();
+        held_ = true;
+    }
+
+private:
+    Mutex& mu_;
+    bool held_;
+};
+
+/// Condition variable that waits on a common::Mutex. wait() statically
+/// requires the mutex; it is released for the duration of the block and
+/// re-held on return, exactly like std::condition_variable::wait.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void wait(Mutex& mu) RAQ_REQUIRES(mu) {
+        // Adopt the already-held native mutex for the wait, then hand
+        // ownership back so the annotated Mutex stays the owner. The
+        // capability is held on entry and on exit, matching REQUIRES.
+        std::unique_lock<std::mutex> native_lock(mu.native(), std::adopt_lock);
+        cv_.wait(native_lock);
+        native_lock.release();
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace raq::common

@@ -1,0 +1,66 @@
+// Clang Thread Safety Analysis attribute macros (no-ops off Clang).
+//
+// These promote the repo's lock discipline from comments to
+// compiler-checked contracts: fields carry RAQ_GUARDED_BY(mutex),
+// functions carry RAQ_REQUIRES / RAQ_EXCLUDES, and the `clang-analysis`
+// CI job builds src/ with `-Wthread-safety -Wthread-safety-beta
+// -Werror`, so any mis-locked access anywhere becomes a build error —
+// including paths no test executes. Under gcc (the tier-1 toolchain)
+// every macro expands to nothing and codegen is identical.
+//
+// Usage lives in common/mutex.hpp (the annotated Mutex/MutexLock/
+// CondVar wrappers) and src/common/README.md (macro reference + the
+// fleet-wide lock-order table).
+#pragma once
+
+#if defined(__clang__)
+#define RAQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RAQ_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (lockable). Example:
+///   class RAQ_CAPABILITY("mutex") Mutex { ... };
+#define RAQ_CAPABILITY(x) RAQ_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability (e.g. common::MutexLock).
+#define RAQ_SCOPED_CAPABILITY RAQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding the named capability.
+#define RAQ_GUARDED_BY(x) RAQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* is protected by the named capability
+/// (the pointer itself is not).
+#define RAQ_PT_GUARDED_BY(x) RAQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares lock-ordering edges (deadlock detection; checked under
+/// -Wthread-safety-beta). Attach to the mutex acquired first.
+#define RAQ_ACQUIRED_BEFORE(...) RAQ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RAQ_ACQUIRED_AFTER(...) RAQ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must already hold the capability (private *_locked helpers).
+#define RAQ_REQUIRES(...) RAQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RAQ_REQUIRES_SHARED(...) \
+    RAQ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define RAQ_ACQUIRE(...) RAQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define RAQ_RELEASE(...) RAQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; first argument is the return value
+/// that signals success.
+#define RAQ_TRY_ACQUIRE(...) RAQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (public API of a locking class;
+/// catches self-deadlock by re-entry).
+#define RAQ_EXCLUDES(...) RAQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RAQ_RETURN_CAPABILITY(x) RAQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only with a
+/// comment explaining why the discipline holds anyway.
+#define RAQ_NO_THREAD_SAFETY_ANALYSIS RAQ_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -23,13 +23,13 @@ std::shared_ptr<const ExecPlan> PlanCache::lookup(const ir::Graph& graph, int ca
                                                   BuildFn build) {
     const std::uint64_t fingerprint = ir::topology_fingerprint(graph);
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::MutexLock lock(mutex_);
         if (auto plan = find_locked(fingerprint, capacity, graph)) return plan;
     }
     // Compile outside the lock: plan construction is the expensive part,
     // and a concurrent duplicate build is benign (first insert wins).
     std::shared_ptr<const ExecPlan> plan = build();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     if (auto raced = find_locked(fingerprint, capacity, graph)) return raced;
     ++misses_;
     if (entries_.size() >= max_entries_) {
@@ -60,7 +60,7 @@ std::shared_ptr<const ExecPlan> PlanCache::get(std::shared_ptr<const ir::Graph> 
 }
 
 PlanCacheStats PlanCache::stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     PlanCacheStats s;
     s.hits = hits_;
     s.misses = misses_;
@@ -70,7 +70,7 @@ PlanCacheStats PlanCache::stats() const {
 }
 
 void PlanCache::clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     entries_.clear();
 }
 

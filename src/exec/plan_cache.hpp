@@ -23,9 +23,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "exec/plan.hpp"
 
 namespace raq::exec {
@@ -48,12 +49,13 @@ public:
     /// the shared_ptr overload when the caller already owns a shared
     /// graph (the runner capacity-growth path), which compiles without
     /// copying.
-    [[nodiscard]] std::shared_ptr<const ExecPlan> get(const ir::Graph& graph, int capacity);
+    [[nodiscard]] std::shared_ptr<const ExecPlan> get(const ir::Graph& graph, int capacity)
+        RAQ_EXCLUDES(mutex_);
     [[nodiscard]] std::shared_ptr<const ExecPlan> get(
-        std::shared_ptr<const ir::Graph> graph, int capacity);
+        std::shared_ptr<const ir::Graph> graph, int capacity) RAQ_EXCLUDES(mutex_);
 
-    [[nodiscard]] PlanCacheStats stats() const;
-    void clear();
+    [[nodiscard]] PlanCacheStats stats() const RAQ_EXCLUDES(mutex_);
+    void clear() RAQ_EXCLUDES(mutex_);
 
     /// The process-wide cache the quantized runners use.
     static PlanCache& global();
@@ -69,17 +71,18 @@ private:
     /// Lookup, or insert the plan `build()` compiles on a miss.
     template <typename BuildFn>
     std::shared_ptr<const ExecPlan> lookup(const ir::Graph& graph, int capacity,
-                                           BuildFn build);
+                                           BuildFn build) RAQ_EXCLUDES(mutex_);
     std::shared_ptr<const ExecPlan> find_locked(std::uint64_t fingerprint, int capacity,
-                                                const ir::Graph& graph);
+                                                const ir::Graph& graph)
+        RAQ_REQUIRES(mutex_);
 
     const std::size_t max_entries_;
-    mutable std::mutex mutex_;
-    std::vector<Entry> entries_;
-    std::uint64_t tick_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    mutable common::Mutex mutex_;
+    std::vector<Entry> entries_ RAQ_GUARDED_BY(mutex_);
+    std::uint64_t tick_ RAQ_GUARDED_BY(mutex_) = 0;
+    std::uint64_t hits_ RAQ_GUARDED_BY(mutex_) = 0;
+    std::uint64_t misses_ RAQ_GUARDED_BY(mutex_) = 0;
+    std::uint64_t evictions_ RAQ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace raq::exec

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::MutexLock lock(mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+            const common::MutexLock lock(mutex_);
+            while (!stop_ && tasks_.empty()) work_cv_.wait(mutex_);
             if (tasks_.empty()) return;  // stop requested and drained
             task = std::move(tasks_.front());
             tasks_.pop_front();
@@ -54,7 +54,7 @@ void ThreadPool::parallel_for(
     sync.pending = lanes - 1;
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::MutexLock lock(mutex_);
         for (std::size_t lane = 1; lane < lanes; ++lane) {
             const std::size_t begin = lane * chunk;
             const std::size_t end = std::min(n, begin + chunk);

@@ -6,13 +6,14 @@
 // row blocks) whose per-element computation is order-independent.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace raq::exec {
 
@@ -35,16 +36,17 @@ public:
     /// every chunk finished; rethrows the first exception. Not reentrant:
     /// do not call parallel_for from inside fn.
     void parallel_for(std::size_t n,
-                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+        RAQ_EXCLUDES(mutex_);
 
 private:
-    void worker_loop();
+    void worker_loop() RAQ_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::deque<std::function<void()>> tasks_;
-    bool stop_ = false;
+    common::Mutex mutex_;
+    common::CondVar work_cv_;
+    std::deque<std::function<void()>> tasks_ RAQ_GUARDED_BY(mutex_);
+    bool stop_ RAQ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace raq::exec

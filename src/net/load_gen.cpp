@@ -19,7 +19,9 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/clock.hpp"
 
 namespace raq::net {
@@ -108,9 +110,9 @@ private:
 /// per-request cost is one lock at response time — negligible next to a
 /// socket round trip).
 struct Tally {
-    std::mutex mutex;
-    LoadReport report;
-    common::ReservoirSampler latency_ms;
+    common::Mutex mutex;
+    LoadReport report RAQ_GUARDED_BY(mutex);
+    common::ReservoirSampler latency_ms RAQ_GUARDED_BY(mutex);
 
     explicit Tally(const LoadGenConfig& cfg)
         : latency_ms(cfg.latency_reservoir, common::stream_seed(cfg.seed, 0x7A11ULL)) {}
@@ -186,7 +188,7 @@ private:
 
 void tally_response(Tally& tally, const LoadGenConfig& cfg, const Response& resp,
                     std::size_t sample_index, double rtt_ms) {
-    const std::lock_guard<std::mutex> lock(tally.mutex);
+    const common::MutexLock lock(tally.mutex);
     switch (resp.status) {
         case Status::Ok: {
             ++tally.report.ok;
@@ -208,7 +210,7 @@ void tally_response(Tally& tally, const LoadGenConfig& cfg, const Response& resp
 }
 
 void count_error(Tally& tally, std::uint64_t n = 1) {
-    const std::lock_guard<std::mutex> lock(tally.mutex);
+    const common::MutexLock lock(tally.mutex);
     tally.report.errors += n;
 }
 
@@ -218,7 +220,7 @@ void closed_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>
     ClientConn conn;
     if (!conn.connect_to(cfg.host, cfg.port)) {
         count_error(tally, quota);
-        std::lock_guard<std::mutex> lock(tally.mutex);
+        const common::MutexLock lock(tally.mutex);
         tally.report.sent += quota;  // offered but never delivered
         return;
     }
@@ -233,7 +235,7 @@ void closed_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>
         out.clear();
         encode_infer_request(out, tag, sample.header, sample.payload);
         {
-            const std::lock_guard<std::mutex> lock(tally.mutex);
+            const common::MutexLock lock(tally.mutex);
             ++tally.report.sent;
         }
         const std::int64_t t0 = obs::monotonic_us();
@@ -255,7 +257,7 @@ void open_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>& 
     ClientConn conn;
     if (!conn.connect_to(cfg.host, cfg.port)) {
         count_error(tally, quota);
-        std::lock_guard<std::mutex> lock(tally.mutex);
+        const common::MutexLock lock(tally.mutex);
         tally.report.sent += quota;
         return;
     }
@@ -336,7 +338,7 @@ void open_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>& 
             pending.emplace(tag, Outstanding{obs::monotonic_us(), sample_index});
         }
         {
-            const std::lock_guard<std::mutex> lock(tally.mutex);
+            const common::MutexLock lock(tally.mutex);
             ++tally.report.sent;
         }
         if (!conn.send_all(out.data(), out.size())) {
@@ -448,7 +450,7 @@ LoadReport run_load(const LoadGenConfig& config, const std::vector<EncodedSample
     for (std::thread& t : threads) t.join();
     LoadReport report;
     {
-        const std::lock_guard<std::mutex> lock(tally.mutex);
+        const common::MutexLock lock(tally.mutex);
         report = std::move(tally.report);
         report.wall_s = static_cast<double>(obs::monotonic_us() - t0) * 1e-6;
         if (tally.latency_ms.count() > 0) {

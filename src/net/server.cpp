@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/clock.hpp"
 
 namespace raq::net {
@@ -65,11 +67,13 @@ struct Server::EventLoop {
         std::uint64_t seq = 0;
         std::int64_t done_us = 0;  ///< when the promise resolved
     };
-    std::mutex inbox_mutex;
-    std::vector<int> pending_fds;
-    std::vector<Completion> completions;
+    common::Mutex inbox_mutex;
+    std::vector<int> pending_fds RAQ_GUARDED_BY(inbox_mutex);
+    std::vector<Completion> completions RAQ_GUARDED_BY(inbox_mutex);
 
-    /// Loop-thread-private state.
+    /// Loop-thread-private state (thread-confined, deliberately
+    /// unguarded: only the loop thread touches it after construction;
+    /// stop() reads nothing here until after thread.join()).
     std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
     std::uint64_t next_conn_id = 1;  ///< 0 is the wake token
     std::uint64_t next_seq = 1;
@@ -87,7 +91,7 @@ struct Server::EventLoop {
         // The counter saturating (EAGAIN) still leaves the fd readable.
         [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
     }
-    void drain_inbox();
+    void drain_inbox() RAQ_EXCLUDES(inbox_mutex);
     void add_connection(int fd);
     void handle_readable(Connection& conn, std::uint64_t conn_id);
     /// Returns false on a protocol error (caller closes the connection).
@@ -207,7 +211,7 @@ void Server::acceptor_loop() {
             EventLoop& loop =
                 *loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size()];
             {
-                const std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+                const common::MutexLock lock(loop.inbox_mutex);
                 loop.pending_fds.push_back(fd);
             }
             loop.wake();
@@ -307,7 +311,7 @@ void Server::EventLoop::drain_inbox() {
     std::vector<int> fds;
     std::vector<Completion> done;
     {
-        const std::lock_guard<std::mutex> lock(inbox_mutex);
+        const common::MutexLock lock(inbox_mutex);
         fds.swap(pending_fds);
         done.swap(completions);
     }
@@ -439,7 +443,7 @@ bool Server::EventLoop::handle_frame(Connection& conn, std::uint64_t conn_id,
         srv->npu_.try_submit(std::move(image), [this, seq] {
             const std::int64_t now = obs::monotonic_us();
             {
-                const std::lock_guard<std::mutex> lock(inbox_mutex);
+                const common::MutexLock lock(inbox_mutex);
                 completions.push_back({seq, now});
             }
             wake();

@@ -56,7 +56,7 @@ Network ModelCache::train_and_save(const std::string& name) {
 Network& ModelCache::get(const std::string& name) {
     // Coarse lock: concurrent first-loads of the same model must not race
     // on loaded_, and training the same model twice would waste minutes.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     if (const auto it = loaded_.find(name); it != loaded_.end()) return *it->second;
     auto net = std::make_unique<Network>(make_network(name));
     const std::string path = model_path(name);
@@ -73,7 +73,7 @@ Network& ModelCache::get(const std::string& name) {
 void ModelCache::ensure(const std::vector<std::string>& names, int threads) {
     std::vector<std::string> missing;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::MutexLock lock(mutex_);
         for (const auto& name : names)
             if (!std::filesystem::exists(model_path(name)) && !loaded_.count(name))
                 missing.push_back(name);

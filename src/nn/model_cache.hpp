@@ -5,10 +5,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "data/synthetic_dataset.hpp"
 #include "nn/network.hpp"
 
@@ -26,10 +27,11 @@ public:
     /// Load (or train + persist) a model; the returned reference stays
     /// valid for the cache's lifetime. Safe to call concurrently (the
     /// serving runtime warms models from multiple threads).
-    Network& get(const std::string& name);
+    Network& get(const std::string& name) RAQ_EXCLUDES(mutex_);
 
     /// Train all missing models, `threads` at a time (0 = hardware).
-    void ensure(const std::vector<std::string>& names, int threads = 0);
+    void ensure(const std::vector<std::string>& names, int threads = 0)
+        RAQ_EXCLUDES(mutex_);
 
     [[nodiscard]] const std::string& dir() const { return dir_; }
     [[nodiscard]] std::string model_path(const std::string& name) const;
@@ -39,8 +41,8 @@ private:
 
     std::string dir_;
     std::unique_ptr<data::SyntheticDataset> dataset_;
-    std::mutex mutex_;  ///< guards loaded_
-    std::map<std::string, std::unique_ptr<Network>> loaded_;
+    common::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Network>> loaded_ RAQ_GUARDED_BY(mutex_);
 };
 
 }  // namespace raq::nn

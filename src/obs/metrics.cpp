@@ -122,7 +122,7 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
                                                std::vector<double>* bounds) {
     const Labels sorted = sorted_labels(labels);
     const std::string key = series_key(name, sorted);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         if (it->second.kind != kind)
@@ -162,7 +162,7 @@ const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
                                                     const Labels& labels,
                                                     Kind kind) const {
     const std::string key = series_key(name, sorted_labels(labels));
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end() || it->second.kind != kind) return nullptr;
     return &it->second;
@@ -187,7 +187,7 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name,
 }
 
 std::uint64_t MetricsRegistry::counter_sum(const std::string& name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     std::uint64_t sum = 0;
     for (const auto& [key, e] : entries_)
         if (e.kind == Kind::Counter && e.name == name) sum += e.counter->value();
@@ -195,7 +195,7 @@ std::uint64_t MetricsRegistry::counter_sum(const std::string& name) const {
 }
 
 std::string MetricsRegistry::expose() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     std::string out;
     std::string last_typed;  // TYPE line emitted once per metric name
     char line[256];
@@ -244,7 +244,7 @@ std::string MetricsRegistry::expose() const {
 }
 
 std::string MetricsRegistry::jsonl() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     std::string out;
     char buf[128];
     for (const auto& [key, e] : entries_) {

@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace raq::obs {
 
@@ -162,19 +164,21 @@ public:
     /// Idempotent per (name, labels): re-registration returns the same
     /// instrument. Registering an existing series as a different kind
     /// throws std::invalid_argument.
-    Counter& counter(const std::string& name, const Labels& labels = {});
-    Gauge& gauge(const std::string& name, const Labels& labels = {});
+    Counter& counter(const std::string& name, const Labels& labels = {})
+        RAQ_EXCLUDES(mutex_);
+    Gauge& gauge(const std::string& name, const Labels& labels = {})
+        RAQ_EXCLUDES(mutex_);
     /// `bounds` applies on first registration only (later calls must
     /// agree or pass empty to accept the existing ladder).
     Histogram& histogram(const std::string& name, const Labels& labels,
-                         std::vector<double> bounds);
+                         std::vector<double> bounds) RAQ_EXCLUDES(mutex_);
 
     /// Prometheus-style text exposition: one `# TYPE` line per metric
     /// name, one `name{labels} value` line per series, sorted by name
     /// then labels (deterministic golden-testable output).
-    [[nodiscard]] std::string expose() const;
+    [[nodiscard]] std::string expose() const RAQ_EXCLUDES(mutex_);
     /// One JSON object per line per series.
-    [[nodiscard]] std::string jsonl() const;
+    [[nodiscard]] std::string jsonl() const RAQ_EXCLUDES(mutex_);
 
     /// Scrape a single series (nullptr-safe lookups for tests/benches).
     [[nodiscard]] const Counter* find_counter(const std::string& name,
@@ -185,7 +189,8 @@ public:
                                                   const Labels& labels = {}) const;
     /// Sum of every series of counter `name` across label sets (what a
     /// dashboard's `sum(rate(...))` would read).
-    [[nodiscard]] std::uint64_t counter_sum(const std::string& name) const;
+    [[nodiscard]] std::uint64_t counter_sum(const std::string& name) const
+        RAQ_EXCLUDES(mutex_);
 
 private:
     enum class Kind { Counter, Gauge, Histogram };
@@ -199,14 +204,18 @@ private:
     };
 
     Entry& entry(const std::string& name, const Labels& labels, Kind kind,
-                 std::vector<double>* bounds);
+                 std::vector<double>* bounds) RAQ_EXCLUDES(mutex_);
     [[nodiscard]] const Entry* find(const std::string& name, const Labels& labels,
-                                    Kind kind) const;
+                                    Kind kind) const RAQ_EXCLUDES(mutex_);
 
-    mutable std::mutex mutex_;
+    /// Guards only the registry map. The instruments themselves are
+    /// deliberately NOT mutex-guarded: Counter/Gauge/Histogram are
+    /// sharded relaxed atomics (wait-free writers racing scrapes by
+    /// design), which the annotations leave alone.
+    mutable common::Mutex mutex_;
     /// Keyed by name + serialized labels: std::map nodes are stable, so
     /// instrument references survive any number of later registrations.
-    std::map<std::string, Entry> entries_;
+    std::map<std::string, Entry> entries_ RAQ_GUARDED_BY(mutex_);
 };
 
 }  // namespace raq::obs

@@ -47,7 +47,7 @@ std::string ReliabilityEvent::to_string() const {
 }
 
 void EventTimeline::record(ReliabilityEvent event) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     ++total_;
     ++counts_[static_cast<std::size_t>(event.kind)];
     events_.push_back(std::move(event));
@@ -55,22 +55,22 @@ void EventTimeline::record(ReliabilityEvent event) {
 }
 
 std::size_t EventTimeline::size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return events_.size();
 }
 
 std::uint64_t EventTimeline::total_recorded() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return total_;
 }
 
 std::uint64_t EventTimeline::count(EventKind kind) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return counts_[static_cast<std::size_t>(kind)];
 }
 
 std::vector<ReliabilityEvent> EventTimeline::snapshot() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return {events_.begin(), events_.end()};
 }
 

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace raq::obs {
 
@@ -47,22 +49,24 @@ class EventTimeline {
 public:
     explicit EventTimeline(std::size_t capacity = 1024) : capacity_(capacity) {}
 
-    void record(ReliabilityEvent event);
+    void record(ReliabilityEvent event) RAQ_EXCLUDES(mutex_);
 
-    [[nodiscard]] std::size_t size() const;
-    [[nodiscard]] std::uint64_t total_recorded() const;
-    [[nodiscard]] std::uint64_t count(EventKind kind) const;
+    [[nodiscard]] std::size_t size() const RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] std::uint64_t total_recorded() const RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] std::uint64_t count(EventKind kind) const RAQ_EXCLUDES(mutex_);
     /// Events in record order (== t_us order up to clock resolution).
-    [[nodiscard]] std::vector<ReliabilityEvent> snapshot() const;
+    [[nodiscard]] std::vector<ReliabilityEvent> snapshot() const RAQ_EXCLUDES(mutex_);
     /// Text exposition, one event per line, oldest first.
-    [[nodiscard]] std::string render() const;
+    [[nodiscard]] std::string render() const RAQ_EXCLUDES(mutex_);
 
 private:
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::deque<ReliabilityEvent> events_;  ///< oldest dropped past capacity_
-    std::uint64_t total_ = 0;
-    std::uint64_t counts_[8] = {};  ///< one slot per EventKind
+    mutable common::Mutex mutex_;
+    /// Oldest dropped past capacity_.
+    std::deque<ReliabilityEvent> events_ RAQ_GUARDED_BY(mutex_);
+    std::uint64_t total_ RAQ_GUARDED_BY(mutex_) = 0;
+    /// One slot per EventKind.
+    std::uint64_t counts_[8] RAQ_GUARDED_BY(mutex_) = {};
 };
 
 }  // namespace raq::obs

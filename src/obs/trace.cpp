@@ -61,7 +61,7 @@ std::shared_ptr<TraceContext> TraceCollector::maybe_start(std::uint64_t request_
     trace->start_us = now_us;
     trace->last_us = now_us;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::MutexLock lock(mutex_);
         ++started_;
     }
     return trace;
@@ -69,7 +69,7 @@ std::shared_ptr<TraceContext> TraceCollector::maybe_start(std::uint64_t request_
 
 void TraceCollector::finish(std::shared_ptr<TraceContext> trace) {
     if (!trace) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     ++finished_;
     if (reservoir_.size() < capacity_) {
         reservoir_.push_back(std::move(trace));
@@ -83,17 +83,17 @@ void TraceCollector::finish(std::shared_ptr<TraceContext> trace) {
 }
 
 std::uint64_t TraceCollector::started() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return started_;
 }
 
 std::uint64_t TraceCollector::finished() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return finished_;
 }
 
 std::vector<TraceContext> TraceCollector::snapshot() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     std::vector<TraceContext> out;
     out.reserve(reservoir_.size());
     for (const auto& t : reservoir_) out.push_back(*t);

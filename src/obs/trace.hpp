@@ -20,11 +20,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/clock.hpp"
 
 namespace raq::obs {
@@ -93,18 +94,19 @@ public:
 
     /// Start a trace for this request if it is sampled (null otherwise).
     [[nodiscard]] std::shared_ptr<TraceContext> maybe_start(std::uint64_t request_id,
-                                                            std::int64_t now_us);
+                                                            std::int64_t now_us)
+        RAQ_EXCLUDES(mutex_);
 
     /// File a finished trace into the reservoir. Accepts null (no-op) so
     /// callers can pass request.trace unconditionally after moving it.
-    void finish(std::shared_ptr<TraceContext> trace);
+    void finish(std::shared_ptr<TraceContext> trace) RAQ_EXCLUDES(mutex_);
 
-    [[nodiscard]] std::uint64_t started() const;
-    [[nodiscard]] std::uint64_t finished() const;
+    [[nodiscard]] std::uint64_t started() const RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] std::uint64_t finished() const RAQ_EXCLUDES(mutex_);
     /// Deep copies of the reservoir's traces, in finish order.
-    [[nodiscard]] std::vector<TraceContext> snapshot() const;
+    [[nodiscard]] std::vector<TraceContext> snapshot() const RAQ_EXCLUDES(mutex_);
     /// Text exposition of every reservoir trace, one line per trace.
-    [[nodiscard]] std::string render() const;
+    [[nodiscard]] std::string render() const RAQ_EXCLUDES(mutex_);
 
     [[nodiscard]] double sample_rate() const noexcept { return rate_; }
 
@@ -113,11 +115,15 @@ private:
     const std::size_t capacity_;
     const std::uint64_t seed_;
 
-    mutable std::mutex mutex_;
-    common::Rng reservoir_rng_;
-    std::vector<std::shared_ptr<TraceContext>> reservoir_;
-    std::uint64_t started_ = 0;
-    std::uint64_t finished_ = 0;
+    /// TraceContext itself is intentionally unguarded: a context is
+    /// thread-confined by handoff (the channel mutexes provide the
+    /// happens-before edges), so mark() stays lock-free; only the
+    /// collector's shared state below is mutex-guarded.
+    mutable common::Mutex mutex_;
+    common::Rng reservoir_rng_ RAQ_GUARDED_BY(mutex_);
+    std::vector<std::shared_ptr<TraceContext>> reservoir_ RAQ_GUARDED_BY(mutex_);
+    std::uint64_t started_ RAQ_GUARDED_BY(mutex_) = 0;
+    std::uint64_t finished_ RAQ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace raq::obs

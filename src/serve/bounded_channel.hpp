@@ -10,14 +10,20 @@
 // inter-stage handoff channels and the net front-end's admission path
 // (try_push: shed instead of block) are all instances; keeping one
 // implementation keeps their close/drain semantics in lockstep.
+//
+// Lock discipline is compiler-checked (common/README.md): `items_` and
+// `closed_` are RAQ_GUARDED_BY(mutex_), every public entry point is
+// RAQ_EXCLUDES(mutex_), and notifies happen after an explicit
+// lock.unlock() so no waiter wakes into a held mutex.
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace raq::serve {
 
@@ -35,9 +41,9 @@ public:
 
     /// Blocks while the channel is full. Returns false — leaving `item`
     /// untouched in the caller's hands — once the channel is closed.
-    bool push(T&& item) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    bool push(T&& item) RAQ_EXCLUDES(mutex_) {
+        common::MutexLock lock(mutex_);
+        while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
         if (closed_) return false;
         items_.push_back(std::move(item));
         lock.unlock();
@@ -48,9 +54,9 @@ public:
     /// Non-blocking push for callers that must not stall (the net event
     /// loops). On Full or Closed, `item` is untouched and still owned by
     /// the caller.
-    ChannelPush try_push(T&& item) {
+    ChannelPush try_push(T&& item) RAQ_EXCLUDES(mutex_) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const common::MutexLock lock(mutex_);
             if (closed_) return ChannelPush::Closed;
             if (items_.size() >= capacity_) return ChannelPush::Full;
             items_.push_back(std::move(item));
@@ -61,9 +67,9 @@ public:
 
     /// Pops one item, blocking until work arrives. Returns false when
     /// the channel is closed *and* fully drained.
-    bool pop(T& out) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    bool pop(T& out) RAQ_EXCLUDES(mutex_) {
+        common::MutexLock lock(mutex_);
+        while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
         if (items_.empty()) return false;  // closed and drained
         out = std::move(items_.front());
         items_.pop_front();
@@ -75,10 +81,10 @@ public:
     /// Pops 1..max_batch items in one critical section (what makes
     /// dynamic batching cheap: one lock acquisition per batch, not per
     /// item). An empty result means closed *and* fully drained.
-    std::vector<T> pop_batch(std::size_t max_batch) {
+    std::vector<T> pop_batch(std::size_t max_batch) RAQ_EXCLUDES(mutex_) {
         std::vector<T> batch;
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        common::MutexLock lock(mutex_);
+        while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
         const std::size_t n = std::min(max_batch, items_.size());
         batch.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
@@ -91,31 +97,31 @@ public:
     }
 
     /// Stop admission; wakes all blocked producers and consumers.
-    void close() {
+    void close() RAQ_EXCLUDES(mutex_) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const common::MutexLock lock(mutex_);
             closed_ = true;
         }
         not_empty_.notify_all();
         not_full_.notify_all();
     }
 
-    [[nodiscard]] bool closed() const {
-        const std::lock_guard<std::mutex> lock(mutex_);
+    [[nodiscard]] bool closed() const RAQ_EXCLUDES(mutex_) {
+        const common::MutexLock lock(mutex_);
         return closed_;
     }
-    [[nodiscard]] std::size_t size() const {
-        const std::lock_guard<std::mutex> lock(mutex_);
+    [[nodiscard]] std::size_t size() const RAQ_EXCLUDES(mutex_) {
+        const common::MutexLock lock(mutex_);
         return items_.size();
     }
 
 private:
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    mutable common::Mutex mutex_;
+    common::CondVar not_empty_;
+    common::CondVar not_full_;
+    std::deque<T> items_ RAQ_GUARDED_BY(mutex_);
+    bool closed_ RAQ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace raq::serve

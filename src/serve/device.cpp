@@ -97,19 +97,19 @@ double NpuDevice::hours_unlocked() const {
 }
 
 double NpuDevice::operating_hours() const {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const common::MutexLock lock(stats_mutex_);
     return hours_unlocked();
 }
 
 double NpuDevice::dvth_mv() const { return ctx_->aging->dvth_mv(operating_hours() / 8760.0); }
 
 int NpuDevice::requant_count() const {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const common::MutexLock lock(stats_mutex_);
     return requant_count_;
 }
 
 std::shared_ptr<const core::ModelState> NpuDevice::deployed_state() const {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const common::MutexLock lock(state_mutex_);
     return state_;
 }
 
@@ -123,12 +123,12 @@ std::uint64_t NpuDevice::generation() const {
     return state ? state->generation : 0;
 }
 
-void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool record_event,
+void NpuDevice::install(const std::shared_ptr<const core::ModelState>& state, bool record_event,
                         bool background, double build_ms, bool recut) {
     const auto swap_start = std::chrono::steady_clock::now();
     common::Compression before;
     {
-        const std::lock_guard<std::mutex> lock(state_mutex_);
+        const common::MutexLock lock(state_mutex_);
         if (state_) before = state_->compression;
         state_ = state;
     }
@@ -172,7 +172,7 @@ void NpuDevice::install(std::shared_ptr<const core::ModelState> state, bool reco
         event.background = background;
         event.recut = recut;
         {
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            const common::MutexLock lock(stats_mutex_);
             ++requant_count_;
             event.at_hours = hours_unlocked();
             requant_events_.push_back(event);
@@ -224,14 +224,14 @@ void NpuDevice::execute_requant(double dvth_mv, std::uint64_t generation) {
         re.detail = outcome.state ? "feasible" : "infeasible";
         telemetry_->timeline().record(std::move(re));
     }
-    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    const common::MutexLock lock(pending_mutex_);
     pending_ = std::move(outcome);
 }
 
 bool NpuDevice::adopt_pending() {
     std::optional<PendingOutcome> outcome;
     {
-        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        const common::MutexLock lock(pending_mutex_);
         if (!pending_) return false;
         outcome.swap(pending_);
     }
@@ -257,14 +257,14 @@ void NpuDevice::reshard(core::ModelState state, double build_ms) {
     if (requant_in_flight_.load(std::memory_order_acquire)) {
         for (;;) {
             {
-                const std::lock_guard<std::mutex> lock(pending_mutex_);
+                const common::MutexLock lock(pending_mutex_);
                 if (pending_) break;
             }
             std::this_thread::sleep_for(std::chrono::microseconds(100));
         }
     }
     {
-        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        const common::MutexLock lock(pending_mutex_);
         pending_.reset();
     }
     requant_in_flight_.store(false, std::memory_order_release);
@@ -308,7 +308,7 @@ void NpuDevice::account_batch(std::size_t requests, std::uint64_t batch_cycles,
     double hours_now = 0.0;
     double duty_now = 1.0;
     {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const common::MutexLock lock(stats_mutex_);
         requests_ += requests;
         ++batches_;
         busy_cycles_ += batch_cycles;
@@ -474,7 +474,7 @@ DeviceStats NpuDevice::stats() const {
         s.method = state->method;
     }
     s.requant_in_flight = requant_in_flight_.load(std::memory_order_acquire);
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const common::MutexLock lock(stats_mutex_);
     s.requests = requests_;
     s.batches = batches_;
     s.busy_cycles = busy_cycles_;

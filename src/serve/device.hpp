@@ -18,24 +18,26 @@
 // and adopts the published generation g+1 at a later batch boundary via
 // an atomic payload rebind. At most one build is in flight per device.
 //
-// Concurrency contract: a device is checked out exclusively by one worker
-// at a time (the server's device pool enforces this), so execution state
-// (the runner) needs no locks. Three small mutexes guard what observers
-// and the background builder touch: `state_mutex_` only the deployed
-// ModelState *pointer* (a swap holds it for a pointer assignment, so
-// stats snapshots never contend with a build), `pending_mutex_` the
-// published-but-not-adopted state, and `stats_mutex_` the counters —
-// observers never block behind either deployment mutex. The clock period
-// is an atomic double: the serve thread re-derives it at install, while
-// observers read it wait-free.
+// Concurrency contract (compiler-checked — see src/common/README.md):
+// a device is checked out exclusively by one worker at a time (the
+// server's device pool enforces this), so execution state (the runner)
+// needs no locks. Three small mutexes guard what observers and the
+// background builder touch — `state_mutex_` the deployed ModelState
+// *pointer*, `pending_mutex_` the published-but-not-adopted state,
+// `stats_mutex_` the counters — and are never held together; the
+// RAQ_ACQUIRED_BEFORE edges below make that a build error rather than a
+// convention. The clock period is an atomic double: the serve thread
+// re-derives it at install, while observers read it wait-free.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 #include "aging/aging_model.hpp"
 #include "core/model_state.hpp"
@@ -176,7 +178,8 @@ public:
     /// not change, only the slice of the model it serves. Must be called
     /// while no thread is serving on this device (the ShardGroup calls
     /// it between draining and restarting its stage threads).
-    void reshard(core::ModelState state, double build_ms);
+    void reshard(core::ModelState state, double build_ms)
+        RAQ_EXCLUDES(pending_mutex_, state_mutex_, stats_mutex_);
 
     [[nodiscard]] int id() const { return id_; }
     /// Current clock period: the deployed compression's aged critical
@@ -187,31 +190,34 @@ public:
     [[nodiscard]] std::uint64_t per_image_cycles() const {
         return per_image_cycles_.load(std::memory_order_acquire);
     }
-    [[nodiscard]] double operating_hours() const;
-    [[nodiscard]] double dvth_mv() const;
-    [[nodiscard]] int requant_count() const;
+    [[nodiscard]] double operating_hours() const RAQ_EXCLUDES(stats_mutex_);
+    [[nodiscard]] double dvth_mv() const RAQ_EXCLUDES(stats_mutex_);
+    [[nodiscard]] int requant_count() const RAQ_EXCLUDES(stats_mutex_);
 
     /// Snapshot of the deployed state (stable even while serving: the
     /// returned ModelState is immutable and pinned by the shared_ptr).
-    [[nodiscard]] std::shared_ptr<const core::ModelState> deployed_state() const;
+    [[nodiscard]] std::shared_ptr<const core::ModelState> deployed_state() const
+        RAQ_EXCLUDES(state_mutex_);
     [[nodiscard]] std::shared_ptr<const quant::QuantizedGraph> deployed_graph() const;
     /// Generation of the deployed state (monotonic, starts at 1).
     [[nodiscard]] std::uint64_t generation() const;
 
-    [[nodiscard]] DeviceStats stats() const;
+    [[nodiscard]] DeviceStats stats() const
+        RAQ_EXCLUDES(state_mutex_, stats_mutex_);
 
     /// RequantService worker entry: build `generation` for aging level
     /// `dvth_mv` off the serving path and publish it into the pending
     /// slot. Touches only the immutable context and the pending slot, so
     /// it runs concurrently with serve().
-    void execute_requant(double dvth_mv, std::uint64_t generation) override;
+    void execute_requant(double dvth_mv, std::uint64_t generation) override
+        RAQ_EXCLUDES(pending_mutex_);
 
     /// Adopt a published pending state, if any: swap the deployed
     /// pointer, rebind the runner's payload, record the event. Returns
     /// true when a new generation was installed. Called by the serve
     /// thread at batch boundaries and by NpuServer::shutdown() after the
     /// serve workers have joined (never concurrently with serve()).
-    bool adopt_pending();
+    bool adopt_pending() RAQ_EXCLUDES(pending_mutex_, state_mutex_, stats_mutex_);
 
     /// Shutdown drain (serve workers joined, RequantService drained):
     /// adopt anything published, then catch up on a crossing that was
@@ -221,9 +227,11 @@ public:
     void finish_requants();
 
 private:
-    void install(std::shared_ptr<const core::ModelState> state, bool record_event,
-                 bool background, double build_ms, bool recut = false);
-    void requant_inline(double dvth);
+    void install(const std::shared_ptr<const core::ModelState>& state, bool record_event,
+                 bool background, double build_ms, bool recut = false)
+        RAQ_EXCLUDES(state_mutex_, stats_mutex_);
+    void requant_inline(double dvth)
+        RAQ_EXCLUDES(state_mutex_, stats_mutex_);
     /// Post-execution accounting under the stats mutex: requests, busy
     /// cycles AND busy picoseconds at the clock the batch ran at, flips,
     /// per-request latency samples. With traffic aging enabled the
@@ -232,8 +240,9 @@ private:
     /// sees real wall-time utilization; both 0 otherwise.
     void account_batch(std::size_t requests, std::uint64_t batch_cycles,
                        double clock_period_ps, std::uint64_t flips,
-                       std::int64_t host_t0_us = 0, std::int64_t host_t1_us = 0);
-    [[nodiscard]] double hours_unlocked() const;
+                       std::int64_t host_t0_us = 0, std::int64_t host_t1_us = 0)
+        RAQ_EXCLUDES(stats_mutex_);
+    [[nodiscard]] double hours_unlocked() const RAQ_REQUIRES(stats_mutex_);
 
     const int id_;
     const int stage_;  ///< pipeline stage index (-1 on a whole-model device)
@@ -275,9 +284,12 @@ private:
     std::atomic<std::uint64_t> per_image_cycles_{0};
 
     /// Guards only the deployed-state pointer: held for pointer copies
-    /// and the swap assignment, never across a build.
-    mutable std::mutex state_mutex_;
-    std::shared_ptr<const core::ModelState> state_;
+    /// and the swap assignment, never across a build. The three device
+    /// mutexes are never held together; the ACQUIRED_BEFORE edges fix a
+    /// total order (state → pending → stats) so any future nesting that
+    /// could deadlock against it fails the clang-analysis build.
+    mutable common::Mutex state_mutex_ RAQ_ACQUIRED_BEFORE(pending_mutex_, stats_mutex_);
+    std::shared_ptr<const core::ModelState> state_ RAQ_GUARDED_BY(state_mutex_);
 
     /// Long-lived planned execution state: the plan (shared via the
     /// exec::PlanCache), arena and conv scratch survive across batches
@@ -290,32 +302,33 @@ private:
     std::optional<quant::QuantRunner> runner_;
 
     /// Background double-buffer: the built-but-not-yet-adopted state.
-    std::mutex pending_mutex_;
+    common::Mutex pending_mutex_ RAQ_ACQUIRED_BEFORE(stats_mutex_);
     struct PendingOutcome {
         std::shared_ptr<const core::ModelState> state;  ///< null: build infeasible
         double build_ms = 0.0;
     };
-    std::optional<PendingOutcome> pending_;
+    std::optional<PendingOutcome> pending_ RAQ_GUARDED_BY(pending_mutex_);
     /// Gates enqueue: at most one background build in flight per device.
     std::atomic<bool> requant_in_flight_{false};
 
-    mutable std::mutex stats_mutex_;
-    std::uint64_t requests_ = 0;
-    std::uint64_t batches_ = 0;
-    std::uint64_t busy_cycles_ = 0;
-    double busy_ps_ = 0.0;  ///< simulated busy time at the per-batch clock
-    std::uint64_t flips_ = 0;
-    int requant_count_ = 0;
-    std::vector<RequantEvent> requant_events_;
-    LatencyRecorder latency_;
+    mutable common::Mutex stats_mutex_;
+    std::uint64_t requests_ RAQ_GUARDED_BY(stats_mutex_) = 0;
+    std::uint64_t batches_ RAQ_GUARDED_BY(stats_mutex_) = 0;
+    std::uint64_t busy_cycles_ RAQ_GUARDED_BY(stats_mutex_) = 0;
+    /// Simulated busy time at the per-batch clock.
+    double busy_ps_ RAQ_GUARDED_BY(stats_mutex_) = 0.0;
+    std::uint64_t flips_ RAQ_GUARDED_BY(stats_mutex_) = 0;
+    int requant_count_ RAQ_GUARDED_BY(stats_mutex_) = 0;
+    std::vector<RequantEvent> requant_events_ RAQ_GUARDED_BY(stats_mutex_);
+    LatencyRecorder latency_ RAQ_GUARDED_BY(stats_mutex_);
     /// Traffic-driven aging state (all under stats_mutex_): the sliding
     /// utilization window, the last measured busy fraction, and the
     /// duty-scaled stress-hour integral that replaces raw busy hours in
     /// hours_unlocked() when the feature is on. Accrued incrementally
     /// per batch (monotone — a later idle spell never un-ages the past).
-    sim::DutyCycleMonitor duty_monitor_;
-    double duty_fraction_ = 1.0;
-    double effective_stress_hours_ = 0.0;
+    sim::DutyCycleMonitor duty_monitor_ RAQ_GUARDED_BY(stats_mutex_);
+    double duty_fraction_ RAQ_GUARDED_BY(stats_mutex_) = 1.0;
+    double effective_stress_hours_ RAQ_GUARDED_BY(stats_mutex_) = 0.0;
 };
 
 }  // namespace raq::serve

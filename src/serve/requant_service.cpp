@@ -17,7 +17,7 @@ RequantService::~RequantService() { shutdown(); }
 void RequantService::enqueue(RequantTarget& target, double dvth_mv,
                              std::uint64_t generation) {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::MutexLock lock(mutex_);
         if (stopped_) return;
         jobs_.push_back(Job{&target, dvth_mv, generation});
     }
@@ -28,8 +28,8 @@ void RequantService::worker_loop() {
     for (;;) {
         Job job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [&] { return stopped_ || !jobs_.empty(); });
+            const common::MutexLock lock(mutex_);
+            while (!stopped_ && jobs_.empty()) cv_.wait(mutex_);
             if (jobs_.empty()) return;  // stopped and drained
             job = jobs_.front();
             jobs_.pop_front();
@@ -39,7 +39,7 @@ void RequantService::worker_loop() {
         // slot, so the target keeps serving its current generation.
         job.target->execute_requant(job.dvth_mv, job.generation);
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const common::MutexLock lock(mutex_);
             ++jobs_completed_;
         }
     }
@@ -47,7 +47,7 @@ void RequantService::worker_loop() {
 
 void RequantService::shutdown() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::MutexLock lock(mutex_);
         if (stopped_) return;
         stopped_ = true;
     }
@@ -57,7 +57,7 @@ void RequantService::shutdown() {
 }
 
 std::uint64_t RequantService::jobs_completed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return jobs_completed_;
 }
 

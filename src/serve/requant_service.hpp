@@ -22,12 +22,13 @@
 // inline run would have deployed.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace raq::serve {
 
@@ -54,15 +55,16 @@ public:
     /// `dvth_mv`. The caller (the target's serve thread) must hold the
     /// target's in-flight gate, which is what guarantees at most one job
     /// per target. Ignored after shutdown.
-    void enqueue(RequantTarget& target, double dvth_mv, std::uint64_t generation);
+    void enqueue(RequantTarget& target, double dvth_mv, std::uint64_t generation)
+        RAQ_EXCLUDES(mutex_);
 
     /// Drain every accepted job, then join the workers. Idempotent.
-    void shutdown();
+    void shutdown() RAQ_EXCLUDES(mutex_);
 
-    [[nodiscard]] std::uint64_t jobs_completed() const;
+    [[nodiscard]] std::uint64_t jobs_completed() const RAQ_EXCLUDES(mutex_);
 
 private:
-    void worker_loop();
+    void worker_loop() RAQ_EXCLUDES(mutex_);
 
     struct Job {
         RequantTarget* target = nullptr;
@@ -70,11 +72,12 @@ private:
         std::uint64_t generation = 0;
     };
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<Job> jobs_;
-    bool stopped_ = false;
-    std::uint64_t jobs_completed_ = 0;
+    mutable common::Mutex mutex_;
+    common::CondVar cv_;
+    std::deque<Job> jobs_ RAQ_GUARDED_BY(mutex_);
+    bool stopped_ RAQ_GUARDED_BY(mutex_) = false;
+    std::uint64_t jobs_completed_ RAQ_GUARDED_BY(mutex_) = 0;
+    /// Constructor/shutdown-thread only (join-synchronized, unguarded).
     std::vector<std::thread> workers_;
 };
 

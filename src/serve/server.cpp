@@ -191,8 +191,8 @@ void NpuServer::worker_loop() {
 
         ServeUnit* unit = nullptr;
         {
-            std::unique_lock<std::mutex> lock(pool_mutex_);
-            pool_cv_.wait(lock, [&] { return !idle_units_.empty(); });
+            const common::MutexLock lock(pool_mutex_);
+            while (idle_units_.empty()) pool_cv_.wait(pool_mutex_);
             unit = idle_units_.back();
             idle_units_.pop_back();
         }
@@ -211,7 +211,7 @@ void NpuServer::worker_loop() {
             failed = fail_batch(batch, std::current_exception());
         }
         {
-            const std::lock_guard<std::mutex> lock(pool_mutex_);
+            const common::MutexLock lock(pool_mutex_);
             idle_units_.push_back(unit);
         }
         pool_cv_.notify_one();

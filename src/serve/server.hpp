@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/device.hpp"
 #include "serve/request_queue.hpp"
@@ -143,7 +145,7 @@ public:
     [[nodiscard]] std::string export_timeline() const;
 
 private:
-    void worker_loop();
+    void worker_loop() RAQ_EXCLUDES(pool_mutex_);
     /// Fold the process-wide level-parallel run count into the registry
     /// counter as a delta since this server's construction baseline, so
     /// scrapes show which execution path production batches actually
@@ -172,9 +174,9 @@ private:
     /// threads joined) before any device it references.
     std::unique_ptr<RequantService> requant_service_;
 
-    std::mutex pool_mutex_;
-    std::condition_variable pool_cv_;
-    std::vector<ServeUnit*> idle_units_;
+    common::Mutex pool_mutex_;
+    common::CondVar pool_cv_;
+    std::vector<ServeUnit*> idle_units_ RAQ_GUARDED_BY(pool_mutex_);
 
     std::vector<std::thread> workers_;
     std::atomic<std::uint64_t> next_request_id_{0};

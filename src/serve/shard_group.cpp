@@ -165,7 +165,7 @@ void ShardGroup::serve(std::vector<InferenceRequest>& batch) {
         if (request.trace) request.trace->mark(obs::SpanKind::Batch, obs::monotonic_us());
     // The swap mutex pends admission while a re-cut drains and remaps
     // the pipeline: a push always lands in the current cut's channel.
-    std::unique_lock<std::mutex> lock(swap_mutex_);
+    common::MutexLock lock(swap_mutex_);
     if (!channels_.front()->push(std::move(sb))) {
         lock.unlock();
         // A failed push leaves sb untouched: hand the requests (and
@@ -280,7 +280,7 @@ void ShardGroup::repartition_step() {
         stage_imbalance(window, config_.repartition.min_batches);
     if (imbalance <= 0.0) return;  // window not mature yet
     {
-        const std::lock_guard<std::mutex> lock(repart_mutex_);
+        const common::MutexLock lock(repart_mutex_);
         ++repart_stats_.checks;
         repart_stats_.last_imbalance = imbalance;
     }
@@ -300,7 +300,7 @@ void ShardGroup::repartition_step() {
     // change only at install, so exact comparison is the right test.
     if (clocks == futile_clocks_) return;
     {
-        const std::lock_guard<std::mutex> lock(repart_mutex_);
+        const common::MutexLock lock(repart_mutex_);
         ++repart_stats_.triggers;
     }
     if (telemetry_) {
@@ -319,7 +319,7 @@ void ShardGroup::repartition_step() {
     const auto note_futile = [&](const char* reason) {
         futile_clocks_ = clocks;
         {
-            const std::lock_guard<std::mutex> lock(repart_mutex_);
+            const common::MutexLock lock(repart_mutex_);
             ++repart_stats_.futile;
         }
         if (telemetry_) {
@@ -397,7 +397,7 @@ void ShardGroup::repartition_step() {
 void ShardGroup::perform_recut(PreparedRecut prepared) {
     // Admission pauses for the whole swap: no producer can observe the
     // closed old channels or a half-remapped pipeline.
-    const std::lock_guard<std::mutex> lock(swap_mutex_);
+    const common::MutexLock lock(swap_mutex_);
     if (drained_.load(std::memory_order_acquire)) return;
 
     // Drain at a batch boundary: close stage 0, let the close cascade
@@ -432,7 +432,7 @@ void ShardGroup::perform_recut(PreparedRecut prepared) {
 
     partition_generation_.fetch_add(1, std::memory_order_acq_rel);
     {
-        const std::lock_guard<std::mutex> lock2(repart_mutex_);
+        const common::MutexLock lock2(repart_mutex_);
         ++repart_stats_.recuts;
     }
     if (telemetry_) {
@@ -471,7 +471,7 @@ void ShardGroup::finish_requants() {
 }
 
 RepartitionStats ShardGroup::repartition_stats() const {
-    const std::lock_guard<std::mutex> lock(repart_mutex_);
+    const common::MutexLock lock(repart_mutex_);
     RepartitionStats out = repart_stats_;
     out.partition_generation = partition_generation();
     return out;
@@ -496,7 +496,7 @@ double ShardGroup::sample_accuracy(const tensor::Tensor& images,
     // inferences would stall admission for the whole evaluation.
     std::vector<std::shared_ptr<const quant::QuantizedGraph>> chain;
     {
-        const std::lock_guard<std::mutex> lock(swap_mutex_);
+        const common::MutexLock lock(swap_mutex_);
         chain.reserve(shards_.size());
         for (const auto& shard : shards_) chain.push_back(shard->device->deployed_graph());
     }

@@ -62,10 +62,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "exec/subplan.hpp"
 #include "ir/partition.hpp"
 #include "serve/bounded_channel.hpp"
@@ -149,7 +150,7 @@ public:
     /// that served the batch, partition the partition generation it ran
     /// under, latency the accumulated pipeline latency). Blocks while
     /// the stage-0 handoff queue is full or a re-cut swap is in flight.
-    void serve(std::vector<InferenceRequest>& batch) override;
+    void serve(std::vector<InferenceRequest>& batch) override RAQ_EXCLUDES(swap_mutex_);
 
     /// Close admission into the pipeline, stop the repartition monitor,
     /// drain every accepted batch and join the stage threads.
@@ -177,7 +178,7 @@ public:
     }
 
     /// Monitor activity counters (zeros when repartitioning is off).
-    [[nodiscard]] RepartitionStats repartition_stats() const;
+    [[nodiscard]] RepartitionStats repartition_stats() const RAQ_EXCLUDES(repart_mutex_);
 
     /// Per-shard device stats, in pipeline order.
     [[nodiscard]] std::vector<DeviceStats> stats() const;
@@ -188,7 +189,7 @@ public:
     /// partition).
     [[nodiscard]] double sample_accuracy(const tensor::Tensor& images,
                                          const std::vector<int>& labels,
-                                         int samples) const;
+                                         int samples) const RAQ_EXCLUDES(swap_mutex_);
 
 private:
     /// One batch in flight between stages: the requests ride along with
@@ -228,8 +229,8 @@ private:
     /// trigger, compute + warm-compile + pre-build a better
     /// heterogeneous cut, and drain-and-swap onto it. Runs on the
     /// monitor thread only; exceptions abort the round, never the swap.
-    void repartition_step();
-    void perform_recut(PreparedRecut prepared);
+    void repartition_step() RAQ_EXCLUDES(swap_mutex_, repart_mutex_);
+    void perform_recut(PreparedRecut prepared) RAQ_EXCLUDES(swap_mutex_, repart_mutex_);
 
     const int group_id_;
     std::atomic<std::uint64_t>* completed_;
@@ -264,12 +265,16 @@ private:
 
     /// Serializes admission (serve) against the drain-and-swap: a push
     /// never lands in a closed-for-re-cut channel, and sample_accuracy
-    /// always reads one consistent chain of deployments.
-    mutable std::mutex swap_mutex_;
+    /// always reads one consistent chain of deployments. Deliberately
+    /// guards no fields — `channels_`/`stage_threads_` are synchronized
+    /// by close-and-join (stage_loop reads them lock-free), which is
+    /// outside the analysis's vocabulary; the mutex is a pure
+    /// serialization capability (see src/common/README.md).
+    mutable common::Mutex swap_mutex_ RAQ_ACQUIRED_BEFORE(repart_mutex_);
     std::atomic<std::uint64_t> partition_generation_{1};
 
-    mutable std::mutex repart_mutex_;
-    RepartitionStats repart_stats_;
+    mutable common::Mutex repart_mutex_;
+    RepartitionStats repart_stats_ RAQ_GUARDED_BY(repart_mutex_);
     /// Measurement-window baselines (cumulative counters at the last
     /// mature window). Monitor thread only.
     std::vector<std::uint64_t> window_batches_;

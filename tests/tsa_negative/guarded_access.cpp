@@ -1,0 +1,33 @@
+// Positive control for the thread-safety-analysis gate: the same
+// guarded-field access as unguarded_access.cpp, but correctly locked.
+// This translation unit MUST compile cleanly under clang with
+// -Werror=thread-safety; if it does not, the probe flags (or the
+// annotated Mutex/MutexLock wrappers) are broken, and the "violation
+// fails to compile" result from unguarded_access.cpp would prove
+// nothing.
+//
+// Not part of any build target; compiled only via try_compile.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void deposit(int amount) RAQ_EXCLUDES(mutex_) {
+        const raq::common::MutexLock lock(mutex_);
+        balance_ += amount;
+    }
+
+private:
+    raq::common::Mutex mutex_;
+    int balance_ RAQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit(1);
+    return 0;
+}

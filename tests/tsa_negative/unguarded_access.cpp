@@ -1,0 +1,31 @@
+// Negative-compile probe for the thread-safety-analysis gate: writes a
+// RAQ_GUARDED_BY field without holding its mutex. Under clang with
+// -Werror=thread-safety this translation unit MUST FAIL to compile; the
+// try_compile block in the top-level CMakeLists asserts exactly that and
+// aborts the configure if the violation slips through (gate rot — e.g.
+// the macros silently expanding to nothing under clang).
+//
+// Not part of any build target; compiled only via try_compile.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void deposit(int amount) {  // BUG (on purpose): no lock held
+        balance_ += amount;
+    }
+
+private:
+    raq::common::Mutex mutex_;
+    int balance_ RAQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit(1);
+    return 0;
+}
