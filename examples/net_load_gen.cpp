@@ -7,12 +7,17 @@
 // fully served inference, not a ping.
 //
 // Usage: net_load_gen <host> <port> [traffic] [rate_rps] [duration_s]
-//                     [connections] [network]
+//                     [connections] [network] [--interactive-frac F]
 //   traffic: closed-loop | constant | poisson | diurnal | bursty
 //   rate_rps: open-loop offered load across all connections (peak for
 //             diurnal); ignored by closed-loop
 //   duration_s: open-loop run length; closed-loop sends
 //               rate_rps x duration_s requests instead
+//   --interactive-frac F: fraction of requests sent on the interactive
+//               lane (default 1.0); the rest go out as batch-class
+//               Op::InferClass frames and the report breaks out per-class
+//               percentiles
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,20 +29,34 @@
 
 int main(int argc, char** argv) try {
     using namespace raq;
-    if (argc < 3) {
+    net::LoadGenConfig cfg;
+    // Strip --interactive-frac (either "--interactive-frac F" or
+    // "--interactive-frac=F") so the positional arguments keep their slots.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--interactive-frac=", 0) == 0) {
+            cfg.interactive_frac = std::atof(arg.c_str() + std::strlen("--interactive-frac="));
+        } else if (arg == "--interactive-frac" && i + 1 < argc) {
+            cfg.interactive_frac = std::atof(argv[++i]);
+        } else {
+            args.push_back(arg);
+        }
+    }
+    cfg.interactive_frac = std::clamp(cfg.interactive_frac, 0.0, 1.0);
+    if (args.size() < 2) {
         std::fprintf(stderr,
                      "usage: net_load_gen <host> <port> [traffic] [rate_rps] "
-                     "[duration_s] [connections] [network]\n");
+                     "[duration_s] [connections] [network] [--interactive-frac F]\n");
         return 1;
     }
-    net::LoadGenConfig cfg;
-    cfg.host = argv[1];
-    cfg.port = static_cast<std::uint16_t>(std::atoi(argv[2]));
-    const std::string traffic = argc > 3 ? argv[3] : "closed-loop";
-    cfg.rate_rps = argc > 4 ? std::atof(argv[4]) : 100.0;
-    const double duration_s = argc > 5 ? std::atof(argv[5]) : 10.0;
-    cfg.connections = argc > 6 ? std::atoi(argv[6]) : 8;
-    const std::string model = argc > 7 ? argv[7] : "alexnet-mini";
+    cfg.host = args[0];
+    cfg.port = static_cast<std::uint16_t>(std::atoi(args[1].c_str()));
+    const std::string traffic = args.size() > 2 ? args[2] : "closed-loop";
+    cfg.rate_rps = args.size() > 3 ? std::atof(args[3].c_str()) : 100.0;
+    const double duration_s = args.size() > 4 ? std::atof(args[4].c_str()) : 10.0;
+    cfg.connections = args.size() > 5 ? std::atoi(args[5].c_str()) : 8;
+    const std::string model = args.size() > 6 ? args[6] : "alexnet-mini";
 
     if (traffic == "closed-loop") {
         cfg.model = net::TrafficModel::ClosedLoop;
@@ -70,9 +89,10 @@ int main(int argc, char** argv) try {
         samples.push_back(net::encode_sample(cache.dataset().test_batch(i % 200, 1), 1));
 
     std::printf("net_load_gen: %s traffic -> %s:%u, %d connection(s), "
-                "%.0f rps offered, %.1f s\n",
+                "%.0f rps offered, %.1f s, %.0f%% interactive\n",
                 net::traffic_model_name(cfg.model), cfg.host.c_str(), cfg.port,
-                cfg.connections, cfg.rate_rps, duration_s);
+                cfg.connections, cfg.rate_rps, duration_s,
+                cfg.interactive_frac * 100.0);
 
     const net::LoadReport report = net::run_load(cfg, samples);
     std::printf("%s\n", report.to_string().c_str());

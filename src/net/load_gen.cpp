@@ -113,10 +113,46 @@ struct Tally {
     common::Mutex mutex;
     LoadReport report RAQ_GUARDED_BY(mutex);
     common::ReservoirSampler latency_ms RAQ_GUARDED_BY(mutex);
+    /// Per-class latency reservoirs: [0] interactive, [1] batch.
+    common::ReservoirSampler class_latency_ms[2] RAQ_GUARDED_BY(mutex);
 
     explicit Tally(const LoadGenConfig& cfg)
-        : latency_ms(cfg.latency_reservoir, common::stream_seed(cfg.seed, 0x7A11ULL)) {}
+        : latency_ms(cfg.latency_reservoir, common::stream_seed(cfg.seed, 0x7A11ULL)),
+          class_latency_ms{
+              common::ReservoirSampler(cfg.latency_reservoir,
+                                       common::stream_seed(cfg.seed, 0x7A11ULL, 0)),
+              common::ReservoirSampler(cfg.latency_reservoir,
+                                       common::stream_seed(cfg.seed, 0x7A11ULL, 1))} {}
 };
+
+/// Per-connection request-class draw. Its own seed stream keeps the
+/// class mix independent of the arrival process, so sweeping
+/// --interactive-frac replays the same arrival times.
+class ClassDraw {
+public:
+    ClassDraw(const LoadGenConfig& cfg, int conn_index)
+        : frac_(cfg.interactive_frac),
+          rng_(common::stream_seed(cfg.seed, static_cast<std::uint64_t>(conn_index),
+                                   0xC1A55ULL)) {}
+
+    /// 0 = interactive, 1 = batch.
+    std::uint8_t next() { return rng_.next_double() < frac_ ? 0 : 1; }
+
+private:
+    const double frac_;
+    common::Rng rng_;
+};
+
+/// Encode one request with the class-appropriate frame: interactive
+/// traffic uses the legacy Op::Infer frame (the server must default it
+/// to the interactive lane), batch traffic the versioned Op::InferClass.
+void encode_classed_request(std::vector<std::uint8_t>& out, std::uint64_t tag,
+                            std::uint8_t klass, const EncodedSample& sample) {
+    if (klass == 0)
+        encode_infer_request(out, tag, sample.header, sample.payload);
+    else
+        encode_infer_class_request(out, tag, klass, sample.header, sample.payload);
+}
 
 /// Inter-arrival schedule for the open-loop models. Deterministic per
 /// connection (seeded from config.seed + connection index).
@@ -187,12 +223,17 @@ private:
 };
 
 void tally_response(Tally& tally, const LoadGenConfig& cfg, const Response& resp,
-                    std::size_t sample_index, double rtt_ms) {
+                    std::size_t sample_index, std::uint8_t klass, double rtt_ms) {
     const common::MutexLock lock(tally.mutex);
     switch (resp.status) {
         case Status::Ok: {
             ++tally.report.ok;
+            if (klass == 0)
+                ++tally.report.ok_interactive;
+            else
+                ++tally.report.ok_batch;
             tally.latency_ms.record(rtt_ms);
+            tally.class_latency_ms[klass].record(rtt_ms);
             if (cfg.capture) {
                 CapturedResult cap;
                 cap.sample_index = sample_index;
@@ -226,14 +267,16 @@ void closed_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>
     }
     std::vector<std::uint8_t> out;
     std::vector<std::uint8_t> in;
+    ClassDraw classes(cfg, conn_index);
     for (std::uint64_t i = 0; i < quota; ++i) {
         const std::size_t sample_index =
             (static_cast<std::size_t>(conn_index) + i * cfg.connections) % samples.size();
         const EncodedSample& sample = samples[sample_index];
         const std::uint64_t tag =
             (static_cast<std::uint64_t>(conn_index) << 32) | i;
+        const std::uint8_t klass = classes.next();
         out.clear();
-        encode_infer_request(out, tag, sample.header, sample.payload);
+        encode_classed_request(out, tag, klass, sample);
         {
             const common::MutexLock lock(tally.mutex);
             ++tally.report.sent;
@@ -246,7 +289,7 @@ void closed_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>
             return;  // connection is broken; stop this worker
         }
         const double rtt_ms = static_cast<double>(obs::monotonic_us() - t0) * 1e-3;
-        tally_response(tally, cfg, resp, sample_index, rtt_ms);
+        tally_response(tally, cfg, resp, sample_index, klass, rtt_ms);
     }
 }
 
@@ -264,6 +307,7 @@ void open_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>& 
     struct Outstanding {
         std::int64_t sent_us = 0;
         std::size_t sample_index = 0;
+        std::uint8_t klass = 0;
     };
     std::mutex pending_mutex;
     std::unordered_map<std::uint64_t, Outstanding> pending;
@@ -308,11 +352,12 @@ void open_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>& 
             if (!known) continue;  // duplicate/unknown tag; ignore
             const double rtt_ms =
                 static_cast<double>(obs::monotonic_us() - meta.sent_us) * 1e-3;
-            tally_response(tally, cfg, resp, meta.sample_index, rtt_ms);
+            tally_response(tally, cfg, resp, meta.sample_index, meta.klass, rtt_ms);
         }
     });
 
     ArrivalProcess arrivals(cfg, conn_index);
+    ClassDraw classes(cfg, conn_index);
     const std::int64_t start_us = obs::monotonic_us();
     const std::int64_t end_us =
         cfg.duration_s > 0.0
@@ -331,11 +376,12 @@ void open_loop_conn(const LoadGenConfig& cfg, const std::vector<EncodedSample>& 
             (static_cast<std::size_t>(conn_index) + i * cfg.connections) % samples.size();
         const EncodedSample& sample = samples[sample_index];
         const std::uint64_t tag = (static_cast<std::uint64_t>(conn_index) << 32) | i;
+        const std::uint8_t klass = classes.next();
         out.clear();
-        encode_infer_request(out, tag, sample.header, sample.payload);
+        encode_classed_request(out, tag, klass, sample);
         {
             const std::lock_guard<std::mutex> lock(pending_mutex);
-            pending.emplace(tag, Outstanding{obs::monotonic_us(), sample_index});
+            pending.emplace(tag, Outstanding{obs::monotonic_us(), sample_index, klass});
         }
         {
             const common::MutexLock lock(tally.mutex);
@@ -460,6 +506,18 @@ LoadReport run_load(const LoadGenConfig& config, const std::vector<EncodedSample
             report.mean_ms = tally.latency_ms.mean();
             report.max_ms = tally.latency_ms.max();
         }
+        if (tally.class_latency_ms[0].count() > 0) {
+            const std::vector<double> qs =
+                tally.class_latency_ms[0].quantiles({0.50, 0.99});
+            report.interactive_p50_ms = qs[0];
+            report.interactive_p99_ms = qs[1];
+        }
+        if (tally.class_latency_ms[1].count() > 0) {
+            const std::vector<double> qs =
+                tally.class_latency_ms[1].quantiles({0.50, 0.99});
+            report.batch_p50_ms = qs[0];
+            report.batch_p99_ms = qs[1];
+        }
     }
     return report;
 }
@@ -489,7 +547,19 @@ std::string LoadReport::to_string() const {
                   static_cast<unsigned long long>(bad),
                   static_cast<unsigned long long>(errors), wall_s, qps(), p50_ms, p99_ms,
                   mean_ms, max_ms, lossless() ? "" : "  [LOSSY!]");
-    return buf;
+    std::string line(buf);
+    if (ok_batch > 0) {
+        // Only worth a second line when the run actually mixed classes.
+        std::snprintf(buf, sizeof(buf),
+                      "\n      interactive: %llu ok p50 %.2fms p99 %.2fms | "
+                      "batch: %llu ok p50 %.2fms p99 %.2fms",
+                      static_cast<unsigned long long>(ok_interactive),
+                      interactive_p50_ms, interactive_p99_ms,
+                      static_cast<unsigned long long>(ok_batch), batch_p50_ms,
+                      batch_p99_ms);
+        line += buf;
+    }
+    return line;
 }
 
 }  // namespace raq::net

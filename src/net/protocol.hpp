@@ -28,8 +28,13 @@ namespace raq::net {
 
 /// Request opcodes.
 enum class Op : std::uint8_t {
-    Infer = 1,    ///< one sample → logits + serving metadata
-    Metrics = 2,  ///< Prometheus-style scrape of the server's registry
+    Infer = 1,       ///< one sample → logits + serving metadata
+    Metrics = 2,     ///< Prometheus-style scrape of the server's registry
+    /// Versioned INFER frame: identical to Infer with one `u8 class`
+    /// byte between the tag and the header (0 = interactive, 1 = batch —
+    /// serve::RequestClass values). Plain-Infer frames from old clients
+    /// default to the interactive lane; the OK response shape is shared.
+    InferClass = 3,
 };
 
 /// Response status. Busy and ShuttingDown are the admission-control
@@ -136,6 +141,28 @@ inline void encode_infer_request(std::vector<std::uint8_t>& out, std::uint64_t t
     out.insert(out.end(), payload.begin(), payload.end());
 }
 
+/// Append one framed class-tagged INFER request (Op::InferClass).
+/// `request_class` is a serve::RequestClass value as a plain byte — the
+/// protocol stays serve-independent.
+inline void encode_infer_class_request(std::vector<std::uint8_t>& out,
+                                       std::uint64_t tag, std::uint8_t request_class,
+                                       const InferHeader& hdr,
+                                       const std::vector<std::uint8_t>& payload) {
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        1 + 8 + 1 + 4 + 3 * 2 + 2 * 4 + payload.size());
+    put_u32(out, len);
+    put_u8(out, static_cast<std::uint8_t>(Op::InferClass));
+    put_u64(out, tag);
+    put_u8(out, request_class);
+    put_u32(out, hdr.model_id);
+    put_u16(out, hdr.c);
+    put_u16(out, hdr.h);
+    put_u16(out, hdr.w);
+    put_f32(out, hdr.scale);
+    put_f32(out, hdr.zero_point);
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
 /// Append one framed METRICS request.
 inline void encode_metrics_request(std::vector<std::uint8_t>& out, std::uint64_t tag) {
     put_u32(out, 1 + 8);
@@ -207,7 +234,7 @@ inline bool decode_response(const std::uint8_t* data, std::size_t size, Op op,
     if (!r.read(status_byte) || !r.read(out.tag)) return false;
     if (status_byte > static_cast<std::uint8_t>(Status::Error)) return false;
     out.status = static_cast<Status>(status_byte);
-    if (out.status == Status::Ok && op == Op::Infer) {
+    if (out.status == Status::Ok && (op == Op::Infer || op == Op::InferClass)) {
         std::uint32_t n_logits = 0;
         if (!r.read(out.infer.predicted_class) || !r.read(out.infer.device_id) ||
             !r.read(out.infer.generation) || !r.read(out.infer.partition) ||

@@ -405,7 +405,18 @@ bool Server::EventLoop::handle_frame(Connection& conn, std::uint64_t conn_id,
         if (srv->m_responses_) srv->m_responses_->add(1);
         return true;
     }
-    if (op_byte != static_cast<std::uint8_t>(Op::Infer)) return false;
+    // Class-tagged INFER frames carry one class byte after the tag;
+    // legacy Infer frames default to the interactive lane.
+    serve::RequestClass klass = serve::RequestClass::Interactive;
+    if (op_byte == static_cast<std::uint8_t>(Op::InferClass)) {
+        std::uint8_t class_byte = 0;
+        if (!r.read(class_byte) ||
+            class_byte >= static_cast<std::uint8_t>(serve::kNumRequestClasses))
+            return false;
+        klass = static_cast<serve::RequestClass>(class_byte);
+    } else if (op_byte != static_cast<std::uint8_t>(Op::Infer)) {
+        return false;
+    }
 
     InferHeader hdr;
     if (!r.read(hdr.model_id) || !r.read(hdr.c) || !r.read(hdr.h) || !r.read(hdr.w) ||
@@ -439,15 +450,17 @@ bool Server::EventLoop::handle_frame(Connection& conn, std::uint64_t conn_id,
         dst[i] = dequant(bytes[i], hdr.scale, hdr.zero_point);
 
     const std::uint64_t seq = next_seq++;
-    serve::NpuServer::TrySubmit admitted =
-        srv->npu_.try_submit(std::move(image), [this, seq] {
+    serve::NpuServer::TrySubmit admitted = srv->npu_.try_submit(
+        std::move(image),
+        [this, seq] {
             const std::int64_t now = obs::monotonic_us();
             {
                 const common::MutexLock lock(inbox_mutex);
                 completions.push_back({seq, now});
             }
             wake();
-        });
+        },
+        klass);
     switch (admitted.status) {
         case serve::NpuServer::TrySubmit::Status::Accepted: {
             // The hook cannot race this bookkeeping: completions are

@@ -15,6 +15,9 @@ const char* event_kind_name(EventKind kind) noexcept {
         case EventKind::NetListen: return "net-listen";
         case EventKind::NetOverload: return "net-overload";
         case EventKind::NetDrain: return "net-drain";
+        case EventKind::WindowPredicted: return "window-predicted";
+        case EventKind::BuildScheduled: return "build-scheduled";
+        case EventKind::BuildDeferred: return "build-deferred";
     }
     return "?";
 }

@@ -10,6 +10,7 @@
 // times per second, far off the serving hot path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -29,7 +30,12 @@ enum class EventKind : std::uint8_t {
     NetListen,      ///< net front-end began accepting connections (value = port)
     NetOverload,    ///< admission queue saturated, BUSY shed began (rate-limited)
     NetDrain,       ///< net front-end shutdown cascade completed (value = drained)
+    WindowPredicted,///< planner saw traffic enter a predicted low window
+    BuildScheduled, ///< planner released a requant build / re-cut into a window
+    BuildDeferred,  ///< planner held back due reliability work for a quieter window
 };
+
+inline constexpr std::size_t kNumEventKinds = 11;
 
 [[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
 
@@ -66,7 +72,7 @@ private:
     std::deque<ReliabilityEvent> events_ RAQ_GUARDED_BY(mutex_);
     std::uint64_t total_ RAQ_GUARDED_BY(mutex_) = 0;
     /// One slot per EventKind.
-    std::uint64_t counts_[8] RAQ_GUARDED_BY(mutex_) = {};
+    std::uint64_t counts_[kNumEventKinds] RAQ_GUARDED_BY(mutex_) = {};
 };
 
 }  // namespace raq::obs

@@ -6,7 +6,7 @@
 // `push == false` with its item intact (the caller still owns it and
 // can resolve its promise).
 //
-// RequestQueue (the server's admission point), the ShardGroup's
+// The Scheduler's per-class admission lanes, the ShardGroup's
 // inter-stage handoff channels and the net front-end's admission path
 // (try_push: shed instead of block) are all instances; keeping one
 // implementation keeps their close/drain semantics in lockstep.

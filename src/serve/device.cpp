@@ -37,13 +37,15 @@ double ms_since(const std::chrono::steady_clock::time_point& t0) {
 }  // namespace
 
 NpuDevice::NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config,
-                     RequantService* requant_service, obs::Telemetry* telemetry, int stage)
+                     RequantService* requant_service, obs::Telemetry* telemetry,
+                     ReliabilityPlanner* planner, int stage)
     : id_(id),
       stage_(stage),
       ctx_(&ctx),
       config_(config),
       telemetry_(telemetry),
       requant_service_(requant_service),
+      planner_(planner),
       latency_(config.latency_reservoir,
                common::stream_seed(config.base_seed, static_cast<std::uint64_t>(id),
                                    0x1a7e9c5ULL)),
@@ -373,7 +375,19 @@ void NpuDevice::requant_boundary() {
     adopt_pending();
     const double dvth_now = dvth_mv();
     const double dvth_deployed = deployed_state()->dvth_mv;
-    if (dvth_now - dvth_deployed < config_.requant_threshold_mv) return;
+    if (planner_ != nullptr) {
+        // Predictive mode: the planner may schedule the build *early*
+        // (inside a low-traffic window, before the crossing) or defer a
+        // due build briefly for the next lull. Deferral is bounded by
+        // the planner's headroom and by finish_requants() at shutdown.
+        if (requant_in_flight_.load(std::memory_order_acquire)) return;
+        if (planner_->plan_requant(id_, dvth_now, dvth_deployed,
+                                   config_.requant_threshold_mv,
+                                   ctx_->aging) != PlannerDecision::Schedule)
+            return;
+    } else if (dvth_now - dvth_deployed < config_.requant_threshold_mv) {
+        return;
+    }
     if (requant_service_ == nullptr) {
         // Inline mode: the device stalls for the full build (exactly one
         // deployment per crossing: the device is held exclusively, and
@@ -405,6 +419,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
             inject::BitFlipInjector injector(inj_cfg);
             const tensor::Tensor logits = runner_->run(request.image, &injector);
             InferenceResult result = make_result(request.id, logits, 0);
+            result.klass = request.klass;
             result.device_id = id_;
             result.generation = serving->generation;
             result.latency_cycles = batch_cycles;
@@ -442,6 +457,7 @@ void NpuDevice::serve(std::vector<InferenceRequest>& batch) {
         }
         for (std::size_t i = 0; i < batch.size(); ++i) {
             InferenceResult result = make_result(batch[i].id, logits, static_cast<int>(i));
+            result.klass = batch[i].klass;
             result.device_id = id_;
             result.generation = trace.generation;
             result.latency_cycles = trace.cycles;

@@ -46,6 +46,7 @@
 #include "npu/systolic.hpp"
 #include "obs/telemetry.hpp"
 #include "quant/quant_executor.hpp"
+#include "serve/reliability_planner.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/requant_service.hpp"
 #include "serve/stats.hpp"
@@ -128,10 +129,14 @@ public:
     /// plus the pipeline stage when `stage >= 0`) and caches the
     /// instrument pointers — the serving path never touches the registry
     /// again; null telemetry reduces every instrumented site to one
-    /// pointer test.
+    /// pointer test. With a `planner`, threshold decisions at the batch
+    /// boundary are made by the ReliabilityPlanner (early builds inside
+    /// predicted low-traffic windows, bounded deferral otherwise)
+    /// instead of the bare threshold test.
     NpuDevice(int id, const ServeContext& ctx, const DeviceConfig& config,
               RequantService* requant_service = nullptr,
-              obs::Telemetry* telemetry = nullptr, int stage = -1);
+              obs::Telemetry* telemetry = nullptr,
+              ReliabilityPlanner* planner = nullptr, int stage = -1);
 
     /// Serve one batch: execute every request on the deployed state,
     /// fulfill its promise, account busy time, then age the device,
@@ -273,6 +278,9 @@ private:
     /// engaged otherwise.
     std::optional<core::RequantJob> job_;
     RequantService* requant_service_;
+    /// Predictive scheduling of requant builds (null = reactive
+    /// threshold behavior). Owned by NpuServer; outlives the device.
+    ReliabilityPlanner* planner_;
 
     /// Clock period of the deployed state — re-derived at every install
     /// from the compression's aged delay. Written only by install(),

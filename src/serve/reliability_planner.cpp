@@ -1,0 +1,182 @@
+#include "serve/reliability_planner.hpp"
+
+#include <cstdio>
+
+#include "aging/aging_model.hpp"
+#include "obs/clock.hpp"
+#include "obs/telemetry.hpp"
+
+namespace raq::serve {
+
+ReliabilityPlanner::ReliabilityPlanner(const ReliabilityPlannerConfig& config,
+                                       obs::Telemetry* telemetry)
+    : config_(config), telemetry_(telemetry), predictor_(config.predictor) {}
+
+bool ReliabilityPlanner::note_window(std::int64_t now_us,
+                                     std::vector<PendingEvent>& out) {
+    const bool low = predictor_.low_traffic(now_us);
+    const bool loaded = predictor_.rate_peak(now_us) > 1e-9;
+    if (low && !was_low_ && loaded &&
+        (last_window_event_us_ < 0 ||
+         now_us - last_window_event_us_ >= config_.event_min_gap_us)) {
+        ++stats_.windows_predicted;
+        last_window_event_us_ = now_us;
+        PendingEvent ev;
+        ev.kind = static_cast<std::uint8_t>(obs::EventKind::WindowPredicted);
+        ev.value = predictor_.rate_now(now_us);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "rate %.1f/s <= %.0f%% of peak %.1f/s",
+                      predictor_.rate_now(now_us),
+                      config_.predictor.low_traffic_fraction * 100.0,
+                      predictor_.rate_peak(now_us));
+        ev.detail = buf;
+        out.push_back(std::move(ev));
+    }
+    was_low_ = low;
+    return low;
+}
+
+void ReliabilityPlanner::emit(std::int64_t now_us,
+                              std::vector<PendingEvent>&& events) {
+    if (telemetry_ == nullptr || events.empty()) return;
+    for (PendingEvent& ev : events) {
+        obs::ReliabilityEvent out;
+        out.t_us = now_us;
+        out.kind = static_cast<obs::EventKind>(ev.kind);
+        out.device_id = ev.device_id;
+        out.group_id = ev.group_id;
+        out.value = ev.value;
+        out.detail = std::move(ev.detail);
+        telemetry_->timeline().record(std::move(out));
+    }
+}
+
+void ReliabilityPlanner::observe_arrival(std::int64_t now_us) {
+    std::vector<PendingEvent> events;
+    {
+        const common::MutexLock lock(mutex_);
+        predictor_.observe(now_us);
+        note_window(now_us, events);
+    }
+    emit(now_us, std::move(events));
+}
+
+PlannerDecision ReliabilityPlanner::plan_requant(int device_id,
+                                                 double dvth_now_mv,
+                                                 double dvth_deployed_mv,
+                                                 double threshold_mv,
+                                                 const aging::AgingModel* model) {
+    const std::int64_t now_us = obs::monotonic_us();
+    const double gap = dvth_now_mv - dvth_deployed_mv;
+    const double progress = threshold_mv > 0.0 ? gap / threshold_mv
+                                               : (gap > 0.0 ? 2.0 : 0.0);
+    std::vector<PendingEvent> events;
+    PlannerDecision decision = PlannerDecision::Idle;
+    {
+        const common::MutexLock lock(mutex_);
+        const bool low = note_window(now_us, events);
+        if (progress >= config_.defer_headroom) {
+            decision = PlannerDecision::Schedule;
+        } else if (progress >= 1.0) {
+            decision = low ? PlannerDecision::Schedule : PlannerDecision::Defer;
+        } else if (progress >= config_.lead_fraction && low) {
+            decision = PlannerDecision::Schedule;
+        }
+        if (decision == PlannerDecision::Schedule) {
+            ++stats_.builds_scheduled;
+            PendingEvent ev;
+            ev.kind = static_cast<std::uint8_t>(obs::EventKind::BuildScheduled);
+            ev.device_id = device_id;
+            ev.value = progress;
+            char buf[128];
+            if (model != nullptr) {
+                const double lead_years =
+                    model->years_for_dvth(dvth_deployed_mv + threshold_mv) -
+                    model->years_for_dvth(dvth_now_mv);
+                std::snprintf(buf, sizeof(buf),
+                              "requant %.0f%% of threshold, %+.2fy to crossing%s",
+                              progress * 100.0, lead_years,
+                              low ? " (low window)" : " (urgent)");
+            } else {
+                std::snprintf(buf, sizeof(buf), "requant %.0f%% of threshold%s",
+                              progress * 100.0, low ? " (low window)" : " (urgent)");
+            }
+            ev.detail = buf;
+            events.push_back(std::move(ev));
+        } else if (decision == PlannerDecision::Defer) {
+            ++stats_.builds_deferred;
+            if (last_defer_event_us_ < 0 ||
+                now_us - last_defer_event_us_ >= config_.event_min_gap_us) {
+                last_defer_event_us_ = now_us;
+                PendingEvent ev;
+                ev.kind = static_cast<std::uint8_t>(obs::EventKind::BuildDeferred);
+                ev.device_id = device_id;
+                ev.value = progress;
+                char buf[128];
+                std::snprintf(buf, sizeof(buf),
+                              "requant due (%.0f%% of threshold) parked for a "
+                              "low-traffic window",
+                              progress * 100.0);
+                ev.detail = buf;
+                events.push_back(std::move(ev));
+            }
+        }
+    }
+    emit(now_us, std::move(events));
+    return decision;
+}
+
+bool ReliabilityPlanner::allow_recut(int group_id, double imbalance,
+                                     double threshold_ratio) {
+    const std::int64_t now_us = obs::monotonic_us();
+    std::vector<PendingEvent> events;
+    bool allowed = false;
+    {
+        const common::MutexLock lock(mutex_);
+        const bool low = note_window(now_us, events);
+        const bool urgent =
+            imbalance >= config_.recut_urgent_factor * threshold_ratio;
+        allowed = low || urgent;
+        char buf[128];
+        if (allowed) {
+            ++stats_.recuts_allowed;
+            PendingEvent ev;
+            ev.kind = static_cast<std::uint8_t>(obs::EventKind::BuildScheduled);
+            ev.group_id = group_id;
+            ev.value = imbalance;
+            std::snprintf(buf, sizeof(buf), "recut imbalance %.2fx%s", imbalance,
+                          low ? " (low window)" : " (urgent)");
+            ev.detail = buf;
+            events.push_back(std::move(ev));
+        } else {
+            ++stats_.recuts_deferred;
+            if (last_defer_event_us_ < 0 ||
+                now_us - last_defer_event_us_ >= config_.event_min_gap_us) {
+                last_defer_event_us_ = now_us;
+                PendingEvent ev;
+                ev.kind = static_cast<std::uint8_t>(obs::EventKind::BuildDeferred);
+                ev.group_id = group_id;
+                ev.value = imbalance;
+                std::snprintf(buf, sizeof(buf),
+                              "recut due (%.2fx imbalance) parked for a "
+                              "low-traffic window",
+                              imbalance);
+                ev.detail = buf;
+                events.push_back(std::move(ev));
+            }
+        }
+    }
+    emit(now_us, std::move(events));
+    return allowed;
+}
+
+PlannerStats ReliabilityPlanner::stats() {
+    const std::int64_t now_us = obs::monotonic_us();
+    const common::MutexLock lock(mutex_);
+    PlannerStats out = stats_;
+    out.rate_now = predictor_.rate_now(now_us);
+    out.rate_peak = predictor_.rate_peak(now_us);
+    return out;
+}
+
+}  // namespace raq::serve

@@ -1,0 +1,149 @@
+// serve::ReliabilityPlanner — predictive placement of the fleet's
+// *expensive* reliability events.
+//
+// PRs 3/5 fire background requant builds and drain-and-swap re-cuts
+// reactively: the ΔVth crossing (or the stage-imbalance bottleneck) is
+// observed, and the work runs immediately — whatever traffic it collides
+// with. This planner closes the hook those PRs left in
+// RequantService / RepartitionMonitor: it folds a traffic predictor
+// (EWMA/diurnal arrival-rate estimate over the same windows the PR 8
+// DutyCycleMonitor uses) together with the aging model's ΔVth
+// trajectory, and decides per event whether to run it now, run it
+// *early* (before the projected crossing, because the fleet happens to
+// be in a predicted low-traffic window), or defer it briefly until the
+// next lull.
+//
+// Cost-of-swap vs projected-gain, concretely: the projected gain of a
+// requant is monotone in `progress = (ΔVth_now − ΔVth_deployed) /
+// threshold` (how stale the deployed generation is), and the cost of
+// running it is monotone in the current traffic level (a build steals a
+// requant worker; a re-cut drains the pipeline). The policy is the
+// threshold form of that tradeoff:
+//   progress >= defer_headroom            → Schedule (gain dominates any cost)
+//   progress >= 1 (crossed)               → Schedule if low-traffic, else Defer
+//   progress >= lead_fraction & low       → Schedule early (free window)
+//   otherwise                             → Idle (not worth a swap yet)
+// Deferral is bounded: once progress reaches defer_headroom the build
+// runs regardless of traffic, and NpuServer's shutdown backstop
+// (finish_requants) bypasses the planner entirely — deferred work is
+// delayed, never dropped.
+//
+// Every decision is visible on the reliability timeline:
+// window-predicted (traffic entered a predicted low window),
+// build-scheduled, build-deferred.
+//
+// Lock discipline: one leaf mutex guards the predictor and counters;
+// timeline events are recorded after unlock (common/README.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "sim/traffic.hpp"
+
+namespace raq::aging {
+class AgingModel;
+}
+namespace raq::obs {
+class Telemetry;
+}
+
+namespace raq::serve {
+
+struct ReliabilityPlannerConfig {
+    /// Master switch: false = NpuServer builds no planner and the
+    /// requant/re-cut paths behave exactly as before (reactive).
+    bool enabled = false;
+    sim::TrafficPredictorConfig predictor;
+    /// Schedule a requant build *early* once the deployed generation is
+    /// this fraction of the way to its ΔVth threshold and traffic is low.
+    double lead_fraction = 0.75;
+    /// Past this multiple of the threshold, schedule regardless of
+    /// traffic — the deferral bound.
+    double defer_headroom = 1.6;
+    /// A re-cut whose imbalance reaches this multiple of the trigger
+    /// ratio runs even at peak traffic (the bottleneck already costs
+    /// more than the swap).
+    double recut_urgent_factor = 1.5;
+    /// Rate limit for repeated build-deferred / window-predicted events
+    /// per source, so a busy fleet does not spam the timeline.
+    std::int64_t event_min_gap_us = 250'000;
+};
+
+/// Outcome of one planning consultation.
+enum class PlannerDecision {
+    Idle,      ///< nothing due — keep serving
+    Schedule,  ///< run the build / re-cut now
+    Defer,     ///< due, but parked until a predicted low-traffic window
+};
+
+struct PlannerStats {
+    std::uint64_t builds_scheduled = 0;
+    std::uint64_t builds_deferred = 0;
+    std::uint64_t recuts_allowed = 0;
+    std::uint64_t recuts_deferred = 0;
+    std::uint64_t windows_predicted = 0;
+    double rate_now = 0.0;
+    double rate_peak = 0.0;
+};
+
+class ReliabilityPlanner {
+public:
+    explicit ReliabilityPlanner(const ReliabilityPlannerConfig& config,
+                                obs::Telemetry* telemetry = nullptr);
+
+    /// One request arrival (every NpuServer submit path) — feeds the
+    /// traffic predictor and edge-detects low-window entry.
+    void observe_arrival(std::int64_t now_us) RAQ_EXCLUDES(mutex_);
+
+    /// Consulted by NpuDevice::requant_boundary once the device measured
+    /// its ΔVth gap. `model` (optional) supplies the trajectory: the
+    /// projected years-to-crossing is stamped into the timeline event.
+    [[nodiscard]] PlannerDecision plan_requant(int device_id, double dvth_now_mv,
+                                               double dvth_deployed_mv,
+                                               double threshold_mv,
+                                               const aging::AgingModel* model)
+        RAQ_EXCLUDES(mutex_);
+
+    /// Consulted by ShardGroup::repartition_step after a trigger fires:
+    /// false parks the re-cut for a quieter window (the monitor re-polls,
+    /// so a deferred re-cut retries automatically).
+    [[nodiscard]] bool allow_recut(int group_id, double imbalance,
+                                   double threshold_ratio) RAQ_EXCLUDES(mutex_);
+
+    [[nodiscard]] PlannerStats stats() RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] const ReliabilityPlannerConfig& config() const noexcept {
+        return config_;
+    }
+
+private:
+    struct PendingEvent {
+        std::uint8_t kind = 0;  ///< obs::EventKind value (header-decoupled)
+        int device_id = -1;
+        int group_id = -1;
+        double value = 0.0;
+        std::string detail;
+    };
+
+    /// Rolls the predictor to `now_us`, edge-detects a high→low traffic
+    /// transition, and queues a window-predicted event. Returns whether
+    /// `now_us` is inside a low-traffic window.
+    bool note_window(std::int64_t now_us, std::vector<PendingEvent>& out)
+        RAQ_REQUIRES(mutex_);
+    void emit(std::int64_t now_us, std::vector<PendingEvent>&& events);
+
+    const ReliabilityPlannerConfig config_;
+    obs::Telemetry* const telemetry_;
+
+    mutable common::Mutex mutex_;
+    sim::TrafficPredictor predictor_ RAQ_GUARDED_BY(mutex_);
+    bool was_low_ RAQ_GUARDED_BY(mutex_) = true;  ///< idle fleet starts low
+    std::int64_t last_window_event_us_ RAQ_GUARDED_BY(mutex_) = -1;
+    std::int64_t last_defer_event_us_ RAQ_GUARDED_BY(mutex_) = -1;
+    PlannerStats stats_ RAQ_GUARDED_BY(mutex_);
+};
+
+}  // namespace raq::serve

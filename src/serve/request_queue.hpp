@@ -1,9 +1,8 @@
-// The serving request types and the admission queue: a
-// BoundedChannel<InferenceRequest> with batched pops. Producers (submit
-// calls) block when the queue is full; consumers (workers) pop up to
-// `max_batch` requests per lock acquisition; close() stops admission but
-// drains everything accepted — pop_batch returns an empty vector only
-// once closed *and* empty, the worker-exit signal.
+// The serving request types. Admission itself is handled by
+// serve::Scheduler (scheduler.hpp): per-class bounded lanes with the
+// same close-and-drain contract as BoundedChannel — producers block when
+// their lane is full; consumers pop up to `max_batch` requests per lock
+// acquisition; close() stops admission but drains everything accepted.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +17,26 @@
 
 namespace raq::serve {
 
+/// Multi-tenant request class. Interactive requests have a tight latency
+/// target and preempt Batch requests at batch-formation time; Batch
+/// requests are throughput-oriented and protected from starvation by an
+/// aging credit (see serve::Scheduler). Wire encoding is the enum value
+/// as one byte (net::Op::InferClass); legacy frames default Interactive.
+enum class RequestClass : std::uint8_t {
+    Interactive = 0,
+    Batch = 1,
+};
+
+inline constexpr std::size_t kNumRequestClasses = 2;
+
+[[nodiscard]] inline const char* request_class_name(RequestClass klass) noexcept {
+    switch (klass) {
+        case RequestClass::Interactive: return "interactive";
+        case RequestClass::Batch: return "batch";
+    }
+    return "?";
+}
+
 /// The outcome of one served request.
 struct InferenceResult {
     std::uint64_t request_id = 0;
@@ -31,14 +50,19 @@ struct InferenceResult {
     std::uint64_t partition = 0;
     std::uint64_t latency_cycles = 0;  ///< batch residency in model cycles
     double latency_us = 0.0;           ///< latency_cycles × device clock
+    RequestClass klass = RequestClass::Interactive;  ///< class that served it
 };
 
 struct InferenceRequest {
     std::uint64_t id = 0;
     tensor::Tensor image;  ///< one sample, shape (1, c, h, w)
     std::promise<InferenceResult> promise;
-    /// Admission timestamp (obs::monotonic_us), stamped by submit() when
-    /// telemetry is enabled (0 otherwise) — feeds the queue-wait metric.
+    /// Scheduling class: picks the admission lane and the batch-formation
+    /// priority (serve::Scheduler).
+    RequestClass klass = RequestClass::Interactive;
+    /// Admission timestamp (obs::monotonic_us), stamped unconditionally by
+    /// every submit path — deadline/SLO accounting and the scheduler's
+    /// anti-starvation aging credit need it even with telemetry off.
     std::int64_t submit_us = 0;
     /// Per-request trace, present only on sampled requests. Travels with
     /// the request through every channel handoff; exactly one thread
@@ -64,8 +88,6 @@ struct InferenceRequest {
         if (on_done) on_done();
     }
 };
-
-using RequestQueue = BoundedChannel<InferenceRequest>;
 
 /// Fail every still-unfulfilled promise in `batch` with `error`,
 /// leaving promises satisfied before the throw alone. The one error

@@ -1,0 +1,138 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "obs/clock.hpp"
+
+namespace raq::serve {
+
+Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {
+    capacity_[lane_of(RequestClass::Interactive)] =
+        std::max<std::size_t>(1, config.interactive_capacity);
+    capacity_[lane_of(RequestClass::Batch)] =
+        std::max<std::size_t>(1, config.batch_capacity);
+}
+
+bool Scheduler::push(InferenceRequest&& item) {
+    const std::size_t lane = lane_of(item.klass);
+    common::MutexLock lock(mutex_);
+    while (!closed_ && lanes_[lane].size() >= capacity_[lane]) {
+        not_full_[lane].wait(mutex_);
+    }
+    if (closed_) return false;
+    lanes_[lane].push_back(std::move(item));
+    ++admitted_[lane];
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+ChannelPush Scheduler::try_push(InferenceRequest&& item) {
+    const std::size_t lane = lane_of(item.klass);
+    {
+        const common::MutexLock lock(mutex_);
+        if (closed_) return ChannelPush::Closed;
+        if (lanes_[lane].size() >= capacity_[lane]) return ChannelPush::Full;
+        lanes_[lane].push_back(std::move(item));
+        ++admitted_[lane];
+    }
+    not_empty_.notify_one();
+    return ChannelPush::Ok;
+}
+
+std::size_t Scheduler::take_from(std::size_t lane,
+                                 std::vector<InferenceRequest>& batch,
+                                 std::size_t want) {
+    const std::size_t n = std::min(want, lanes_[lane].size());
+    for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(lanes_[lane].front()));
+        lanes_[lane].pop_front();
+    }
+    return n;
+}
+
+std::vector<InferenceRequest> Scheduler::pop_batch(std::size_t max_batch) {
+    constexpr std::size_t kInteractive = 0;
+    constexpr std::size_t kBatch = 1;
+    std::vector<InferenceRequest> batch;
+    common::MutexLock lock(mutex_);
+    while (!closed_ && lanes_[kInteractive].empty() && lanes_[kBatch].empty()) {
+        not_empty_.wait(mutex_);
+    }
+    const std::size_t avail = lanes_[kInteractive].size() + lanes_[kBatch].size();
+    const std::size_t n = std::min(max_batch, avail);
+    if (n == 0) return batch;  // closed and both lanes drained
+    batch.reserve(n);
+
+    // Aging credit: the batch lane wins this formation outright if its
+    // head has waited past starvation_us, or it has been skipped
+    // max_interactive_streak consecutive formations while non-empty.
+    bool batch_first = false;
+    if (!lanes_[kBatch].empty()) {
+        const std::int64_t waited =
+            obs::monotonic_us() - lanes_[kBatch].front().submit_us;
+        batch_first = waited >= config_.starvation_us ||
+                      interactive_streak_ >= config_.max_interactive_streak;
+    }
+
+    std::size_t took_batch = 0;
+    if (batch_first) {
+        took_batch = take_from(kBatch, batch, n);
+        take_from(kInteractive, batch, n - batch.size());
+        ++starvation_grants_;
+    } else {
+        take_from(kInteractive, batch, n);
+        took_batch = take_from(kBatch, batch, n - batch.size());
+    }
+    const bool took_interactive = batch.size() > took_batch;
+    if (took_batch == 0 && !lanes_[kBatch].empty()) {
+        ++interactive_streak_;
+    } else {
+        interactive_streak_ = 0;
+    }
+    ++formations_;
+    lock.unlock();
+    if (took_interactive) not_full_[kInteractive].notify_all();
+    if (took_batch > 0) not_full_[kBatch].notify_all();
+    return batch;
+}
+
+void Scheduler::close() {
+    {
+        const common::MutexLock lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+    for (auto& cv : not_full_) cv.notify_all();
+}
+
+bool Scheduler::closed() const {
+    const common::MutexLock lock(mutex_);
+    return closed_;
+}
+
+std::size_t Scheduler::size() const {
+    const common::MutexLock lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.size();
+    return total;
+}
+
+std::size_t Scheduler::size(RequestClass klass) const {
+    const common::MutexLock lock(mutex_);
+    return lanes_[lane_of(klass)].size();
+}
+
+SchedulerStats Scheduler::stats() const {
+    const common::MutexLock lock(mutex_);
+    SchedulerStats out;
+    for (std::size_t lane = 0; lane < kNumRequestClasses; ++lane) {
+        out.depth[lane] = lanes_[lane].size();
+        out.admitted[lane] = admitted_[lane];
+    }
+    out.starvation_grants = starvation_grants_;
+    out.formations = formations_;
+    return out;
+}
+
+}  // namespace raq::serve

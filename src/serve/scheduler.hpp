@@ -1,0 +1,122 @@
+// serve::Scheduler — the class-aware admission scheduler that replaced
+// the single-FIFO `RequestQueue = BoundedChannel<InferenceRequest>`.
+//
+// Two bounded lanes (Interactive / Batch) with independent capacities:
+// a full batch lane backpressures batch producers without ever blocking
+// interactive admission, and vice versa. The close-and-drain contract is
+// BoundedChannel's, verbatim: close() stops admission but everything
+// accepted is drained; a producer blocked on a full lane when close()
+// fires gets `push == false` with its item intact; pop_batch() returns
+// an empty vector only once closed *and* both lanes are empty — the
+// worker-exit signal.
+//
+// Batch formation is priority-aware: interactive requests preempt batch
+// ones (the batch fills from the interactive lane first, batch requests
+// only ride along in leftover slots). Starvation is bounded by an aging
+// credit: once the batch-lane head has waited `starvation_us`, or the
+// batch lane has been skipped `max_interactive_streak` consecutive
+// formations while non-empty, the next batch fills from the batch lane
+// first. Aging needs `InferenceRequest::submit_us`, which is why submit
+// paths stamp it unconditionally.
+//
+// Lock discipline (common/README.md): one leaf mutex guards both lanes;
+// notifies happen after an explicit unlock so no waiter wakes into a
+// held mutex. Compiler-checked via the TSA annotations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "serve/bounded_channel.hpp"
+#include "serve/request_queue.hpp"
+
+namespace raq::serve {
+
+struct SchedulerConfig {
+    /// Per-lane capacities. 0 means "inherit the owner's default"
+    /// (NpuServer resolves 0 to ServeConfig::queue_capacity before
+    /// constructing the scheduler); the ctor clamps to >= 1.
+    std::size_t interactive_capacity = 0;
+    std::size_t batch_capacity = 0;
+    /// Per-class latency targets (advisory: exported with stats and used
+    /// by benches/SLO gates; the scheduler itself enforces ordering, not
+    /// deadlines).
+    std::int64_t interactive_target_us = 10'000;
+    std::int64_t batch_target_us = 500'000;
+    /// Anti-starvation aging credit: a batch-lane head older than this
+    /// wins the next batch formation outright.
+    std::int64_t starvation_us = 20'000;
+    /// ... and independently of wall time, the batch lane is never
+    /// skipped more than this many consecutive formations while
+    /// non-empty.
+    int max_interactive_streak = 8;
+};
+
+/// Point-in-time scheduler counters (taken under the lane mutex).
+struct SchedulerStats {
+    std::size_t depth[kNumRequestClasses] = {};     ///< queued per class
+    std::uint64_t admitted[kNumRequestClasses] = {};///< accepted pushes per class
+    std::uint64_t starvation_grants = 0;  ///< formations won by the batch lane
+    std::uint64_t formations = 0;         ///< non-empty pop_batch calls
+};
+
+class Scheduler {
+public:
+    explicit Scheduler(const SchedulerConfig& config);
+
+    /// Blocks while the request's lane is full. Returns false — leaving
+    /// `item` untouched in the caller's hands — once closed.
+    bool push(InferenceRequest&& item) RAQ_EXCLUDES(mutex_);
+
+    /// Non-blocking push for the net event loops: Full/Closed leave the
+    /// item owned by the caller (Full => explicit BUSY shed upstream).
+    ChannelPush try_push(InferenceRequest&& item) RAQ_EXCLUDES(mutex_);
+
+    /// Forms one batch of 1..max_batch requests under a single lock
+    /// acquisition, interactive-first unless the batch lane's aging
+    /// credit is due. Blocks until work arrives; an empty result means
+    /// closed *and* both lanes drained.
+    std::vector<InferenceRequest> pop_batch(std::size_t max_batch)
+        RAQ_EXCLUDES(mutex_);
+
+    /// Stop admission; wakes all blocked producers and consumers.
+    void close() RAQ_EXCLUDES(mutex_);
+
+    [[nodiscard]] bool closed() const RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] std::size_t size() const RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] std::size_t size(RequestClass klass) const RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] std::size_t capacity(RequestClass klass) const noexcept {
+        return capacity_[static_cast<std::size_t>(klass)];
+    }
+    [[nodiscard]] SchedulerStats stats() const RAQ_EXCLUDES(mutex_);
+    [[nodiscard]] const SchedulerConfig& config() const noexcept { return config_; }
+
+private:
+    [[nodiscard]] static std::size_t lane_of(RequestClass klass) noexcept {
+        return static_cast<std::size_t>(klass);
+    }
+    /// Moves up to `want` requests from `lane` into `batch`; returns how
+    /// many were taken.
+    std::size_t take_from(std::size_t lane, std::vector<InferenceRequest>& batch,
+                          std::size_t want) RAQ_REQUIRES(mutex_);
+
+    const SchedulerConfig config_;
+    std::size_t capacity_[kNumRequestClasses];
+
+    mutable common::Mutex mutex_;
+    common::CondVar not_empty_;
+    common::CondVar not_full_[kNumRequestClasses];
+    std::deque<InferenceRequest> lanes_[kNumRequestClasses] RAQ_GUARDED_BY(mutex_);
+    bool closed_ RAQ_GUARDED_BY(mutex_) = false;
+    /// Consecutive formations that skipped a non-empty batch lane.
+    int interactive_streak_ RAQ_GUARDED_BY(mutex_) = 0;
+    std::uint64_t admitted_[kNumRequestClasses] RAQ_GUARDED_BY(mutex_) = {};
+    std::uint64_t starvation_grants_ RAQ_GUARDED_BY(mutex_) = 0;
+    std::uint64_t formations_ RAQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace raq::serve

@@ -9,8 +9,19 @@
 
 namespace raq::serve {
 
+namespace {
+/// SchedulerConfig lane capacities of 0 inherit the server-wide
+/// queue_capacity default.
+SchedulerConfig resolved_scheduler(const ServeConfig& config) {
+    SchedulerConfig out = config.scheduler;
+    if (out.interactive_capacity == 0) out.interactive_capacity = config.queue_capacity;
+    if (out.batch_capacity == 0) out.batch_capacity = config.queue_capacity;
+    return out;
+}
+}  // namespace
+
 NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
-    : config_(config), ctx_(ctx), queue_(config.queue_capacity) {
+    : config_(config), ctx_(ctx), queue_(resolved_scheduler(config)) {
     if (config.num_devices < 1 || config.num_workers < 1 || config.max_batch < 1)
         throw std::invalid_argument("NpuServer: devices/workers/max_batch must be >= 1");
     if (config.num_shards < 1)
@@ -38,12 +49,16 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
     if (config.telemetry.metrics) {
         telemetry_ = std::make_unique<obs::Telemetry>(config.telemetry);
         obs::MetricsRegistry& reg = telemetry_->metrics();
-        submitted_counter_ = &reg.counter("raq_requests_submitted_total");
-        completed_counter_ = &reg.counter("raq_requests_completed_total");
-        queue_depth_ = &reg.gauge("raq_queue_depth");
+        for (std::size_t c = 0; c < kNumRequestClasses; ++c) {
+            const obs::Labels labels{
+                {"class", request_class_name(static_cast<RequestClass>(c))}};
+            submitted_counter_[c] = &reg.counter("raq_requests_submitted_total", labels);
+            completed_counter_[c] = &reg.counter("raq_requests_completed_total", labels);
+            queue_depth_[c] = &reg.gauge("raq_queue_depth", labels);
+            queue_wait_us_[c] =
+                &reg.histogram("raq_queue_wait_us", labels, obs::default_us_buckets());
+        }
         queue_depth_peak_ = &reg.gauge("raq_queue_depth_peak");
-        queue_wait_us_ =
-            &reg.histogram("raq_queue_wait_us", {}, obs::default_us_buckets());
         // Execution-engine visibility: which SIMD dispatch tier this
         // process runs (value = the KernelTier enum, name in the label)
         // and how many runs actually fanned a dependency level out over
@@ -61,6 +76,9 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
     // fast-path fallback), and that error propagates out of here.
     if (config.background_requant)
         requant_service_ = std::make_unique<RequantService>(config.requant_workers);
+    if (config.planner.enabled)
+        planner_ =
+            std::make_unique<ReliabilityPlanner>(config.planner, telemetry_.get());
     if (config.num_shards == 1) {
         devices_.reserve(static_cast<std::size_t>(config.num_devices));
         for (int i = 0; i < config.num_devices; ++i) {
@@ -72,7 +90,8 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
             dev.plan_batch_capacity = config.max_batch;
             devices_.push_back(std::make_unique<NpuDevice>(i, ctx_, dev,
                                                            requant_service_.get(),
-                                                           telemetry_.get()));
+                                                           telemetry_.get(),
+                                                           planner_.get()));
             idle_units_.push_back(devices_.back().get());
         }
     } else {
@@ -104,6 +123,7 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
                 static_cast<double>(g * config.num_shards) * config.initial_age_step_years;
             group.device.plan_batch_capacity = config.max_batch;
             group.telemetry = telemetry_.get();
+            group.planner = planner_.get();
             groups_.push_back(std::make_unique<ShardGroup>(
                 g, ctx_, group, requant_service_.get(), &completed_));
             idle_units_.push_back(groups_.back().get());
@@ -116,39 +136,47 @@ NpuServer::NpuServer(const ServeContext& ctx, const ServeConfig& config)
 
 NpuServer::~NpuServer() { shutdown(); }
 
-std::future<InferenceResult> NpuServer::submit(tensor::Tensor image) {
+std::future<InferenceResult> NpuServer::submit(tensor::Tensor image,
+                                               RequestClass klass) {
     InferenceRequest request;
     request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     request.image = std::move(image);
+    request.klass = klass;
+    // Stamped unconditionally: the scheduler's anti-starvation aging
+    // credit and deadline/SLO accounting read it even with telemetry off.
+    request.submit_us = obs::monotonic_us();
     if (telemetry_) {
-        request.submit_us = obs::monotonic_us();
         // Deterministic sampling: whether THIS id is traced depends only
         // on (seed, id), so replayed id streams sample identically.
         request.trace = telemetry_->traces().maybe_start(request.id, request.submit_us);
     }
+    if (planner_) planner_->observe_arrival(request.submit_us);
     std::future<InferenceResult> future = request.promise.get_future();
     if (!queue_.push(std::move(request)))
         throw std::runtime_error("NpuServer: submit after shutdown");
     accepted_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry_) {
-        submitted_counter_->add(1);
-        const double depth = static_cast<double>(queue_.size());
-        queue_depth_->set(depth);
-        queue_depth_peak_->set_max(depth);
+        const auto lane = static_cast<std::size_t>(klass);
+        submitted_counter_[lane]->add(1);
+        queue_depth_[lane]->set(static_cast<double>(queue_.size(klass)));
+        queue_depth_peak_->set_max(static_cast<double>(queue_.size()));
     }
     return future;
 }
 
 NpuServer::TrySubmit NpuServer::try_submit(tensor::Tensor image,
-                                           std::function<void()> on_done) {
+                                           std::function<void()> on_done,
+                                           RequestClass klass) {
     InferenceRequest request;
     request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     request.image = std::move(image);
     request.on_done = std::move(on_done);
+    request.klass = klass;
+    request.submit_us = obs::monotonic_us();
     if (telemetry_) {
-        request.submit_us = obs::monotonic_us();
         request.trace = telemetry_->traces().maybe_start(request.id, request.submit_us);
     }
+    if (planner_) planner_->observe_arrival(request.submit_us);
     TrySubmit out;
     out.future = request.promise.get_future();
     switch (queue_.try_push(std::move(request))) {
@@ -164,10 +192,10 @@ NpuServer::TrySubmit NpuServer::try_submit(tensor::Tensor image,
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry_) {
-        submitted_counter_->add(1);
-        const double depth = static_cast<double>(queue_.size());
-        queue_depth_->set(depth);
-        queue_depth_peak_->set_max(depth);
+        const auto lane = static_cast<std::size_t>(klass);
+        submitted_counter_[lane]->add(1);
+        queue_depth_[lane]->set(static_cast<double>(queue_.size(klass)));
+        queue_depth_peak_->set_max(static_cast<double>(queue_.size()));
     }
     return out;
 }
@@ -180,13 +208,16 @@ void NpuServer::worker_loop() {
         const std::size_t batch_size = batch.size();
         if (telemetry_) {
             // Queue span closes here: submit → worker pop. The wait
-            // histogram sees every request; the trace only sampled ones.
+            // histograms see every request; the trace only sampled ones.
             const std::int64_t now = obs::monotonic_us();
             for (InferenceRequest& request : batch) {
-                queue_wait_us_->observe(static_cast<double>(now - request.submit_us));
+                queue_wait_us_[static_cast<std::size_t>(request.klass)]->observe(
+                    static_cast<double>(now - request.submit_us));
                 if (request.trace) request.trace->mark(obs::SpanKind::Queue, now);
             }
-            queue_depth_->set(static_cast<double>(queue_.size()));
+            for (std::size_t c = 0; c < kNumRequestClasses; ++c)
+                queue_depth_[c]->set(static_cast<double>(
+                    queue_.size(static_cast<RequestClass>(c))));
         }
 
         ServeUnit* unit = nullptr;
@@ -220,7 +251,17 @@ void NpuServer::worker_loop() {
         // fulfills the promises.
         if (!sharded()) {
             completed_.fetch_add(batch_size - failed, std::memory_order_relaxed);
-            if (telemetry_) completed_counter_->add(batch_size - failed);
+            if (telemetry_ && failed == 0) {
+                // Per-class attribution on the success path; a failed
+                // batch cannot tell which class' promises were already
+                // satisfied before the throw, so only the class-less
+                // completed_ total counts those.
+                std::size_t per_class[kNumRequestClasses] = {};
+                for (const InferenceRequest& request : batch)
+                    ++per_class[static_cast<std::size_t>(request.klass)];
+                for (std::size_t c = 0; c < kNumRequestClasses; ++c)
+                    if (per_class[c] > 0) completed_counter_[c]->add(per_class[c]);
+            }
         }
     }
 }

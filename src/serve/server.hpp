@@ -1,7 +1,8 @@
 // NpuServer — the multi-threaded aging-aware inference serving runtime.
 //
-// Topology: submit() → bounded RequestQueue → worker threads. Each worker
-// pops a dynamic batch, checks an idle serving unit out of the pool,
+// Topology: submit() → class-aware Scheduler (per-class bounded lanes,
+// interactive preempts batch at batch formation) → worker threads. Each
+// worker pops a dynamic batch, checks an idle serving unit out of the pool,
 // serves the batch on it and returns the unit. A unit is either a
 // whole-model NpuDevice (the replicated layout: every device carries the
 // full graph) or, with `num_shards > 1`, a ShardGroup: the model is
@@ -32,8 +33,10 @@
 #include "common/thread_annotations.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/device.hpp"
+#include "serve/reliability_planner.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/requant_service.hpp"
+#include "serve/scheduler.hpp"
 #include "serve/shard_group.hpp"
 
 namespace raq::serve {
@@ -42,7 +45,17 @@ struct ServeConfig {
     int num_devices = 1;
     int num_workers = 1;
     int max_batch = 8;          ///< dynamic batching cap per device pass
+    /// Default per-lane admission capacity; SchedulerConfig capacities of
+    /// 0 inherit this value.
     std::size_t queue_capacity = 4096;
+    /// Class-aware admission: per-lane capacities, latency targets and
+    /// the batch anti-starvation credit (see serve/scheduler.hpp).
+    SchedulerConfig scheduler;
+    /// Predictive reliability management: schedule requant builds and
+    /// re-cuts into predicted low-traffic windows, ahead of the ΔVth
+    /// crossing (see serve/reliability_planner.hpp). Off by default —
+    /// reactive PR 3/5 behavior.
+    ReliabilityPlannerConfig planner;
     /// Model sharding: 1 replicates the full graph per device; > 1
     /// partitions the model across that many devices per pipeline group
     /// (num_devices must be a multiple of num_shards). Sharded serving
@@ -89,9 +102,10 @@ public:
     NpuServer(const NpuServer&) = delete;
     NpuServer& operator=(const NpuServer&) = delete;
 
-    /// Enqueue one sample (shape (1, c, h, w)); blocks under backpressure.
-    /// Throws once the server is shut down.
-    std::future<InferenceResult> submit(tensor::Tensor image);
+    /// Enqueue one sample (shape (1, c, h, w)) into the lane for `klass`;
+    /// blocks under that lane's backpressure. Throws once shut down.
+    std::future<InferenceResult> submit(
+        tensor::Tensor image, RequestClass klass = RequestClass::Interactive);
 
     /// Outcome of a non-blocking submission attempt (the net front-end's
     /// admission path). `future` is valid only when status == Accepted.
@@ -101,13 +115,14 @@ public:
         std::future<InferenceResult> future;
     };
 
-    /// Non-blocking submit: Saturated (queue full — shed the request
+    /// Non-blocking submit: Saturated (the request's lane is full — shed
     /// with BUSY) or Closed (shutting down) instead of blocking or
     /// throwing. `on_done` fires exactly once after the request's
     /// promise is satisfied, from whichever serving thread fulfils it —
     /// the net event loop hangs an eventfd wake here so no thread ever
     /// parks on a future.
-    TrySubmit try_submit(tensor::Tensor image, std::function<void()> on_done = {});
+    TrySubmit try_submit(tensor::Tensor image, std::function<void()> on_done = {},
+                         RequestClass klass = RequestClass::Interactive);
 
     /// Close admission, drain all accepted requests (through any shard
     /// pipelines), join the workers, then drain outstanding background
@@ -134,6 +149,12 @@ public:
     [[nodiscard]] obs::Telemetry* telemetry() { return telemetry_.get(); }
     [[nodiscard]] const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
+    /// The admission scheduler (per-class depths / starvation counters).
+    [[nodiscard]] const Scheduler& scheduler() const { return queue_; }
+    /// Reliability planner (null unless ServeConfig::planner.enabled).
+    [[nodiscard]] ReliabilityPlanner* planner() { return planner_.get(); }
+    [[nodiscard]] const ReliabilityPlanner* planner() const { return planner_.get(); }
+
     /// Prometheus-style text exposition of every registered series
     /// (empty string with telemetry disabled).
     [[nodiscard]] std::string export_metrics() const;
@@ -157,17 +178,23 @@ private:
     /// Declared before devices_/groups_ (and destroyed after them):
     /// devices cache instrument pointers into the registry.
     std::unique_ptr<obs::Telemetry> telemetry_;
-    obs::Counter* submitted_counter_ = nullptr;
-    obs::Counter* completed_counter_ = nullptr;
-    obs::Gauge* queue_depth_ = nullptr;
+    /// Per-class series (label class="interactive"/"batch"), indexed by
+    /// RequestClass. The depth peak stays an unlabeled fleet-wide
+    /// high-water mark.
+    obs::Counter* submitted_counter_[kNumRequestClasses] = {};
+    obs::Counter* completed_counter_[kNumRequestClasses] = {};
+    obs::Gauge* queue_depth_[kNumRequestClasses] = {};
     obs::Gauge* queue_depth_peak_ = nullptr;
-    obs::Histogram* queue_wait_us_ = nullptr;
+    obs::Histogram* queue_wait_us_[kNumRequestClasses] = {};
     /// Level-parallel execution counter, synced at scrape time from the
     /// process-wide exec counters (delta since this server's baseline —
     /// see sync_exec_metrics()).
     obs::Counter* exec_parallel_counter_ = nullptr;
     mutable std::atomic<std::uint64_t> exec_parallel_exported_{0};
-    RequestQueue queue_;
+    /// Declared before devices_/groups_ (destroyed after them): devices
+    /// and shard groups consult the planner from their serve threads.
+    std::unique_ptr<ReliabilityPlanner> planner_;
+    Scheduler queue_;
     std::vector<std::unique_ptr<NpuDevice>> devices_;
     std::vector<std::unique_ptr<ShardGroup>> groups_;
     /// Declared after devices_/groups_ so it is destroyed (and its

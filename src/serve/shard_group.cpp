@@ -63,7 +63,10 @@ ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupCo
         metrics_.imbalance = &reg.gauge("raq_repartition_imbalance", labels);
         metrics_.partition_generation = &reg.gauge("raq_partition_generation", labels);
         metrics_.partition_generation->set(1.0);
-        metrics_.completed = &reg.counter("raq_requests_completed_total");
+        for (std::size_t c = 0; c < kNumRequestClasses; ++c)
+            metrics_.completed[c] = &reg.counter(
+                "raq_requests_completed_total",
+                {{"class", request_class_name(static_cast<RequestClass>(c))}});
     }
     if (!ctx.graph || !ctx.calib || !ctx.selector || !ctx.aging)
         throw std::invalid_argument("ShardGroup: graph/calib/selector/aging are required");
@@ -128,7 +131,7 @@ ShardGroup::ShardGroup(int group_id, const ServeContext& ctx, const ShardGroupCo
         // behind a stable unique_ptr for the group's lifetime.
         shard->device = std::make_unique<NpuDevice>(
             config.first_device_id + static_cast<int>(k), shard->ctx, dev, requant_service,
-            telemetry_, static_cast<int>(k));
+            telemetry_, config_.planner, static_cast<int>(k));
         shards_.push_back(std::move(shard));
     }
 
@@ -222,10 +225,17 @@ void ShardGroup::stage_loop(std::size_t k) {
                 // these counters covering it on the next scrape.
                 if (completed_)
                     completed_->fetch_add(batch.requests.size(), std::memory_order_relaxed);
-                if (telemetry_) metrics_.completed->add(batch.requests.size());
+                if (telemetry_) {
+                    std::size_t per_class[kNumRequestClasses] = {};
+                    for (const InferenceRequest& request : batch.requests)
+                        ++per_class[static_cast<std::size_t>(request.klass)];
+                    for (std::size_t c = 0; c < kNumRequestClasses; ++c)
+                        if (per_class[c] > 0) metrics_.completed[c]->add(per_class[c]);
+                }
                 for (std::size_t i = 0; i < batch.requests.size(); ++i) {
                     InferenceResult result =
                         make_result(batch.requests[i].id, out, static_cast<int>(i));
+                    result.klass = batch.requests[i].klass;
                     result.device_id = group_id_;
                     result.generation = batch.min_generation;
                     result.partition = partition;
@@ -299,6 +309,15 @@ void ShardGroup::repartition_step() {
     // changes: skip re-deriving the same answer every window. Clocks
     // change only at install, so exact comparison is the right test.
     if (clocks == futile_clocks_) return;
+    // Predictive gate: a drain-and-swap stalls admission, so the planner
+    // parks a merely-threshold-crossing re-cut until a predicted
+    // low-traffic window (an urgent bottleneck still re-cuts at peak).
+    // Returning WITHOUT updating the futile memo or counting a trigger
+    // retries on the next poll — deferred, never dropped.
+    if (config_.planner != nullptr &&
+        !config_.planner->allow_recut(group_id_, imbalance,
+                                      config_.repartition.imbalance_ratio))
+        return;
     {
         const common::MutexLock lock(repart_mutex_);
         ++repart_stats_.triggers;

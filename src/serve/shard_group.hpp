@@ -128,6 +128,11 @@ struct ShardGroupConfig {
     /// threads stamp Handoff/Execute/Complete trace spans, and the
     /// repartition monitor records its trigger/futile/re-cut activity.
     obs::Telemetry* telemetry = nullptr;
+    /// Optional reliability planner (owned by the server, must outlive
+    /// the group): gates triggered re-cuts into predicted low-traffic
+    /// windows (urgent bottlenecks still re-cut immediately) and makes
+    /// shard requant decisions predictive.
+    ReliabilityPlanner* planner = nullptr;
 };
 
 class ShardGroup : public ServeUnit {
@@ -245,10 +250,10 @@ private:
         obs::Counter* recuts = nullptr;
         obs::Gauge* imbalance = nullptr;
         obs::Gauge* partition_generation = nullptr;
-        /// The server-wide completion counter (same unlabeled series the
-        /// replicated path bumps); the pipeline's last stage owns
-        /// completion here.
-        obs::Counter* completed = nullptr;
+        /// The server-wide per-class completion counters (same labeled
+        /// series the replicated path bumps); the pipeline's last stage
+        /// owns completion here. Indexed by RequestClass.
+        obs::Counter* completed[kNumRequestClasses] = {};
     };
     MonitorMetrics metrics_;
 
@@ -257,7 +262,7 @@ private:
     std::vector<npu::SystolicConfig> stage_systolic_;  ///< resolved, one per stage
     std::vector<std::unique_ptr<ShardState>> shards_;
     /// Channel k feeds shard k (bounded, close-and-drain — the same
-    /// protocol as the server's RequestQueue). Replaced wholesale by a
+    /// protocol as the Scheduler's lanes). Replaced wholesale by a
     /// re-cut (old channels are closed and fully drained first).
     std::vector<std::unique_ptr<BoundedChannel<ShardBatch>>> channels_;
     std::vector<std::thread> stage_threads_;

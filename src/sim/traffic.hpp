@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "sim/activity.hpp"
 
@@ -70,6 +71,69 @@ private:
     const std::int64_t window_us_;
     std::deque<Span> spans_;
     std::int64_t first_seen_us_ = -1;  ///< start of the first recorded span
+};
+
+/// Knobs for the arrival-rate predictor the ReliabilityPlanner consults
+/// when placing requant builds / re-cuts into low-traffic windows.
+struct TrafficPredictorConfig {
+    /// Arrival-rate sampling window (host µs). Matches the
+    /// DutyCycleMonitor default so the two views of load line up.
+    std::int64_t window_us = 250'000;
+    /// EWMA smoothing across completed windows (1 = last window only).
+    double ewma_alpha = 0.4;
+    /// Per-window decay of the tracked peak rate, so a one-off burst
+    /// months ago does not keep every later lull looking "low".
+    double peak_decay = 0.99;
+    /// A window is low-traffic when the smoothed rate is at or below
+    /// this fraction of the (decayed) peak rate.
+    double low_traffic_fraction = 0.35;
+    /// Diurnal phase profile: > 0 folds completed windows into this many
+    /// phase bins over `period_us`, giving predicted_rate() a seasonal
+    /// estimate; 0 disables the profile (EWMA only).
+    int diurnal_bins = 0;
+    std::int64_t period_us = 4'000'000;
+};
+
+/// EWMA + decayed-peak (optionally diurnal-phase) arrival-rate estimator
+/// over fixed windows. Arrivals are observed with their monotonic
+/// timestamps; nothing here reads a clock. Not thread-safe: the owning
+/// ReliabilityPlanner records under its own leaf mutex (the same
+/// ownership discipline as DutyCycleMonitor under the device stats
+/// mutex).
+class TrafficPredictor {
+public:
+    explicit TrafficPredictor(const TrafficPredictorConfig& config = {});
+
+    /// Record one request arrival at `now_us` (obs::monotonic_us).
+    void observe(std::int64_t now_us);
+
+    /// Smoothed arrival rate (requests/sec) as of `now_us`; rolls any
+    /// windows that have fully elapsed (empty ones count as zero-rate).
+    [[nodiscard]] double rate_now(std::int64_t now_us);
+    /// Decayed historical peak of the smoothed rate.
+    [[nodiscard]] double rate_peak(std::int64_t now_us);
+    /// Seasonal estimate for the window containing `at_us`: the diurnal
+    /// phase-bin average when enabled and warmed up, else the EWMA.
+    [[nodiscard]] double predicted_rate(std::int64_t at_us);
+    /// True when `now_us` sits in a low-traffic window: smoothed rate at
+    /// or below low_traffic_fraction × peak (a never-loaded fleet is
+    /// trivially low-traffic).
+    [[nodiscard]] bool low_traffic(std::int64_t now_us);
+
+    [[nodiscard]] const TrafficPredictorConfig& config() const { return config_; }
+
+private:
+    void roll_to(std::int64_t now_us);
+    [[nodiscard]] int bin_of(std::int64_t t_us) const;
+
+    const TrafficPredictorConfig config_;
+    std::int64_t window_start_us_ = -1;  ///< -1 until the first arrival
+    std::uint64_t window_count_ = 0;     ///< arrivals in the open window
+    double ewma_rate_ = 0.0;             ///< requests/sec over closed windows
+    double peak_rate_ = 0.0;
+    bool warmed_ = false;                ///< at least one closed window
+    std::vector<double> bin_rate_;       ///< diurnal phase profile
+    std::vector<std::uint64_t> bin_windows_;
 };
 
 /// Aging-rate multiplier for a device busy for fraction `f` of host

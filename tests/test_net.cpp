@@ -442,6 +442,52 @@ TEST_F(Net, SocketServingIsLosslessAndBitIdenticalToInProcess) {
     EXPECT_NE(timeline.find("net-drain"), std::string::npos);
 }
 
+TEST_F(Net, MixedClassFramesRouteToLanesAndReportPerClass) {
+    constexpr int kRequests = 48;
+    serve::ServeConfig cfg;
+    cfg.num_devices = 2;
+    cfg.num_workers = 2;
+    cfg.max_batch = 8;
+    cfg.telemetry.metrics = true;
+    serve::NpuServer npu(context(), cfg);
+
+    net::NetConfig ncfg;
+    net::Server front(npu, ncfg);
+    ASSERT_GT(front.port(), 0);
+
+    // Half the requests go out as legacy Op::Infer frames (interactive by
+    // default), half as batch-class Op::InferClass frames.
+    net::LoadGenConfig lcfg;
+    lcfg.port = front.port();
+    lcfg.connections = 4;
+    lcfg.model = net::TrafficModel::ClosedLoop;
+    lcfg.total_requests = kRequests;
+    lcfg.interactive_frac = 0.5;
+    const net::LoadReport report = net::run_load(lcfg, encoded_samples(16));
+
+    EXPECT_TRUE(report.lossless()) << report.to_string();
+    EXPECT_EQ(report.ok, static_cast<std::uint64_t>(kRequests));
+    // The class split is a seeded draw — both classes must be present and
+    // they must add up exactly.
+    EXPECT_GT(report.ok_interactive, 0u);
+    EXPECT_GT(report.ok_batch, 0u);
+    EXPECT_EQ(report.ok_interactive + report.ok_batch, report.ok);
+    EXPECT_GT(report.interactive_p99_ms, 0.0);
+    EXPECT_GT(report.batch_p99_ms, 0.0);
+
+    // Both lanes show up as labeled series in the scrape, and the batch
+    // lane really admitted the InferClass frames.
+    const std::string scrape = net::fetch_metrics("127.0.0.1", front.port());
+    EXPECT_NE(scrape.find("raq_requests_submitted_total{class=\"interactive\"}"),
+              std::string::npos);
+    EXPECT_NE(scrape.find("raq_requests_submitted_total{class=\"batch\"}"),
+              std::string::npos);
+    EXPECT_EQ(npu.scheduler().stats().admitted[1], report.ok_batch);
+
+    front.stop();
+    npu.shutdown();
+}
+
 TEST_F(Net, WrongModelIdIsRejectedNotServed) {
     serve::ServeConfig cfg;
     cfg.num_devices = 1;

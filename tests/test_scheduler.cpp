@@ -1,0 +1,436 @@
+// Tests for the class-aware admission scheduler (serve::Scheduler), the
+// traffic predictor (sim::TrafficPredictor) and the reliability planner
+// (serve::ReliabilityPlanner) that PR 10 introduced.
+//
+// The scheduler tests pin down the contract the worker loop and the net
+// front-end rely on: per-class FIFO order, interactive-preempts-batch at
+// batch formation, the bounded anti-starvation aging credit, per-lane
+// backpressure, and BoundedChannel's close-and-drain semantics — plus a
+// concurrent mixed-class producer/consumer run for TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/reliability_planner.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace raq;
+
+serve::InferenceRequest make_request(std::uint64_t id, serve::RequestClass klass) {
+    serve::InferenceRequest request;
+    request.id = id;
+    request.klass = klass;
+    request.submit_us = obs::monotonic_us();  // submit paths stamp unconditionally
+    return request;
+}
+
+TEST(Scheduler, PerClassFifoOrder) {
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 8;
+    cfg.batch_capacity = 8;
+    serve::Scheduler queue(cfg);
+    // Interleaved arrival: I0 B1 I2 B3 I4.
+    ASSERT_TRUE(queue.push(make_request(0, serve::RequestClass::Interactive)));
+    ASSERT_TRUE(queue.push(make_request(1, serve::RequestClass::Batch)));
+    ASSERT_TRUE(queue.push(make_request(2, serve::RequestClass::Interactive)));
+    ASSERT_TRUE(queue.push(make_request(3, serve::RequestClass::Batch)));
+    ASSERT_TRUE(queue.push(make_request(4, serve::RequestClass::Interactive)));
+    EXPECT_EQ(queue.size(), 5u);
+    EXPECT_EQ(queue.size(serve::RequestClass::Interactive), 3u);
+    EXPECT_EQ(queue.size(serve::RequestClass::Batch), 2u);
+
+    // One formation takes everything: interactive lane first (in FIFO
+    // order), then the batch lane (in FIFO order).
+    const auto batch = queue.pop_batch(16);
+    ASSERT_EQ(batch.size(), 5u);
+    EXPECT_EQ(batch[0].id, 0u);
+    EXPECT_EQ(batch[1].id, 2u);
+    EXPECT_EQ(batch[2].id, 4u);
+    EXPECT_EQ(batch[3].id, 1u);
+    EXPECT_EQ(batch[4].id, 3u);
+
+    const serve::SchedulerStats stats = queue.stats();
+    EXPECT_EQ(stats.admitted[0], 3u);
+    EXPECT_EQ(stats.admitted[1], 2u);
+    EXPECT_EQ(stats.formations, 1u);
+}
+
+TEST(Scheduler, InteractivePreemptsBatchAtFormation) {
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 8;
+    cfg.batch_capacity = 8;
+    cfg.starvation_us = 3'600'000'000;  // aging credit never due in-test
+    serve::Scheduler queue(cfg);
+    // Batch requests arrived FIRST — strict arrival order would serve
+    // them first. The scheduler must not.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(queue.push(make_request(100 + i, serve::RequestClass::Batch)));
+    ASSERT_TRUE(queue.push(make_request(0, serve::RequestClass::Interactive)));
+    ASSERT_TRUE(queue.push(make_request(1, serve::RequestClass::Interactive)));
+
+    const auto batch = queue.pop_batch(3);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].id, 0u);    // interactive preempts...
+    EXPECT_EQ(batch[1].id, 1u);
+    EXPECT_EQ(batch[2].id, 100u);  // ...batch rides along in the leftover slot
+    EXPECT_EQ(queue.size(serve::RequestClass::Batch), 3u);
+}
+
+TEST(Scheduler, BatchStarvationBoundedByStreak) {
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 16;
+    cfg.batch_capacity = 16;
+    cfg.starvation_us = 3'600'000'000;  // only the streak bound can fire
+    cfg.max_interactive_streak = 2;
+    serve::Scheduler queue(cfg);
+    ASSERT_TRUE(queue.push(make_request(999, serve::RequestClass::Batch)));
+
+    // A continuous interactive stream may skip the non-empty batch lane
+    // at most max_interactive_streak consecutive formations.
+    std::vector<std::uint64_t> order;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(queue.push(make_request(i, serve::RequestClass::Interactive)));
+        const auto batch = queue.pop_batch(1);
+        ASSERT_EQ(batch.size(), 1u);
+        order.push_back(batch[0].id);
+    }
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u);
+    EXPECT_EQ(order[2], 999u);  // third formation: aging credit due
+    EXPECT_GE(queue.stats().starvation_grants, 1u);
+    // The parked interactive request is still there.
+    EXPECT_EQ(queue.size(serve::RequestClass::Interactive), 1u);
+}
+
+TEST(Scheduler, BatchStarvationBoundedByWaitTime) {
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 8;
+    cfg.batch_capacity = 8;
+    cfg.starvation_us = 0;  // any waiting batch head is immediately due
+    cfg.max_interactive_streak = 1'000'000;
+    serve::Scheduler queue(cfg);
+    ASSERT_TRUE(queue.push(make_request(1, serve::RequestClass::Interactive)));
+    ASSERT_TRUE(queue.push(make_request(2, serve::RequestClass::Batch)));
+    const auto batch = queue.pop_batch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].id, 2u);  // aged batch head beats the interactive lane
+    EXPECT_GE(queue.stats().starvation_grants, 1u);
+}
+
+TEST(Scheduler, PerLaneBackpressureIsIndependent) {
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 2;
+    cfg.batch_capacity = 1;
+    serve::Scheduler queue(cfg);
+    EXPECT_EQ(queue.capacity(serve::RequestClass::Interactive), 2u);
+    EXPECT_EQ(queue.capacity(serve::RequestClass::Batch), 1u);
+
+    EXPECT_EQ(queue.try_push(make_request(0, serve::RequestClass::Batch)),
+              serve::ChannelPush::Ok);
+    // Batch lane full — batch is shed, interactive still admitted.
+    EXPECT_EQ(queue.try_push(make_request(1, serve::RequestClass::Batch)),
+              serve::ChannelPush::Full);
+    EXPECT_EQ(queue.try_push(make_request(2, serve::RequestClass::Interactive)),
+              serve::ChannelPush::Ok);
+    EXPECT_EQ(queue.try_push(make_request(3, serve::RequestClass::Interactive)),
+              serve::ChannelPush::Ok);
+    EXPECT_EQ(queue.try_push(make_request(4, serve::RequestClass::Interactive)),
+              serve::ChannelPush::Full);
+    EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(Scheduler, CloseAndDrainBothLanes) {
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 4;
+    cfg.batch_capacity = 4;
+    serve::Scheduler queue(cfg);
+    ASSERT_TRUE(queue.push(make_request(0, serve::RequestClass::Interactive)));
+    ASSERT_TRUE(queue.push(make_request(1, serve::RequestClass::Batch)));
+    ASSERT_TRUE(queue.push(make_request(2, serve::RequestClass::Batch)));
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+
+    // No admission after close, on either lane or path.
+    EXPECT_FALSE(queue.push(make_request(7, serve::RequestClass::Interactive)));
+    EXPECT_FALSE(queue.push(make_request(8, serve::RequestClass::Batch)));
+    EXPECT_EQ(queue.try_push(make_request(9, serve::RequestClass::Batch)),
+              serve::ChannelPush::Closed);
+
+    // Everything accepted before close still drains, interactive first.
+    const auto drained = queue.pop_batch(16);
+    ASSERT_EQ(drained.size(), 3u);
+    EXPECT_EQ(drained[0].id, 0u);
+    EXPECT_EQ(drained[1].id, 1u);
+    EXPECT_EQ(drained[2].id, 2u);
+    // Empty result == closed AND both lanes drained: the worker-exit signal.
+    EXPECT_TRUE(queue.pop_batch(16).empty());
+}
+
+TEST(Scheduler, CloseWakesBlockedProducersOnBothLanes) {
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 1;
+    cfg.batch_capacity = 1;
+    serve::Scheduler queue(cfg);
+    ASSERT_TRUE(queue.push(make_request(0, serve::RequestClass::Interactive)));
+    ASSERT_TRUE(queue.push(make_request(1, serve::RequestClass::Batch)));
+
+    // One producer blocks on each full lane; close() must wake both with
+    // push == false WITHOUT consuming the request, so the caller still
+    // owns the promise and can resolve it.
+    std::atomic<int> rejected{0};
+    std::vector<std::future<serve::InferenceResult>> futures(2);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 2; ++t)
+        producers.emplace_back([&queue, &futures, &rejected, t] {
+            serve::InferenceRequest request = make_request(
+                100 + static_cast<std::uint64_t>(t),
+                t == 0 ? serve::RequestClass::Interactive : serve::RequestClass::Batch);
+            futures[static_cast<std::size_t>(t)] = request.promise.get_future();
+            if (!queue.push(std::move(request))) {
+                rejected.fetch_add(1);
+                serve::InferenceResult result;
+                result.request_id = request.id;
+                result.predicted_class = -1;
+                request.promise.set_value(std::move(result));
+            }
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(queue.size(), 2u);
+    queue.close();
+    for (std::thread& p : producers) p.join();
+
+    EXPECT_EQ(rejected.load(), 2);
+    for (auto& f : futures) EXPECT_EQ(f.get().predicted_class, -1);
+    EXPECT_EQ(queue.pop_batch(16).size(), 2u);
+    EXPECT_TRUE(queue.pop_batch(16).empty());
+}
+
+// Concurrent mixed-class producers against small lanes (so producers
+// actually block) with a concurrent consumer — the TSan workload.
+TEST(Scheduler, ConcurrentMixedClassProducersAndConsumer) {
+    constexpr int kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 200;
+    serve::SchedulerConfig cfg;
+    cfg.interactive_capacity = 8;
+    cfg.batch_capacity = 8;
+    serve::Scheduler queue(cfg);
+
+    std::uint64_t popped[serve::kNumRequestClasses] = {};
+    std::map<std::uint64_t, std::uint64_t> last_seen;  // producer -> last id
+    bool fifo_per_producer = true;
+    std::thread consumer([&] {
+        for (;;) {
+            const auto batch = queue.pop_batch(8);
+            if (batch.empty()) return;  // closed and drained
+            for (const serve::InferenceRequest& r : batch) {
+                ++popped[static_cast<std::size_t>(r.klass)];
+                const std::uint64_t producer = r.id >> 32;
+                const auto it = last_seen.find(producer);
+                // Each producer feeds exactly one lane, so its ids must
+                // come back in submission order.
+                if (it != last_seen.end() && r.id <= it->second)
+                    fifo_per_producer = false;
+                last_seen[producer] = r.id;
+            }
+        }
+    });
+
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t)
+        producers.emplace_back([&queue, t] {
+            const auto klass = (t % 2 == 0) ? serve::RequestClass::Interactive
+                                            : serve::RequestClass::Batch;
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                const std::uint64_t id = (static_cast<std::uint64_t>(t) << 32) | i;
+                ASSERT_TRUE(queue.push(make_request(id, klass)));
+            }
+        });
+    for (std::thread& p : producers) p.join();
+    queue.close();
+    consumer.join();
+
+    EXPECT_EQ(popped[0], 2 * kPerProducer);
+    EXPECT_EQ(popped[1], 2 * kPerProducer);
+    EXPECT_TRUE(fifo_per_producer);
+    const serve::SchedulerStats stats = queue.stats();
+    EXPECT_EQ(stats.admitted[0], 2 * kPerProducer);
+    EXPECT_EQ(stats.admitted[1], 2 * kPerProducer);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+// ---- traffic predictor ------------------------------------------------
+
+TEST(TrafficPredictor, RatesWarmAndDecayDeterministically) {
+    sim::TrafficPredictorConfig cfg;
+    cfg.window_us = 1'000'000;  // 1 s windows, all timestamps synthetic
+    cfg.ewma_alpha = 0.4;
+    cfg.low_traffic_fraction = 0.35;
+    sim::TrafficPredictor predictor(cfg);
+
+    // Never loaded => trivially low.
+    EXPECT_TRUE(predictor.low_traffic(0));
+
+    // 10 arrivals per window for 5 windows: rates converge to 10/s.
+    std::int64_t t = 0;
+    for (int w = 0; w < 5; ++w)
+        for (int i = 0; i < 10; ++i)
+            predictor.observe(t + w * 1'000'000 + i * 100'000);
+    t = 5'000'000;
+    EXPECT_NEAR(predictor.rate_now(t), 10.0, 1.0);
+    EXPECT_NEAR(predictor.rate_peak(t), 10.0, 1.0);
+    EXPECT_FALSE(predictor.low_traffic(t));
+
+    // Silence: the EWMA decays through empty windows until the rate
+    // drops under low_traffic_fraction x peak.
+    EXPECT_TRUE(predictor.low_traffic(t + 15'000'000));
+    EXPECT_LT(predictor.rate_now(t + 15'000'000), 0.1);
+    EXPECT_GT(predictor.rate_peak(t + 15'000'000), 1.0);  // peak decays slowly
+}
+
+TEST(TrafficPredictor, DiurnalBinsLearnThePhase) {
+    sim::TrafficPredictorConfig cfg;
+    cfg.window_us = 500'000;
+    cfg.diurnal_bins = 2;
+    cfg.period_us = 2'000'000;  // bin 0 = first second, bin 1 = second
+    sim::TrafficPredictor predictor(cfg);
+
+    // Two simulated days: 20/window in the first half-period, 1/window in
+    // the second.
+    for (int day = 0; day < 2; ++day) {
+        const std::int64_t day_start = day * 2'000'000;
+        for (int w = 0; w < 2; ++w)
+            for (int i = 0; i < 20; ++i)
+                predictor.observe(day_start + w * 500'000 + i * 20'000);
+        for (int w = 2; w < 4; ++w)
+            predictor.observe(day_start + w * 500'000);
+    }
+    (void)predictor.rate_now(4'000'000);  // roll everything closed
+    EXPECT_GT(predictor.predicted_rate(4'200'000),      // a first-half time
+              5.0 * predictor.predicted_rate(5'200'000));  // a second-half time
+}
+
+// ---- reliability planner ----------------------------------------------
+
+namespace planner_test {
+
+/// Feed `planner` a dense arrival stream with timestamps from now to
+/// (now + span). plan_requant/allow_recut read obs::monotonic_us()
+/// internally, which stays BELOW the predictor's current window edge for
+/// span seconds of wall time — so the rates those calls see are exactly
+/// the warmed EWMA/peak, immune to in-test scheduling stalls. (Past
+/// timestamps are not an option: the process clock epoch latches at
+/// first use, so "now - 35 s" would be negative and collide with the
+/// predictor's unset-window sentinel.)
+void feed_traffic(serve::ReliabilityPlanner& planner, double span_s, double step_s) {
+    const std::int64_t now = obs::monotonic_us();
+    const auto span = static_cast<std::int64_t>(span_s * 1e6);
+    const auto step = static_cast<std::int64_t>(step_s * 1e6);
+    for (std::int64_t t = now; t < now + span; t += step)
+        planner.observe_arrival(t);
+}
+
+serve::ReliabilityPlannerConfig config_with_10s_windows() {
+    serve::ReliabilityPlannerConfig cfg;
+    cfg.enabled = true;
+    // 10 s windows: in-test wall-clock jitter is far below one window, so
+    // the predictor's view of "now" cannot change mid-test.
+    cfg.predictor.window_us = 10'000'000;
+    return cfg;
+}
+
+}  // namespace planner_test
+
+TEST(ReliabilityPlanner, IdleFleetSchedulesEarlyInsideLeadWindow) {
+    serve::ReliabilityPlanner planner(planner_test::config_with_10s_windows());
+    // Never-loaded fleet is a standing low-traffic window.
+    // Below lead_fraction (0.75): not worth a swap yet.
+    EXPECT_EQ(planner.plan_requant(0, 0.5, 0.0, 1.0, nullptr),
+              serve::PlannerDecision::Idle);
+    // Inside the lead window and traffic is low: schedule early.
+    EXPECT_EQ(planner.plan_requant(0, 0.8, 0.0, 1.0, nullptr),
+              serve::PlannerDecision::Schedule);
+    const serve::PlannerStats stats = planner.stats();
+    EXPECT_EQ(stats.builds_scheduled, 1u);
+    EXPECT_EQ(stats.builds_deferred, 0u);
+}
+
+TEST(ReliabilityPlanner, HighTrafficDefersUntilHeadroomExhausted) {
+    obs::TelemetryConfig tc;
+    tc.metrics = true;
+    obs::Telemetry telemetry(tc);
+    serve::ReliabilityPlanner planner(planner_test::config_with_10s_windows(),
+                                      &telemetry);
+    // ~10 arrivals/s across 3.5 closed windows => high traffic at "now".
+    planner_test::feed_traffic(planner, 35.0, 0.1);
+    ASSERT_GT(planner.stats().rate_peak, 1.0);
+
+    // Crossed the threshold but not the headroom: parked for a lull.
+    EXPECT_EQ(planner.plan_requant(0, 1.2, 0.0, 1.0, nullptr),
+              serve::PlannerDecision::Defer);
+    // Early-lead progress never runs at peak traffic.
+    EXPECT_EQ(planner.plan_requant(0, 0.8, 0.0, 1.0, nullptr),
+              serve::PlannerDecision::Idle);
+    // Past defer_headroom (1.6): gain dominates any cost — run it now.
+    EXPECT_EQ(planner.plan_requant(0, 1.7, 0.0, 1.0, nullptr),
+              serve::PlannerDecision::Schedule);
+
+    // Re-cuts follow the same shape: urgent imbalance overrides traffic.
+    EXPECT_FALSE(planner.allow_recut(0, 1.6, 1.5));  // 1.07x trigger: parked
+    EXPECT_TRUE(planner.allow_recut(0, 2.4, 1.5));   // 1.6x trigger: urgent
+
+    const serve::PlannerStats stats = planner.stats();
+    EXPECT_EQ(stats.builds_scheduled, 1u);
+    EXPECT_EQ(stats.builds_deferred, 1u);
+    EXPECT_EQ(stats.recuts_allowed, 1u);
+    EXPECT_EQ(stats.recuts_deferred, 1u);
+    EXPECT_GE(telemetry.timeline().count(obs::EventKind::BuildScheduled), 2u);
+    EXPECT_GE(telemetry.timeline().count(obs::EventKind::BuildDeferred), 1u);
+}
+
+TEST(ReliabilityPlanner, DecayedTrafficReopensTheLowWindow) {
+    serve::ReliabilityPlanner planner(planner_test::config_with_10s_windows());
+    // Heavy traffic, then a lone arrival ~17 windows later: the EWMA has
+    // decayed to a trickle while the peak is still warm — the fleet is
+    // back inside a low-traffic window when plan_requant looks.
+    planner_test::feed_traffic(planner, 30.0, 0.1);
+    planner.observe_arrival(obs::monotonic_us() + 200'000'000);
+    EXPECT_EQ(planner.plan_requant(0, 1.2, 0.0, 1.0, nullptr),
+              serve::PlannerDecision::Schedule);
+    EXPECT_TRUE(planner.allow_recut(0, 1.2, 1.5));  // mild imbalance, free window
+}
+
+TEST(ReliabilityPlanner, PredictsLowWindowEntryOnTheTimeline) {
+    obs::TelemetryConfig tc;
+    tc.metrics = true;
+    obs::Telemetry telemetry(tc);
+    serve::ReliabilityPlannerConfig cfg;
+    cfg.enabled = true;
+    cfg.predictor.window_us = 1'000'000;
+    serve::ReliabilityPlanner planner(cfg, &telemetry);
+
+    // Synthetic clock throughout (observe_arrival takes the timestamp):
+    // a loaded phase, then a trickle — the high->low edge must put
+    // exactly one window-predicted event on the timeline.
+    std::int64_t t = 1'000'000;
+    for (int w = 0; w < 5; ++w)
+        for (int i = 0; i < 10; ++i)
+            planner.observe_arrival(t + w * 1'000'000 + i * 100'000);
+    EXPECT_EQ(telemetry.timeline().count(obs::EventKind::WindowPredicted), 0u);
+    t += 20'000'000;  // 15 empty windows later, one lone arrival
+    planner.observe_arrival(t);
+    EXPECT_EQ(telemetry.timeline().count(obs::EventKind::WindowPredicted), 1u);
+    EXPECT_EQ(planner.stats().windows_predicted, 1u);
+}
+
+}  // namespace

@@ -508,7 +508,7 @@ TEST(ServeStats, LatencyReservoirBoundedWithExactAggregates) {
 
 TEST(ServeQueue, CloseWakesBlockedProducersWithoutLosingPromises) {
     constexpr int kProducers = 3;
-    serve::RequestQueue queue(2);
+    serve::BoundedChannel<serve::InferenceRequest> queue(2);
     for (int i = 0; i < 2; ++i) {
         serve::InferenceRequest fill;
         fill.id = static_cast<std::uint64_t>(i);
@@ -569,7 +569,7 @@ TEST(ServeBatcher, RejectsMalformedBatchesAndRows) {
 }
 
 TEST(ServeQueue, BatchedPopRespectsLimitAndOrder) {
-    serve::RequestQueue queue(16);
+    serve::BoundedChannel<serve::InferenceRequest> queue(16);
     for (int i = 0; i < 10; ++i) {
         serve::InferenceRequest request;
         request.id = static_cast<std::uint64_t>(i);
